@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table benchmark binaries: aligned
+ * table printing and system/job construction shortcuts.
+ */
+
+#ifndef BPD_BENCH_COMMON_HPP
+#define BPD_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hpp"
+#include "system/system.hpp"
+#include "workloads/fio.hpp"
+
+namespace bpd::bench {
+
+/** Print a banner naming the experiment and the paper artifact. */
+inline void
+banner(const std::string &id, const std::string &what)
+{
+    std::printf("\n==============================================================\n");
+    std::printf("%s — %s\n", id.c_str(), what.c_str());
+    std::printf("==============================================================\n");
+}
+
+/** Print one row of right-aligned cells after a left label. */
+inline void
+row(const std::string &label, const std::vector<std::string> &cells,
+    int labelWidth = 22, int cellWidth = 11)
+{
+    std::printf("%-*s", labelWidth, label.c_str());
+    for (const auto &c : cells)
+        std::printf("%*s", cellWidth, c.c_str());
+    std::printf("\n");
+}
+
+inline std::string
+fmt(const char *f, double v)
+{
+    return sim::strf(f, v);
+}
+
+/** Fresh default system (quiet). */
+inline std::unique_ptr<sys::System>
+makeSystem(std::uint64_t deviceBytes = 32ull << 30,
+           std::uint64_t seed = 42)
+{
+    sim::setVerbose(false);
+    sys::SystemConfig cfg;
+    cfg.deviceBytes = deviceBytes;
+    cfg.seed = seed;
+    return std::make_unique<sys::System>(cfg);
+}
+
+/** Run one fio job on a fresh system. */
+inline wl::FioResult
+runFio(const wl::FioJob &job, sys::SystemConfig cfg = {})
+{
+    sim::setVerbose(false);
+    if (cfg.deviceBytes == (sys::SystemConfig{}).deviceBytes)
+        cfg.deviceBytes = 64ull << 30;
+    sys::System s(cfg);
+    wl::FioRunner runner(s);
+    return runner.run(job);
+}
+
+} // namespace bpd::bench
+
+#endif // BPD_BENCH_COMMON_HPP

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Fig. 11: I/O scheduling in the device — 4 KiB random-read latency of
+ * a foreground process while 1..16 background reader processes hammer
+ * the device. BypassD relies on the device's round-robin arbitration
+ * across queues for fairness.
+ */
+
+#include <functional>
+
+#include "bench/common.hpp"
+
+using namespace bpd;
+using namespace bpd::wl;
+
+namespace {
+
+struct Reader
+{
+    kern::Process *proc = nullptr;
+    bypassd::UserLib *lib = nullptr;
+    int fd = -1;
+    std::vector<std::uint8_t> buf;
+    sim::Rng rng{0};
+};
+
+std::unique_ptr<Reader>
+makeReader(sys::System &s, const std::string &path, std::uint64_t bytes,
+           std::uint32_t uid, std::uint64_t seed, bool viaBypassd)
+{
+    auto r = std::make_unique<Reader>();
+    r->proc = &s.newProcess(uid, uid);
+    const int cfd = s.kernel.setupCreateFile(*r->proc, path, bytes, 0);
+    sim::panicIf(cfd < 0, "reader file setup failed");
+    if (viaBypassd) {
+        int rc = -1;
+        s.kernel.sysClose(*r->proc, cfd, [&rc](int x) { rc = x; });
+        s.run();
+        r->lib = &s.userLib(*r->proc);
+        int fd = -1;
+        r->lib->open(path, fs::kOpenRead | fs::kOpenDirect, 0644,
+                     [&fd](int f) { fd = f; });
+        s.run();
+        sim::panicIf(fd < 0, "reader open failed");
+        r->fd = fd;
+    } else {
+        r->fd = cfd;
+    }
+    r->buf.assign(4096, 0);
+    r->rng = sim::Rng(seed);
+    return r;
+}
+
+double
+foregroundLatency(Engine fgEngine, unsigned backgroundReaders)
+{
+    auto s = bench::makeSystem(64ull << 30);
+    constexpr std::uint64_t kFile = 256ull << 20;
+
+    // Background readers always use the BypassD interface (they model
+    // other tenants sharing the device).
+    std::vector<std::unique_ptr<Reader>> bgs;
+    for (unsigned i = 0; i < backgroundReaders; i++) {
+        bgs.push_back(makeReader(*s, "/bg" + std::to_string(i) + ".dat",
+                                 kFile, 3000 + i, 100 + i, true));
+    }
+    auto fg = makeReader(*s, "/fg.dat", kFile, 2000, 77,
+                         fgEngine == Engine::Bypassd);
+
+    const Time start = s->now();
+    const Time measureStart = start + 1 * kMs;
+    const Time tEnd = measureStart + 8 * kMs;
+    s->kernel.cpu().acquire(backgroundReaders + 1);
+
+    // Background load: queue depth 4 per process until tEnd.
+    for (auto &bgp : bgs) {
+        Reader *bg = bgp.get();
+        auto loop = std::make_shared<std::function<void()>>();
+        *loop = [bg, loop, tEnd, &s]() {
+            if (s->now() >= tEnd)
+                return;
+            const std::uint64_t off
+                = bg->rng.nextUint(kFile / 4096) * 4096;
+            bg->lib->pread(0, bg->fd, bg->buf, off,
+                           [loop](long long, kern::IoTrace) {
+                               (*loop)();
+                           });
+        };
+        for (int d = 0; d < 4; d++)
+            (*loop)();
+    }
+
+    // Foreground: QD1 4 KiB random reads; record measured-window ops.
+    auto lat = std::make_shared<sim::Histogram>();
+    {
+        Reader *f = fg.get();
+        auto loop = std::make_shared<std::function<void()>>();
+        *loop = [f, loop, lat, measureStart, tEnd, fgEngine, &s]() {
+            if (s->now() >= tEnd)
+                return;
+            const std::uint64_t off
+                = f->rng.nextUint(kFile / 4096) * 4096;
+            const Time t0 = s->now();
+            auto done = [loop, lat, t0, measureStart, tEnd,
+                         &s](long long n, kern::IoTrace) {
+                sim::panicIf(n < 0, "foreground read failed");
+                if (t0 >= measureStart && s->now() <= tEnd)
+                    lat->record(s->now() - t0);
+                (*loop)();
+            };
+            if (fgEngine == Engine::Bypassd)
+                f->lib->pread(0, f->fd, f->buf, off, done);
+            else
+                s->kernel.sysPread(*f->proc, f->fd, f->buf, off, done);
+        };
+        (*loop)();
+    }
+
+    s->run();
+    s->kernel.cpu().release(backgroundReaders + 1);
+    return lat->mean();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 11",
+                  "4KB random-read latency with background readers");
+
+    const unsigned readers[] = {0, 1, 2, 4, 8, 12, 16};
+    std::printf("%-10s", "engine");
+    for (unsigned n : readers)
+        std::printf(" %8s", sim::strf("%ubg", n).c_str());
+    std::printf("   (us)\n");
+    for (Engine e : {Engine::Sync, Engine::Bypassd}) {
+        std::printf("%-10s", toString(e));
+        for (unsigned n : readers)
+            std::printf(" %8.1f", foregroundLatency(e, n) / 1e3);
+        std::printf("\n");
+    }
+    std::printf("\nPaper shape: latency grows with device load, but "
+                "BypassD stays below\nthe kernel baseline even with 16 "
+                "background readers — the device's\nround-robin queue "
+                "arbitration balances the load.\n");
+    return 0;
+}

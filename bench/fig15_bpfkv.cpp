@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig. 15: BPF-KV average and p99.9 request latency versus thread
+ * count, for sync, XRP, SPDK and BypassD. Full paper scale: 920 M
+ * objects, 6-level index, 7 I/Os per lookup, no caching.
+ */
+
+#include "apps/bpfkv.hpp"
+#include "bench/common.hpp"
+
+using namespace bpd;
+using namespace bpd::apps;
+
+namespace {
+
+BpfKv::Result
+runOne(KvEngine e, unsigned threads)
+{
+    auto s = bench::makeSystem(128ull << 30);
+    BpfKvConfig cfg;
+    cfg.records = 920'000'000;
+    cfg.engine = e;
+    BpfKv kv(*s, cfg);
+    kv.setup();
+    sim::panicIf(kv.iosPerLookup() != 7, "expected 7 I/Os per lookup");
+    return kv.run(threads, 400);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 15", "BPF-KV avg and p99.9 request latency");
+
+    const unsigned threads[] = {1, 2, 4, 8, 12, 16, 20, 24};
+    const KvEngine engines[] = {KvEngine::Sync, KvEngine::Xrp,
+                                KvEngine::Spdk, KvEngine::Bypassd};
+
+    std::printf("%-9s", "engine");
+    for (unsigned t : threads)
+        std::printf(" %13s", sim::strf("%uT", t).c_str());
+    std::printf("\n");
+    for (KvEngine e : engines) {
+        std::printf("%-9s", toString(e));
+        for (unsigned t : threads) {
+            BpfKv::Result r = runOne(e, t);
+            std::printf(" %6.1f/%6.1f", r.latency.mean() / 1e3,
+                        static_cast<double>(r.latency.p999()) / 1e3);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(Each cell: avg / p99.9 latency in us; 920M objects, "
+                "6-level index,\n7 I/Os per lookup.)\n"
+                "Paper shape: sync ~50us, XRP saves the repeated kernel "
+                "traversals,\nBypassD sits ~4us above SPDK (7 x 550ns "
+                "VBA translations) and ~9.6%%\nbetter than XRP in "
+                "throughput.\n");
+    return 0;
+}

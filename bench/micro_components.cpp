@@ -1,0 +1,129 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot simulator components:
+ * page-table walks, IOMMU VBA translation, extent lookups, block
+ * allocation, PRNG/zipfian draws, histogram recording, event dispatch.
+ * These measure host wall-clock cost of the simulation itself (not
+ * simulated time) and guard against performance regressions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "fs/block_allocator.hpp"
+#include "fs/extent_tree.hpp"
+#include "iommu/iommu.hpp"
+#include "mem/page_table.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+using namespace bpd;
+
+static void
+BM_PageTableWalk(benchmark::State &state)
+{
+    mem::FrameAllocator fa;
+    mem::PageTable pt(fa);
+    for (unsigned i = 0; i < 1024; i++)
+        pt.set(0x40000000ull + i * 4096, mem::makeFte(i, 1, true));
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        auto w = pt.walk(0x40000000ull + (i++ % 1024) * 4096);
+        benchmark::DoNotOptimize(w.leaf);
+    }
+}
+BENCHMARK(BM_PageTableWalk);
+
+static void
+BM_IommuTranslate4K(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    mem::FrameAllocator fa;
+    iommu::Iommu mmu(eq);
+    mem::PageTable pt(fa);
+    mmu.bindPasid(1, &pt);
+    for (unsigned i = 0; i < 1024; i++)
+        pt.set(0x40000000ull + i * 4096, mem::makeFte(i, 1, true));
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        auto r = mmu.translateVbaSync(
+            1, 0x40000000ull + (i++ % 1024) * 4096, 4096, false, 1);
+        benchmark::DoNotOptimize(r.segs.data());
+    }
+}
+BENCHMARK(BM_IommuTranslate4K);
+
+static void
+BM_ExtentLookup(benchmark::State &state)
+{
+    fs::ExtentTree t;
+    for (std::uint64_t i = 0; i < 1024; i++)
+        t.insert(i * 8, 100000 + i * 16, 8);
+    sim::Rng rng(1);
+    for (auto _ : state) {
+        auto e = t.lookup(rng.nextUint(1024 * 8));
+        benchmark::DoNotOptimize(e);
+    }
+}
+BENCHMARK(BM_ExtentLookup);
+
+static void
+BM_BlockAllocFree(benchmark::State &state)
+{
+    fs::BlockAllocator a(1 << 20, 64);
+    sim::Rng rng(2);
+    for (auto _ : state) {
+        auto r = a.alloc(16, rng.nextUint(1 << 20));
+        if (r)
+            a.free(r->first, r->second);
+    }
+}
+BENCHMARK(BM_BlockAllocFree);
+
+static void
+BM_ZipfianNext(benchmark::State &state)
+{
+    sim::Rng rng(3);
+    sim::ScrambledZipfianGenerator z(100'000'000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(z.next(rng));
+}
+BENCHMARK(BM_ZipfianNext);
+
+static void
+BM_HistogramRecord(benchmark::State &state)
+{
+    sim::Histogram h;
+    sim::Rng rng(4);
+    for (auto _ : state)
+        h.record(rng.nextUint(100000));
+    benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+static void
+BM_EventDispatch(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        eq.after(10, [&sink]() { sink++; });
+        eq.runOne();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventDispatch);
+
+static void
+BM_HistogramPercentile(benchmark::State &state)
+{
+    sim::Histogram h;
+    sim::Rng rng(5);
+    for (int i = 0; i < 100000; i++)
+        h.record(rng.nextUint(1 << 20));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(h.percentile(99.9));
+}
+BENCHMARK(BM_HistogramPercentile);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A tiny fio-like CLI over the simulator: pick an engine, block size,
+ * thread count and read/write mix from the command line and get
+ * latency/throughput, like the paper's microbenchmarks.
+ *
+ *   build/examples/fio_cli [engine] [bs] [threads] [rw]
+ *     engine:  sync | libaio | io_uring | spdk | bypassd   (default sync)
+ *     bs:      bytes, 512-aligned                          (default 4096)
+ *     threads: 1..24                                       (default 1)
+ *     rw:      randread | randwrite | seqread | seqwrite   (default randread)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "workloads/fio.hpp"
+
+using namespace bpd;
+using namespace bpd::wl;
+
+int
+main(int argc, char **argv)
+{
+    sim::setVerbose(false);
+
+    Engine engine = Engine::Sync;
+    std::uint32_t bs = 4096;
+    unsigned threads = 1;
+    RwMode rw = RwMode::RandRead;
+
+    if (argc > 1) {
+        const std::string e = argv[1];
+        if (e == "sync")
+            engine = Engine::Sync;
+        else if (e == "libaio")
+            engine = Engine::Libaio;
+        else if (e == "io_uring")
+            engine = Engine::IoUring;
+        else if (e == "spdk")
+            engine = Engine::Spdk;
+        else if (e == "bypassd")
+            engine = Engine::Bypassd;
+        else {
+            std::fprintf(stderr, "unknown engine '%s'\n", e.c_str());
+            return 1;
+        }
+    }
+    if (argc > 2)
+        bs = static_cast<std::uint32_t>(std::atoi(argv[2]));
+    if (argc > 3)
+        threads = static_cast<unsigned>(std::atoi(argv[3]));
+    if (argc > 4) {
+        const std::string m = argv[4];
+        if (m == "randread")
+            rw = RwMode::RandRead;
+        else if (m == "randwrite")
+            rw = RwMode::RandWrite;
+        else if (m == "seqread")
+            rw = RwMode::SeqRead;
+        else if (m == "seqwrite")
+            rw = RwMode::SeqWrite;
+        else {
+            std::fprintf(stderr, "unknown rw mode '%s'\n", m.c_str());
+            return 1;
+        }
+    }
+    if (bs == 0 || bs % 512 != 0 || threads == 0 || threads > 24) {
+        std::fprintf(stderr, "bad bs/threads\n");
+        return 1;
+    }
+
+    sys::SystemConfig cfg;
+    cfg.deviceBytes = 64ull << 30;
+    sys::System s(cfg);
+    FioRunner runner(s);
+    FioJob job;
+    job.engine = engine;
+    job.rw = rw;
+    job.bs = bs;
+    job.numJobs = threads;
+    job.runtime = 20 * kMs;
+    job.warmup = 2 * kMs;
+    job.fileBytes = 1ull << 30;
+    FioResult r = runner.run(job);
+
+    std::printf("engine=%s bs=%u threads=%u %s\n", toString(engine), bs,
+                threads,
+                rw == RwMode::RandRead    ? "randread"
+                : rw == RwMode::RandWrite ? "randwrite"
+                : rw == RwMode::SeqRead   ? "seqread"
+                                          : "seqwrite");
+    std::printf("  ops     : %llu in %.0fms (simulated)\n",
+                (unsigned long long)r.ops,
+                static_cast<double>(r.elapsed) / 1e6);
+    std::printf("  IOPS    : %.0f\n", r.iops());
+    std::printf("  BW      : %s\n",
+                sim::fmtBw(r.bwBytesPerSec()).c_str());
+    std::printf("  latency : %s\n", r.latency.summary().c_str());
+    std::printf("  split   : user=%.0fns kernel=%.0fns xlate=%.0fns "
+                "device=%.0fns\n",
+                r.avgUserNs, r.avgKernelNs, r.avgTranslateNs,
+                r.avgDeviceNs);
+    return 0;
+}

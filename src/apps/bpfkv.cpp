@@ -1,0 +1,245 @@
+#include "apps/bpfkv.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hpp"
+
+namespace bpd::apps {
+
+const char *
+toString(KvEngine e)
+{
+    switch (e) {
+      case KvEngine::Sync: return "sync";
+      case KvEngine::Xrp: return "xrp";
+      case KvEngine::Spdk: return "spdk";
+      case KvEngine::Bypassd: return "bypassd";
+    }
+    return "?";
+}
+
+BpfKv::BpfKv(sys::System &s, BpfKvConfig cfg)
+    : s_(s), cfg_(cfg)
+{
+}
+
+std::uint64_t
+BpfKv::nodeIndexFor(std::uint64_t key, unsigned level) const
+{
+    std::uint64_t leafIdx = key / cfg_.fanout;
+    const std::uint64_t leaves = levelNodes_[depth_ - 1];
+    if (leafIdx >= leaves)
+        leafIdx = leaves - 1;
+    std::uint64_t idx = leafIdx;
+    for (unsigned l = depth_ - 1; l > level; l--)
+        idx /= cfg_.fanout;
+    return idx;
+}
+
+std::uint64_t
+BpfKv::nodeOffset(unsigned level, std::uint64_t idx) const
+{
+    return (levelStart_[level] + idx) * cfg_.nodeBytes;
+}
+
+std::uint64_t
+BpfKv::valueOffset(std::uint64_t key) const
+{
+    return logStart_ + key * cfg_.valueBytes;
+}
+
+void
+BpfKv::setup()
+{
+    std::uint64_t leaves
+        = (cfg_.records + cfg_.fanout - 1) / cfg_.fanout;
+    std::vector<std::uint64_t> up{leaves};
+    while (up.back() > 1)
+        up.push_back((up.back() + cfg_.fanout - 1) / cfg_.fanout);
+    depth_ = static_cast<unsigned>(up.size());
+    levelNodes_.assign(depth_, 0);
+    for (unsigned l = 0; l < depth_; l++)
+        levelNodes_[l] = up[depth_ - 1 - l];
+    levelStart_.assign(depth_, 0);
+    std::uint64_t acc = 0;
+    for (unsigned l = 0; l < depth_; l++) {
+        levelStart_[l] = acc;
+        acc += levelNodes_[l];
+    }
+    indexNodes_ = acc;
+    logStart_ = acc * cfg_.nodeBytes;
+    // Round the log start to a block boundary.
+    logStart_ = (logStart_ + kBlockBytes - 1) & ~(kBlockBytes - 1);
+    fileBytes_ = logStart_ + cfg_.records * cfg_.valueBytes;
+
+    scratch_.assign(8 << 10, 0);
+    proc_ = &s_.newProcess();
+
+    if (cfg_.engine == KvEngine::Spdk) {
+        rawBase_ = 1 << 20;
+        sim::panicIf(rawBase_ + fileBytes_ > s_.cfg.deviceBytes,
+                     "bpfkv: store exceeds device");
+        spdk_ = std::make_unique<spdk::SpdkDriver>(
+            s_.eq, s_.dev, s_.kernel.cpu(), proc_->pasid());
+        sim::panicIf(!spdk_->init(), "bpfkv: spdk claim failed");
+        return;
+    }
+
+    const int cfd = s_.kernel.setupCreateFile(*proc_, cfg_.path,
+                                              fileBytes_, 0);
+    sim::panicIf(cfd < 0, "bpfkv: file setup failed");
+
+    if (cfg_.materialize) {
+        // Write real index-node contents (small stores / tests).
+        std::vector<std::uint8_t> node(cfg_.nodeBytes, 0);
+        for (unsigned l = 0; l < depth_; l++) {
+            for (std::uint64_t i = 0; i < levelNodes_[l]; i++) {
+                std::uint64_t hdr[3] = {0xB9F0CAFEull, l, i};
+                std::memcpy(node.data(), hdr, sizeof(hdr));
+                s_.kernel.setupWrite(
+                    *proc_, cfd,
+                    std::span<const std::uint8_t>(node.data(),
+                                                  node.size()),
+                    nodeOffset(l, i));
+            }
+        }
+        // Values: key stamped at the value offset.
+        for (std::uint64_t k = 0; k < cfg_.records; k++) {
+            std::uint64_t v[2] = {k, ~k};
+            s_.kernel.setupWrite(
+                *proc_, cfd,
+                std::span<const std::uint8_t>(
+                    reinterpret_cast<std::uint8_t *>(v), sizeof(v)),
+                valueOffset(k));
+        }
+    }
+
+    switch (cfg_.engine) {
+      case KvEngine::Sync:
+        fd_ = cfd;
+        break;
+      case KvEngine::Xrp:
+        fd_ = cfd;
+        xrp_ = std::make_unique<xrp::XrpEngine>(s_.kernel);
+        break;
+      case KvEngine::Bypassd: {
+        int rc = -1;
+        s_.kernel.sysClose(*proc_, cfd, [&rc](int r) { rc = r; });
+        s_.run();
+        lib_ = &s_.userLib(*proc_);
+        int fd = -1;
+        lib_->open(cfg_.path,
+                   fs::kOpenRead | fs::kOpenWrite | fs::kOpenDirect,
+                   0644, [&fd](int f) { fd = f; });
+        s_.run();
+        sim::panicIf(fd < 0 || !lib_->isDirect(fd),
+                     "bpfkv: bypassd open failed");
+        fd_ = fd;
+        break;
+      }
+      case KvEngine::Spdk:
+        break;
+    }
+}
+
+void
+BpfKv::chainReads(Tid tid,
+                  std::shared_ptr<std::vector<std::uint64_t>> offs,
+                  std::size_t i, Time start,
+                  std::function<void(Time)> done)
+{
+    if (i >= offs->size()) {
+        done(s_.now() - start);
+        return;
+    }
+    const std::uint64_t off = (*offs)[i] & ~(kSectorBytes - 1ull);
+    auto span = std::span<std::uint8_t>(scratch_.data(), cfg_.nodeBytes);
+    auto cb = [this, tid, offs, i, start,
+               done = std::move(done)](long long n,
+                                       kern::IoTrace) mutable {
+        sim::panicIf(n < 0, "bpfkv: read failed");
+        chainReads(tid, offs, i + 1, start, std::move(done));
+    };
+    switch (cfg_.engine) {
+      case KvEngine::Sync:
+        s_.kernel.sysPread(*proc_, fd_, span, off, std::move(cb));
+        break;
+      case KvEngine::Bypassd:
+        lib_->pread(tid, fd_, span, off, std::move(cb));
+        break;
+      case KvEngine::Spdk:
+        spdk_->read(tid, rawBase_ + off, span, std::move(cb));
+        break;
+      case KvEngine::Xrp:
+        sim::panic("chainReads not used for XRP");
+    }
+}
+
+void
+BpfKv::lookup(Tid tid, std::uint64_t key, std::function<void(Time)> done)
+{
+    const Time start = s_.now();
+    auto offs = std::make_shared<std::vector<std::uint64_t>>();
+    for (unsigned l = 0; l < depth_; l++)
+        offs->push_back(nodeOffset(l, nodeIndexFor(key, l)));
+    offs->push_back(valueOffset(key));
+
+    if (cfg_.engine == KvEngine::Xrp) {
+        // XRP: one kernel crossing; the BPF program resubmits each hop
+        // from the driver.
+        xrp_->lookup(
+            *proc_, fd_,
+            xrp::Hop{(*offs)[0] & ~(kSectorBytes - 1ull), cfg_.nodeBytes},
+            [offs, this](std::span<const std::uint8_t>, unsigned hopIdx)
+                -> std::optional<xrp::Hop> {
+                if (hopIdx + 1 >= offs->size())
+                    return std::nullopt;
+                return xrp::Hop{(*offs)[hopIdx + 1]
+                                    & ~(kSectorBytes - 1ull),
+                                cfg_.nodeBytes};
+            },
+            [start, this, done = std::move(done)](long long n,
+                                                  kern::IoTrace) {
+                sim::panicIf(n < 0, "bpfkv: xrp lookup failed");
+                done(s_.now() - start);
+            });
+        return;
+    }
+    chainReads(tid, offs, 0, start, std::move(done));
+}
+
+BpfKv::Result
+BpfKv::run(unsigned threads, std::uint64_t opsPerThread)
+{
+    Result res;
+    const Time start = s_.now();
+    s_.kernel.cpu().acquire(threads);
+    auto remaining = std::make_shared<unsigned>(threads);
+
+    for (unsigned t = 0; t < threads; t++) {
+        auto rng = std::make_shared<sim::Rng>(cfg_.seed * 131 + t);
+        auto loop = std::make_shared<std::function<void(std::uint64_t)>>();
+        *loop = [this, t, rng, opsPerThread, loop, remaining,
+                 &res](std::uint64_t i) {
+            if (i >= opsPerThread) {
+                (*remaining)--;
+                s_.eq.after(0, [loop]() { *loop = nullptr; });
+                return;
+            }
+            const std::uint64_t key = rng->nextUint(cfg_.records);
+            lookup(t, key, [&res, loop, i](Time lat) {
+                res.latency.record(lat);
+                res.ops++;
+                (*loop)(i + 1);
+            });
+        };
+        (*loop)(0);
+    }
+    s_.run();
+    s_.kernel.cpu().release(threads);
+    res.elapsed = s_.now() - start;
+    return res;
+}
+
+} // namespace bpd::apps

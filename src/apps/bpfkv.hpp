@@ -1,0 +1,122 @@
+/**
+ * @file
+ * BPF-KV model: the key-value store used to evaluate XRP (Section 6.5).
+ * A B+-tree index over fixed 512 B nodes (fanout 31) locates 64 B values
+ * in an unsorted log; index and log live in one large file. No caching:
+ * each lookup costs depth dependent 512 B index reads plus one data read
+ * (7 I/Os for the paper's 920 M-object store with its 6-level index).
+ *
+ * The node layout is computed arithmetically (dense key space, complete
+ * tree), which lets the simulated store hold hundreds of millions of
+ * objects without materializing petabytes; a `materialize` mode writes
+ * real node contents for small stores so tests can validate the layout.
+ */
+
+#ifndef BPD_APPS_BPFKV_HPP
+#define BPD_APPS_BPFKV_HPP
+
+#include <functional>
+#include <memory>
+
+#include "sim/stats.hpp"
+#include "spdk/spdk.hpp"
+#include "system/system.hpp"
+#include "xrp/xrp.hpp"
+
+namespace bpd::apps {
+
+enum class KvEngine { Sync, Xrp, Spdk, Bypassd };
+
+const char *toString(KvEngine e);
+
+struct BpfKvConfig
+{
+    std::uint64_t records = 920'000'000;
+    std::uint32_t nodeBytes = 512;
+    std::uint32_t keyBytes = 8;
+    std::uint32_t valueBytes = 64;
+    /** 512 B node / (8 B key + 8 B child) = 32; 6 levels cover 920 M. */
+    unsigned fanout = 32;
+    KvEngine engine = KvEngine::Sync;
+    std::uint64_t seed = 1;
+    std::string path = "/bpfkv.db";
+    /** Write real node contents (small stores only; tests). */
+    bool materialize = false;
+};
+
+class BpfKv
+{
+  public:
+    BpfKv(sys::System &s, BpfKvConfig cfg);
+
+    void setup();
+
+    /** Index depth (paper: 6 levels for 920 M records). */
+    unsigned depth() const { return depth_; }
+
+    /** I/Os per lookup (= depth + 1 data read). */
+    unsigned iosPerLookup() const { return depth_ + 1; }
+
+    std::uint64_t fileBytes() const { return fileBytes_; }
+
+    /** Byte offset of index node (level, idx). */
+    std::uint64_t nodeOffset(unsigned level, std::uint64_t idx) const;
+
+    /** Byte offset of @p key's value in the log. */
+    std::uint64_t valueOffset(std::uint64_t key) const;
+
+    /** Index-node index on @p key's path at @p level. */
+    std::uint64_t nodeIndexFor(std::uint64_t key, unsigned level) const;
+
+    /** Asynchronous point lookup from thread @p tid. */
+    void lookup(Tid tid, std::uint64_t key,
+                std::function<void(Time)> done);
+
+    struct Result
+    {
+        sim::Histogram latency;
+        std::uint64_t ops = 0;
+        Time elapsed = 0;
+
+        double
+        kops() const
+        {
+            return elapsed ? static_cast<double>(ops)
+                                 / (static_cast<double>(elapsed) / 1e9)
+                                 / 1e3
+                           : 0.0;
+        }
+    };
+
+    /** Closed-loop uniform-random lookups. */
+    Result run(unsigned threads, std::uint64_t opsPerThread);
+
+  private:
+    void chainReads(Tid tid,
+                    std::shared_ptr<std::vector<std::uint64_t>> offs,
+                    std::size_t i, Time start,
+                    std::function<void(Time)> done);
+
+    sys::System &s_;
+    BpfKvConfig cfg_;
+
+    unsigned depth_ = 0;
+    std::vector<std::uint64_t> levelNodes_;
+    std::vector<std::uint64_t> levelStart_;
+    std::uint64_t indexNodes_ = 0;
+    std::uint64_t logStart_ = 0;
+    std::uint64_t fileBytes_ = 0;
+
+    kern::Process *proc_ = nullptr;
+    bypassd::UserLib *lib_ = nullptr;
+    std::unique_ptr<xrp::XrpEngine> xrp_;
+    std::unique_ptr<spdk::SpdkDriver> spdk_;
+    DevAddr rawBase_ = 0;
+    int fd_ = -1;
+
+    std::vector<std::uint8_t> scratch_;
+};
+
+} // namespace bpd::apps
+
+#endif // BPD_APPS_BPFKV_HPP

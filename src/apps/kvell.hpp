@@ -1,0 +1,93 @@
+/**
+ * @file
+ * KVell model (Section 6.5): a share-nothing-ish persistent KV store
+ * that keeps an in-memory index and does random-access I/O to item slabs
+ * on disk, batching requests for throughput (queue depth 1 vs 64).
+ *
+ * Items live in a small set of slab files shared by the workers; kernel
+ * engines therefore contend on the per-inode ext4 write lock under
+ * write-heavy loads (YCSB A) — the bottleneck BypassD's direct
+ * userspace overwrites avoid entirely.
+ */
+
+#ifndef BPD_APPS_KVELL_HPP
+#define BPD_APPS_KVELL_HPP
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "system/system.hpp"
+#include "workloads/ycsb.hpp"
+
+namespace bpd::apps {
+
+enum class KvellEngine { Libaio, Bypassd };
+
+const char *toString(KvellEngine e);
+
+struct KvellConfig
+{
+    std::uint64_t records = 5'000'000;
+    std::uint32_t keyBytes = 16;
+    std::uint32_t valueBytes = 1024;
+    /**
+     * Few shared slab files => kernel-path writes contend on the
+     * per-inode ext4 lock (the YCSB-A bottleneck, Section 6.5).
+     */
+    unsigned slabFiles = 2;
+    std::uint32_t queueDepth = 1; //!< per-worker outstanding I/Os
+    KvellEngine engine = KvellEngine::Libaio;
+    std::uint64_t seed = 1;
+    Time indexLookupNs = 250; //!< in-memory B-tree probe
+    std::string pathPrefix = "/kvell_slab";
+};
+
+class KvellModel
+{
+  public:
+    KvellModel(sys::System &s, KvellConfig cfg);
+
+    void setup();
+
+    struct Result
+    {
+        sim::Histogram latency;
+        std::uint64_t ops = 0;
+        Time elapsed = 0;
+
+        double
+        kops() const
+        {
+            return elapsed ? static_cast<double>(ops)
+                                 / (static_cast<double>(elapsed) / 1e9)
+                                 / 1e3
+                           : 0.0;
+        }
+    };
+
+    /** Run @p opsPerThread YCSB ops on each of @p threads workers. */
+    Result run(wl::Ycsb workload, unsigned threads,
+               std::uint64_t opsPerThread);
+
+    /** Slab file + offset of an item. */
+    std::pair<unsigned, std::uint64_t> place(std::uint64_t key) const;
+
+  private:
+    void itemIo(Tid tid, std::uint64_t key, bool write,
+                std::function<void(Time)> done);
+
+    sys::System &s_;
+    KvellConfig cfg_;
+
+    kern::Process *proc_ = nullptr;
+    bypassd::UserLib *lib_ = nullptr;
+    std::vector<int> fds_;
+    std::uint64_t itemsPerSlab_ = 0;
+    std::vector<std::uint8_t> scratch_;
+};
+
+} // namespace bpd::apps
+
+#endif // BPD_APPS_KVELL_HPP

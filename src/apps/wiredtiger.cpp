@@ -1,0 +1,361 @@
+#include "apps/wiredtiger.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace bpd::apps {
+
+const char *
+toString(WtEngine e)
+{
+    switch (e) {
+      case WtEngine::Sync: return "sync";
+      case WtEngine::Xrp: return "xrp";
+      case WtEngine::Bypassd: return "bypassd";
+    }
+    return "?";
+}
+
+WiredTigerModel::WiredTigerModel(sys::System &s, WiredTigerConfig cfg)
+    : s_(s), cfg_(cfg)
+{
+}
+
+std::uint64_t
+WiredTigerModel::pagesAtLevel(unsigned level) const
+{
+    return levelPages_[level];
+}
+
+std::uint64_t
+WiredTigerModel::pageIndexFor(std::uint64_t key, unsigned level) const
+{
+    std::uint64_t leafIdx = key / recsPerLeaf_;
+    const std::uint64_t leaves = levelPages_[depth_ - 1];
+    if (leafIdx >= leaves)
+        leafIdx = leaves - 1;
+    std::uint64_t idx = leafIdx;
+    for (unsigned l = depth_ - 1; l > level; l--)
+        idx /= fanout_;
+    return idx;
+}
+
+std::uint64_t
+WiredTigerModel::pageOffset(unsigned level, std::uint64_t idx) const
+{
+    return (levelStart_[level] + idx) * cfg_.pageBytes;
+}
+
+void
+WiredTigerModel::setup()
+{
+    // Geometry: leaf holds key+value records; internal nodes hold
+    // key+child pairs.
+    recsPerLeaf_ = cfg_.pageBytes / (cfg_.keyBytes + cfg_.valueBytes + 8);
+    fanout_ = static_cast<unsigned>(cfg_.pageBytes / (cfg_.keyBytes + 8));
+    sim::panicIf(recsPerLeaf_ == 0 || fanout_ < 2, "bad WT geometry");
+
+    std::uint64_t leaves
+        = (cfg_.records + recsPerLeaf_ - 1) / recsPerLeaf_;
+    std::vector<std::uint64_t> up; // leaves-first
+    up.push_back(leaves);
+    while (up.back() > 1)
+        up.push_back((up.back() + fanout_ - 1) / fanout_);
+    depth_ = static_cast<unsigned>(up.size());
+    levelPages_.assign(depth_, 0);
+    for (unsigned l = 0; l < depth_; l++)
+        levelPages_[l] = up[depth_ - 1 - l]; // root-first
+
+    levelStart_.assign(depth_, 0);
+    std::uint64_t acc = 0;
+    for (unsigned l = 0; l < depth_; l++) {
+        levelStart_[l] = acc;
+        acc += levelPages_[l];
+    }
+    fileBytes_ = acc * cfg_.pageBytes;
+
+    cacheCapacity_ = std::max<std::uint64_t>(
+        1, cfg_.cacheBytes / cfg_.pageBytes);
+
+    scratch_.assign(64 << 10, 0);
+
+    proc_ = &s_.newProcess();
+    const int cfd = s_.kernel.setupCreateFile(*proc_, cfg_.path,
+                                              fileBytes_, 0);
+    sim::panicIf(cfd < 0, "wiredtiger: file setup failed");
+
+    switch (cfg_.engine) {
+      case WtEngine::Sync:
+      case WtEngine::Xrp:
+        fd_ = cfd; // direct kernel fd from setup
+        if (cfg_.engine == WtEngine::Xrp)
+            xrp_ = std::make_unique<xrp::XrpEngine>(s_.kernel);
+        break;
+      case WtEngine::Bypassd: {
+        int rc = -1;
+        s_.kernel.sysClose(*proc_, cfd, [&rc](int r) { rc = r; });
+        s_.run();
+        lib_ = &s_.userLib(*proc_);
+        int fd = -1;
+        lib_->open(cfg_.path,
+                   fs::kOpenRead | fs::kOpenWrite | fs::kOpenDirect, 0644,
+                   [&fd](int f) { fd = f; });
+        s_.run();
+        sim::panicIf(fd < 0 || !lib_->isDirect(fd),
+                     "wiredtiger: bypassd open failed");
+        fd_ = fd;
+        break;
+      }
+    }
+}
+
+bool
+WiredTigerModel::cacheContains(std::uint64_t id)
+{
+    auto it = cached_.find(id);
+    if (it == cached_.end())
+        return false;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+}
+
+void
+WiredTigerModel::cacheInsert(std::uint64_t id)
+{
+    if (cached_.count(id))
+        return;
+    if (lru_.size() >= cacheCapacity_) {
+        cached_.erase(lru_.back().id);
+        lru_.pop_back();
+    }
+    lru_.push_front(CacheEntry{id});
+    cached_[id] = lru_.begin();
+}
+
+Time
+WiredTigerModel::cacheAccessDelay(unsigned accesses)
+{
+    // Serialized cache bookkeeping: the global cache lock is the scaling
+    // bottleneck the paper observes at high thread counts (Fig. 13).
+    const Time work = static_cast<Time>(accesses) * cfg_.cacheLockNs;
+    const Time lockAt = std::max(s_.now(), cacheLockFreeAt_);
+    cacheLockFreeAt_ = lockAt + work;
+    return (lockAt - s_.now()) + work
+           + static_cast<Time>(accesses) * cfg_.cacheHitNs;
+}
+
+void
+WiredTigerModel::readPage(Tid tid, std::uint64_t off, std::uint32_t len,
+                          std::function<void()> done)
+{
+    deviceIos_++;
+    auto span = std::span<std::uint8_t>(scratch_.data(), len);
+    auto cb = [done = std::move(done)](long long n, kern::IoTrace) {
+        sim::panicIf(n < 0, "wiredtiger: read failed");
+        done();
+    };
+    if (cfg_.engine == WtEngine::Bypassd)
+        lib_->pread(tid, fd_, span, off, std::move(cb));
+    else
+        s_.kernel.sysPread(*proc_, fd_, span, off, std::move(cb));
+}
+
+void
+WiredTigerModel::writePage(Tid tid, std::uint64_t off,
+                           std::function<void()> done)
+{
+    deviceIos_++;
+    auto span = std::span<const std::uint8_t>(scratch_.data(),
+                                              cfg_.pageBytes);
+    auto cb = [done = std::move(done)](long long n, kern::IoTrace) {
+        sim::panicIf(n < 0, "wiredtiger: write failed");
+        done();
+    };
+    if (cfg_.engine == WtEngine::Bypassd)
+        lib_->pwrite(tid, fd_, span, off, std::move(cb));
+    else
+        s_.kernel.sysPwrite(*proc_, fd_, span, off, std::move(cb));
+}
+
+void
+WiredTigerModel::opLookup(Tid tid, std::uint64_t key, bool update,
+                          std::function<void(Time)> done)
+{
+    const Time start = s_.now();
+
+    // Classify the path levels into cached / missing.
+    struct Step
+    {
+        std::uint64_t id;
+        std::uint64_t off;
+        bool hit;
+    };
+    auto steps = std::make_shared<std::vector<Step>>();
+    unsigned firstMiss = depth_;
+    for (unsigned l = 0; l < depth_; l++) {
+        const std::uint64_t idx = pageIndexFor(key, l);
+        const std::uint64_t id
+            = (static_cast<std::uint64_t>(l) << 48) | idx;
+        const bool hit = cacheContains(id);
+        if (!hit && firstMiss == depth_)
+            firstMiss = l;
+        steps->push_back(Step{id, pageOffset(l, idx), hit});
+    }
+
+    const Time cacheDelay
+        = cacheAccessDelay(static_cast<unsigned>(depth_));
+
+    auto finishRead = [this, tid, steps, update, start,
+                       done = std::move(done)]() {
+        for (const Step &st : *steps) {
+            if (!st.hit)
+                cacheInsert(st.id);
+        }
+        if (!update) {
+            done(s_.now() - start);
+            return;
+        }
+        // Update: rewrite the leaf page.
+        const std::uint64_t leafOff = steps->back().off;
+        writePage(tid, leafOff, [this, start, done]() {
+            done(s_.now() - start);
+        });
+    };
+
+    // Collect the missing page reads after the cache work.
+    s_.eq.after(cacheDelay, [this, tid, steps, firstMiss,
+                             finishRead = std::move(finishRead)]() {
+        if (firstMiss == depth_) {
+            finishRead();
+            return;
+        }
+        const unsigned chainLen = depth_ - firstMiss;
+        if (cfg_.engine == WtEngine::Xrp && chainLen >= 2) {
+            // XRP: the dependent miss-chain resubmits from the driver.
+            auto offs = std::make_shared<std::vector<std::uint64_t>>();
+            for (unsigned l = firstMiss; l < depth_; l++)
+                offs->push_back((*steps)[l].off);
+            deviceIos_ += chainLen;
+            xrp_->lookup(
+                *proc_, fd_, xrp::Hop{(*offs)[0], cfg_.pageBytes},
+                [offs, this](std::span<const std::uint8_t>,
+                             unsigned hopIdx)
+                    -> std::optional<xrp::Hop> {
+                    if (hopIdx + 1 >= offs->size())
+                        return std::nullopt;
+                    return xrp::Hop{(*offs)[hopIdx + 1],
+                                    cfg_.pageBytes};
+                },
+                [finishRead = std::move(finishRead)](long long n,
+                                                     kern::IoTrace) {
+                    sim::panicIf(n < 0, "xrp lookup failed");
+                    finishRead();
+                });
+            return;
+        }
+        // Sequential dependent reads for the missing levels.
+        auto next = std::make_shared<std::function<void(unsigned)>>();
+        *next = [this, tid, steps, next,
+                 finishRead = std::move(finishRead)](unsigned l) {
+            if (l >= depth_) {
+                finishRead();
+                // Break the self-reference cycle once the chain ends.
+                s_.eq.after(0, [next]() { *next = nullptr; });
+                return;
+            }
+            if ((*steps)[l].hit) {
+                (*next)(l + 1);
+                return;
+            }
+            readPage(tid, (*steps)[l].off, cfg_.pageBytes,
+                     [next, l]() { (*next)(l + 1); });
+        };
+        (*next)(firstMiss);
+    });
+}
+
+WiredTigerModel::Result
+WiredTigerModel::run(wl::Ycsb workload, unsigned threads,
+                     std::uint64_t opsPerThread)
+{
+    sim::panicIf(fd_ < 0, "wiredtiger: run before setup");
+    auto gen = std::make_shared<wl::YcsbGenerator>(workload, cfg_.records,
+                                                   cfg_.seed);
+    Result res;
+    const Time start = s_.now();
+    const std::uint64_t startIos = deviceIos_;
+
+    s_.kernel.cpu().acquire(threads);
+    auto remaining = std::make_shared<unsigned>(threads);
+
+    for (unsigned t = 0; t < threads; t++) {
+        auto loop = std::make_shared<std::function<void(std::uint64_t)>>();
+        *loop = [this, t, gen, opsPerThread, loop, remaining,
+                 &res](std::uint64_t i) {
+            if (i >= opsPerThread) {
+                (*remaining)--;
+                s_.eq.after(0, [loop]() { *loop = nullptr; });
+                return;
+            }
+            const wl::YcsbOp op = gen->next();
+            auto record = [this, &res, loop, i](Time lat) {
+                res.latency.record(lat);
+                res.ops++;
+                (*loop)(i + 1);
+            };
+            switch (op.kind) {
+              case wl::YcsbOp::Kind::Read:
+                opLookup(t, op.key, false, record);
+                break;
+              case wl::YcsbOp::Kind::Update:
+              case wl::YcsbOp::Kind::Rmw:
+              case wl::YcsbOp::Kind::Insert:
+                opLookup(t, op.key, true, record);
+                break;
+              case wl::YcsbOp::Kind::Scan: {
+                // One larger read covering the scanned leaves; no
+                // dependent chain, so XRP cannot help (Section 6.4).
+                const Time s0 = s_.now();
+                const std::uint64_t leaves
+                    = (op.scanLen + recsPerLeaf_ - 1) / recsPerLeaf_;
+                const std::uint64_t idx
+                    = pageIndexFor(op.key, depth_ - 1);
+                const std::uint64_t maxLeaf
+                    = levelPages_[depth_ - 1];
+                const std::uint64_t n
+                    = std::min<std::uint64_t>(leaves,
+                                              maxLeaf - std::min(idx,
+                                                                 maxLeaf));
+                const Time cd = cacheAccessDelay(
+                    static_cast<unsigned>(depth_));
+                s_.eq.after(cd, [this, t, idx, n, s0, record]() {
+                    readPage(t, pageOffset(depth_ - 1, idx),
+                             static_cast<std::uint32_t>(
+                                 std::max<std::uint64_t>(1, n)
+                                 * cfg_.pageBytes),
+                             [this, s0, record]() {
+                                 record(s_.now() - s0);
+                             });
+                });
+                break;
+              }
+            }
+        };
+        (*loop)(0);
+    }
+    s_.run();
+    sim::panicIf(*remaining != 0, "wiredtiger: threads still running");
+    s_.kernel.cpu().release(threads);
+
+    res.elapsed = s_.now() - start;
+    res.deviceIos = deviceIos_ - startIos;
+    res.kops = res.elapsed
+                   ? static_cast<double>(res.ops)
+                         / (static_cast<double>(res.elapsed) / 1e9)
+                         / 1e3
+                   : 0.0;
+    return res;
+}
+
+} // namespace bpd::apps

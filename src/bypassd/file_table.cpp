@@ -1,0 +1,96 @@
+#include "bypassd/file_table.hpp"
+
+#include "sim/logging.hpp"
+
+namespace bpd::bypassd {
+
+FileTableCache::FileTableCache(mem::FrameAllocator &fa, DevId dev)
+    : fa_(fa), dev_(dev)
+{
+}
+
+FileTableCache::~FileTableCache()
+{
+    for (mem::Frame f : leaves_)
+        fa_.free(f);
+}
+
+void
+FileTableCache::ensureLeaves(std::uint64_t blocks, BuildStats *stats)
+{
+    const std::uint64_t need = leavesFor(blocks);
+    while (leaves_.size() < need) {
+        leaves_.push_back(fa_.alloc());
+        if (stats)
+            stats->leavesAllocated++;
+    }
+}
+
+void
+FileTableCache::setFte(std::uint64_t blockIdx, BlockNo pblk,
+                       BuildStats *stats)
+{
+    const std::uint64_t leaf = blockIdx / kBlocksPerLeaf;
+    const std::uint64_t slot = blockIdx % kBlocksPerLeaf;
+    // Shared FTEs carry maximum rights; the per-open permission lives in
+    // the private attaching entries (Section 4.1).
+    fa_.table(leaves_[leaf])[slot]
+        = mem::makeFte(pblk, dev_, /*writable=*/true);
+    if (stats)
+        stats->ftesWritten++;
+}
+
+FileTableCache::BuildStats
+FileTableCache::buildFrom(const fs::ExtentTree &extents)
+{
+    BuildStats stats;
+    ensureLeaves(extents.logicalEnd(), &stats);
+    for (const fs::Extent &e : extents.extents()) {
+        stats.extentsWalked++;
+        for (std::uint64_t i = 0; i < e.count; i++)
+            setFte(e.lblk + i, e.pblk + i, &stats);
+    }
+    mappedBlocks_ = extents.logicalEnd();
+    return stats;
+}
+
+FileTableCache::BuildStats
+FileTableCache::extend(const std::vector<fs::Extent> &added)
+{
+    BuildStats stats;
+    for (const fs::Extent &e : added) {
+        stats.extentsWalked++;
+        ensureLeaves(e.lblk + e.count, &stats);
+        for (std::uint64_t i = 0; i < e.count; i++)
+            setFte(e.lblk + i, e.pblk + i, &stats);
+        mappedBlocks_ = std::max(mappedBlocks_, e.lblk + e.count);
+    }
+    return stats;
+}
+
+void
+FileTableCache::shrinkTo(std::uint64_t blocks)
+{
+    if (blocks >= mappedBlocks_)
+        return;
+    // Clear FTEs in the straddling leaf...
+    const std::uint64_t firstLeafToFree = leavesFor(blocks);
+    if (blocks % kBlocksPerLeaf != 0 || blocks == 0) {
+        const std::uint64_t leaf = blocks / kBlocksPerLeaf;
+        if (leaf < leaves_.size()) {
+            std::uint64_t *tbl = fa_.table(leaves_[leaf]);
+            for (std::uint64_t slot = blocks % kBlocksPerLeaf;
+                 slot < kBlocksPerLeaf; slot++) {
+                tbl[slot] = 0;
+            }
+        }
+    }
+    // ...and free whole leaves beyond.
+    while (leaves_.size() > firstLeafToFree) {
+        fa_.free(leaves_.back());
+        leaves_.pop_back();
+    }
+    mappedBlocks_ = blocks;
+}
+
+} // namespace bpd::bypassd

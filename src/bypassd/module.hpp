@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The BypassD kernel module (Sections 3.2-3.6): fmap()/funmap() syscalls,
+ * user queue-pair and DMA-buffer setup with PASID linkage, FTE lifetime
+ * management on appends/truncates, and the revocation engine.
+ */
+
+#ifndef BPD_BYPASSD_MODULE_HPP
+#define BPD_BYPASSD_MODULE_HPP
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "bypassd/file_table.hpp"
+#include "kern/kernel.hpp"
+
+namespace bpd::bypassd {
+
+/** Result of an fmap() call. */
+struct FmapResult
+{
+    Vaddr vba = 0;        //!< 0 => not eligible; use the kernel interface
+    std::uint64_t mappedBytes = 0;
+    Time cost = 0;        //!< modeled syscall latency (Table 5)
+    bool cold = false;    //!< file tables had to be built
+};
+
+/** A user-mapped queue pair plus its pinned DMA buffer. */
+struct UserQueues
+{
+    ssd::QueuePair *qp = nullptr;
+    std::unique_ptr<ssd::CommandDispatcher> dispatcher;
+    std::vector<std::uint8_t> dmaBuf;
+    std::uint64_t dmaIova = 0;
+    Time setupCost = 0;
+};
+
+class BypassdModule : public kern::BypassdHooks
+{
+  public:
+    explicit BypassdModule(kern::Kernel &kernel);
+    ~BypassdModule() override;
+
+    /**
+     * fmap(): map @p ino's blocks into @p p's address space as FTEs.
+     * Returns VBA 0 when the file is ineligible (already open through the
+     * kernel interface, revoked, or not a regular file) — the caller must
+     * then use the kernel interface (Sections 3.6, 4.5.2).
+     */
+    FmapResult fmap(kern::Process &p, InodeNum ino, bool writable);
+
+    /** Detach @p p's file tables for @p ino (close path). */
+    void funmap(kern::Process &p, InodeNum ino);
+
+    /**
+     * Revoke everyone's direct access to @p ino: detach FTEs and
+     * invalidate IOMMU state; subsequent userspace I/O faults and falls
+     * back (Section 3.6).
+     */
+    void revoke(fs::Inode &ino);
+
+    /** Create a VBA-capable queue pair + pinned DMA buffer for @p p. */
+    std::unique_ptr<UserQueues>
+    createUserQueues(kern::Process &p, std::uint32_t depth,
+                     std::uint64_t dmaBytes);
+
+    void destroyUserQueues(kern::Process &p, UserQueues &uq);
+
+    /** @name Kernel hooks (Section 4.5.2 policy) */
+    ///@{
+    void onKernelOpen(fs::Inode &ino) override;
+    void onMetadataChange(fs::Inode &ino, Pid pid) override;
+    void onExtentsAdded(fs::Inode &ino,
+                        const std::vector<fs::Extent> &added) override;
+    void onTruncated(fs::Inode &ino) override;
+    ///@}
+
+    /** Is direct access currently revoked for this inode? */
+    bool isRevoked(InodeNum ino) const { return revoked_.count(ino) != 0; }
+
+    /** @name Statistics */
+    ///@{
+    std::uint64_t coldFmaps() const { return coldFmaps_; }
+    std::uint64_t warmFmaps() const { return warmFmaps_; }
+    std::uint64_t revocations() const { return revocations_; }
+    std::uint64_t rejectedFmaps() const { return rejectedFmaps_; }
+    ///@}
+
+    /** VA headroom reserved beyond the file size for in-place growth. */
+    static constexpr std::uint64_t kRegionHeadroom = 32ull << 20;
+
+  private:
+    FileTableCache *cacheOf(fs::Inode &ino);
+    FileTableCache *ensureCache(fs::Inode &ino, FmapResult *res);
+    /**
+     * Detach @p p's attachment. With @p quarantineVa the VBA region is
+     * NOT returned to the VA allocator yet: a revoked process still
+     * holds the stale VBA, and releasing the region immediately would
+     * let a subsequent fmap() (even of another file in the same
+     * process) reuse it — the stale VBA would then translate through
+     * the new mapping instead of faulting. The region is released when
+     * the owner re-fmaps or funmaps (analogous to Section 3.6's
+     * deferred block reuse).
+     */
+    void detachOne(kern::Process &p, fs::Inode &ino,
+                   FileTableCache &cache, bool quarantineVa);
+    void releaseQuarantine(kern::Process &p, InodeNum ino);
+
+    kern::Kernel &kernel_;
+
+    std::uint64_t coldFmaps_ = 0;
+    std::uint64_t warmFmaps_ = 0;
+    std::uint64_t revocations_ = 0;
+    std::uint64_t rejectedFmaps_ = 0;
+
+    std::set<InodeNum> revoked_;
+
+    struct QuarantinedRegion
+    {
+        Vaddr vba;
+        std::uint64_t bytes;
+    };
+    /** Revoked-but-unreleased VBA regions, keyed by (pid, inode). */
+    std::map<std::pair<Pid, InodeNum>, QuarantinedRegion> quarantined_;
+};
+
+} // namespace bpd::bypassd
+
+#endif // BPD_BYPASSD_MODULE_HPP

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fundamental types shared by every BypassD subsystem.
+ */
+
+#ifndef BPD_COMMON_TYPES_HPP
+#define BPD_COMMON_TYPES_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bpd {
+
+/** Simulated time in nanoseconds. */
+using Time = std::uint64_t;
+
+/** Convenience literals for simulated durations. */
+constexpr Time kNs = 1;
+constexpr Time kUs = 1000 * kNs;
+constexpr Time kMs = 1000 * kUs;
+constexpr Time kSec = 1000 * kMs;
+
+/** A 4 KiB device block index; what a File Table Entry stores (Fig. 3). */
+using BlockNo = std::uint64_t;
+
+/** Byte address on the device (BlockNo * kBlockBytes + offset). */
+using DevAddr = std::uint64_t;
+
+/** Virtual (block) address inside a process address space. */
+using Vaddr = std::uint64_t;
+
+/** Process Address Space ID used by the IOMMU to pick a page table. */
+using Pasid = std::uint32_t;
+
+/** Device identifier stored in FTEs and checked against the requester. */
+using DevId = std::uint16_t;
+
+/** Inode number. */
+using InodeNum = std::uint64_t;
+
+/** Process identifier. */
+using Pid = std::uint32_t;
+
+/** Simulated application thread identifier (within a process). */
+using Tid = std::uint32_t;
+
+/** Size of a device/file-system block mapped by one FTE. */
+constexpr std::size_t kBlockBytes = 4096;
+
+/** Device logical sector: the smallest addressable I/O unit. */
+constexpr std::size_t kSectorBytes = 512;
+
+/** Entries per page-table frame. */
+constexpr std::size_t kPte
+    = kBlockBytes / sizeof(std::uint64_t);
+
+/** Invalid PASID sentinel. */
+constexpr Pasid kNoPasid = 0;
+
+} // namespace bpd
+
+#endif // BPD_COMMON_TYPES_HPP

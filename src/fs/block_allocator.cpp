@@ -1,0 +1,126 @@
+#include "fs/block_allocator.hpp"
+
+#include "sim/logging.hpp"
+
+namespace bpd::fs {
+
+BlockAllocator::BlockAllocator(std::uint64_t totalBlocks,
+                               BlockNo firstDataBlock)
+    : total_(totalBlocks), firstData_(firstDataBlock),
+      freeCount_(totalBlocks - firstDataBlock),
+      bits_((totalBlocks + 63) / 64, 0)
+{
+    sim::panicIf(firstDataBlock >= totalBlocks,
+                 "metadata region exceeds device");
+    // Reserve the metadata region.
+    for (BlockNo b = 0; b < firstDataBlock; b++)
+        setBit(b);
+}
+
+bool
+BlockAllocator::testBit(std::uint64_t b) const
+{
+    return (bits_[b / 64] >> (b % 64)) & 1;
+}
+
+void
+BlockAllocator::setBit(std::uint64_t b)
+{
+    bits_[b / 64] |= (1ull << (b % 64));
+}
+
+void
+BlockAllocator::clearBit(std::uint64_t b)
+{
+    bits_[b / 64] &= ~(1ull << (b % 64));
+}
+
+bool
+BlockAllocator::isAllocated(BlockNo b) const
+{
+    sim::panicIf(b >= total_, "isAllocated out of range");
+    return testBit(b);
+}
+
+std::uint64_t
+BlockAllocator::freeRunAt(BlockNo b, std::uint64_t cap) const
+{
+    std::uint64_t n = 0;
+    while (b + n < total_ && n < cap && !testBit(b + n))
+        n++;
+    return n;
+}
+
+std::optional<std::pair<BlockNo, std::uint64_t>>
+BlockAllocator::alloc(std::uint64_t want, BlockNo goal)
+{
+    sim::panicIf(want == 0, "alloc of zero blocks");
+    if (freeCount_ == 0)
+        return std::nullopt;
+    if (goal < firstData_ || goal >= total_)
+        goal = firstData_;
+
+    // Pass 1: scan from the goal forward; pass 2: wrap from the start.
+    // Accept the first free run found (even if shorter than want).
+    for (int pass = 0; pass < 2; pass++) {
+        const BlockNo begin = (pass == 0) ? goal : firstData_;
+        const BlockNo end = (pass == 0) ? total_ : goal;
+        BlockNo b = begin;
+        while (b < end) {
+            // Skip whole allocated words quickly.
+            if (b % 64 == 0 && bits_[b / 64] == ~0ull) {
+                b += 64;
+                continue;
+            }
+            if (testBit(b)) {
+                b++;
+                continue;
+            }
+            const std::uint64_t run = freeRunAt(b, want);
+            for (std::uint64_t i = 0; i < run; i++)
+                setBit(b + i);
+            freeCount_ -= run;
+            return std::make_pair(b, run);
+        }
+    }
+    return std::nullopt;
+}
+
+void
+BlockAllocator::free(BlockNo start, std::uint64_t count)
+{
+    sim::panicIf(start + count > total_, "free out of range");
+    sim::panicIf(start < firstData_, "freeing metadata blocks");
+    for (std::uint64_t i = 0; i < count; i++) {
+        sim::panicIf(!testBit(start + i),
+                     sim::strf("double free of block %llu",
+                               (unsigned long long)(start + i)));
+        clearBit(start + i);
+    }
+    freeCount_ += count;
+}
+
+void
+BlockAllocator::reserve(BlockNo start, std::uint64_t count)
+{
+    sim::panicIf(start + count > total_, "reserve out of range");
+    for (std::uint64_t i = 0; i < count; i++) {
+        sim::panicIf(testBit(start + i),
+                     sim::strf("reserve of allocated block %llu",
+                               (unsigned long long)(start + i)));
+        setBit(start + i);
+    }
+    freeCount_ -= count;
+}
+
+void
+BlockAllocator::restoreWords(std::vector<std::uint64_t> words,
+                             std::uint64_t freeCount)
+{
+    sim::panicIf(words.size() != bits_.size(),
+                 "bitmap snapshot geometry mismatch");
+    bits_ = std::move(words);
+    freeCount_ = freeCount;
+}
+
+} // namespace bpd::fs

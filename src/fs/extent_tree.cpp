@@ -1,0 +1,140 @@
+#include "fs/extent_tree.hpp"
+
+#include "sim/logging.hpp"
+
+namespace bpd::fs {
+
+void
+ExtentTree::insert(std::uint64_t lblk, BlockNo pblk, std::uint64_t count)
+{
+    sim::panicIf(count == 0, "empty extent insert");
+
+    // Overlap checks against neighbours.
+    auto next = map_.lower_bound(lblk);
+    if (next != map_.end()) {
+        sim::panicIf(lblk + count > next->second.lblk,
+                     "extent overlaps successor");
+    }
+    if (next != map_.begin()) {
+        auto prev = std::prev(next);
+        sim::panicIf(prev->second.lblk + prev->second.count > lblk,
+                     "extent overlaps predecessor");
+    }
+
+    Extent e{lblk, pblk, count};
+
+    // Merge with predecessor when logically and physically adjacent.
+    if (next != map_.begin()) {
+        auto prev = std::prev(next);
+        if (prev->second.lblk + prev->second.count == lblk
+            && prev->second.pblk + prev->second.count == pblk) {
+            e.lblk = prev->second.lblk;
+            e.pblk = prev->second.pblk;
+            e.count += prev->second.count;
+            map_.erase(prev);
+        }
+    }
+    // Merge with successor.
+    if (next != map_.end() && e.lblk + e.count == next->second.lblk
+        && e.pblk + e.count == next->second.pblk) {
+        e.count += next->second.count;
+        map_.erase(next);
+    }
+    map_[e.lblk] = e;
+}
+
+std::optional<Extent>
+ExtentTree::lookup(std::uint64_t lblk) const
+{
+    auto it = map_.upper_bound(lblk);
+    if (it == map_.begin())
+        return std::nullopt;
+    --it;
+    const Extent &e = it->second;
+    if (lblk < e.lblk + e.count)
+        return e;
+    return std::nullopt;
+}
+
+void
+ExtentTree::truncateFrom(std::uint64_t fromLblk,
+                         const std::function<void(BlockNo, std::uint64_t)>
+                             &freeFn)
+{
+    // Split an extent straddling the boundary.
+    auto it = map_.upper_bound(fromLblk);
+    if (it != map_.begin()) {
+        auto prev = std::prev(it);
+        Extent &e = prev->second;
+        if (fromLblk < e.lblk + e.count && fromLblk > e.lblk) {
+            const std::uint64_t keep = fromLblk - e.lblk;
+            freeFn(e.pblk + keep, e.count - keep);
+            e.count = keep;
+        }
+    }
+    // Drop everything at or above the boundary.
+    it = map_.lower_bound(fromLblk);
+    while (it != map_.end()) {
+        freeFn(it->second.pblk, it->second.count);
+        it = map_.erase(it);
+    }
+}
+
+void
+ExtentTree::clear(const std::function<void(BlockNo, std::uint64_t)> &freeFn)
+{
+    truncateFrom(0, freeFn);
+}
+
+std::uint64_t
+ExtentTree::mappedBlocks() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[l, e] : map_)
+        total += e.count;
+    return total;
+}
+
+std::vector<Extent>
+ExtentTree::extents() const
+{
+    std::vector<Extent> out;
+    out.reserve(map_.size());
+    for (const auto &[l, e] : map_)
+        out.push_back(e);
+    return out;
+}
+
+std::uint64_t
+ExtentTree::logicalEnd() const
+{
+    if (map_.empty())
+        return 0;
+    const Extent &last = map_.rbegin()->second;
+    return last.lblk + last.count;
+}
+
+bool
+ExtentTree::checkInvariants() const
+{
+    std::uint64_t prevEnd = 0;
+    BlockNo prevPend = 0;
+    bool first = true;
+    for (const auto &[l, e] : map_) {
+        if (l != e.lblk || e.count == 0)
+            return false;
+        if (!first) {
+            if (e.lblk < prevEnd)
+                return false; // overlap
+            // Maximality: adjacent logical+physical runs must be merged.
+            if (e.lblk == prevEnd && e.pblk == prevPend)
+                return false;
+        }
+        prevEnd = e.lblk + e.count;
+        prevPend = e.pblk + e.count;
+        first = false;
+    }
+    return true;
+}
+
+} // namespace bpd::fs

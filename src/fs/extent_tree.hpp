@@ -1,0 +1,76 @@
+/**
+ * @file
+ * ext4-style extent tree: maps a file's logical 4 KiB blocks to contiguous
+ * runs of device blocks. Insertions merge with adjacent extents; lookups
+ * are O(log n). This is the structure a cold fmap() reads to build File
+ * Table Entries (Section 4.1).
+ */
+
+#ifndef BPD_FS_EXTENT_TREE_HPP
+#define BPD_FS_EXTENT_TREE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bpd::fs {
+
+/** A contiguous logical-to-physical mapping. */
+struct Extent
+{
+    std::uint64_t lblk; //!< first logical block
+    BlockNo pblk;       //!< first device block
+    std::uint64_t count;
+
+    bool operator==(const Extent &) const = default;
+};
+
+class ExtentTree
+{
+  public:
+    /**
+     * Insert a mapping; merges with physically-adjacent neighbours.
+     * Overlapping an existing mapping panics (FS invariant violation).
+     */
+    void insert(std::uint64_t lblk, BlockNo pblk, std::uint64_t count);
+
+    /** Extent containing logical block @p lblk, if mapped. */
+    std::optional<Extent> lookup(std::uint64_t lblk) const;
+
+    /**
+     * Remove all mappings at or above @p fromLblk.
+     * @param freeFn Called once per removed physical run.
+     */
+    void truncateFrom(std::uint64_t fromLblk,
+                      const std::function<void(BlockNo, std::uint64_t)>
+                          &freeFn);
+
+    /** Remove everything. */
+    void clear(const std::function<void(BlockNo, std::uint64_t)> &freeFn);
+
+    /** Total mapped logical blocks. */
+    std::uint64_t mappedBlocks() const;
+
+    /** Number of extents (fragmentation measure). */
+    std::size_t extentCount() const { return map_.size(); }
+
+    /** All extents in logical order. */
+    std::vector<Extent> extents() const;
+
+    /** Highest mapped logical block + 1 (0 when empty). */
+    std::uint64_t logicalEnd() const;
+
+    /** Internal consistency check: sorted, non-overlapping, maximal. */
+    bool checkInvariants() const;
+
+  private:
+    std::map<std::uint64_t, Extent> map_; // keyed by lblk
+};
+
+} // namespace bpd::fs
+
+#endif // BPD_FS_EXTENT_TREE_HPP

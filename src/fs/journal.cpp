@@ -1,0 +1,58 @@
+#include "fs/journal.hpp"
+
+#include "sim/logging.hpp"
+
+namespace bpd::fs {
+
+void
+Journal::begin()
+{
+    depth_++;
+}
+
+void
+Journal::log(JRecord rec)
+{
+    sim::panicIf(depth_ == 0, "journal record outside a transaction");
+    open_.push_back(std::move(rec));
+    records_++;
+}
+
+void
+Journal::commit()
+{
+    sim::panicIf(depth_ == 0, "commit without begin");
+    if (--depth_ > 0)
+        return;
+    if (!open_.empty()) {
+        committed_.push_back(std::move(open_));
+        open_.clear();
+        committedTxns_++;
+        if (commitHook_)
+            commitHook_(committed_.back());
+    }
+}
+
+void
+Journal::abort()
+{
+    sim::panicIf(depth_ == 0, "abort without begin");
+    if (--depth_ == 0)
+        open_.clear();
+}
+
+void
+Journal::crash()
+{
+    depth_ = 0;
+    open_.clear();
+}
+
+void
+Journal::truncateAtCheckpoint()
+{
+    sim::panicIf(depth_ != 0, "checkpoint inside a transaction");
+    committed_.clear();
+}
+
+} // namespace bpd::fs

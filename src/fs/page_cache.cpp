@@ -1,0 +1,79 @@
+#include "fs/page_cache.hpp"
+
+#include "sim/logging.hpp"
+
+namespace bpd::fs {
+
+PageCache::PageCache(std::uint64_t capacityBytes)
+    : capacityPages_(capacityBytes / kBlockBytes)
+{
+    sim::panicIf(capacityPages_ == 0, "page cache smaller than one page");
+}
+
+PageCache::Page *
+PageCache::find(InodeNum ino, std::uint64_t index)
+{
+    auto it = pages_.find(key(ino, index));
+    if (it == pages_.end()) {
+        misses_++;
+        return nullptr;
+    }
+    hits_++;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->get();
+}
+
+PageCache::Page *
+PageCache::insert(InodeNum ino, std::uint64_t index,
+                  std::unique_ptr<Page> *evicted)
+{
+    auto it = pages_.find(key(ino, index));
+    if (it != pages_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return it->second->get();
+    }
+    if (pages_.size() >= capacityPages_) {
+        // Evict the LRU tail.
+        auto victimIt = std::prev(lru_.end());
+        Page *victim = victimIt->get();
+        pages_.erase(key(victim->ino, victim->index));
+        if (victim->dirty && evicted)
+            *evicted = std::move(*victimIt);
+        lru_.erase(victimIt);
+    }
+    auto page = std::make_unique<Page>();
+    page->ino = ino;
+    page->index = index;
+    page->data.fill(0);
+    lru_.push_front(std::move(page));
+    pages_[key(ino, index)] = lru_.begin();
+    return lru_.begin()->get();
+}
+
+std::vector<PageCache::Page *>
+PageCache::collectDirty(InodeNum ino)
+{
+    std::vector<Page *> out;
+    for (auto &p : lru_) {
+        if (p->ino == ino && p->dirty) {
+            p->dirty = false;
+            out.push_back(p.get());
+        }
+    }
+    return out;
+}
+
+void
+PageCache::invalidate(InodeNum ino)
+{
+    for (auto it = lru_.begin(); it != lru_.end();) {
+        if ((*it)->ino == ino) {
+            pages_.erase(key((*it)->ino, (*it)->index));
+            it = lru_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace bpd::fs

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Common file-system types: status codes, credentials, file modes.
+ */
+
+#ifndef BPD_FS_TYPES_HPP
+#define BPD_FS_TYPES_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace bpd::fs {
+
+/** POSIX-flavoured status codes. */
+enum class FsStatus : std::uint8_t
+{
+    Ok,
+    NoEnt,   //!< path component missing
+    Exists,  //!< create of an existing name
+    Access,  //!< permission denied
+    NotDir,  //!< path component is not a directory
+    IsDir,   //!< data op on a directory
+    NoSpace, //!< device full
+    Inval,   //!< invalid argument
+    Busy,    //!< conflicting open state
+    NotEmpty //!< directory not empty
+};
+
+const char *toString(FsStatus st);
+
+/** Process credentials used for permission checks. */
+struct Credentials
+{
+    std::uint32_t uid = 0;
+    std::uint32_t gid = 0;
+
+    bool isRoot() const { return uid == 0; }
+    bool operator==(const Credentials &) const = default;
+};
+
+/** File type. */
+enum class FileType : std::uint8_t { Regular, Directory };
+
+/** Mode permission bits (lower 9 bits of st_mode). */
+constexpr std::uint16_t kModeUserR = 0400;
+constexpr std::uint16_t kModeUserW = 0200;
+constexpr std::uint16_t kModeGroupR = 0040;
+constexpr std::uint16_t kModeGroupW = 0020;
+constexpr std::uint16_t kModeOtherR = 0004;
+constexpr std::uint16_t kModeOtherW = 0002;
+
+/** Open flags (subset). */
+enum OpenFlags : std::uint32_t
+{
+    kOpenRead = 1u << 0,
+    kOpenWrite = 1u << 1,
+    kOpenCreate = 1u << 2,
+    kOpenTrunc = 1u << 3,
+    kOpenDirect = 1u << 4,  //!< O_DIRECT: bypass the page cache
+    kOpenAppend = 1u << 5,
+    /**
+     * Caller intends kernel-interface (buffered or direct) access only;
+     * used by the sharing policy of Section 4.5.2.
+     */
+    kOpenKernelOnly = 1u << 6,
+};
+
+} // namespace bpd::fs
+
+#endif // BPD_FS_TYPES_HPP

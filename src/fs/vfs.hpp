@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Thin VFS layer: open() semantics (create/truncate flags, permission
+ * checks) over Ext4Fs, plus the open-state bookkeeping the BypassD sharing
+ * policy reads (Section 4.5.2).
+ */
+
+#ifndef BPD_FS_VFS_HPP
+#define BPD_FS_VFS_HPP
+
+#include <string>
+
+#include "fs/ext4.hpp"
+
+namespace bpd::fs {
+
+class Vfs
+{
+  public:
+    explicit Vfs(Ext4Fs &fs) : fs_(fs) {}
+
+    /**
+     * Resolve-or-create per @p flags with permission checks.
+     * @param[out] out Inode number on success.
+     */
+    FsStatus
+    open(const std::string &path, std::uint32_t flags, std::uint16_t mode,
+         const Credentials &creds, InodeNum *out)
+    {
+        InodeNum ino;
+        FsStatus st = fs_.resolve(path, &ino);
+        if (st == FsStatus::NoEnt && (flags & kOpenCreate)) {
+            st = fs_.create(path, mode, creds, &ino);
+            if (st != FsStatus::Ok)
+                return st;
+        } else if (st != FsStatus::Ok) {
+            return st;
+        }
+        Inode *node = fs_.inode(ino);
+        if (node->isDir() && (flags & kOpenWrite))
+            return FsStatus::IsDir;
+        if (!Ext4Fs::mayAccess(*node, creds, (flags & kOpenRead) != 0,
+                               (flags & kOpenWrite) != 0))
+            return FsStatus::Access;
+        if ((flags & kOpenTrunc) && (flags & kOpenWrite)
+            && !node->isDir()) {
+            st = fs_.truncate(*node, 0);
+            if (st != FsStatus::Ok)
+                return st;
+        }
+        *out = ino;
+        return FsStatus::Ok;
+    }
+
+    Ext4Fs &fs() { return fs_; }
+
+  private:
+    Ext4Fs &fs_;
+};
+
+} // namespace bpd::fs
+
+#endif // BPD_FS_VFS_HPP

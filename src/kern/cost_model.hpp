@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Software-stack cost model calibrated from the paper's Table 1 latency
+ * breakdown of a 4 KiB read() on an Optane P5800X (Linux 5.4):
+ *
+ *   user->kernel switch   160 ns
+ *   VFS + ext4          2 810 ns
+ *   block I/O layer       540 ns
+ *   NVMe driver           220 ns
+ *   device              4 020 ns   (modeled by ssd::NvmeDevice)
+ *   kernel->user switch   100 ns
+ *
+ * plus auxiliary constants for the buffered path, io_uring, appends and
+ * the BypassD userspace library.
+ */
+
+#ifndef BPD_KERN_COST_MODEL_HPP
+#define BPD_KERN_COST_MODEL_HPP
+
+#include "common/types.hpp"
+
+namespace bpd::kern {
+
+struct CostModel
+{
+    /** @name Table 1 constants */
+    ///@{
+    Time userToKernelNs = 160;
+    Time kernelToUserNs = 100;
+    Time vfsExt4Ns = 2810;
+    Time blockLayerNs = 540;
+    Time nvmeDriverNs = 220;
+    ///@}
+
+    /**
+     * Extra VFS cost per additional 4 KiB block in a request (bio
+     * assembly + get_user_pages pinning for O_DIRECT).
+     */
+    Time vfsPerBlockNs = 100;
+
+    /** Buffered (page-cache) path per-page lookup cost. */
+    Time pageCacheLookupNs = 350;
+    /** Buffered path base VFS cost (cheaper than O_DIRECT setup). */
+    Time vfsBufferedNs = 900;
+
+    /** memcpy bandwidth for user<->kernel / user<->DMA copies (B/ns). */
+    double copyBwBytesPerNs = 32.0;
+
+    /** Block allocation cost per extent allocated (append path). */
+    Time allocPerExtentNs = 900;
+
+    /** libaio: extra io_getevents syscall + bookkeeping per op. */
+    Time aioExtraNs = 450;
+
+    /** @name io_uring (SQPOLL mode, fixed buffers) */
+    ///@{
+    Time uringUserSubmitNs = 60;   //!< write SQE + doorbell-free publish
+    Time uringPollIntervalNs = 150; //!< sqpoll thread pickup delay
+    double uringVfsFactor = 0.8;   //!< fixed-buffer fast path discount
+    Time uringUserReapNs = 90;     //!< user CQ poll + harvest
+    ///@}
+
+    /** @name BypassD UserLib (Section 4.2) */
+    ///@{
+    Time userlibSubmitNs = 120;  //!< intercept, build NVMe cmd, doorbell
+    Time userlibCompleteNs = 80; //!< CQ poll + fd state update
+    ///@}
+
+    /** fmap() costs (Table 5 model; Section 4.1). */
+    Time fmapSyscallNs = 600;       //!< base syscall + VA reservation
+    Time fmapAttachPerPmdNs = 31;   //!< pointer update per 2 MiB attached
+    Time fmapBuildPerFteNs = 5;     //!< cold: write one FTE
+    Time fmapExtentLookupNs = 45;   //!< cold: extent-tree walk per extent
+    Time fmapMetaIoNs = 4020;       //!< cold: read uncached mapping block
+    /** open() path-resolution and fd setup cost. */
+    Time openBaseNs = 1280;
+
+    /** fsync: journal commit + flush issue cost (device adds flushNs). */
+    Time fsyncMetaNs = 1800;
+
+    /** Interrupt-driven completion delivery (sync/libaio). */
+    Time interruptNs = 0; // folded into Table 1 numbers
+
+    /** Scale a software cost with request size in bytes. */
+    Time
+    vfsCost(std::uint64_t bytes) const
+    {
+        const std::uint64_t blocks
+            = (bytes + kBlockBytes - 1) / kBlockBytes;
+        return vfsExt4Ns + (blocks > 1 ? (blocks - 1) * vfsPerBlockNs : 0);
+    }
+
+    /** memcpy time for @p bytes. */
+    Time
+    copyCost(std::uint64_t bytes) const
+    {
+        return static_cast<Time>(static_cast<double>(bytes)
+                                 / copyBwBytesPerNs);
+    }
+};
+
+} // namespace bpd::kern
+
+#endif // BPD_KERN_COST_MODEL_HPP

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * io_uring model in its highest-performance configuration (the paper's
+ * setup): SQPOLL kernel thread, fixed buffers, user-side CQ polling. No
+ * mode switches, but every ring pins an extra kernel polling thread to a
+ * hardware thread — the reason io_uring collapses past 12 application
+ * threads on a 24-HW-thread machine (Fig. 9).
+ */
+
+#ifndef BPD_KERN_IO_URING_HPP
+#define BPD_KERN_IO_URING_HPP
+
+#include <span>
+
+#include "kern/kernel.hpp"
+
+namespace bpd::kern {
+
+class IoUring
+{
+  public:
+    /**
+     * Create a ring for @p p; pins a SQPOLL kernel thread (one CPU
+     * occupant) for the ring's lifetime.
+     */
+    IoUring(Kernel &k, Process &p);
+    ~IoUring();
+
+    IoUring(const IoUring &) = delete;
+    IoUring &operator=(const IoUring &) = delete;
+
+    void pread(int fd, std::span<std::uint8_t> buf, std::uint64_t off,
+               IoCb cb);
+    void pwrite(int fd, std::span<const std::uint8_t> buf,
+                std::uint64_t off, IoCb cb);
+
+  private:
+    void doIo(bool write, int fd, std::span<std::uint8_t> buf,
+              std::uint64_t off, IoCb cb);
+
+    Kernel &k_;
+    Process &p_;
+};
+
+} // namespace bpd::kern
+
+#endif // BPD_KERN_IO_URING_HPP

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * The simulated OS kernel: timed POSIX-style syscalls over the VFS/ext4
+ * stack and the kernel NVMe driver. This is the paper's baseline "sync"
+ * path (Table 1) and also the metadata path that BypassD keeps in the
+ * kernel (Table 3). Costs come from kern::CostModel; CPU contention from
+ * kern::CpuModel; device time from ssd::NvmeDevice.
+ *
+ * Modeled behaviours relevant to the evaluation:
+ *  - O_DIRECT data path: user->kernel switch, VFS+ext4, block layer,
+ *    driver, device, kernel->user switch;
+ *  - buffered path through a page cache with write-back;
+ *  - per-inode exclusive write lock in the kernel write path (the ext4
+ *    same-file write bottleneck BypassD avoids, Section 6.5);
+ *  - appends allocate + zero blocks and are issued unbuffered
+ *    (Section 4.2 / Table 3).
+ */
+
+#ifndef BPD_KERN_KERNEL_HPP
+#define BPD_KERN_KERNEL_HPP
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fs/page_cache.hpp"
+#include "fs/vfs.hpp"
+#include "iommu/iommu.hpp"
+#include "kern/cost_model.hpp"
+#include "kern/cpu_model.hpp"
+#include "kern/process.hpp"
+#include "mem/frame_allocator.hpp"
+#include "sim/event_queue.hpp"
+#include "ssd/dispatcher.hpp"
+#include "ssd/nvme.hpp"
+
+namespace bpd::kern {
+
+/** Per-request time attribution (Fig. 7 breakdown). */
+struct IoTrace
+{
+    Time userNs = 0;
+    Time kernelNs = 0;
+    Time deviceNs = 0;
+    Time translateNs = 0;
+
+    Time
+    total() const
+    {
+        return userNs + kernelNs + deviceNs + translateNs;
+    }
+};
+
+/** Data-op completion: byte count (or negative FsStatus) + attribution. */
+using IoCb = std::function<void(long long, IoTrace)>;
+/** Metadata-op completion: 0/fd or negative FsStatus. */
+using IntCb = std::function<void(int)>;
+
+/** Map FsStatus to a negative syscall return code. */
+inline int
+errOf(fs::FsStatus st)
+{
+    return -static_cast<int>(st);
+}
+
+/** Extra open flag used by UserLib: open intends BypassD data access. */
+constexpr std::uint32_t kOpenBypassdIntent = 1u << 7;
+
+/**
+ * Hooks the BypassD kernel module installs to participate in open/
+ * metadata events (revocation policy, Sections 3.6 and 4.5.2).
+ */
+class BypassdHooks
+{
+  public:
+    virtual ~BypassdHooks() = default;
+    /** A kernel-interface open happened on @p ino. */
+    virtual void onKernelOpen(fs::Inode &ino) = 0;
+    /** Process @p pid changed @p ino's metadata via the kernel. */
+    virtual void onMetadataChange(fs::Inode &ino, Pid pid) = 0;
+    /** File blocks grew; FTEs must be extended (appends, Table 3). */
+    virtual void onExtentsAdded(fs::Inode &ino,
+                                const std::vector<fs::Extent> &added) = 0;
+    /** Blocks were truncated away; FTEs must be detached. */
+    virtual void onTruncated(fs::Inode &ino) = 0;
+};
+
+struct KernelConfig
+{
+    std::uint64_t pageCacheBytes = 8ull << 30;
+    std::uint32_t kernelQueueDepth = 1024;
+    unsigned hwThreads = 24; //!< evaluation machine: 12 cores x HT
+};
+
+struct Stat
+{
+    InodeNum ino;
+    std::uint64_t size;
+    std::uint16_t mode;
+    std::uint32_t uid, gid;
+    Time mtime;
+};
+
+class Kernel
+{
+  public:
+    Kernel(sim::EventQueue &eq, mem::FrameAllocator &fa,
+           iommu::Iommu &iommu, fs::Vfs &vfs, ssd::NvmeDevice &dev,
+           CostModel costs = {}, KernelConfig cfg = {});
+
+    /** @name Process management */
+    ///@{
+    Process &createProcess(fs::Credentials creds);
+    void destroyProcess(Pid pid);
+    Process *process(Pid pid);
+    ///@}
+
+    /**
+     * Confine @p p to a mount namespace rooted at @p root (Section 5.2:
+     * containers share the SSD through BypassD without extra support,
+     * because access control stays in the kernel). Creates the root
+     * directory if needed.
+     */
+    fs::FsStatus setNamespaceRoot(Process &p, const std::string &root);
+
+    /** Resolve a path in @p p's mount namespace. */
+    std::string nsPath(const Process &p, const std::string &path) const;
+
+    /** @name Timed syscalls (callback fires at completion sim-time)
+     * Buffer spans are used asynchronously: the caller must keep the
+     * memory alive until the completion callback fires.
+     */
+    ///@{
+    void sysOpen(Process &p, const std::string &path, std::uint32_t flags,
+                 std::uint16_t mode, IntCb cb);
+    void sysClose(Process &p, int fd, IntCb cb);
+    void sysPread(Process &p, int fd, std::span<std::uint8_t> buf,
+                  std::uint64_t off, IoCb cb);
+    void sysPwrite(Process &p, int fd, std::span<const std::uint8_t> buf,
+                   std::uint64_t off, IoCb cb);
+    void sysRead(Process &p, int fd, std::span<std::uint8_t> buf, IoCb cb);
+    void sysWrite(Process &p, int fd, std::span<const std::uint8_t> buf,
+                  IoCb cb);
+    void sysFsync(Process &p, int fd, IntCb cb);
+    void sysFallocate(Process &p, int fd, std::uint64_t off,
+                      std::uint64_t len, IntCb cb);
+    void sysFtruncate(Process &p, int fd, std::uint64_t size, IntCb cb);
+    void sysUnlink(Process &p, const std::string &path, IntCb cb);
+    void sysRename(Process &p, const std::string &from,
+                   const std::string &to, IntCb cb);
+    void sysStat(Process &p, const std::string &path, Stat *out, IntCb cb);
+    ///@}
+
+    /** @name Untimed setup helpers (test/bench prepopulation) */
+    ///@{
+    int setupOpen(Process &p, const std::string &path, std::uint32_t flags,
+                  std::uint16_t mode = 0644);
+    long long setupWrite(Process &p, int fd,
+                         std::span<const std::uint8_t> buf,
+                         std::uint64_t off);
+    long long setupRead(Process &p, int fd, std::span<std::uint8_t> buf,
+                        std::uint64_t off);
+    /** Create a file of @p size bytes filled with a seeded pattern. */
+    int setupCreateFile(Process &p, const std::string &path,
+                        std::uint64_t size, std::uint64_t seed = 0);
+    ///@}
+
+    /** @name Component access (BypassD module, XRP, baselines) */
+    ///@{
+    sim::EventQueue &eq() { return eq_; }
+    mem::FrameAllocator &frames() { return fa_; }
+    iommu::Iommu &iommu() { return iommu_; }
+    fs::Vfs &vfs() { return vfs_; }
+    ssd::NvmeDevice &device() { return dev_; }
+    ssd::CommandDispatcher &dispatcher() { return *kq_; }
+    CostModel &costs() { return costs_; }
+    CpuModel &cpu() { return cpu_; }
+    fs::PageCache &pageCache() { return pageCache_; }
+    void setBypassdHooks(BypassdHooks *hooks) { hooks_ = hooks; }
+    BypassdHooks *bypassdHooks() { return hooks_; }
+    ///@}
+
+    /**
+     * Submit a multi-segment device I/O on the kernel queue.
+     * @param cb Fires when all segments completed; passes worst status
+     *           and the span of device time.
+     */
+    void deviceIo(ssd::Op op, const std::vector<fs::Seg> &segs,
+                  std::span<std::uint8_t> buf,
+                  std::function<void(ssd::Status, Time)> cb);
+
+    /** The kernel-interface path for appends (used by UserLib, Table 3). */
+    void appendPath(Process &p, fs::Inode &ino,
+                    std::span<const std::uint8_t> buf, std::uint64_t off,
+                    IoCb cb);
+
+    std::uint64_t syscallCount() const { return syscalls_; }
+
+  private:
+    void directRead(Process &p, fs::Inode &ino,
+                    std::span<std::uint8_t> buf, std::uint64_t off,
+                    IoCb cb);
+    void directWrite(Process &p, fs::Inode &ino,
+                     std::span<const std::uint8_t> buf, std::uint64_t off,
+                     IoCb cb);
+    void bufferedRead(Process &p, fs::Inode &ino,
+                      std::span<std::uint8_t> buf, std::uint64_t off,
+                      IoCb cb);
+    void bufferedWrite(Process &p, fs::Inode &ino,
+                       std::span<const std::uint8_t> buf,
+                       std::uint64_t off, IoCb cb);
+    void writebackDirty(fs::Inode &ino, std::function<void(Time)> done);
+
+    sim::EventQueue &eq_;
+    mem::FrameAllocator &fa_;
+    iommu::Iommu &iommu_;
+    fs::Vfs &vfs_;
+    ssd::NvmeDevice &dev_;
+    CostModel costs_;
+    CpuModel cpu_;
+    fs::PageCache pageCache_;
+    BypassdHooks *hooks_ = nullptr;
+
+    ssd::QueuePair *kernelQp_ = nullptr;
+    std::unique_ptr<ssd::CommandDispatcher> kq_;
+
+    std::unordered_map<Pid, std::unique_ptr<Process>> procs_;
+    Pid nextPid_ = 1;
+    std::uint64_t syscalls_ = 0;
+};
+
+} // namespace bpd::kern
+
+#endif // BPD_KERN_KERNEL_HPP

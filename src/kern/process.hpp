@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Simulated process: credentials, address space (with PASID), file
+ * descriptor table. UserLib (the BypassD shim) attaches per process.
+ */
+
+#ifndef BPD_KERN_PROCESS_HPP
+#define BPD_KERN_PROCESS_HPP
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "fs/types.hpp"
+#include "mem/address_space.hpp"
+
+namespace bpd::bypassd {
+class UserLib;
+}
+
+namespace bpd::kern {
+
+/** An open file description. */
+struct OpenFile
+{
+    InodeNum ino = 0;
+    std::uint32_t flags = 0;
+    std::uint64_t offset = 0;
+    std::string path;
+};
+
+class Process
+{
+  public:
+    Process(Pid pid, fs::Credentials creds, mem::FrameAllocator &fa)
+        : pid_(pid), creds_(creds),
+          aspace_(fa, static_cast<Pasid>(pid) + 100)
+    {
+    }
+
+    Pid pid() const { return pid_; }
+    const fs::Credentials &creds() const { return creds_; }
+    mem::AddressSpace &aspace() { return aspace_; }
+    Pasid pasid() const { return aspace_.pasid(); }
+
+    /** @name File descriptor table */
+    ///@{
+    int
+    installFd(OpenFile of)
+    {
+        const int fd = nextFd_++;
+        fds_[fd] = std::move(of);
+        return fd;
+    }
+
+    OpenFile *
+    file(int fd)
+    {
+        auto it = fds_.find(fd);
+        return it == fds_.end() ? nullptr : &it->second;
+    }
+
+    void removeFd(int fd) { fds_.erase(fd); }
+
+    const std::unordered_map<int, OpenFile> &fds() const { return fds_; }
+    ///@}
+
+    /** The BypassD shim library loaded into this process (may be null). */
+    bypassd::UserLib *userLib = nullptr;
+
+    /**
+     * Mount-namespace root (Section 5.2): every path this process opens
+     * is resolved under this prefix, giving containers an isolated view
+     * of the file system. Empty = host namespace.
+     */
+    std::string nsRoot;
+
+  private:
+    Pid pid_;
+    fs::Credentials creds_;
+    mem::AddressSpace aspace_;
+    std::unordered_map<int, OpenFile> fds_;
+    int nextFd_ = 3;
+
+  public:
+    /**
+     * Owns the UserLib (type-erased to keep kern independent of the
+     * bypassd module). Declared last so it is destroyed FIRST when the
+     * process dies: the shim must release its queues and detach from
+     * the address space while both still exist.
+     */
+    std::shared_ptr<void> userLibOwner;
+};
+
+} // namespace bpd::kern
+
+#endif // BPD_KERN_PROCESS_HPP

@@ -1,0 +1,94 @@
+#include "mem/address_space.hpp"
+
+#include "sim/logging.hpp"
+
+namespace bpd::mem {
+
+namespace {
+// Userspace mapping area: 4 GiB .. 126 TiB.
+constexpr Vaddr kVaBase = 0x1'0000'0000ull;
+constexpr std::uint64_t kVaSize = 0x7e00'0000'0000ull;
+} // namespace
+
+VaAllocator::VaAllocator(Vaddr base, std::uint64_t size)
+{
+    // Address 0 is the failure sentinel of reserve(); never hand it out.
+    sim::panicIf(base == 0, "VaAllocator base must be non-zero");
+    free_[base] = size;
+}
+
+Vaddr
+VaAllocator::reserve(std::uint64_t len, std::uint64_t align)
+{
+    sim::panicIf(len == 0, "reserve of zero bytes");
+    sim::panicIf(align == 0 || (align & (align - 1)) != 0,
+                 "alignment must be a power of two");
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+        const Vaddr start = it->first;
+        const std::uint64_t flen = it->second;
+        const Vaddr aligned = (start + align - 1) & ~(align - 1);
+        const std::uint64_t pad = aligned - start;
+        if (flen < pad || flen - pad < len)
+            continue;
+        // Carve [aligned, aligned+len) out of [start, start+flen).
+        free_.erase(it);
+        if (pad > 0)
+            free_[start] = pad;
+        const std::uint64_t tail = flen - pad - len;
+        if (tail > 0)
+            free_[aligned + len] = tail;
+        return aligned;
+    }
+    return 0;
+}
+
+void
+VaAllocator::release(Vaddr va, std::uint64_t len)
+{
+    if (len == 0)
+        return;
+    auto [it, inserted] = free_.emplace(va, len);
+    sim::panicIf(!inserted, "double release of VA range");
+    // Coalesce with successor.
+    auto next = std::next(it);
+    if (next != free_.end() && it->first + it->second == next->first) {
+        it->second += next->second;
+        free_.erase(next);
+    }
+    // Coalesce with predecessor.
+    if (it != free_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second == it->first) {
+            prev->second += it->second;
+            free_.erase(it);
+        }
+    }
+}
+
+std::uint64_t
+VaAllocator::freeBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[va, len] : free_)
+        total += len;
+    return total;
+}
+
+AddressSpace::AddressSpace(FrameAllocator &fa, Pasid pasid)
+    : pt_(fa), pasid_(pasid), va_(kVaBase, kVaSize)
+{
+}
+
+Vaddr
+AddressSpace::reserve(std::uint64_t len, std::uint64_t align)
+{
+    return va_.reserve(len, align);
+}
+
+void
+AddressSpace::release(Vaddr va, std::uint64_t len)
+{
+    va_.release(va, len);
+}
+
+} // namespace bpd::mem

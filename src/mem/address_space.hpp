@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-process address space: page table, PASID, and a virtual-address
+ * region allocator used by fmap() to reserve PMD-aligned VBA regions and by
+ * UserLib to place DMA buffers.
+ */
+
+#ifndef BPD_MEM_ADDRESS_SPACE_HPP
+#define BPD_MEM_ADDRESS_SPACE_HPP
+
+#include <cstdint>
+#include <map>
+
+#include "common/types.hpp"
+#include "mem/page_table.hpp"
+
+namespace bpd::mem {
+
+/**
+ * First-fit virtual-address range allocator with coalescing free list.
+ */
+class VaAllocator
+{
+  public:
+    VaAllocator(Vaddr base, std::uint64_t size);
+
+    /**
+     * Reserve @p len bytes aligned to @p align.
+     * @return Start address, or 0 on exhaustion.
+     */
+    Vaddr reserve(std::uint64_t len, std::uint64_t align);
+
+    /** Return a previously reserved range. */
+    void release(Vaddr va, std::uint64_t len);
+
+    /** Bytes currently free. */
+    std::uint64_t freeBytes() const;
+
+    /** Number of free-list fragments (coalescing check). */
+    std::size_t fragments() const { return free_.size(); }
+
+  private:
+    std::map<Vaddr, std::uint64_t> free_; // start -> len
+};
+
+/**
+ * A simulated process address space.
+ */
+class AddressSpace
+{
+  public:
+    AddressSpace(FrameAllocator &fa, Pasid pasid);
+
+    PageTable &pageTable() { return pt_; }
+    const PageTable &pageTable() const { return pt_; }
+    Pasid pasid() const { return pasid_; }
+
+    /** Reserve a VA region (fmap regions, DMA buffer IOVAs). */
+    Vaddr reserve(std::uint64_t len, std::uint64_t align);
+
+    /** Release a VA region. */
+    void release(Vaddr va, std::uint64_t len);
+
+  private:
+    PageTable pt_;
+    Pasid pasid_;
+    VaAllocator va_;
+};
+
+} // namespace bpd::mem
+
+#endif // BPD_MEM_ADDRESS_SPACE_HPP

@@ -1,0 +1,178 @@
+#include "mem/page_table.hpp"
+
+#include "sim/logging.hpp"
+
+namespace bpd::mem {
+
+PageTable::PageTable(FrameAllocator &fa)
+    : fa_(fa), root_(fa.alloc())
+{
+    owned_.insert(root_);
+}
+
+PageTable::~PageTable()
+{
+    for (Frame f : owned_)
+        fa_.free(f);
+}
+
+Frame
+PageTable::childOf(Frame parent, unsigned idx) const
+{
+    const Pte e = fa_.table(parent)[idx];
+    if (!isPresent(e) || isFte(e))
+        return kNullFrame;
+    return frameOf(e);
+}
+
+Frame
+PageTable::ensureChild(Frame parent, unsigned idx, bool writable)
+{
+    std::uint64_t *tbl = fa_.table(parent);
+    Pte e = tbl[idx];
+    if (isPresent(e)) {
+        sim::panicIf(isFte(e), "table entry collides with an FTE");
+        if (writable && !isWritable(e))
+            tbl[idx] = e | kPteWritable;
+        return frameOf(e);
+    }
+    const Frame child = fa_.alloc();
+    owned_.insert(child);
+    tbl[idx] = makeTableEntry(child, writable);
+    return child;
+}
+
+void
+PageTable::set(Vaddr va, Pte pte)
+{
+    Frame cur = root_;
+    for (unsigned level = 3; level >= 1; level--)
+        cur = ensureChild(cur, ptIndex(va, level), true);
+    fa_.table(cur)[ptIndex(va, 0)] = pte;
+}
+
+Pte
+PageTable::get(Vaddr va) const
+{
+    Frame cur = root_;
+    for (unsigned level = 3; level >= 1; level--) {
+        cur = childOf(cur, ptIndex(va, level));
+        if (cur == kNullFrame)
+            return 0;
+    }
+    return fa_.table(cur)[ptIndex(va, 0)];
+}
+
+void
+PageTable::clear(Vaddr va)
+{
+    Frame cur = root_;
+    for (unsigned level = 3; level >= 1; level--) {
+        cur = childOf(cur, ptIndex(va, level));
+        if (cur == kNullFrame)
+            return;
+    }
+    fa_.table(cur)[ptIndex(va, 0)] = 0;
+}
+
+unsigned
+PageTable::attachTable(Vaddr va, unsigned level, Frame table, bool writable)
+{
+    sim::panicIf(level < 1 || level > 2, "attach level must be 1 or 2");
+    sim::panicIf(va % levelSpan(level) != 0,
+                 "attach va not aligned to level span");
+    unsigned writes = 0;
+    Frame cur = root_;
+    for (unsigned l = 3; l > level; l--) {
+        // Intermediate entries are private to this process; the per-open
+        // R/W bit is applied on the whole private path so a read-only
+        // open cannot write through any route.
+        std::uint64_t *tbl = fa_.table(cur);
+        const unsigned idx = ptIndex(va, l);
+        Pte e = tbl[idx];
+        if (!isPresent(e)) {
+            const Frame child = fa_.alloc();
+            owned_.insert(child);
+            tbl[idx] = makeTableEntry(child, writable);
+            writes++;
+            cur = child;
+        } else {
+            if (writable && !isWritable(e)) {
+                tbl[idx] = e | kPteWritable;
+                writes++;
+            }
+            cur = frameOf(e);
+        }
+    }
+    std::uint64_t *tbl = fa_.table(cur);
+    const unsigned idx = ptIndex(va, level);
+    sim::panicIf(isPresent(tbl[idx]),
+                 "attach target entry already present");
+    tbl[idx] = makeTableEntry(table, writable);
+    writes++;
+    return writes;
+}
+
+bool
+PageTable::detachTable(Vaddr va, unsigned level)
+{
+    sim::panicIf(level < 1 || level > 2, "detach level must be 1 or 2");
+    Frame cur = root_;
+    for (unsigned l = 3; l > level; l--) {
+        cur = childOf(cur, ptIndex(va, l));
+        if (cur == kNullFrame)
+            return false;
+    }
+    std::uint64_t *tbl = fa_.table(cur);
+    const unsigned idx = ptIndex(va, level);
+    if (!isPresent(tbl[idx]))
+        return false;
+    tbl[idx] = 0;
+    return true;
+}
+
+Pte
+PageTable::entryAt(Vaddr va, unsigned level) const
+{
+    sim::panicIf(level > 3, "bad level");
+    Frame cur = root_;
+    for (unsigned l = 3; l > level; l--) {
+        cur = childOf(cur, ptIndex(va, l));
+        if (cur == kNullFrame)
+            return 0;
+    }
+    return fa_.table(cur)[ptIndex(va, level)];
+}
+
+PageTable::Walk
+PageTable::walk(Vaddr va) const
+{
+    Walk w;
+    w.writable = true;
+    Frame cur = root_;
+    for (unsigned level = 3;; level--) {
+        w.framesRead++;
+        const Pte e = fa_.table(cur)[ptIndex(va, level)];
+        if (!isPresent(e)) {
+            w.present = false;
+            w.writable = false;
+            return w;
+        }
+        w.writable = w.writable && isWritable(e);
+        if (level == 0 || isFte(e)) {
+            // FTEs can only legally appear at level 0, but a hardware
+            // walker must treat a malformed deeper FT bit as a fault.
+            if (isFte(e) && level != 0) {
+                w.present = false;
+                w.writable = false;
+                return w;
+            }
+            w.present = true;
+            w.leaf = e;
+            return w;
+        }
+        cur = frameOf(e);
+    }
+}
+
+} // namespace bpd::mem

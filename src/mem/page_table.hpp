@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Four-level x86-64-style radix page table over simulated frames.
+ *
+ * Levels are numbered 3 (root / PGD) down to 0 (leaf page table). BypassD
+ * attaches *shared* file-table leaf frames at level-1 entries (PMD
+ * granularity: one pointer per 2 MiB of file), with the per-open R/W
+ * permission encoded in the private attaching entry (Section 4.1, Fig. 4).
+ */
+
+#ifndef BPD_MEM_PAGE_TABLE_HPP
+#define BPD_MEM_PAGE_TABLE_HPP
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/types.hpp"
+#include "mem/frame_allocator.hpp"
+#include "mem/pte.hpp"
+
+namespace bpd::mem {
+
+/** Bytes spanned by one entry at a given level. */
+constexpr std::uint64_t
+levelSpan(unsigned level)
+{
+    return 1ull << (12 + 9 * level);
+}
+
+constexpr std::uint64_t kPmdSpan = levelSpan(1); // 2 MiB
+constexpr std::uint64_t kPudSpan = levelSpan(2); // 1 GiB
+
+/** Radix index of @p va at @p level (0..3). */
+constexpr unsigned
+ptIndex(Vaddr va, unsigned level)
+{
+    return static_cast<unsigned>((va >> (12 + 9 * level)) & 0x1ff);
+}
+
+/**
+ * A process (or IOMMU-visible) page table. Owns the frames it allocates;
+ * frames attached via attachTable() are shared and never freed here.
+ */
+class PageTable
+{
+  public:
+    explicit PageTable(FrameAllocator &fa);
+    ~PageTable();
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    Frame root() const { return root_; }
+
+    /** Install a leaf entry for @p va, building intermediate levels. */
+    void set(Vaddr va, Pte pte);
+
+    /** Leaf entry for @p va, or 0 when any level is non-present. */
+    Pte get(Vaddr va) const;
+
+    /** Clear the leaf entry for @p va (no-op when absent). */
+    void clear(Vaddr va);
+
+    /**
+     * Attach a shared table frame at the given level's entry for @p va.
+     * @param va Virtual address; must be aligned to levelSpan(level).
+     * @param level Entry level holding the pointer (1 = PMD entry).
+     * @param table Shared frame (owned elsewhere).
+     * @param writable Per-open R/W permission for this attachment.
+     * @return Count of private intermediate entries written (for timing).
+     */
+    unsigned attachTable(Vaddr va, unsigned level, Frame table,
+                         bool writable);
+
+    /**
+     * Detach a previously attached shared frame.
+     * @retval true when an entry was present and cleared.
+     */
+    bool detachTable(Vaddr va, unsigned level);
+
+    /** Entry at an arbitrary level for @p va (0 when path non-present). */
+    Pte entryAt(Vaddr va, unsigned level) const;
+
+    /** Result of a software walk mirroring what hardware would do. */
+    struct Walk
+    {
+        bool present = false;     //!< leaf reachable and present
+        bool writable = false;    //!< AND of R/W along the path
+        Pte leaf = 0;             //!< leaf entry value
+        unsigned framesRead = 0;  //!< frames touched (timing input)
+    };
+
+    /** Walk the tree for @p va. */
+    Walk walk(Vaddr va) const;
+
+    /** Frames privately owned by this table (root included). */
+    std::size_t ownedFrames() const { return owned_.size(); }
+
+  private:
+    Frame childOf(Frame parent, unsigned idx) const;
+    Frame ensureChild(Frame parent, unsigned idx, bool writable);
+
+    FrameAllocator &fa_;
+    Frame root_;
+    std::unordered_set<Frame> owned_;
+};
+
+} // namespace bpd::mem
+
+#endif // BPD_MEM_PAGE_TABLE_HPP

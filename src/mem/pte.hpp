@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Page-table entry encodings, including the BypassD File Table Entry (FTE)
+ * format of Fig. 3: an FTE stores a device Logical Block Address where a
+ * regular PTE stores a Page Frame Number, plus the owning device id and an
+ * FT marker bit (carved out of the architecturally-ignored bits).
+ *
+ * Layout (64-bit entry):
+ *   bit  0        PRESENT
+ *   bit  1        WRITABLE  (R/W)
+ *   bit  2        USER
+ *   bit  9        FT        (file-table entry marker)
+ *   bits 12..51   PFN / table frame / LBA block number
+ *   bits 52..61   DevID     (meaningful only when FT is set)
+ */
+
+#ifndef BPD_MEM_PTE_HPP
+#define BPD_MEM_PTE_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "mem/frame_allocator.hpp"
+
+namespace bpd::mem {
+
+using Pte = std::uint64_t;
+
+constexpr Pte kPtePresent = 1ull << 0;
+constexpr Pte kPteWritable = 1ull << 1;
+constexpr Pte kPteUser = 1ull << 2;
+constexpr Pte kPteFt = 1ull << 9;
+
+constexpr unsigned kPfnShift = 12;
+constexpr std::uint64_t kPfnMask = ((1ull << 40) - 1) << kPfnShift;
+
+constexpr unsigned kDevIdShift = 52;
+constexpr std::uint64_t kDevIdMask = ((1ull << 10) - 1) << kDevIdShift;
+
+/** Entry for a next-level page-table frame. */
+constexpr Pte
+makeTableEntry(Frame frame, bool writable = true)
+{
+    return kPtePresent | kPteUser | (writable ? kPteWritable : 0)
+           | (static_cast<Pte>(frame) << kPfnShift);
+}
+
+/** Regular 4 KiB leaf mapping a physical frame number. */
+constexpr Pte
+makeLeafEntry(std::uint64_t pfn, bool writable)
+{
+    return kPtePresent | kPteUser | (writable ? kPteWritable : 0)
+           | ((pfn << kPfnShift) & kPfnMask);
+}
+
+/**
+ * BypassD File Table Entry: maps one 4 KiB file block onto a device block.
+ * Shared FTEs carry maximum rights (R/W set); the per-open permission lives
+ * in the private intermediate entry (see Section 4.1).
+ */
+constexpr Pte
+makeFte(BlockNo block, DevId dev, bool writable = true)
+{
+    return kPtePresent | kPteUser | kPteFt
+           | (writable ? kPteWritable : 0)
+           | ((static_cast<Pte>(block) << kPfnShift) & kPfnMask)
+           | ((static_cast<Pte>(dev) << kDevIdShift) & kDevIdMask);
+}
+
+constexpr bool
+isPresent(Pte e)
+{
+    return (e & kPtePresent) != 0;
+}
+
+constexpr bool
+isWritable(Pte e)
+{
+    return (e & kPteWritable) != 0;
+}
+
+constexpr bool
+isFte(Pte e)
+{
+    return (e & kPteFt) != 0;
+}
+
+constexpr std::uint64_t
+pfnOf(Pte e)
+{
+    return (e & kPfnMask) >> kPfnShift;
+}
+
+constexpr Frame
+frameOf(Pte e)
+{
+    return static_cast<Frame>(pfnOf(e));
+}
+
+constexpr BlockNo
+fteBlock(Pte e)
+{
+    return pfnOf(e);
+}
+
+constexpr DevId
+fteDevId(Pte e)
+{
+    return static_cast<DevId>((e & kDevIdMask) >> kDevIdShift);
+}
+
+} // namespace bpd::mem
+
+#endif // BPD_MEM_PTE_HPP

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Minimal coroutine support for writing simulated actors in straight-line
+ * style over the callback-based DES core.
+ *
+ *  - Task: eager, detached root coroutine (a simulated thread body).
+ *  - Co<T>: lazy child coroutine awaitable from Task/Co.
+ *  - Future<T>: single-shot value channel bridging callback APIs into
+ *    awaitables (obtain a resolver(), pass it as a completion callback,
+ *    co_await the future).
+ *  - delay(): awaitable that advances virtual time.
+ */
+
+#ifndef BPD_SIM_CORO_HPP
+#define BPD_SIM_CORO_HPP
+
+#include <coroutine>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/event_queue.hpp"
+#include "sim/logging.hpp"
+
+namespace bpd::sim {
+
+/** Unit type for Future<void>-like channels. */
+struct Unit
+{
+};
+
+/**
+ * Detached, eagerly-started coroutine: the body of a simulated thread.
+ * The frame self-destructs on completion.
+ */
+struct Task
+{
+    struct promise_type
+    {
+        Task get_return_object() { return {}; }
+        std::suspend_never initial_suspend() noexcept { return {}; }
+        std::suspend_never final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void unhandled_exception() { panic("exception escaped sim::Task"); }
+    };
+};
+
+/**
+ * Lazy child coroutine returning T; resumes its awaiter on completion.
+ * Await with: `T v = co_await someCo(...);`
+ */
+template <typename T>
+class [[nodiscard]] Co
+{
+  public:
+    struct promise_type;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    struct promise_type
+    {
+        std::optional<T> value;
+        std::coroutine_handle<> continuation;
+
+        Co
+        get_return_object()
+        {
+            return Co{Handle::from_promise(*this)};
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(Handle h) noexcept
+            {
+                auto cont = h.promise().continuation;
+                return cont ? cont : std::noop_coroutine();
+            }
+
+            void await_resume() noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_value(T v) { value = std::move(v); }
+        void unhandled_exception() { panic("exception escaped sim::Co"); }
+    };
+
+    Co(Co &&other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+    Co(const Co &) = delete;
+    Co &operator=(const Co &) = delete;
+
+    ~Co()
+    {
+        if (h_)
+            h_.destroy();
+    }
+
+    auto
+    operator co_await() &&
+    {
+        struct Awaiter
+        {
+            Handle h;
+            bool await_ready() { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> cont)
+            {
+                h.promise().continuation = cont;
+                return h;
+            }
+
+            T await_resume() { return std::move(*h.promise().value); }
+        };
+        return Awaiter{h_};
+    }
+
+  private:
+    explicit Co(Handle h) : h_(h) {}
+
+    Handle h_;
+};
+
+/**
+ * Single-shot value channel. Copyable handle to shared state; resolve()
+ * wakes the (single) awaiter. Bridges callback APIs to coroutines.
+ */
+template <typename T>
+class Future
+{
+  public:
+    Future() : st_(std::make_shared<State>()) {}
+
+    /** Deliver the value and resume the awaiter (if suspended). */
+    void
+    resolve(T v) const
+    {
+        panicIf(st_->value.has_value(), "Future resolved twice");
+        st_->value = std::move(v);
+        if (st_->waiter) {
+            auto h = std::exchange(st_->waiter, nullptr);
+            h.resume();
+        }
+    }
+
+    /** A std::function adapter usable as a completion callback. */
+    std::function<void(T)>
+    resolver() const
+    {
+        return [st = st_](T v) {
+            Future f;
+            f.st_ = st;
+            f.resolve(std::move(v));
+        };
+    }
+
+    bool ready() const { return st_->value.has_value(); }
+
+    auto
+    operator co_await() const
+    {
+        struct Awaiter
+        {
+            std::shared_ptr<State> st;
+            bool await_ready() const { return st->value.has_value(); }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                panicIf(st->waiter != nullptr,
+                        "Future awaited by two coroutines");
+                st->waiter = h;
+            }
+
+            T await_resume() { return std::move(*st->value); }
+        };
+        return Awaiter{st_};
+    }
+
+  private:
+    struct State
+    {
+        std::optional<T> value;
+        std::coroutine_handle<> waiter;
+    };
+
+    std::shared_ptr<State> st_;
+};
+
+/** Awaitable virtual-time delay: `co_await delay(eq, 500);` */
+inline auto
+delay(EventQueue &eq, Time dt)
+{
+    struct Awaiter
+    {
+        EventQueue &eq;
+        Time dt;
+        bool await_ready() const { return dt == 0; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            eq.after(dt, [h]() { h.resume(); });
+        }
+
+        void await_resume() {}
+    };
+    return Awaiter{eq, dt};
+}
+
+} // namespace bpd::sim
+
+#endif // BPD_SIM_CORO_HPP

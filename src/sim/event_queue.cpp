@@ -1,0 +1,87 @@
+#include "sim/event_queue.hpp"
+
+#include "sim/logging.hpp"
+
+namespace bpd::sim {
+
+EventId
+EventQueue::schedule(Time when, Callback cb)
+{
+    panicIf(when < now_, strf("scheduling into the past: %llu < %llu",
+                              (unsigned long long)when,
+                              (unsigned long long)now_));
+    EventId id = nextId_++;
+    heap_.push(Entry{when, id, std::move(cb)});
+    return id;
+}
+
+EventId
+EventQueue::after(Time delay, Callback cb)
+{
+    return schedule(now_ + delay, std::move(cb));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (id == kNoEvent || id >= nextId_)
+        return false;
+    // We cannot efficiently remove from the heap; remember the id and skip
+    // it at pop time. The set is purged as entries surface.
+    return cancelled_.insert(id).second;
+}
+
+bool
+EventQueue::popAndRun()
+{
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        auto it = cancelled_.find(e.id);
+        if (it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        now_ = e.when;
+        ++executed_;
+        e.cb();
+        return true;
+    }
+    return false;
+}
+
+bool
+EventQueue::runOne()
+{
+    return popAndRun();
+}
+
+void
+EventQueue::run()
+{
+    while (popAndRun()) {
+    }
+}
+
+std::size_t
+EventQueue::runUntil(Time t)
+{
+    std::size_t n = 0;
+    while (!heap_.empty()) {
+        // Skip cancelled heads so .when is meaningful.
+        while (!heap_.empty()
+               && cancelled_.count(heap_.top().id)) {
+            cancelled_.erase(heap_.top().id);
+            heap_.pop();
+        }
+        if (heap_.empty() || heap_.top().when > t)
+            break;
+        if (popAndRun())
+            ++n;
+    }
+    if (now_ < t)
+        now_ = t;
+    return n;
+}
+
+} // namespace bpd::sim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Discrete-event simulation engine. A single EventQueue owns virtual time;
+ * every component in the simulated machine schedules callbacks on it.
+ *
+ * Events scheduled for the same instant run in scheduling order (FIFO),
+ * which makes simulations deterministic for a fixed seed.
+ */
+
+#ifndef BPD_SIM_EVENT_QUEUE_HPP
+#define BPD_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bpd::sim {
+
+/** Identifier returned by schedule(); usable for cancellation. */
+using EventId = std::uint64_t;
+
+/** Sentinel for "no event". */
+constexpr EventId kNoEvent = 0;
+
+/**
+ * A deterministic min-heap event queue driving virtual nanosecond time.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current virtual time in nanoseconds. */
+    Time now() const { return now_; }
+
+    /**
+     * Schedule a callback at an absolute virtual time.
+     * @param when Absolute time; must be >= now().
+     * @param cb Callback to invoke.
+     * @return Id usable with cancel().
+     */
+    EventId schedule(Time when, Callback cb);
+
+    /** Schedule a callback @p delay nanoseconds from now. */
+    EventId after(Time delay, Callback cb);
+
+    /**
+     * Cancel a pending event.
+     * @retval true if the event was pending and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** Run the earliest pending event. @retval false if queue empty. */
+    bool runOne();
+
+    /** Run until no events remain. */
+    void run();
+
+    /**
+     * Run all events with time <= @p t, then advance the clock to @p t.
+     * @return Number of events executed.
+     */
+    std::size_t runUntil(Time t);
+
+    /** Pending (non-cancelled) event count. */
+    std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+    /** True when no runnable events remain. */
+    bool empty() const { return pending() == 0; }
+
+    /** Total events executed since construction. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Time when;
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id; // FIFO among same-time events
+        }
+    };
+
+    bool popAndRun();
+
+    Time now_ = 0;
+    EventId nextId_ = 1;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<EventId> cancelled_;
+};
+
+} // namespace bpd::sim
+
+#endif // BPD_SIM_EVENT_QUEUE_HPP

@@ -1,0 +1,224 @@
+#include "sim/random.hpp"
+
+#include "sim/logging.hpp"
+
+namespace bpd::sim {
+
+namespace {
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+hash64(std::uint64_t x)
+{
+    std::uint64_t state = x;
+    return splitmix64(state);
+}
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t state = seed;
+    for (auto &s : s_)
+        s = splitmix64(state);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextUint(std::uint64_t bound)
+{
+    panicIf(bound == 0, "nextUint bound must be > 0");
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+        std::uint64_t t = (0 - bound) % bound;
+        while (lo < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    panicIf(lo > hi, "nextRange lo > hi");
+    return lo + nextUint(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    double u, v, s;
+    do {
+        u = 2.0 * nextDouble() - 1.0;
+        v = 2.0 * nextDouble() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    haveSpare_ = true;
+    return u * mul;
+}
+
+double
+Rng::lognormalJitter(double sigma)
+{
+    if (sigma <= 0.0)
+        return 1.0;
+    return std::exp(sigma * nextGaussian());
+}
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t items, double theta)
+    : items_(items), theta_(theta)
+{
+    panicIf(items == 0, "ZipfianGenerator needs >= 1 item");
+    zeta2Theta_ = zetaStatic(2, theta_);
+    zetan_ = zetaStatic(items_, theta_);
+    recompute();
+}
+
+double
+ZipfianGenerator::zetaStatic(std::uint64_t n, double theta)
+{
+    // Exact for small n; sampled+extrapolated for large n to keep setup
+    // time bounded (error < 0.1% for the billion-key stores we model).
+    constexpr std::uint64_t kExactLimit = 1'000'000;
+    double sum = 0.0;
+    if (n <= kExactLimit) {
+        for (std::uint64_t i = 1; i <= n; i++)
+            sum += 1.0 / std::pow(static_cast<double>(i), theta);
+        return sum;
+    }
+    for (std::uint64_t i = 1; i <= kExactLimit; i++)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    // Integral tail approximation: sum_{i=m+1..n} i^-theta ~
+    //   (n^(1-theta) - m^(1-theta)) / (1-theta) for theta != 1.
+    const double m = static_cast<double>(kExactLimit);
+    const double nn = static_cast<double>(n);
+    sum += (std::pow(nn, 1.0 - theta) - std::pow(m, 1.0 - theta))
+           / (1.0 - theta);
+    return sum;
+}
+
+void
+ZipfianGenerator::recompute()
+{
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_))
+           / (1.0 - zeta2Theta_ / zetan_);
+}
+
+void
+ZipfianGenerator::grow(std::uint64_t items)
+{
+    if (items <= items_)
+        return;
+    // Incremental zeta growth is exact for small deltas; recompute from the
+    // static approximation when the delta is large.
+    if (items - items_ <= 4096) {
+        for (std::uint64_t i = items_ + 1; i <= items; i++)
+            zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+    } else {
+        zetan_ = zetaStatic(items, theta_);
+    }
+    items_ = items;
+    recompute();
+}
+
+std::uint64_t
+ZipfianGenerator::next(Rng &rng)
+{
+    const double u = rng.nextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const auto n = static_cast<double>(items_);
+    const auto idx = static_cast<std::uint64_t>(
+        n * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return idx >= items_ ? items_ - 1 : idx;
+}
+
+ScrambledZipfianGenerator::ScrambledZipfianGenerator(std::uint64_t items,
+                                                     double theta)
+    : items_(items), zipf_(items, theta)
+{
+}
+
+std::uint64_t
+ScrambledZipfianGenerator::next(Rng &rng)
+{
+    return hash64(zipf_.next(rng)) % items_;
+}
+
+void
+ScrambledZipfianGenerator::grow(std::uint64_t items)
+{
+    if (items > items_) {
+        items_ = items;
+        zipf_.grow(items);
+    }
+}
+
+LatestGenerator::LatestGenerator(std::uint64_t items)
+    : items_(items), zipf_(items)
+{
+}
+
+std::uint64_t
+LatestGenerator::next(Rng &rng)
+{
+    const std::uint64_t off = zipf_.next(rng);
+    return items_ - 1 - off;
+}
+
+} // namespace bpd::sim

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Deterministic random number generation for workloads: xoshiro256**,
+ * uniform helpers, and the YCSB-style Zipfian / scrambled-Zipfian / latest
+ * key distributions used by the paper's evaluation workloads.
+ */
+
+#ifndef BPD_SIM_RANDOM_HPP
+#define BPD_SIM_RANDOM_HPP
+
+#include <cmath>
+#include <cstdint>
+
+namespace bpd::sim {
+
+/**
+ * xoshiro256** PRNG; fast, high quality, fully deterministic per seed.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t nextUint(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi]. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability @p p. */
+    bool nextBool(double p);
+
+    /**
+     * Lognormal multiplicative jitter with median 1.0.
+     * @param sigma Shape; 0 disables jitter (returns 1.0).
+     */
+    double lognormalJitter(double sigma);
+
+    /** Standard normal via Box-Muller. */
+    double nextGaussian();
+
+  private:
+    std::uint64_t s_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+/**
+ * YCSB Zipfian generator over [0, items); theta defaults to 0.99.
+ *
+ * Uses the Gray et al. rejection-free construction with an incrementally
+ * maintained zeta, matching the YCSB core generator.
+ */
+class ZipfianGenerator
+{
+  public:
+    ZipfianGenerator(std::uint64_t items, double theta = 0.99);
+
+    /** Draw the next key index (most popular = 0). */
+    std::uint64_t next(Rng &rng);
+
+    /** Grow the item count (used by insert workloads). */
+    void grow(std::uint64_t items);
+
+    std::uint64_t items() const { return items_; }
+
+  private:
+    static double zetaStatic(std::uint64_t n, double theta);
+    void recompute();
+
+    std::uint64_t items_;
+    double theta_;
+    double zetan_;
+    double alpha_;
+    double eta_;
+    double zeta2Theta_;
+};
+
+/**
+ * Scrambled Zipfian: Zipfian popularity spread uniformly over the keyspace
+ * via a hash, as in YCSB workloads A-C/F.
+ */
+class ScrambledZipfianGenerator
+{
+  public:
+    explicit ScrambledZipfianGenerator(std::uint64_t items,
+                                       double theta = 0.99);
+
+    std::uint64_t next(Rng &rng);
+
+    void grow(std::uint64_t items);
+
+    std::uint64_t items() const { return items_; }
+
+  private:
+    std::uint64_t items_;
+    ZipfianGenerator zipf_;
+};
+
+/**
+ * "Latest" distribution (YCSB D): popularity skewed towards the most
+ * recently inserted keys.
+ */
+class LatestGenerator
+{
+  public:
+    explicit LatestGenerator(std::uint64_t items);
+
+    std::uint64_t next(Rng &rng);
+
+    /** Record an insert; the new maximum key becomes the most popular. */
+    void insert() { zipf_.grow(++items_); }
+
+    std::uint64_t items() const { return items_; }
+
+  private:
+    std::uint64_t items_;
+    ZipfianGenerator zipf_;
+};
+
+/** 64-bit finalizer hash (splitmix64 mix); used for key scrambling. */
+std::uint64_t hash64(std::uint64_t x);
+
+} // namespace bpd::sim
+
+#endif // BPD_SIM_RANDOM_HPP

@@ -1,0 +1,109 @@
+#include "spdk/spdk.hpp"
+
+#include "sim/logging.hpp"
+
+namespace bpd::spdk {
+
+SpdkDriver::SpdkDriver(sim::EventQueue &eq, ssd::NvmeDevice &dev,
+                       kern::CpuModel &cpu, Pasid owner, SpdkCosts costs)
+    : eq_(eq), dev_(dev), cpu_(cpu), owner_(owner), costs_(costs)
+{
+}
+
+SpdkDriver::~SpdkDriver()
+{
+    shutdown();
+}
+
+bool
+SpdkDriver::init()
+{
+    if (initialized_)
+        return true;
+    if (!dev_.claimExclusive(owner_))
+        return false;
+    initialized_ = true;
+    return true;
+}
+
+void
+SpdkDriver::shutdown()
+{
+    if (!initialized_)
+        return;
+    for (auto &[tid, tc] : threads_) {
+        if (tc.qp)
+            dev_.destroyQueuePair(tc.qp->qid());
+    }
+    threads_.clear();
+    dev_.releaseExclusive(owner_);
+    initialized_ = false;
+}
+
+SpdkDriver::ThreadCtx &
+SpdkDriver::ctx(Tid tid)
+{
+    ThreadCtx &tc = threads_[tid];
+    if (!tc.qp) {
+        tc.qp = dev_.createQueuePair(owner_, 1024, /*vbaMode=*/false);
+        sim::panicIf(tc.qp == nullptr, "SPDK queue creation failed");
+        tc.disp = std::make_unique<ssd::CommandDispatcher>(*tc.qp);
+    }
+    return tc;
+}
+
+void
+SpdkDriver::read(Tid tid, DevAddr addr, std::span<std::uint8_t> buf,
+                 kern::IoCb cb)
+{
+    doIo(tid, ssd::Op::Read, addr, buf, std::move(cb));
+}
+
+void
+SpdkDriver::write(Tid tid, DevAddr addr,
+                  std::span<const std::uint8_t> buf, kern::IoCb cb)
+{
+    doIo(tid, ssd::Op::Write, addr,
+         std::span<std::uint8_t>(const_cast<std::uint8_t *>(buf.data()),
+                                 buf.size()),
+         std::move(cb));
+}
+
+void
+SpdkDriver::doIo(Tid tid, ssd::Op op, DevAddr addr,
+                 std::span<std::uint8_t> buf, kern::IoCb cb)
+{
+    sim::panicIf(!initialized_, "SPDK I/O before init()");
+    const Time start = eq_.now();
+    const Time submitCost = cpu_.scaled(costs_.submitNs);
+    eq_.after(submitCost, [this, tid, op, addr, buf, start,
+                           cb = std::move(cb)]() {
+        ThreadCtx &tc = ctx(tid);
+        ssd::Command cmd;
+        cmd.op = op;
+        cmd.addr = addr;
+        cmd.addrIsVba = false;
+        cmd.len = static_cast<std::uint32_t>(buf.size());
+        cmd.hostBuf = buf; // zero-copy: DMA straight into the caller
+        const Time tSubmit = eq_.now();
+        const bool ok = tc.disp->submit(
+            cmd, [this, buf, start, tSubmit,
+                  cb = std::move(cb)](const ssd::Completion &comp) {
+                const Time reap = cpu_.scaled(costs_.reapNs);
+                eq_.after(reap, [this, buf, start, tSubmit, comp,
+                                 cb = std::move(cb)]() {
+                    kern::IoTrace tr;
+                    const Time total = eq_.now() - start;
+                    tr.deviceNs = comp.completeTime - tSubmit;
+                    tr.userNs = total - tr.deviceNs;
+                    cb(comp.status == ssd::Status::Success
+                           ? static_cast<long long>(buf.size())
+                           : kern::errOf(fs::FsStatus::Inval),
+                       tr);
+                });
+            });
+        sim::panicIf(!ok, "SPDK queue overflow");
+    });
+}
+
+} // namespace bpd::spdk

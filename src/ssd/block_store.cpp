@@ -1,0 +1,105 @@
+#include "ssd/block_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hpp"
+
+namespace bpd::ssd {
+
+BlockStore::BlockStore(std::uint64_t capacityBytes)
+    : capacity_(capacityBytes)
+{
+    sim::panicIf(capacityBytes % kBlockBytes != 0,
+                 "capacity must be block aligned");
+}
+
+void
+BlockStore::checkRange(DevAddr addr, std::uint64_t len) const
+{
+    sim::panicIf(addr + len > capacity_ || addr + len < addr,
+                 sim::strf("device access out of range: %llu+%llu > %llu",
+                           (unsigned long long)addr,
+                           (unsigned long long)len,
+                           (unsigned long long)capacity_));
+}
+
+void
+BlockStore::read(DevAddr addr, std::span<std::uint8_t> out) const
+{
+    checkRange(addr, out.size());
+    std::size_t done = 0;
+    while (done < out.size()) {
+        const DevAddr cur = addr + done;
+        const std::uint64_t chunkIdx = cur / kBlockBytes;
+        const std::size_t off = cur % kBlockBytes;
+        const std::size_t n
+            = std::min(out.size() - done, kBlockBytes - off);
+        auto it = chunks_.find(chunkIdx);
+        if (it == chunks_.end())
+            std::memset(out.data() + done, 0, n);
+        else
+            std::memcpy(out.data() + done, it->second->data() + off, n);
+        done += n;
+    }
+}
+
+void
+BlockStore::write(DevAddr addr, std::span<const std::uint8_t> in)
+{
+    checkRange(addr, in.size());
+    std::size_t done = 0;
+    while (done < in.size()) {
+        const DevAddr cur = addr + done;
+        const std::uint64_t chunkIdx = cur / kBlockBytes;
+        const std::size_t off = cur % kBlockBytes;
+        const std::size_t n = std::min(in.size() - done, kBlockBytes - off);
+        auto &chunk = chunks_[chunkIdx];
+        if (!chunk) {
+            chunk = std::make_unique<Chunk>();
+            chunk->fill(0);
+        }
+        std::memcpy(chunk->data() + off, in.data() + done, n);
+        done += n;
+    }
+}
+
+void
+BlockStore::zeroBlocks(BlockNo start, std::uint64_t count)
+{
+    checkRange(start * kBlockBytes, count * kBlockBytes);
+    for (std::uint64_t b = start; b < start + count; b++)
+        chunks_.erase(b);
+}
+
+bool
+BlockStore::isZero(DevAddr addr, std::uint64_t len) const
+{
+    checkRange(addr, len);
+    std::uint64_t done = 0;
+    while (done < len) {
+        const DevAddr cur = addr + done;
+        const std::uint64_t chunkIdx = cur / kBlockBytes;
+        const std::size_t off = cur % kBlockBytes;
+        const std::size_t n
+            = std::min<std::uint64_t>(len - done, kBlockBytes - off);
+        auto it = chunks_.find(chunkIdx);
+        if (it != chunks_.end()) {
+            const std::uint8_t *p = it->second->data() + off;
+            for (std::size_t i = 0; i < n; i++) {
+                if (p[i] != 0)
+                    return false;
+            }
+        }
+        done += n;
+    }
+    return true;
+}
+
+std::uint64_t
+BlockStore::residentBytes() const
+{
+    return chunks_.size() * kBlockBytes;
+}
+
+} // namespace bpd::ssd

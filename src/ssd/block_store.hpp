@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Sparse byte-addressable backing store for a simulated SSD. Bytes really
+ * move: reads return what was written (or zeros for never-written space),
+ * which lets integration tests check end-to-end data integrity across the
+ * kernel, SPDK and BypassD paths.
+ */
+
+#ifndef BPD_SSD_BLOCK_STORE_HPP
+#define BPD_SSD_BLOCK_STORE_HPP
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace bpd::ssd {
+
+/**
+ * Sparse in-memory device media. Chunks materialize on first write.
+ */
+class BlockStore
+{
+  public:
+    explicit BlockStore(std::uint64_t capacityBytes);
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t capacityBlocks() const { return capacity_ / kBlockBytes; }
+
+    /** Read @p out.size() bytes at @p addr. Unwritten space reads zero. */
+    void read(DevAddr addr, std::span<std::uint8_t> out) const;
+
+    /** Write @p in at @p addr. */
+    void write(DevAddr addr, std::span<const std::uint8_t> in);
+
+    /** Zero (deallocate) whole blocks; used for trim/zero-on-alloc. */
+    void zeroBlocks(BlockNo start, std::uint64_t count);
+
+    /** True when the whole range reads as zero. */
+    bool isZero(DevAddr addr, std::uint64_t len) const;
+
+    /** Bytes of materialized (resident) media. */
+    std::uint64_t residentBytes() const;
+
+  private:
+    using Chunk = std::array<std::uint8_t, kBlockBytes>;
+
+    void checkRange(DevAddr addr, std::uint64_t len) const;
+
+    std::uint64_t capacity_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Chunk>> chunks_;
+};
+
+} // namespace bpd::ssd
+
+#endif // BPD_SSD_BLOCK_STORE_HPP

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-queue command dispatcher: assigns command ids and routes push-style
+ * completions back to per-command callbacks. Shared by the kernel driver,
+ * UserLib and the SPDK baseline.
+ */
+
+#ifndef BPD_SSD_DISPATCHER_HPP
+#define BPD_SSD_DISPATCHER_HPP
+
+#include <functional>
+#include <unordered_map>
+
+#include "sim/logging.hpp"
+#include "ssd/nvme.hpp"
+
+namespace bpd::ssd {
+
+class CommandDispatcher
+{
+  public:
+    using CompletionFn = std::function<void(const Completion &)>;
+
+    explicit CommandDispatcher(QueuePair &qp) : qp_(qp)
+    {
+        qp_.setCompletionHook([this](const Completion &c) {
+            auto it = pending_.find(c.cid);
+            sim::panicIf(it == pending_.end(),
+                         "completion for unknown command id");
+            CompletionFn fn = std::move(it->second);
+            pending_.erase(it);
+            fn(c);
+        });
+    }
+
+    QueuePair &queue() { return qp_; }
+
+    /**
+     * Submit with a per-command completion callback.
+     * @retval false when the SQ is full (callback not retained).
+     */
+    bool
+    submit(Command cmd, CompletionFn fn)
+    {
+        cmd.cid = nextCid_++;
+        if (!qp_.submit(cmd))
+            return false;
+        pending_[cmd.cid] = std::move(fn);
+        return true;
+    }
+
+    std::size_t outstanding() const { return pending_.size(); }
+
+  private:
+    QueuePair &qp_;
+    std::uint64_t nextCid_ = 1;
+    std::unordered_map<std::uint64_t, CompletionFn> pending_;
+};
+
+} // namespace bpd::ssd
+
+#endif // BPD_SSD_DISPATCHER_HPP

@@ -1,0 +1,427 @@
+#include "ssd/nvme.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace bpd::ssd {
+
+Status
+statusFromFault(iommu::Fault f)
+{
+    switch (f) {
+      case iommu::Fault::None:
+        return Status::Success;
+      case iommu::Fault::Permission:
+        return Status::PermissionFault;
+      case iommu::Fault::DevIdMismatch:
+        return Status::DevIdFault;
+      case iommu::Fault::NoPasid:
+      case iommu::Fault::NotPresent:
+      case iommu::Fault::NotFte:
+        return Status::TranslationFault;
+    }
+    return Status::TranslationFault;
+}
+
+QueuePair::QueuePair(NvmeDevice &dev, std::uint16_t qid, Pasid pasid,
+                     std::uint32_t depth, bool vbaMode)
+    : dev_(dev), qid_(qid), pasid_(pasid), depth_(depth), vbaMode_(vbaMode)
+{
+}
+
+bool
+QueuePair::submit(const Command &cmd)
+{
+    if (sq_.size() + inflight_ >= depth_)
+        return false;
+    Command c = cmd;
+    sq_.push_back(c);
+    dev_.ring(qid_);
+    return true;
+}
+
+std::optional<Completion>
+QueuePair::pollCq()
+{
+    if (cq_.empty())
+        return std::nullopt;
+    Completion c = cq_.front();
+    cq_.pop_front();
+    return c;
+}
+
+void
+QueuePair::setCompletionHook(std::function<void(const Completion &)> hook)
+{
+    hook_ = std::move(hook);
+}
+
+NvmeDevice::NvmeDevice(sim::EventQueue &eq, BlockStore &store,
+                       iommu::Iommu &iommu, DevId devId, SsdProfile profile,
+                       std::uint64_t seed)
+    : eq_(eq), store_(store), iommu_(iommu), devId_(devId),
+      profile_(profile), rng_(seed)
+{
+}
+
+QueuePair *
+NvmeDevice::createQueuePair(Pasid pasid, std::uint32_t depth, bool vbaMode)
+{
+    if (claimOwner_ != kNoPasid && pasid != claimOwner_)
+        return nullptr;
+    depth = std::min(depth, profile_.maxQueueDepth);
+    const std::uint16_t qid = nextQid_++;
+    auto qp = std::unique_ptr<QueuePair>(
+        new QueuePair(*this, qid, pasid, depth, vbaMode));
+    QueuePair *raw = qp.get();
+    queues_[qid] = std::move(qp);
+    rrOrder_.push_back(qid);
+    return raw;
+}
+
+QueuePair *
+NvmeDevice::createVfQueuePair(Pasid pasid, std::uint32_t depth,
+                              bool vbaMode, DevAddr base,
+                              std::uint64_t bytes)
+{
+    sim::panicIf(base % kBlockBytes != 0 || bytes % kBlockBytes != 0,
+                 "VF partition must be block aligned");
+    sim::panicIf(base + bytes > store_.capacity(),
+                 "VF partition exceeds device");
+    QueuePair *qp = createQueuePair(pasid, depth, vbaMode);
+    if (qp) {
+        qp->partBase_ = base;
+        qp->partBytes_ = bytes;
+    }
+    return qp;
+}
+
+void
+NvmeDevice::destroyQueuePair(std::uint16_t qid)
+{
+    auto it = queues_.find(qid);
+    if (it == queues_.end())
+        return;
+    // Outstanding completions reference the QueuePair; defer the erase
+    // until it drains.
+    QueuePair *qp = it->second.get();
+    if (qp->inflight_ > 0 || !qp->sq_.empty()) {
+        qp->disabled_ = true;
+        eq_.after(10 * kUs, [this, qid]() { destroyQueuePair(qid); });
+        return;
+    }
+    rrOrder_.erase(std::remove(rrOrder_.begin(), rrOrder_.end(), qid),
+                   rrOrder_.end());
+    if (rrNext_ >= rrOrder_.size())
+        rrNext_ = 0;
+    queues_.erase(it);
+}
+
+bool
+NvmeDevice::claimExclusive(Pasid owner)
+{
+    if (claimOwner_ != kNoPasid && claimOwner_ != owner)
+        return false;
+    claimOwner_ = owner;
+    for (auto &[qid, qp] : queues_) {
+        if (qp->pasid() != owner)
+            qp->disabled_ = true;
+    }
+    return true;
+}
+
+void
+NvmeDevice::releaseExclusive(Pasid owner)
+{
+    if (claimOwner_ != owner)
+        return;
+    claimOwner_ = kNoPasid;
+    for (auto &[qid, qp] : queues_)
+        qp->disabled_ = false;
+}
+
+void
+NvmeDevice::ring(std::uint16_t qid)
+{
+    (void)qid;
+    if (!dispatchScheduled_) {
+        dispatchScheduled_ = true;
+        eq_.after(0, [this]() {
+            dispatchScheduled_ = false;
+            tryDispatch();
+        });
+    }
+}
+
+void
+NvmeDevice::tryDispatch()
+{
+    // Round-robin arbitration: pick at most one command per queue per
+    // scan. Admission is bounded by total device occupancy (media units
+    // busy + commands translating + media backlog) so arbitration stays
+    // fair under load, while ATS translations overlap media work.
+    auto admitting = [this]() {
+        return busyUnits_ + translating_ + mediaQueue_.size()
+               < 2 * profile_.units;
+    };
+    while (admitting()) {
+        bool any = false;
+        for (std::size_t scanned = 0;
+             scanned < rrOrder_.size() && admitting(); scanned++) {
+            if (rrOrder_.empty())
+                break;
+            rrNext_ = rrNext_ % rrOrder_.size();
+            const std::uint16_t qid = rrOrder_[rrNext_];
+            rrNext_ = (rrNext_ + 1) % rrOrder_.size();
+            auto it = queues_.find(qid);
+            if (it == queues_.end())
+                continue;
+            QueuePair &qp = *it->second;
+            if (qp.sq_.empty())
+                continue;
+            Command cmd = qp.sq_.front();
+            qp.sq_.pop_front();
+            qp.inflight_++;
+            any = true;
+            process(qp, std::move(cmd));
+        }
+        if (!any)
+            break;
+    }
+}
+
+Time
+NvmeDevice::mediaTime(Op op, std::uint32_t len)
+{
+    // Media latency is size-independent (the transfer term handles size).
+    (void)len;
+    const Time base = (op == Op::Read) ? profile_.readBaseNs
+                                       : profile_.writeBaseNs;
+    const double jitter = rng_.lognormalJitter(profile_.jitterSigma);
+    return static_cast<Time>(static_cast<double>(base) * jitter);
+}
+
+std::optional<std::span<std::uint8_t>>
+NvmeDevice::hostSpan(QueuePair &qp, const Command &cmd, bool deviceWrites)
+{
+    if (cmd.useIova)
+        return iommu_.resolveDma(qp.pasid(), cmd.dmaIova, cmd.len,
+                                 deviceWrites);
+    if (cmd.hostBuf.size() >= cmd.len)
+        return cmd.hostBuf.subspan(0, cmd.len);
+    return std::nullopt;
+}
+
+void
+NvmeDevice::finish(QueuePair &qp, Completion comp)
+{
+    comp.qid = qp.qid();
+    qp.inflight_--;
+    qp.completedOps_++;
+    if (comp.status != Status::Success)
+        qp.faults_++;
+    if (qp.hook_)
+        qp.hook_(comp);
+    else
+        qp.cq_.push_back(comp);
+    // Occupancy changed; more SQ entries may now be admissible.
+    tryDispatch();
+}
+
+void
+NvmeDevice::startMedia()
+{
+    while (busyUnits_ < profile_.units && !mediaQueue_.empty()) {
+        MediaJob job = std::move(mediaQueue_.front());
+        mediaQueue_.pop_front();
+        busyUnits_++;
+
+        const double bw = (job.op == Op::Read)
+                              ? profile_.readBwBytesPerNs
+                              : profile_.writeBwBytesPerNs;
+        const Time xfer
+            = static_cast<Time>(static_cast<double>(job.len) / bw);
+        const Time serviceStart = std::max(eq_.now(), linkFreeAt_);
+        linkFreeAt_ = serviceStart + xfer;
+        Time done = serviceStart + mediaTime(job.op, job.len) + xfer;
+        done = std::max(done, job.minDone);
+        if (job.op == Op::Write) {
+            job.qp->lastWriteDone_
+                = std::max(job.qp->lastWriteDone_, done);
+        }
+
+        eq_.schedule(done, [this, job = std::move(job)]() mutable {
+            // Functional data movement at completion time.
+            std::size_t off = 0;
+            for (const auto &seg : job.segs) {
+                if (job.op == Op::Read) {
+                    store_.read(seg.addr, job.host.subspan(off, seg.len));
+                } else {
+                    store_.write(seg.addr,
+                                 std::span<const std::uint8_t>(
+                                     job.staged->data() + off, seg.len));
+                }
+                off += seg.len;
+            }
+            job.comp.completeTime = eq_.now();
+            busyUnits_--;
+            startMedia();
+            finish(*job.qp, job.comp);
+        });
+    }
+}
+
+void
+NvmeDevice::process(QueuePair &qp, Command cmd)
+{
+    const Time submitTime = eq_.now();
+    totalOps_++;
+
+    auto fail = [&](Status st, Time extraDelay) {
+        if (st == Status::TranslationFault || st == Status::PermissionFault
+            || st == Status::DevIdFault) {
+            translationFaults_++;
+        }
+        Completion comp;
+        comp.cid = cmd.cid;
+        comp.status = st;
+        comp.submitTime = submitTime;
+        eq_.after(profile_.cmdFetchNs + extraDelay,
+                  [this, &qp, comp]() mutable {
+                      comp.completeTime = eq_.now();
+                      finish(qp, comp);
+                  });
+    };
+
+    if (qp.disabled_) {
+        fail(Status::InvalidCommand, 0);
+        return;
+    }
+    if (cmd.addrIsVba && !qp.vbaMode_) {
+        fail(Status::InvalidCommand, 0);
+        return;
+    }
+    // User (VBA-mode) queues accept only VBA-addressed data commands: a
+    // raw LBA from userspace would bypass the IOMMU protection entirely.
+    if (!cmd.addrIsVba && qp.vbaMode_ && cmd.op != Op::Flush) {
+        fail(Status::InvalidCommand, 0);
+        return;
+    }
+
+    if (cmd.op == Op::Flush) {
+        // Flush completes after prior writes on this queue have drained.
+        const Time base = eq_.now() + profile_.cmdFetchNs;
+        const Time done
+            = std::max(base, qp.lastWriteDone_) + profile_.flushNs;
+        Completion comp;
+        comp.cid = cmd.cid;
+        comp.status = Status::Success;
+        comp.submitTime = submitTime;
+        eq_.schedule(done, [this, &qp, comp]() mutable {
+            comp.completeTime = eq_.now();
+            finish(qp, comp);
+        });
+        return;
+    }
+
+    if (cmd.len == 0 || cmd.len % kSectorBytes != 0) {
+        fail(Status::InvalidCommand, 0);
+        return;
+    }
+
+    // Resolve the device-side extents (functionally now; the latency is
+    // charged on the command's own timeline below).
+    std::vector<iommu::TransSeg> segs;
+    Time translateNs = 0;
+    if (cmd.addrIsVba) {
+        iommu::TransResult tr = iommu_.translateVbaSync(
+            qp.pasid(), cmd.addr, cmd.len, cmd.op == Op::Write, devId_);
+        translateNs = tr.latency;
+        if (!tr.ok) {
+            fail(statusFromFault(tr.fault), tr.latency);
+            return;
+        }
+        segs = std::move(tr.segs);
+    } else {
+        if (cmd.addr + cmd.len > store_.capacity()) {
+            fail(Status::OutOfRange, 0);
+            return;
+        }
+        segs.push_back(iommu::TransSeg{cmd.addr, cmd.len});
+    }
+
+    // VF partition window (Section 5.2): offset every address into the
+    // partition and reject anything escaping it — block-level isolation
+    // between VMs enforced by the device, independent of page tables.
+    if (qp.partitionBytes() != 0) {
+        for (auto &seg : segs) {
+            const DevAddr translated = seg.addr + qp.partitionBase();
+            if (seg.addr + seg.len > qp.partitionBytes()
+                || translated + seg.len
+                       > qp.partitionBase() + qp.partitionBytes()) {
+                fail(Status::OutOfRange, translateNs);
+                return;
+            }
+            seg.addr = translated;
+        }
+    }
+
+    // Resolve the host DMA target.
+    const bool deviceWrites = (cmd.op == Op::Read);
+    auto span = hostSpan(qp, cmd, deviceWrites);
+    if (!span) {
+        fail(Status::DmaFault, translateNs);
+        return;
+    }
+
+    // Writes: data-in DMA overlaps translation (no VBA penalty); snapshot
+    // the host buffer now ("copied into device memory first").
+    std::shared_ptr<std::vector<std::uint8_t>> staged;
+    if (cmd.op == Op::Write) {
+        staged = std::make_shared<std::vector<std::uint8_t>>(
+            span->begin(), span->end());
+    }
+
+    if (cmd.op == Op::Read)
+        readBytes_ += cmd.len;
+    else
+        writeBytes_ += cmd.len;
+    qp.completedBytes_ += cmd.len;
+
+    MediaJob job;
+    job.qp = &qp;
+    job.op = cmd.op;
+    job.len = cmd.len;
+    job.segs = std::move(segs);
+    job.host = *span;
+    job.staged = std::move(staged);
+    job.comp.cid = cmd.cid;
+    job.comp.status = Status::Success;
+    job.comp.submitTime = submitTime;
+    job.comp.translateNs = translateNs;
+    job.minDone = 0;
+
+    // Reads serialize the ATS translation before media access (and do
+    // not occupy a media unit meanwhile); writes start media immediately
+    // but cannot complete before the ATS response arrives (Section 4.3).
+    if (cmd.op == Op::Read && translateNs > 0) {
+        translating_++;
+        eq_.after(profile_.cmdFetchNs + translateNs,
+                  [this, job = std::move(job)]() mutable {
+                      translating_--;
+                      mediaQueue_.push_back(std::move(job));
+                      startMedia();
+                      tryDispatch();
+                  });
+    } else {
+        job.minDone = submitTime + profile_.cmdFetchNs + translateNs;
+        eq_.after(profile_.cmdFetchNs,
+                  [this, job = std::move(job)]() mutable {
+                      mediaQueue_.push_back(std::move(job));
+                      startMedia();
+                  });
+    }
+}
+
+} // namespace bpd::ssd

@@ -1,0 +1,38 @@
+#include "system/system.hpp"
+
+namespace bpd::sys {
+
+System::System(SystemConfig config)
+    : cfg(config),
+      iommu(eq, cfg.iommu),
+      store(cfg.deviceBytes),
+      dev(eq, store, iommu, cfg.devId, cfg.ssd, cfg.seed),
+      ext4(store, cfg.fs, &eq),
+      vfs(ext4),
+      kernel(eq, frames, iommu, vfs, dev, cfg.costs, cfg.kernel),
+      aio(kernel),
+      module(kernel)
+{
+}
+
+kern::Process &
+System::newProcess(std::uint32_t uid, std::uint32_t gid)
+{
+    return kernel.createProcess(fs::Credentials{uid, gid});
+}
+
+bypassd::UserLib &
+System::userLib(kern::Process &p)
+{
+    if (p.userLib)
+        return *p.userLib;
+    // The process owns its shim: teardown happens with the process,
+    // before its address space (see Process::userLibOwner).
+    auto lib = std::make_shared<bypassd::UserLib>(kernel, module, p,
+                                                  cfg.userlib);
+    bypassd::UserLib *raw = lib.get();
+    p.userLibOwner = std::move(lib);
+    return *raw;
+}
+
+} // namespace bpd::sys

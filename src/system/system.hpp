@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Full simulated machine: event queue, frames, IOMMU, Optane-class SSD,
+ * ext4, kernel, and the BypassD module wired together. Benches, tests and
+ * examples construct one System and drive workloads on it.
+ */
+
+#ifndef BPD_SYSTEM_SYSTEM_HPP
+#define BPD_SYSTEM_SYSTEM_HPP
+
+#include <memory>
+#include <vector>
+
+#include "bypassd/module.hpp"
+#include "bypassd/userlib.hpp"
+#include "fs/vfs.hpp"
+#include "iommu/iommu.hpp"
+#include "kern/aio.hpp"
+#include "kern/kernel.hpp"
+#include "mem/frame_allocator.hpp"
+#include "sim/event_queue.hpp"
+#include "ssd/block_store.hpp"
+#include "ssd/nvme.hpp"
+
+namespace bpd::sys {
+
+struct SystemConfig
+{
+    std::uint64_t deviceBytes = 64ull << 30;
+    DevId devId = 1;
+    std::uint64_t seed = 42;
+    ssd::SsdProfile ssd = ssd::SsdProfile::optaneP5800X();
+    iommu::IommuProfile iommu;
+    kern::CostModel costs;
+    kern::KernelConfig kernel;
+    fs::FsConfig fs;
+    bypassd::UserLibConfig userlib;
+};
+
+class System
+{
+  public:
+    explicit System(SystemConfig cfg = {});
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Create a process; its PASID is bound in the IOMMU. */
+    kern::Process &newProcess(std::uint32_t uid = 1000,
+                              std::uint32_t gid = 1000);
+
+    /** Attach (or fetch) the BypassD shim for a process. */
+    bypassd::UserLib &userLib(kern::Process &p);
+
+    /** Run the simulation to quiescence. */
+    void run() { eq.run(); }
+
+    /** Run until virtual time @p t. */
+    void runUntil(Time t) { eq.runUntil(t); }
+
+    Time now() const { return eq.now(); }
+
+    SystemConfig cfg;
+    sim::EventQueue eq;
+    mem::FrameAllocator frames;
+    iommu::Iommu iommu;
+    ssd::BlockStore store;
+    ssd::NvmeDevice dev;
+    fs::Ext4Fs ext4;
+    fs::Vfs vfs;
+    kern::Kernel kernel;
+    kern::Aio aio;
+    bypassd::BypassdModule module;
+};
+
+} // namespace bpd::sys
+
+#endif // BPD_SYSTEM_SYSTEM_HPP

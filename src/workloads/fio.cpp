@@ -1,0 +1,247 @@
+#include "workloads/fio.hpp"
+
+#include <functional>
+
+#include "sim/logging.hpp"
+
+namespace bpd::wl {
+
+const char *
+toString(Engine e)
+{
+    switch (e) {
+      case Engine::Sync: return "sync";
+      case Engine::Libaio: return "libaio";
+      case Engine::IoUring: return "io_uring";
+      case Engine::Spdk: return "spdk";
+      case Engine::Bypassd: return "bypassd";
+    }
+    return "?";
+}
+
+namespace {
+
+struct JobCtx
+{
+    unsigned idx = 0;
+    kern::Process *proc = nullptr;
+    bypassd::UserLib *lib = nullptr;
+    std::unique_ptr<kern::IoUring> ring;
+    int fd = -1;
+    DevAddr rawBase = 0; // SPDK raw region
+    sim::Rng rng{1};
+    std::uint64_t cursor = 0;
+    std::vector<std::uint8_t> buf;
+
+    sim::Histogram lat;
+    std::uint64_t ops = 0;
+    std::uint64_t bytes = 0;
+    sim::MeanAccumulator user, kern, dev, xlat;
+    std::uint32_t inflight = 0;
+    bool stopped = false;
+};
+
+} // namespace
+
+FioResult
+FioRunner::run(const FioJob &job)
+{
+    sim::panicIf(job.numJobs == 0, "fio: numJobs must be > 0");
+    sim::panicIf(job.bs == 0 || job.bs % kSectorBytes != 0,
+                 "fio: bs must be a sector multiple");
+
+    auto ctxs = std::vector<std::unique_ptr<JobCtx>>();
+    std::unique_ptr<spdk::SpdkDriver> spdkDrv;
+
+    kern::Process *shared = nullptr;
+    const bool write
+        = job.rw == RwMode::RandWrite || job.rw == RwMode::SeqWrite;
+    const bool random
+        = job.rw == RwMode::RandRead || job.rw == RwMode::RandWrite;
+
+    // ---- setup (simulated time passes, excluded from measurement) ----
+    for (unsigned i = 0; i < job.numJobs; i++) {
+        auto ctx = std::make_unique<JobCtx>();
+        ctx->idx = i;
+        ctx->rng = sim::Rng(job.seed * 7919 + i);
+        ctx->buf.assign(job.bs, 0);
+        for (auto &b : ctx->buf)
+            b = static_cast<std::uint8_t>(ctx->rng.next());
+
+        if (job.perProcess || i == 0) {
+            ctx->proc = &s_.newProcess(1000 + i, 1000);
+            if (!job.perProcess)
+                shared = ctx->proc;
+        } else {
+            ctx->proc = shared;
+        }
+
+        const std::string path
+            = job.filePrefix + std::to_string(i) + ".dat";
+        switch (job.engine) {
+          case Engine::Spdk:
+            // Raw regions in the upper half of the device.
+            ctx->rawBase = s_.cfg.deviceBytes / 2
+                           + static_cast<DevAddr>(i) * job.fileBytes;
+            sim::panicIf(ctx->rawBase + job.fileBytes
+                             > s_.cfg.deviceBytes,
+                         "fio: spdk regions exceed device");
+            break;
+          case Engine::Bypassd: {
+            const int cfd = s_.kernel.setupCreateFile(*ctx->proc, path,
+                                                      job.fileBytes, 0);
+            sim::panicIf(cfd < 0, "fio: file setup failed");
+            int rc = -1;
+            s_.kernel.sysClose(*ctx->proc, cfd, [&rc](int r) { rc = r; });
+            s_.run();
+            ctx->lib = &s_.userLib(*ctx->proc);
+            int fd = -1;
+            ctx->lib->open(path,
+                           fs::kOpenRead | fs::kOpenWrite
+                               | fs::kOpenDirect,
+                           0644, [&fd](int f) { fd = f; });
+            s_.run();
+            sim::panicIf(fd < 0, "fio: bypassd open failed");
+            sim::panicIf(!ctx->lib->isDirect(fd),
+                         "fio: bypassd fd not direct");
+            ctx->fd = fd;
+            ctx->lib->prepareThread(i);
+            break;
+          }
+          default: {
+            const int fd = s_.kernel.setupCreateFile(*ctx->proc, path,
+                                                     job.fileBytes, 0);
+            sim::panicIf(fd < 0, "fio: file setup failed");
+            ctx->fd = fd;
+            if (job.engine == Engine::IoUring) {
+                ctx->ring = std::make_unique<kern::IoUring>(s_.kernel,
+                                                            *ctx->proc);
+            }
+            break;
+          }
+        }
+        ctxs.push_back(std::move(ctx));
+    }
+
+    if (job.engine == Engine::Spdk) {
+        spdkDrv = std::make_unique<spdk::SpdkDriver>(
+            s_.eq, s_.dev, s_.kernel.cpu(),
+            ctxs[0]->proc->pasid());
+        sim::panicIf(!spdkDrv->init(), "fio: spdk claim failed");
+    }
+
+    // Application threads occupy CPUs while the job runs.
+    s_.kernel.cpu().acquire(job.numJobs);
+
+    const Time measureStart = s_.now() + job.warmup;
+    const Time tEnd = measureStart + job.runtime;
+    const std::uint64_t blocks = job.fileBytes / job.bs;
+    sim::panicIf(blocks == 0, "fio: file smaller than block size");
+
+    unsigned running = job.numJobs * job.iodepth;
+
+    // Closed-loop issue function per in-flight slot.
+    std::function<void(JobCtx &)> issue = [&](JobCtx &ctx) {
+        if (s_.now() >= tEnd) {
+            running--;
+            return;
+        }
+        std::uint64_t blkIdx;
+        if (random) {
+            blkIdx = ctx.rng.nextUint(blocks);
+        } else {
+            blkIdx = ctx.cursor++ % blocks;
+        }
+        const std::uint64_t off
+            = blkIdx * static_cast<std::uint64_t>(job.bs);
+        const Time start = s_.now();
+        auto done = [&, start](long long n, kern::IoTrace tr) {
+            sim::panicIf(n < 0, "fio: I/O failed");
+            const Time now = s_.now();
+            if (start >= measureStart && now <= tEnd) {
+                ctx.lat.record(now - start);
+                ctx.ops++;
+                ctx.bytes += static_cast<std::uint64_t>(n);
+                ctx.user.add(static_cast<double>(tr.userNs));
+                ctx.kern.add(static_cast<double>(tr.kernelNs));
+                ctx.dev.add(static_cast<double>(tr.deviceNs));
+                ctx.xlat.add(static_cast<double>(tr.translateNs));
+            }
+            issue(ctx);
+        };
+
+        switch (job.engine) {
+          case Engine::Sync:
+            if (write) {
+                s_.kernel.sysPwrite(*ctx.proc, ctx.fd, ctx.buf, off,
+                                    done);
+            } else {
+                s_.kernel.sysPread(*ctx.proc, ctx.fd, ctx.buf, off,
+                                   done);
+            }
+            break;
+          case Engine::Libaio:
+            if (write)
+                s_.aio.pwrite(*ctx.proc, ctx.fd, ctx.buf, off, done);
+            else
+                s_.aio.pread(*ctx.proc, ctx.fd, ctx.buf, off, done);
+            break;
+          case Engine::IoUring:
+            if (write)
+                ctx.ring->pwrite(ctx.fd, ctx.buf, off, done);
+            else
+                ctx.ring->pread(ctx.fd, ctx.buf, off, done);
+            break;
+          case Engine::Spdk:
+            if (write) {
+                spdkDrv->write(ctx.idx, ctx.rawBase + off, ctx.buf,
+                               done);
+            } else {
+                spdkDrv->read(ctx.idx, ctx.rawBase + off, ctx.buf,
+                              done);
+            }
+            break;
+          case Engine::Bypassd:
+            if (write) {
+                ctx.lib->pwrite(ctx.idx, ctx.fd, ctx.buf, off, done);
+            } else {
+                ctx.lib->pread(ctx.idx, ctx.fd, ctx.buf, off, done);
+            }
+            break;
+        }
+    };
+
+    for (auto &ctx : ctxs) {
+        for (std::uint32_t d = 0; d < job.iodepth; d++)
+            issue(*ctx);
+    }
+    s_.run();
+    sim::panicIf(running != 0, "fio: jobs still running after drain");
+
+    s_.kernel.cpu().release(job.numJobs);
+    if (spdkDrv)
+        spdkDrv->shutdown();
+
+    // ---- aggregate ----
+    FioResult res;
+    res.elapsed = job.runtime;
+    sim::MeanAccumulator u, k, d, x;
+    for (auto &ctx : ctxs) {
+        res.latency.merge(ctx->lat);
+        res.ops += ctx->ops;
+        res.bytes += ctx->bytes;
+        if (ctx->ops) {
+            u.add(ctx->user.mean());
+            k.add(ctx->kern.mean());
+            d.add(ctx->dev.mean());
+            x.add(ctx->xlat.mean());
+        }
+    }
+    res.avgUserNs = u.mean();
+    res.avgKernelNs = k.mean();
+    res.avgDeviceNs = d.mean();
+    res.avgTranslateNs = x.mean();
+    return res;
+}
+
+} // namespace bpd::wl

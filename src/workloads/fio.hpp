@@ -1,0 +1,96 @@
+/**
+ * @file
+ * fio-like closed-loop workload engine (the paper's microbenchmark tool,
+ * Section 6.3). Spawns N simulated jobs, each issuing direct I/O at queue
+ * depth 1 (configurable) against its own file (or raw region for SPDK),
+ * through one of five engines: sync, libaio, io_uring, SPDK, BypassD.
+ */
+
+#ifndef BPD_WORKLOADS_FIO_HPP
+#define BPD_WORKLOADS_FIO_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kern/io_uring.hpp"
+#include "sim/stats.hpp"
+#include "spdk/spdk.hpp"
+#include "system/system.hpp"
+
+namespace bpd::wl {
+
+enum class Engine { Sync, Libaio, IoUring, Spdk, Bypassd };
+
+const char *toString(Engine e);
+
+enum class RwMode { RandRead, RandWrite, SeqRead, SeqWrite };
+
+struct FioJob
+{
+    Engine engine = Engine::Sync;
+    RwMode rw = RwMode::RandRead;
+    std::uint32_t bs = 4096;
+    unsigned numJobs = 1;
+    std::uint32_t iodepth = 1;
+    std::uint64_t fileBytes = 1ull << 30;
+    Time runtime = 30 * kMs;      //!< measurement window
+    Time warmup = 2 * kMs;        //!< excluded from stats
+    std::uint64_t seed = 1;
+    /**
+     * Run each job in its own process (Fig. 10 sharing experiments);
+     * default: jobs are threads of one process.
+     */
+    bool perProcess = false;
+    /** Prefix for per-job files. */
+    std::string filePrefix = "/fio";
+};
+
+struct FioResult
+{
+    sim::Histogram latency;
+    std::uint64_t ops = 0;
+    std::uint64_t bytes = 0;
+    Time elapsed = 0;
+
+    double avgUserNs = 0;
+    double avgKernelNs = 0;
+    double avgDeviceNs = 0;
+    double avgTranslateNs = 0;
+
+    double
+    iops() const
+    {
+        return elapsed ? static_cast<double>(ops)
+                             / (static_cast<double>(elapsed) / 1e9)
+                       : 0.0;
+    }
+
+    double
+    bwBytesPerSec() const
+    {
+        return elapsed ? static_cast<double>(bytes)
+                             / (static_cast<double>(elapsed) / 1e9)
+                       : 0.0;
+    }
+};
+
+/**
+ * Runs one FioJob on a System. The system is expected to be fresh (the
+ * runner creates processes/files); several jobs can be run sequentially
+ * on the same system when files do not collide.
+ */
+class FioRunner
+{
+  public:
+    explicit FioRunner(sys::System &s) : s_(s) {}
+
+    FioResult run(const FioJob &job);
+
+  private:
+    sys::System &s_;
+};
+
+} // namespace bpd::wl
+
+#endif // BPD_WORKLOADS_FIO_HPP

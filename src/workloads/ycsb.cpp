@@ -1,0 +1,77 @@
+#include "workloads/ycsb.hpp"
+
+namespace bpd::wl {
+
+const char *
+toString(Ycsb w)
+{
+    switch (w) {
+      case Ycsb::A: return "YCSB-A";
+      case Ycsb::B: return "YCSB-B";
+      case Ycsb::C: return "YCSB-C";
+      case Ycsb::D: return "YCSB-D";
+      case Ycsb::E: return "YCSB-E";
+      case Ycsb::F: return "YCSB-F";
+    }
+    return "?";
+}
+
+YcsbGenerator::YcsbGenerator(Ycsb workload, std::uint64_t records,
+                             std::uint64_t seed)
+    : workload_(workload), records_(records), rng_(seed),
+      zipf_(records), latest_(records)
+{
+}
+
+YcsbOp
+YcsbGenerator::next()
+{
+    YcsbOp op;
+    const double p = rng_.nextDouble();
+    switch (workload_) {
+      case Ycsb::A:
+        op.kind = p < 0.5 ? YcsbOp::Kind::Read : YcsbOp::Kind::Update;
+        op.key = zipf_.next(rng_);
+        break;
+      case Ycsb::B:
+        op.kind = p < 0.95 ? YcsbOp::Kind::Read : YcsbOp::Kind::Update;
+        op.key = zipf_.next(rng_);
+        break;
+      case Ycsb::C:
+        op.kind = YcsbOp::Kind::Read;
+        op.key = zipf_.next(rng_);
+        break;
+      case Ycsb::D:
+        if (p < 0.95) {
+            op.kind = YcsbOp::Kind::Read;
+            op.key = latest_.next(rng_);
+        } else {
+            op.kind = YcsbOp::Kind::Insert;
+            op.key = records_;
+            records_++;
+            latest_.insert();
+            zipf_.grow(records_);
+        }
+        break;
+      case Ycsb::E:
+        if (p < 0.95) {
+            op.kind = YcsbOp::Kind::Scan;
+            op.key = zipf_.next(rng_);
+            op.scanLen = 1 + static_cast<unsigned>(
+                             rng_.nextUint(kMaxScanLen));
+        } else {
+            op.kind = YcsbOp::Kind::Insert;
+            op.key = records_;
+            records_++;
+            zipf_.grow(records_);
+        }
+        break;
+      case Ycsb::F:
+        op.kind = p < 0.5 ? YcsbOp::Kind::Read : YcsbOp::Kind::Rmw;
+        op.key = zipf_.next(rng_);
+        break;
+    }
+    return op;
+}
+
+} // namespace bpd::wl

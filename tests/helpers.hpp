@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Shared test utilities: synchronous wrappers that drive the DES to
+ * quiescence around callback-style operations, and data helpers.
+ */
+
+#ifndef BPD_TESTS_HELPERS_HPP
+#define BPD_TESTS_HELPERS_HPP
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "system/system.hpp"
+
+namespace bpd::test {
+
+struct IoResult
+{
+    long long n = -1;
+    kern::IoTrace trace;
+};
+
+/** Deterministic pattern buffer. */
+inline std::vector<std::uint8_t>
+pattern(std::size_t len, std::uint64_t seed)
+{
+    std::vector<std::uint8_t> buf(len);
+    sim::Rng rng(seed);
+    for (auto &b : buf)
+        b = static_cast<std::uint8_t>(rng.next());
+    return buf;
+}
+
+/** UserLib open, driven to completion. */
+inline int
+ulOpen(sys::System &s, bypassd::UserLib &lib, const std::string &path,
+       std::uint32_t flags, std::uint16_t mode = 0644)
+{
+    int fd = -12345;
+    lib.open(path, flags, mode, [&](int f) { fd = f; });
+    s.run();
+    return fd;
+}
+
+inline IoResult
+ulPread(sys::System &s, bypassd::UserLib &lib, Tid tid, int fd,
+        std::span<std::uint8_t> buf, std::uint64_t off)
+{
+    IoResult r;
+    lib.pread(tid, fd, buf, off, [&](long long n, kern::IoTrace tr) {
+        r.n = n;
+        r.trace = tr;
+    });
+    s.run();
+    return r;
+}
+
+inline IoResult
+ulPwrite(sys::System &s, bypassd::UserLib &lib, Tid tid, int fd,
+         std::span<const std::uint8_t> buf, std::uint64_t off)
+{
+    IoResult r;
+    lib.pwrite(tid, fd, buf, off, [&](long long n, kern::IoTrace tr) {
+        r.n = n;
+        r.trace = tr;
+    });
+    s.run();
+    return r;
+}
+
+inline int
+ulClose(sys::System &s, bypassd::UserLib &lib, int fd)
+{
+    int rc = -12345;
+    lib.close(fd, [&](int r) { rc = r; });
+    s.run();
+    return rc;
+}
+
+inline int
+ulFsync(sys::System &s, bypassd::UserLib &lib, Tid tid, int fd)
+{
+    int rc = -12345;
+    lib.fsync(tid, fd, [&](int r) { rc = r; });
+    s.run();
+    return rc;
+}
+
+/** Kernel-interface open, driven to completion. */
+inline int
+kOpen(sys::System &s, kern::Process &p, const std::string &path,
+      std::uint32_t flags, std::uint16_t mode = 0644)
+{
+    int fd = -12345;
+    s.kernel.sysOpen(p, path, flags, mode, [&](int f) { fd = f; });
+    s.run();
+    return fd;
+}
+
+inline IoResult
+kPread(sys::System &s, kern::Process &p, int fd,
+       std::span<std::uint8_t> buf, std::uint64_t off)
+{
+    IoResult r;
+    s.kernel.sysPread(p, fd, buf, off, [&](long long n, kern::IoTrace tr) {
+        r.n = n;
+        r.trace = tr;
+    });
+    s.run();
+    return r;
+}
+
+inline IoResult
+kPwrite(sys::System &s, kern::Process &p, int fd,
+        std::span<const std::uint8_t> buf, std::uint64_t off)
+{
+    IoResult r;
+    s.kernel.sysPwrite(p, fd, buf, off,
+                       [&](long long n, kern::IoTrace tr) {
+                           r.n = n;
+                           r.trace = tr;
+                       });
+    s.run();
+    return r;
+}
+
+inline int
+kClose(sys::System &s, kern::Process &p, int fd)
+{
+    int rc = -12345;
+    s.kernel.sysClose(p, fd, [&](int r) { rc = r; });
+    s.run();
+    return rc;
+}
+
+/** A small default system for unit tests (1 GiB device). */
+inline sys::SystemConfig
+smallConfig()
+{
+    sys::SystemConfig cfg;
+    cfg.deviceBytes = 1ull << 30;
+    return cfg;
+}
+
+} // namespace bpd::test
+
+#endif // BPD_TESTS_HELPERS_HPP

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine: ordering, cancellation,
+ * time monotonicity, runUntil semantics, FIFO among equal timestamps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/coro.hpp"
+#include "sim/event_queue.hpp"
+
+using namespace bpd;
+using namespace bpd::sim;
+
+TEST(EventQueue, StartsAtZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&]() { order.push_back(3); });
+    eq.schedule(10, [&]() { order.push_back(1); });
+    eq.schedule(20, [&]() { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, FifoAmongEqualTimes)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; i++)
+        eq.schedule(5, [&order, i]() { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; i++)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, AfterIsRelative)
+{
+    EventQueue eq;
+    Time seen = 0;
+    eq.schedule(100, [&]() {
+        eq.after(50, [&]() { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool ran = false;
+    EventId id = eq.schedule(10, [&]() { ran = true; });
+    EXPECT_TRUE(eq.cancel(id));
+    eq.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelUnknownIdFails)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.cancel(kNoEvent));
+    EXPECT_FALSE(eq.cancel(9999));
+}
+
+TEST(EventQueue, DoubleCancelFails)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(10, []() {});
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id));
+    eq.run();
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue eq;
+    int count = 0;
+    for (Time t = 10; t <= 100; t += 10)
+        eq.schedule(t, [&]() { count++; });
+    const std::size_t ran = eq.runUntil(50);
+    EXPECT_EQ(ran, 5u);
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 50u);
+    eq.run();
+    EXPECT_EQ(count, 10);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle)
+{
+    EventQueue eq;
+    eq.runUntil(1234);
+    EXPECT_EQ(eq.now(), 1234u);
+}
+
+TEST(EventQueue, EventsCanScheduleAtSameTime)
+{
+    EventQueue eq;
+    int hits = 0;
+    eq.schedule(10, [&]() {
+        eq.schedule(10, [&]() { hits++; });
+    });
+    eq.run();
+    EXPECT_EQ(hits, 1);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, ExecutedCounter)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; i++)
+        eq.after(static_cast<Time>(i), []() {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 7u);
+}
+
+TEST(EventQueue, PendingExcludesCancelled)
+{
+    EventQueue eq;
+    EventId a = eq.schedule(5, []() {});
+    eq.schedule(6, []() {});
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.cancel(a);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+}
+
+// --- Coroutine layer ---
+//
+// NOTE: coroutine bodies are free functions taking parameters (copied
+// into the frame), never capturing lambdas — a capturing lambda's
+// captures die with the lambda object while the frame lives on.
+
+namespace {
+
+Task
+delayTask(EventQueue &eq, Time *done)
+{
+    co_await delay(eq, 100);
+    co_await delay(eq, 50);
+    *done = eq.now();
+}
+
+Task
+awaitIntFuture(Future<int> fut, int *got)
+{
+    *got = co_await fut;
+}
+
+Task
+awaitLongFuture(Future<long long> fut, long long *got)
+{
+    *got = co_await fut;
+}
+
+Co<int>
+doubleAfterDelay(EventQueue &eq, int x)
+{
+    co_await delay(eq, 10);
+    co_return x * 2;
+}
+
+Task
+nestedTask(EventQueue &eq, int *got)
+{
+    *got = co_await doubleAfterDelay(eq, 21);
+}
+
+} // namespace
+
+TEST(Coro, DelayAdvancesTime)
+{
+    EventQueue eq;
+    Time done = 0;
+    delayTask(eq, &done);
+    eq.run();
+    EXPECT_EQ(done, 150u);
+}
+
+TEST(Coro, FutureBridgesCallbacks)
+{
+    EventQueue eq;
+    Future<int> fut;
+    int got = 0;
+    awaitIntFuture(fut, &got);
+    eq.schedule(10, [fut]() { fut.resolve(42); });
+    eq.run();
+    EXPECT_EQ(got, 42);
+}
+
+TEST(Coro, FutureResolvedBeforeAwait)
+{
+    EventQueue eq;
+    Future<int> fut;
+    fut.resolve(7);
+    int got = 0;
+    awaitIntFuture(fut, &got);
+    eq.run();
+    EXPECT_EQ(got, 7);
+}
+
+TEST(Coro, NestedCoReturnsValue)
+{
+    EventQueue eq;
+    int got = 0;
+    nestedTask(eq, &got);
+    eq.run();
+    EXPECT_EQ(got, 42);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(Coro, ResolverAdapter)
+{
+    EventQueue eq;
+    Future<long long> fut;
+    auto cb = fut.resolver();
+    long long got = 0;
+    awaitLongFuture(fut, &got);
+    eq.schedule(5, [cb]() { cb(99); });
+    eq.run();
+    EXPECT_EQ(got, 99);
+}

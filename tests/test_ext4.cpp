@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Ext4Fs tests: namespace, permissions, allocation + zero-on-alloc,
+ * mapping, truncation with deferred frees, journaling crash recovery,
+ * fsck invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fs/ext4.hpp"
+#include "sim/random.hpp"
+#include "ssd/block_store.hpp"
+
+using namespace bpd;
+using namespace bpd::fs;
+
+namespace {
+
+struct FsFixture : ::testing::Test
+{
+    ssd::BlockStore media{256ull << 20}; // 256 MiB
+    Ext4Fs fs{media};
+    Credentials alice{1000, 1000};
+    Credentials bob{2000, 2000};
+
+    Inode *
+    mk(const std::string &path, std::uint16_t mode = 0644,
+       Credentials who = {1000, 1000})
+    {
+        InodeNum ino;
+        EXPECT_EQ(fs.create(path, mode, who, &ino), FsStatus::Ok);
+        return fs.inode(ino);
+    }
+};
+
+} // namespace
+
+TEST_F(FsFixture, CreateResolve)
+{
+    Inode *f = mk("/a.txt");
+    InodeNum ino;
+    ASSERT_EQ(fs.resolve("/a.txt", &ino), FsStatus::Ok);
+    EXPECT_EQ(ino, f->ino);
+    EXPECT_EQ(fs.resolve("/missing", &ino), FsStatus::NoEnt);
+}
+
+TEST_F(FsFixture, CreateDuplicateFails)
+{
+    mk("/a.txt");
+    InodeNum ino;
+    EXPECT_EQ(fs.create("/a.txt", 0644, alice, &ino), FsStatus::Exists);
+}
+
+TEST_F(FsFixture, NestedDirectories)
+{
+    InodeNum d;
+    ASSERT_EQ(fs.mkdir("/dir", 0755, alice, &d), FsStatus::Ok);
+    ASSERT_EQ(fs.mkdir("/dir/sub", 0755, alice, &d), FsStatus::Ok);
+    Inode *f = mk("/dir/sub/file");
+    InodeNum ino;
+    ASSERT_EQ(fs.resolve("/dir/sub/file", &ino), FsStatus::Ok);
+    EXPECT_EQ(ino, f->ino);
+    EXPECT_EQ(fs.resolve("/dir/file", &ino), FsStatus::NoEnt);
+}
+
+TEST_F(FsFixture, PathThroughFileIsNotDir)
+{
+    mk("/a.txt");
+    InodeNum ino;
+    EXPECT_EQ(fs.resolve("/a.txt/x", &ino), FsStatus::NotDir);
+}
+
+TEST_F(FsFixture, UnlinkFreesBlocks)
+{
+    Inode *f = mk("/a.txt");
+    ASSERT_EQ(fs.extendTo(*f, 1 << 20, nullptr), FsStatus::Ok);
+    const std::uint64_t freeBefore = fs.allocator().freeBlocks();
+    ASSERT_EQ(fs.unlink("/a.txt", alice), FsStatus::Ok);
+    EXPECT_EQ(fs.allocator().freeBlocks(), freeBefore + 256);
+    InodeNum ino;
+    EXPECT_EQ(fs.resolve("/a.txt", &ino), FsStatus::NoEnt);
+}
+
+TEST_F(FsFixture, UnlinkOpenFileBusy)
+{
+    Inode *f = mk("/a.txt");
+    f->kernelOpens = 1;
+    EXPECT_EQ(fs.unlink("/a.txt", alice), FsStatus::Busy);
+}
+
+TEST_F(FsFixture, PermissionMatrix)
+{
+    Inode *f = mk("/a.txt", 0640, alice);
+    // Owner: read+write.
+    EXPECT_TRUE(Ext4Fs::mayAccess(*f, alice, true, true));
+    // Same group, different uid: read only.
+    Credentials groupmate{1001, 1000};
+    EXPECT_TRUE(Ext4Fs::mayAccess(*f, groupmate, true, false));
+    EXPECT_FALSE(Ext4Fs::mayAccess(*f, groupmate, false, true));
+    // Other: nothing.
+    EXPECT_FALSE(Ext4Fs::mayAccess(*f, bob, true, false));
+    // Root: everything.
+    EXPECT_TRUE(Ext4Fs::mayAccess(*f, Credentials{0, 0}, true, true));
+}
+
+TEST_F(FsFixture, ExtendAllocatesContiguously)
+{
+    Inode *f = mk("/a.txt");
+    std::vector<Extent> added;
+    ASSERT_EQ(fs.extendTo(*f, 10 * kBlockBytes, &added), FsStatus::Ok);
+    EXPECT_EQ(f->size, 10 * kBlockBytes);
+    EXPECT_EQ(f->extents.mappedBlocks(), 10u);
+    // Fresh FS: single contiguous run expected.
+    EXPECT_EQ(f->extents.extentCount(), 1u);
+}
+
+TEST_F(FsFixture, NewBlocksAreZeroed)
+{
+    // Dirty the media first, then allocate over it.
+    Inode *f = mk("/a.txt");
+    ASSERT_EQ(fs.extendTo(*f, 8 * kBlockBytes, nullptr), FsStatus::Ok);
+    std::vector<Seg> segs;
+    ASSERT_EQ(fs.mapRange(*f, 0, 8 * kBlockBytes, &segs), FsStatus::Ok);
+    auto junk = std::vector<std::uint8_t>(8 * kBlockBytes, 0xee);
+    media.write(segs[0].addr, junk);
+    // Free (via truncate+fsync) and reallocate to another file.
+    ASSERT_EQ(fs.truncate(*f, 0), FsStatus::Ok);
+    fs.fsyncMeta(*f);
+    Inode *g = mk("/b.txt");
+    ASSERT_EQ(fs.extendTo(*g, 8 * kBlockBytes, nullptr), FsStatus::Ok);
+    std::vector<Seg> segs2;
+    ASSERT_EQ(fs.mapRange(*g, 0, 8 * kBlockBytes, &segs2), FsStatus::Ok);
+    // Confidentiality: the new owner must read zeros (Section 5.3).
+    EXPECT_TRUE(media.isZero(segs2[0].addr, 8 * kBlockBytes));
+}
+
+TEST_F(FsFixture, TruncateDefersFreesUntilSync)
+{
+    Inode *f = mk("/a.txt");
+    ASSERT_EQ(fs.extendTo(*f, 16 * kBlockBytes, nullptr), FsStatus::Ok);
+    const std::uint64_t freeBefore = fs.allocator().freeBlocks();
+    ASSERT_EQ(fs.truncate(*f, 4 * kBlockBytes), FsStatus::Ok);
+    // Blocks not yet reusable (Section 3.6 race mitigation)...
+    EXPECT_EQ(fs.allocator().freeBlocks(), freeBefore);
+    EXPECT_FALSE(f->deferredFrees.empty());
+    // ...until the sync point.
+    fs.fsyncMeta(*f);
+    EXPECT_EQ(fs.allocator().freeBlocks(), freeBefore + 12);
+    EXPECT_TRUE(f->deferredFrees.empty());
+}
+
+TEST_F(FsFixture, MapRangeOffsets)
+{
+    Inode *f = mk("/a.txt");
+    ASSERT_EQ(fs.extendTo(*f, 4 * kBlockBytes, nullptr), FsStatus::Ok);
+    std::vector<Seg> segs;
+    ASSERT_EQ(fs.mapRange(*f, 512, 1024, &segs), FsStatus::Ok);
+    ASSERT_EQ(segs.size(), 1u);
+    EXPECT_EQ(segs[0].len, 1024u);
+    EXPECT_EQ(segs[0].addr % kBlockBytes, 512u);
+    // Beyond mapping fails.
+    EXPECT_EQ(fs.mapRange(*f, 4 * kBlockBytes, 1, &segs),
+              FsStatus::Inval);
+}
+
+TEST_F(FsFixture, FsckCleanAfterOps)
+{
+    Inode *f = mk("/a.txt");
+    fs.extendTo(*f, 1 << 20, nullptr);
+    fs.truncate(*f, 100 << 10);
+    fs.fsyncMeta(*f);
+    mk("/b.txt");
+    fs.mkdir("/d", 0755, alice, nullptr);
+    std::string why;
+    EXPECT_TRUE(fs.fsck(&why)) << why;
+}
+
+TEST_F(FsFixture, RecoveryReplaysCommitted)
+{
+    Inode *f = mk("/a.txt");
+    ASSERT_EQ(fs.extendTo(*f, 64 * kBlockBytes, nullptr), FsStatus::Ok);
+    mk("/b.txt");
+    fs.unlink("/b.txt", alice);
+    ASSERT_EQ(fs.truncate(*f, 16 * kBlockBytes), FsStatus::Ok);
+
+    auto recovered = Ext4Fs::recover(media, fs);
+    std::string why;
+    ASSERT_TRUE(recovered->fsck(&why)) << why;
+
+    InodeNum ino;
+    ASSERT_EQ(recovered->resolve("/a.txt", &ino), FsStatus::Ok);
+    const Inode *rf = recovered->inode(ino);
+    EXPECT_EQ(rf->size, 16 * kBlockBytes);
+    EXPECT_EQ(rf->extents.mappedBlocks(), 16u);
+    EXPECT_EQ(recovered->resolve("/b.txt", &ino), FsStatus::NoEnt);
+    // Allocator agreement: same free count as the live FS after its own
+    // sync point releases deferred frees.
+    fs.fsyncMeta(*f);
+    EXPECT_EQ(recovered->allocator().freeBlocks(),
+              fs.allocator().freeBlocks());
+}
+
+TEST_F(FsFixture, RecoveryDropsUncommitted)
+{
+    mk("/a.txt");
+    fs.checkpoint();
+    // Open a transaction that never commits, then crash.
+    fs.journal().begin();
+    fs.journal().log(JRecord{JOp::AddDirent, Ext4Fs::kRootIno, 999, 0, 0,
+                             "ghost"});
+    fs.journal().crash();
+    auto recovered = Ext4Fs::recover(media, fs);
+    InodeNum ino;
+    EXPECT_EQ(recovered->resolve("/a.txt", &ino), FsStatus::Ok);
+    EXPECT_EQ(recovered->resolve("/ghost", &ino), FsStatus::NoEnt);
+    std::string why;
+    EXPECT_TRUE(recovered->fsck(&why)) << why;
+}
+
+TEST_F(FsFixture, CheckpointShrinksReplayWork)
+{
+    Inode *f = mk("/a.txt");
+    fs.extendTo(*f, 1 << 20, nullptr);
+    fs.checkpoint();
+    EXPECT_TRUE(fs.journal().committed().empty());
+    // Recovery straight from checkpoint.
+    auto recovered = Ext4Fs::recover(media, fs);
+    InodeNum ino;
+    ASSERT_EQ(recovered->resolve("/a.txt", &ino), FsStatus::Ok);
+    EXPECT_EQ(recovered->inode(ino)->size, 1u << 20);
+}
+
+/** Property: random op sequences stay fsck-clean and recoverable. */
+class Ext4Property : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(Ext4Property, RandomOpsFsckCleanAndRecoverable)
+{
+    ssd::BlockStore media(128ull << 20);
+    Ext4Fs fs(media);
+    Credentials creds{1000, 1000};
+    sim::Rng rng(GetParam());
+    std::vector<std::string> paths;
+    for (int i = 0; i < 120; i++) {
+        const int op = static_cast<int>(rng.nextUint(5));
+        if (op == 0 || paths.empty()) {
+            std::string p = "/f" + std::to_string(i);
+            InodeNum ino;
+            if (fs.create(p, 0644, creds, &ino) == FsStatus::Ok)
+                paths.push_back(p);
+        } else {
+            const std::string &p
+                = paths[rng.nextUint(paths.size())];
+            InodeNum ino;
+            if (fs.resolve(p, &ino) != FsStatus::Ok)
+                continue;
+            Inode *f = fs.inode(ino);
+            switch (op) {
+              case 1:
+                fs.extendTo(*f,
+                            f->size + (1 + rng.nextUint(64)) * kBlockBytes,
+                            nullptr);
+                break;
+              case 2:
+                fs.truncate(*f, f->size / 2);
+                break;
+              case 3:
+                fs.fsyncMeta(*f);
+                break;
+              case 4:
+                if (fs.unlink(p, creds) == FsStatus::Ok) {
+                    paths.erase(std::find(paths.begin(), paths.end(), p));
+                }
+                break;
+            }
+        }
+    }
+    std::string why;
+    ASSERT_TRUE(fs.fsck(&why)) << why;
+    auto recovered = Ext4Fs::recover(media, fs);
+    ASSERT_TRUE(recovered->fsck(&why)) << "recovered: " << why;
+    // Same namespace.
+    for (const auto &p : paths) {
+        InodeNum a, b;
+        ASSERT_EQ(fs.resolve(p, &a), FsStatus::Ok);
+        ASSERT_EQ(recovered->resolve(p, &b), FsStatus::Ok);
+        EXPECT_EQ(fs.inode(a)->size, recovered->inode(b)->size);
+        EXPECT_EQ(fs.inode(a)->extents.extents(),
+                  recovered->inode(b)->extents.extents());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Ext4Property,
+                         ::testing::Values(101, 202, 303, 404, 505, 606,
+                                           707, 808));

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Tests for file-system building blocks: extent tree, block allocator,
+ * journal, page cache — including property-style parameterized sweeps.
+ */
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "fs/block_allocator.hpp"
+#include "fs/extent_tree.hpp"
+#include "fs/journal.hpp"
+#include "fs/page_cache.hpp"
+#include "sim/random.hpp"
+
+using namespace bpd;
+using namespace bpd::fs;
+
+// --- ExtentTree ---
+
+TEST(ExtentTree, InsertLookup)
+{
+    ExtentTree t;
+    t.insert(0, 100, 10);
+    auto e = t.lookup(5);
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->pblk, 100u);
+    EXPECT_EQ(e->count, 10u);
+    EXPECT_FALSE(t.lookup(10).has_value());
+}
+
+TEST(ExtentTree, MergesAdjacent)
+{
+    ExtentTree t;
+    t.insert(0, 100, 4);
+    t.insert(4, 104, 4); // logically and physically adjacent
+    EXPECT_EQ(t.extentCount(), 1u);
+    EXPECT_EQ(t.lookup(7)->count, 8u);
+}
+
+TEST(ExtentTree, NoMergeWhenPhysicallyApart)
+{
+    ExtentTree t;
+    t.insert(0, 100, 4);
+    t.insert(4, 300, 4);
+    EXPECT_EQ(t.extentCount(), 2u);
+}
+
+TEST(ExtentTree, MergeBothSides)
+{
+    ExtentTree t;
+    t.insert(0, 100, 2);
+    t.insert(4, 104, 2);
+    t.insert(2, 102, 2); // fills the gap
+    EXPECT_EQ(t.extentCount(), 1u);
+    EXPECT_EQ(t.mappedBlocks(), 6u);
+}
+
+TEST(ExtentTree, OverlapPanics)
+{
+    ExtentTree t;
+    t.insert(0, 100, 4);
+    EXPECT_DEATH(t.insert(2, 500, 2), "overlap");
+}
+
+TEST(ExtentTree, TruncateSplitsStraddler)
+{
+    ExtentTree t;
+    t.insert(0, 100, 10);
+    std::vector<std::pair<BlockNo, std::uint64_t>> freed;
+    t.truncateFrom(4, [&](BlockNo b, std::uint64_t n) {
+        freed.emplace_back(b, n);
+    });
+    ASSERT_EQ(freed.size(), 1u);
+    EXPECT_EQ(freed[0], (std::pair<BlockNo, std::uint64_t>{104, 6}));
+    EXPECT_EQ(t.mappedBlocks(), 4u);
+    EXPECT_TRUE(t.checkInvariants());
+}
+
+TEST(ExtentTree, TruncateAll)
+{
+    ExtentTree t;
+    t.insert(0, 100, 4);
+    t.insert(8, 300, 4);
+    std::uint64_t freed = 0;
+    t.truncateFrom(0, [&](BlockNo, std::uint64_t n) { freed += n; });
+    EXPECT_EQ(freed, 8u);
+    EXPECT_EQ(t.mappedBlocks(), 0u);
+}
+
+TEST(ExtentTree, LogicalEnd)
+{
+    ExtentTree t;
+    EXPECT_EQ(t.logicalEnd(), 0u);
+    t.insert(10, 100, 5);
+    EXPECT_EQ(t.logicalEnd(), 15u);
+}
+
+/** Property: random insert sequences keep invariants and are readable. */
+class ExtentTreeProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ExtentTreeProperty, RandomNonOverlappingInserts)
+{
+    sim::Rng rng(GetParam());
+    ExtentTree t;
+    std::map<std::uint64_t, BlockNo> expect; // lblk -> pblk
+    // Insert random non-overlapping runs.
+    for (int i = 0; i < 200; i++) {
+        const std::uint64_t lblk = rng.nextUint(10000);
+        const std::uint64_t count = 1 + rng.nextUint(16);
+        bool overlaps = false;
+        for (std::uint64_t b = lblk; b < lblk + count; b++) {
+            if (expect.count(b)) {
+                overlaps = true;
+                break;
+            }
+        }
+        if (overlaps)
+            continue;
+        const BlockNo pblk = 100000 + lblk * 32; // unique, gapped
+        t.insert(lblk, pblk, count);
+        for (std::uint64_t b = 0; b < count; b++)
+            expect[lblk + b] = pblk + b;
+    }
+    ASSERT_TRUE(t.checkInvariants());
+    for (const auto &[lblk, pblk] : expect) {
+        auto e = t.lookup(lblk);
+        ASSERT_TRUE(e.has_value());
+        EXPECT_EQ(e->pblk + (lblk - e->lblk), pblk);
+    }
+    EXPECT_EQ(t.mappedBlocks(), expect.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtentTreeProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- BlockAllocator ---
+
+TEST(BlockAllocator, AllocRespectsMetadataRegion)
+{
+    BlockAllocator a(1000, 64);
+    auto r = a.alloc(10, 0);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_GE(r->first, 64u);
+    EXPECT_EQ(r->second, 10u);
+}
+
+TEST(BlockAllocator, GoalDirected)
+{
+    BlockAllocator a(1000, 64);
+    auto r = a.alloc(10, 500);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->first, 500u);
+}
+
+TEST(BlockAllocator, WrapsWhenGoalAreaFull)
+{
+    BlockAllocator a(128, 64);
+    auto r1 = a.alloc(64, 64); // fill everything
+    ASSERT_TRUE(r1.has_value());
+    EXPECT_EQ(r1->second, 64u);
+    EXPECT_FALSE(a.alloc(1, 64).has_value());
+    a.free(70, 4);
+    auto r2 = a.alloc(4, 120);
+    ASSERT_TRUE(r2.has_value());
+    EXPECT_EQ(r2->first, 70u); // found by wrap-around
+}
+
+TEST(BlockAllocator, ShortRunAccepted)
+{
+    BlockAllocator a(1000, 64);
+    a.alloc(936, 64); // everything
+    a.free(100, 3);
+    auto r = a.alloc(10, 64);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->second, 3u); // shorter run returned
+}
+
+TEST(BlockAllocator, FreeCountTracks)
+{
+    BlockAllocator a(1000, 64);
+    EXPECT_EQ(a.freeBlocks(), 936u);
+    auto r = a.alloc(100, 64);
+    EXPECT_EQ(a.freeBlocks(), 936u - r->second);
+    a.free(r->first, r->second);
+    EXPECT_EQ(a.freeBlocks(), 936u);
+}
+
+TEST(BlockAllocator, DoubleFreePanics)
+{
+    BlockAllocator a(1000, 64);
+    auto r = a.alloc(4, 64);
+    a.free(r->first, r->second);
+    EXPECT_DEATH(a.free(r->first, r->second), "double free");
+}
+
+TEST(BlockAllocator, ReserveForReplay)
+{
+    BlockAllocator a(1000, 64);
+    a.reserve(100, 8);
+    EXPECT_TRUE(a.isAllocated(100));
+    EXPECT_TRUE(a.isAllocated(107));
+    EXPECT_DEATH(a.reserve(100, 1), "reserve of allocated");
+}
+
+class BlockAllocatorProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BlockAllocatorProperty, RandomAllocFreeNeverDoubleAllocates)
+{
+    sim::Rng rng(GetParam());
+    BlockAllocator a(4096, 64);
+    std::vector<std::pair<BlockNo, std::uint64_t>> held;
+    std::set<BlockNo> owned;
+    for (int i = 0; i < 500; i++) {
+        if (held.empty() || rng.nextBool(0.6)) {
+            auto r = a.alloc(1 + rng.nextUint(32), rng.nextUint(4096));
+            if (!r)
+                continue;
+            for (std::uint64_t b = 0; b < r->second; b++) {
+                // Never hand out a block twice.
+                ASSERT_TRUE(owned.insert(r->first + b).second);
+            }
+            held.push_back(*r);
+        } else {
+            const std::size_t idx = rng.nextUint(held.size());
+            auto [start, count] = held[idx];
+            a.free(start, count);
+            for (std::uint64_t b = 0; b < count; b++)
+                owned.erase(start + b);
+            held.erase(held.begin() + static_cast<long>(idx));
+        }
+    }
+    std::uint64_t heldBlocks = 0;
+    for (auto &[s, c] : held)
+        heldBlocks += c;
+    EXPECT_EQ(a.freeBlocks(), 4096 - 64 - heldBlocks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockAllocatorProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// --- Journal ---
+
+TEST(Journal, CommitMakesDurable)
+{
+    Journal j;
+    j.begin();
+    j.log(JRecord{JOp::SetSize, 1, 100, 0, 0, {}});
+    j.commit();
+    ASSERT_EQ(j.committed().size(), 1u);
+    EXPECT_EQ(j.committed()[0][0].b, 100u);
+}
+
+TEST(Journal, CrashDropsUncommitted)
+{
+    Journal j;
+    j.begin();
+    j.log(JRecord{JOp::SetSize, 1, 100, 0, 0, {}});
+    j.crash();
+    EXPECT_TRUE(j.committed().empty());
+    EXPECT_FALSE(j.inTransaction());
+}
+
+TEST(Journal, NestedTransactionsCommitOnce)
+{
+    Journal j;
+    j.begin();
+    j.log(JRecord{JOp::SetSize, 1, 1, 0, 0, {}});
+    j.begin();
+    j.log(JRecord{JOp::SetSize, 1, 2, 0, 0, {}});
+    j.commit();
+    EXPECT_TRUE(j.committed().empty()); // inner commit defers
+    j.commit();
+    ASSERT_EQ(j.committed().size(), 1u);
+    EXPECT_EQ(j.committed()[0].size(), 2u);
+}
+
+TEST(Journal, AbortDiscards)
+{
+    Journal j;
+    j.begin();
+    j.log(JRecord{JOp::SetSize, 1, 1, 0, 0, {}});
+    j.abort();
+    j.begin();
+    j.commit();
+    EXPECT_TRUE(j.committed().empty());
+}
+
+TEST(Journal, CheckpointTruncates)
+{
+    Journal j;
+    j.begin();
+    j.log(JRecord{JOp::SetSize, 1, 1, 0, 0, {}});
+    j.commit();
+    j.truncateAtCheckpoint();
+    EXPECT_TRUE(j.committed().empty());
+    EXPECT_EQ(j.committedTxns(), 1u);
+}
+
+// --- PageCache ---
+
+TEST(PageCache, InsertFind)
+{
+    PageCache pc(64 * kBlockBytes);
+    EXPECT_EQ(pc.find(1, 0), nullptr);
+    PageCache::Page *p = pc.insert(1, 0, nullptr);
+    p->data[0] = 42;
+    PageCache::Page *q = pc.find(1, 0);
+    ASSERT_NE(q, nullptr);
+    EXPECT_EQ(q->data[0], 42);
+}
+
+TEST(PageCache, EvictsLruAndReturnsDirtyVictim)
+{
+    PageCache pc(2 * kBlockBytes); // two pages
+    pc.insert(1, 0, nullptr)->dirty = true;
+    pc.insert(1, 1, nullptr);
+    pc.find(1, 1); // make page 0 the LRU
+    std::unique_ptr<PageCache::Page> evicted;
+    pc.insert(1, 2, &evicted);
+    ASSERT_TRUE(evicted != nullptr);
+    EXPECT_EQ(evicted->index, 0u);
+    EXPECT_EQ(pc.residentPages(), 2u);
+}
+
+TEST(PageCache, CleanVictimNotReturned)
+{
+    PageCache pc(1 * kBlockBytes);
+    pc.insert(1, 0, nullptr); // clean
+    std::unique_ptr<PageCache::Page> evicted;
+    pc.insert(1, 1, &evicted);
+    EXPECT_EQ(evicted, nullptr);
+}
+
+TEST(PageCache, CollectDirtyCleansFlags)
+{
+    PageCache pc(64 * kBlockBytes);
+    pc.insert(1, 0, nullptr)->dirty = true;
+    pc.insert(1, 1, nullptr)->dirty = true;
+    pc.insert(2, 0, nullptr)->dirty = true;
+    auto dirty = pc.collectDirty(1);
+    EXPECT_EQ(dirty.size(), 2u);
+    EXPECT_TRUE(pc.collectDirty(1).empty());
+    EXPECT_EQ(pc.collectDirty(2).size(), 1u);
+}
+
+TEST(PageCache, InvalidateDropsInode)
+{
+    PageCache pc(64 * kBlockBytes);
+    pc.insert(1, 0, nullptr);
+    pc.insert(2, 0, nullptr);
+    pc.invalidate(1);
+    EXPECT_EQ(pc.find(1, 0), nullptr);
+    EXPECT_NE(pc.find(2, 0), nullptr);
+}
+
+TEST(PageCache, HitMissCounters)
+{
+    PageCache pc(64 * kBlockBytes);
+    pc.find(1, 0);
+    pc.insert(1, 0, nullptr);
+    pc.find(1, 0);
+    EXPECT_EQ(pc.hits(), 1u);
+    EXPECT_EQ(pc.misses(), 1u);
+}

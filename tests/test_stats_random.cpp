@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for statistics (histogram percentiles, time series) and RNG /
+ * workload distributions (determinism, uniformity, zipfian skew).
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+using namespace bpd;
+using namespace bpd::sim;
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(50), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue)
+{
+    Histogram h;
+    h.record(5000);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 5000u);
+    EXPECT_EQ(h.max(), 5000u);
+    // Bucketed value within ~2% relative resolution.
+    EXPECT_NEAR(static_cast<double>(h.p50()), 5000.0, 5000 * 0.02);
+}
+
+TEST(Histogram, PercentileOrdering)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 10000; v++)
+        h.record(v);
+    EXPECT_LE(h.percentile(10), h.percentile(50));
+    EXPECT_LE(h.percentile(50), h.percentile(90));
+    EXPECT_LE(h.percentile(90), h.percentile(99));
+    EXPECT_NEAR(static_cast<double>(h.p50()), 5000.0, 5000 * 0.05);
+    EXPECT_NEAR(static_cast<double>(h.percentile(99)), 9900.0,
+                9900 * 0.05);
+}
+
+TEST(Histogram, MeanExact)
+{
+    Histogram h;
+    h.record(100);
+    h.record(300);
+    EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+}
+
+TEST(Histogram, MergeCombines)
+{
+    Histogram a, b;
+    for (int i = 0; i < 100; i++)
+        a.record(1000);
+    for (int i = 0; i < 100; i++)
+        b.record(9000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 200u);
+    EXPECT_NEAR(a.mean(), 5000.0, 200.0);
+    EXPECT_GT(a.percentile(99), 8000u);
+    EXPECT_LT(a.percentile(10), 1100u);
+}
+
+TEST(Histogram, LargeValues)
+{
+    Histogram h;
+    h.record(1ull << 35);
+    EXPECT_NEAR(static_cast<double>(h.max()),
+                static_cast<double>(1ull << 35), 1.0);
+    EXPECT_GT(h.p50(), (1ull << 35) * 97 / 100);
+}
+
+TEST(TimeSeries, BucketsAccumulate)
+{
+    TimeSeries ts(1000);
+    ts.record(100, 1.0);
+    ts.record(900, 2.0);
+    ts.record(1500, 5.0);
+    EXPECT_DOUBLE_EQ(ts.bucketSum(0), 3.0);
+    EXPECT_DOUBLE_EQ(ts.bucketSum(1), 5.0);
+    EXPECT_DOUBLE_EQ(ts.bucketSum(2), 0.0);
+}
+
+TEST(TimeSeries, RateScalesToSeconds)
+{
+    TimeSeries ts(kMs); // 1 ms buckets
+    ts.record(0, 10.0);
+    EXPECT_DOUBLE_EQ(ts.bucketRate(0), 10.0 * 1000.0);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++) {
+        if (a.next() == b.next())
+            same++;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; i++) {
+        const std::uint64_t v = rng.nextUint(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, UniformCoversRange)
+{
+    Rng rng(7);
+    std::vector<int> hits(10, 0);
+    for (int i = 0; i < 100000; i++)
+        hits[rng.nextUint(10)]++;
+    for (int h : hits)
+        EXPECT_NEAR(h, 10000, 600);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; i++) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, LognormalJitterMedianNearOne)
+{
+    Rng rng(11);
+    std::vector<double> vals;
+    for (int i = 0; i < 10001; i++)
+        vals.push_back(rng.lognormalJitter(0.1));
+    std::sort(vals.begin(), vals.end());
+    EXPECT_NEAR(vals[vals.size() / 2], 1.0, 0.02);
+    EXPECT_EQ(rng.lognormalJitter(0.0), 1.0);
+}
+
+TEST(Zipfian, SkewTowardsHead)
+{
+    Rng rng(13);
+    ZipfianGenerator zipf(1000);
+    std::uint64_t head = 0, total = 100000;
+    for (std::uint64_t i = 0; i < total; i++) {
+        if (zipf.next(rng) < 10)
+            head++;
+    }
+    // With theta=0.99, the top-1% of keys draw a large share (>30%).
+    EXPECT_GT(head, total * 30 / 100);
+}
+
+TEST(Zipfian, InBounds)
+{
+    Rng rng(17);
+    ZipfianGenerator zipf(100);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(zipf.next(rng), 100u);
+}
+
+TEST(Zipfian, GrowKeepsBounds)
+{
+    Rng rng(19);
+    ZipfianGenerator zipf(100);
+    zipf.grow(200);
+    EXPECT_EQ(zipf.items(), 200u);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(zipf.next(rng), 200u);
+}
+
+TEST(ScrambledZipfian, SpreadsHotKeys)
+{
+    Rng rng(23);
+    ScrambledZipfianGenerator gen(1000);
+    // The most popular scrambled keys should not be clustered at 0.
+    std::vector<std::uint64_t> counts(1000, 0);
+    for (int i = 0; i < 100000; i++)
+        counts[gen.next(rng)]++;
+    const auto hottest = static_cast<std::uint64_t>(
+        std::max_element(counts.begin(), counts.end())
+        - counts.begin());
+    // Deterministic given the hash, but extremely unlikely to be < 10
+    // for a scrambled distribution.
+    EXPECT_GT(hottest, 10u);
+}
+
+TEST(Latest, FavoursNewestKeys)
+{
+    Rng rng(29);
+    LatestGenerator gen(1000);
+    std::uint64_t newest = 0;
+    for (int i = 0; i < 10000; i++) {
+        if (gen.next(rng) >= 990)
+            newest++;
+    }
+    EXPECT_GT(newest, 3000u);
+    gen.insert();
+    EXPECT_EQ(gen.items(), 1001u);
+}
+
+TEST(Format, HumanReadable)
+{
+    EXPECT_EQ(fmtNs(500), "500ns");
+    EXPECT_EQ(fmtNs(1500), "1.50us");
+    EXPECT_EQ(fmtNs(2.5e6), "2.50ms");
+    EXPECT_EQ(fmtBw(3.5e9), "3.50GB/s");
+}

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Randomized multi-tenant stress with a shadow model: several processes
+ * drive random reads/writes/appends/truncates/fsyncs/reopens (plus
+ * kernel-interface opens that trigger revocations) against files whose
+ * expected contents are tracked byte-for-byte in memory. Afterwards the
+ * file system must pass fsck, survive crash recovery, and every file
+ * must read back exactly as the shadow predicts — regardless of which
+ * interface (BypassD or kernel) served each op.
+ */
+
+#include <functional>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "tests/helpers.hpp"
+
+using namespace bpd;
+using namespace bpd::test;
+using fs::kOpenCreate;
+using fs::kOpenDirect;
+using fs::kOpenRead;
+using fs::kOpenWrite;
+
+namespace {
+
+constexpr std::uint32_t kRw
+    = kOpenRead | kOpenWrite | kOpenCreate | kOpenDirect;
+
+struct FileActor
+{
+    std::string path;
+    kern::Process *proc = nullptr;
+    bypassd::UserLib *lib = nullptr;
+    Tid tid = 0; //!< each actor is its own thread (own queue/DMA buffer)
+    int fd = -1;
+    std::vector<std::uint8_t> shadow;
+    sim::Rng rng{0};
+    int opsLeft = 0;
+    bool busy = false;
+};
+
+class StressTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+} // namespace
+
+TEST_P(StressTest, ShadowModelIntegrity)
+{
+    sim::setVerbose(false);
+    sys::SystemConfig cfg;
+    cfg.deviceBytes = 2ull << 30;
+    sys::System s(cfg);
+    sim::Rng seedRng(GetParam());
+
+    // Three tenants, six files, two per tenant plus one shared pair.
+    std::vector<kern::Process *> procs;
+    for (int i = 0; i < 3; i++)
+        procs.push_back(&s.newProcess(1000 + i, 1000));
+
+    std::vector<std::unique_ptr<FileActor>> actors;
+    for (int f = 0; f < 6; f++) {
+        auto a = std::make_unique<FileActor>();
+        a->path = "/stress" + std::to_string(f);
+        a->tid = static_cast<Tid>(f);
+        a->proc = procs[static_cast<std::size_t>(f % 3)];
+        a->lib = &s.userLib(*a->proc);
+        a->rng = sim::Rng(GetParam() * 977 + f);
+        a->opsLeft = 50;
+        const std::uint64_t initial
+            = (1 + a->rng.nextUint(16)) * kBlockBytes;
+        const int cfd = s.kernel.setupCreateFile(*a->proc, a->path,
+                                                 initial, 0);
+        ASSERT_GE(cfd, 0);
+        kClose(s, *a->proc, cfd);
+        a->shadow.assign(initial, 0);
+        a->fd = ulOpen(s, *a->lib, a->path, kRw);
+        ASSERT_GE(a->fd, 0);
+        actors.push_back(std::move(a));
+    }
+
+    // Per-file serialized op streams, interleaved across files.
+    std::function<void(FileActor &)> step = [&](FileActor &a) {
+        if (a.opsLeft-- <= 0)
+            return;
+        const int op = static_cast<int>(a.rng.nextUint(100));
+        if (op < 40) {
+            // Random write inside the file (any alignment).
+            if (a.shadow.empty()) {
+                step(a);
+                return;
+            }
+            const std::uint64_t off = a.rng.nextUint(a.shadow.size());
+            const std::uint64_t len = std::min<std::uint64_t>(
+                1 + a.rng.nextUint(12000), a.shadow.size() - off);
+            if (len == 0) {
+                step(a);
+                return;
+            }
+            auto data = std::make_shared<std::vector<std::uint8_t>>(
+                pattern(len, a.rng.next()));
+            std::copy(data->begin(), data->end(),
+                      a.shadow.begin() + static_cast<long>(off));
+            a.lib->pwrite(a.tid, a.fd,
+                          std::span<const std::uint8_t>(data->data(),
+                                                        data->size()),
+                          off,
+                          [&, data](long long n, kern::IoTrace) {
+                              ASSERT_EQ(n, (long long)data->size());
+                              step(a);
+                          });
+        } else if (op < 70) {
+            // Random read, verified against the shadow.
+            if (a.shadow.empty()) {
+                step(a);
+                return;
+            }
+            const std::uint64_t off = a.rng.nextUint(a.shadow.size());
+            const std::uint64_t len = std::min<std::uint64_t>(
+                1 + a.rng.nextUint(12000), a.shadow.size() - off);
+            auto buf = std::make_shared<std::vector<std::uint8_t>>(len);
+            a.lib->pread(a.tid, a.fd, std::span<std::uint8_t>(*buf), off,
+                         [&, buf, off, len](long long n, kern::IoTrace) {
+                             ASSERT_EQ(n, (long long)len);
+                             for (std::uint64_t i = 0; i < len; i++) {
+                                 ASSERT_EQ((*buf)[i], a.shadow[off + i])
+                                     << a.path << " off "
+                                     << (off + i);
+                             }
+                             step(a);
+                         });
+        } else if (op < 80) {
+            // Append beyond EOF (kernel path, FTE extension).
+            const std::uint64_t len = 1 + a.rng.nextUint(8000);
+            auto data = std::make_shared<std::vector<std::uint8_t>>(
+                pattern(len, a.rng.next()));
+            const std::uint64_t off = a.shadow.size();
+            a.shadow.insert(a.shadow.end(), data->begin(), data->end());
+            a.lib->pwrite(a.tid, a.fd,
+                          std::span<const std::uint8_t>(data->data(),
+                                                        data->size()),
+                          off,
+                          [&, data](long long n, kern::IoTrace) {
+                              ASSERT_EQ(n, (long long)data->size());
+                              step(a);
+                          });
+        } else if (op < 86) {
+            // Truncate (shrink).
+            const std::uint64_t newSize
+                = a.rng.nextUint(a.shadow.size() + 1);
+            a.shadow.resize(newSize);
+            a.lib->ftruncate(a.fd, newSize, [&](int rc) {
+                ASSERT_EQ(rc, 0);
+                step(a);
+            });
+        } else if (op < 92) {
+            a.lib->fsync(a.tid, a.fd, [&](int rc) {
+                ASSERT_EQ(rc, 0);
+                step(a);
+            });
+        } else if (op < 96) {
+            // Close + reopen (exercises funmap / warm fmap).
+            a.lib->close(a.fd, [&](int rc) {
+                ASSERT_EQ(rc, 0);
+                a.lib->open(a.path, kOpenRead | kOpenWrite | kOpenDirect,
+                            0644, [&](int fd) {
+                                ASSERT_GE(fd, 0);
+                                a.fd = fd;
+                                step(a);
+                            });
+            });
+        } else {
+            // Revocation pressure: another process opens via the kernel
+            // interface briefly; our next ops transparently fall back,
+            // and a later reopen may regain direct access.
+            kern::Process *other
+                = procs[(a.rng.nextUint(2) + 1) % procs.size()];
+            s.kernel.sysOpen(*other, a.path, kOpenRead, 0644,
+                             [&, other](int kfd) {
+                                 if (kfd < 0) {
+                                     step(a);
+                                     return;
+                                 }
+                                 s.kernel.sysClose(*other, kfd,
+                                                   [&](int) {
+                                                       step(a);
+                                                   });
+                             });
+        }
+    };
+
+    for (auto &a : actors)
+        step(*a);
+    s.run();
+
+    // Every op stream finished.
+    for (auto &a : actors)
+        EXPECT_LE(a->opsLeft, 0) << a->path;
+
+    // Final content check through the raw kernel helpers.
+    for (auto &a : actors) {
+        std::vector<std::uint8_t> back(a->shadow.size());
+        if (!back.empty()) {
+            ASSERT_EQ(s.kernel.setupRead(*a->proc, a->fd, back, 0),
+                      (long long)back.size());
+            EXPECT_EQ(back, a->shadow) << a->path;
+        }
+        const fs::Inode *node
+            = s.ext4.inode(a->proc->file(a->fd)->ino);
+        ASSERT_NE(node, nullptr);
+        EXPECT_EQ(node->size, a->shadow.size()) << a->path;
+    }
+
+    // File-system invariants + crash recovery.
+    std::string why;
+    ASSERT_TRUE(s.ext4.fsck(&why)) << why;
+    auto recovered = fs::Ext4Fs::recover(s.store, s.ext4);
+    ASSERT_TRUE(recovered->fsck(&why)) << "recovered: " << why;
+    for (auto &a : actors) {
+        InodeNum ino;
+        ASSERT_EQ(recovered->resolve(a->path, &ino), fs::FsStatus::Ok);
+        EXPECT_EQ(recovered->inode(ino)->size, a->shadow.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9,
+                                           10));

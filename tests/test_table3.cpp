@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Table 3 compliance: for each common file operation, assert that
+ * UserLib and the kernel FS each perform exactly the actions the paper's
+ * Table 3 assigns to them (direct vs forwarded, FTE attach/detach,
+ * allocation, flush ordering, timestamp deferral).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tests/helpers.hpp"
+
+using namespace bpd;
+using namespace bpd::test;
+using fs::kOpenCreate;
+using fs::kOpenDirect;
+using fs::kOpenRead;
+using fs::kOpenWrite;
+
+namespace {
+
+constexpr std::uint32_t kRw
+    = kOpenRead | kOpenWrite | kOpenCreate | kOpenDirect;
+
+struct Table3 : ::testing::Test
+{
+    sys::System s{smallConfig()};
+    kern::Process *p = nullptr;
+    bypassd::UserLib *lib = nullptr;
+    int fd = -1;
+    InodeNum ino = 0;
+
+    void
+    SetUp() override
+    {
+        sim::setVerbose(false);
+        p = &s.newProcess();
+        lib = &s.userLib(*p);
+        const int cfd = s.kernel.setupCreateFile(*p, "/t3", 64 << 10, 7);
+        ino = p->file(cfd)->ino;
+        kClose(s, *p, cfd);
+        fd = ulOpen(s, *lib, "/t3", kRw);
+        ASSERT_TRUE(lib->isDirect(fd));
+    }
+
+    bypassd::FileTableCache *
+    cache()
+    {
+        return static_cast<bypassd::FileTableCache *>(
+            s.ext4.inode(ino)->fileTable.get());
+    }
+};
+
+} // namespace
+
+TEST_F(Table3, OpenForwardsToKernelAndAttachesFileTables)
+{
+    // SetUp already opened: the kernel saw the open()...
+    EXPECT_GT(s.kernel.syscallCount(), 0u);
+    // ...and attached file table entries to the process page table.
+    ASSERT_NE(cache(), nullptr);
+    ASSERT_TRUE(cache()->attachments.count(p->pid()));
+    const Vaddr vba = cache()->attachments.at(p->pid()).vba;
+    // The attached FTEs translate through this process' PASID.
+    auto tr = s.iommu.translateVbaSync(p->pasid(), vba, 4096, false,
+                                       s.dev.devId());
+    EXPECT_TRUE(tr.ok);
+}
+
+TEST_F(Table3, ReadIsDirectNoSyscall)
+{
+    const std::uint64_t sys0 = s.kernel.syscallCount();
+    std::vector<std::uint8_t> buf(4096);
+    EXPECT_EQ(ulPread(s, *lib, 0, fd, buf, 0).n, 4096);
+    EXPECT_EQ(s.kernel.syscallCount(), sys0); // no kernel involvement
+    EXPECT_EQ(lib->directReads(), 1u);
+}
+
+TEST_F(Table3, OverwriteIsDirectNoSyscall)
+{
+    const std::uint64_t sys0 = s.kernel.syscallCount();
+    auto data = pattern(4096, 2);
+    EXPECT_EQ(ulPwrite(s, *lib, 0, fd, data, 4096).n, 4096);
+    EXPECT_EQ(s.kernel.syscallCount(), sys0);
+    EXPECT_EQ(lib->directWrites(), 1u);
+}
+
+TEST_F(Table3, AppendForwardsAllocatesAndAttachesNewFtes)
+{
+    const std::uint64_t sys0 = s.kernel.syscallCount();
+    const std::uint64_t blocksBefore = cache()->mappedBlocks();
+    const std::uint64_t sizeBefore = s.ext4.inode(ino)->size;
+
+    auto data = pattern(8192, 3);
+    EXPECT_EQ(ulPwrite(s, *lib, 0, fd, data, sizeBefore).n, 8192);
+    // Kernel handled it (allocate blocks, update metadata)...
+    EXPECT_GT(s.kernel.syscallCount(), sys0);
+    EXPECT_EQ(lib->appendsRouted(), 1u);
+    EXPECT_EQ(s.ext4.inode(ino)->size, sizeBefore + 8192);
+    // ...and created + attached new FTEs so the new blocks are directly
+    // accessible (unbuffered write, then direct read-back).
+    EXPECT_GT(cache()->mappedBlocks(), blocksBefore);
+    const std::uint64_t sys1 = s.kernel.syscallCount();
+    std::vector<std::uint8_t> back(8192);
+    EXPECT_EQ(ulPread(s, *lib, 0, fd, back, sizeBefore).n, 8192);
+    EXPECT_EQ(s.kernel.syscallCount(), sys1); // the read went direct
+    EXPECT_EQ(back, data);
+    // Unbuffered: nothing parked in the page cache for this inode.
+    EXPECT_TRUE(s.kernel.pageCache().collectDirty(ino).empty());
+}
+
+TEST_F(Table3, FallocateForwardsZeroesAndAttaches)
+{
+    const std::uint64_t blocksBefore = cache()->mappedBlocks();
+    int rc = -1;
+    lib->fallocate(fd, 0, 256 << 10, [&](int r) { rc = r; });
+    s.run();
+    ASSERT_EQ(rc, 0);
+    EXPECT_GT(cache()->mappedBlocks(), blocksBefore);
+    // Newly allocated blocks read back zero through the direct path
+    // (security: Section 4.1).
+    std::vector<std::uint8_t> buf(4096, 0xff);
+    EXPECT_EQ(ulPread(s, *lib, 0, fd, buf, 128 << 10).n, 4096);
+    for (auto b : buf)
+        ASSERT_EQ(b, 0);
+}
+
+TEST_F(Table3, FtruncateDetachesFtes)
+{
+    const std::uint64_t blocksBefore = cache()->mappedBlocks();
+    ASSERT_GT(blocksBefore, 1u);
+    int rc = -1;
+    lib->ftruncate(fd, 4096, [&](int r) { rc = r; });
+    s.run();
+    ASSERT_EQ(rc, 0);
+    EXPECT_LT(cache()->mappedBlocks(), blocksBefore);
+    // Direct access beyond the truncation point is denied by the IOMMU.
+    const Vaddr vba = cache()->attachments.at(p->pid()).vba;
+    auto tr = s.iommu.translateVbaSync(p->pasid(), vba + 8192, 4096,
+                                       false, s.dev.devId());
+    EXPECT_FALSE(tr.ok);
+}
+
+TEST_F(Table3, FsyncFlushesQueuesThenMetadata)
+{
+    // Timestamps are deferred (Section 4.4): a write does not update the
+    // journaled mtime until fsync/close.
+    auto data = pattern(4096, 4);
+    ASSERT_EQ(ulPwrite(s, *lib, 0, fd, data, 0).n, 4096);
+    const std::uint64_t txnsBefore = s.ext4.journal().committedTxns();
+    EXPECT_EQ(ulFsync(s, *lib, 0, fd), 0);
+    // fsync committed a metadata transaction (timestamps).
+    EXPECT_GT(s.ext4.journal().committedTxns(), txnsBefore);
+}
+
+TEST_F(Table3, CloseForwardsAndDetaches)
+{
+    ASSERT_TRUE(cache()->attachments.count(p->pid()));
+    const Vaddr vba = cache()->attachments.at(p->pid()).vba;
+    EXPECT_EQ(ulClose(s, *lib, fd), 0);
+    EXPECT_FALSE(cache()->attachments.count(p->pid()));
+    // The VBA no longer translates.
+    auto tr = s.iommu.translateVbaSync(p->pasid(), vba, 4096, false,
+                                       s.dev.devId());
+    EXPECT_FALSE(tr.ok);
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Workload-engine tests: the fio runner produces the paper's latency
+ * ordering (spdk < bypassd < io_uring < sync <= libaio) and sane
+ * bandwidth; YCSB generators produce the right op mixes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tests/helpers.hpp"
+#include "workloads/fio.hpp"
+#include "workloads/ycsb.hpp"
+
+using namespace bpd;
+using namespace bpd::test;
+using namespace bpd::wl;
+
+namespace {
+
+FioResult
+quickFio(Engine e, RwMode rw, std::uint32_t bs, unsigned jobs = 1,
+         bool perProcess = false)
+{
+    sim::setVerbose(false);
+    sys::SystemConfig cfg;
+    cfg.deviceBytes = 16ull << 30;
+    sys::System s(cfg);
+    FioRunner runner(s);
+    FioJob job;
+    job.engine = e;
+    job.rw = rw;
+    job.bs = bs;
+    job.numJobs = jobs;
+    job.fileBytes = 256ull << 20;
+    job.runtime = 10 * kMs;
+    job.warmup = 1 * kMs;
+    job.perProcess = perProcess;
+    return runner.run(job);
+}
+
+} // namespace
+
+TEST(Fio, SyncMatchesTable1)
+{
+    FioResult r = quickFio(Engine::Sync, RwMode::RandRead, 4096);
+    EXPECT_GT(r.ops, 500u);
+    EXPECT_NEAR(r.latency.mean(), 7850.0, 600.0);
+}
+
+TEST(Fio, EngineLatencyOrdering)
+{
+    const double sync
+        = quickFio(Engine::Sync, RwMode::RandRead, 4096).latency.mean();
+    const double aio
+        = quickFio(Engine::Libaio, RwMode::RandRead, 4096).latency.mean();
+    const double uring
+        = quickFio(Engine::IoUring, RwMode::RandRead, 4096)
+              .latency.mean();
+    const double spdk
+        = quickFio(Engine::Spdk, RwMode::RandRead, 4096).latency.mean();
+    const double bypassd
+        = quickFio(Engine::Bypassd, RwMode::RandRead, 4096)
+              .latency.mean();
+
+    // Fig. 6 ordering.
+    EXPECT_LT(spdk, bypassd);
+    EXPECT_LT(bypassd, uring);
+    EXPECT_LT(uring, sync);
+    EXPECT_LE(sync, aio);
+    // Paper: BypassD ~42% lower latency than sync at 4 KiB...
+    EXPECT_LT(bypassd, 0.70 * sync);
+    // ...and close to SPDK (translation overhead only).
+    EXPECT_LT(bypassd - spdk, 1200.0);
+}
+
+TEST(Fio, WriteLatencyBypassdHidesTranslation)
+{
+    FioResult rd = quickFio(Engine::Bypassd, RwMode::RandRead, 4096);
+    FioResult wr = quickFio(Engine::Bypassd, RwMode::RandWrite, 4096);
+    EXPECT_GT(rd.avgTranslateNs, 300.0);
+    EXPECT_LT(wr.avgTranslateNs, 50.0); // hidden behind data-in DMA
+}
+
+TEST(Fio, LargeBlockApproachesDeviceBandwidth)
+{
+    FioResult r = quickFio(Engine::Bypassd, RwMode::RandRead, 128 << 10);
+    // Fig. 6: QD1 128 KiB reads reach ~3.5-4 GB/s (latency-bound).
+    EXPECT_GT(r.bwBytesPerSec(), 3.0e9);
+    EXPECT_LT(r.bwBytesPerSec(), 7.2e9);
+}
+
+TEST(Fio, SeqReadWorks)
+{
+    FioResult r = quickFio(Engine::Sync, RwMode::SeqRead, 4096);
+    EXPECT_GT(r.ops, 500u);
+}
+
+TEST(Fio, MultiProcessSharingOnlyBypassd)
+{
+    // 4 writer processes share the device directly (Fig. 10).
+    FioResult r = quickFio(Engine::Bypassd, RwMode::RandWrite, 4096,
+                           4, /*perProcess=*/true);
+    EXPECT_GT(r.ops, 1000u);
+    // Far from device saturation, aggregate bandwidth scales.
+    FioResult r1 = quickFio(Engine::Bypassd, RwMode::RandWrite, 4096,
+                            1, true);
+    EXPECT_GT(r.bwBytesPerSec(), 2.5 * r1.bwBytesPerSec());
+}
+
+TEST(Fio, ThreadScalingIncreasesIops)
+{
+    const double one
+        = quickFio(Engine::Bypassd, RwMode::RandRead, 4096, 1).iops();
+    const double four
+        = quickFio(Engine::Bypassd, RwMode::RandRead, 4096, 4).iops();
+    EXPECT_GT(four, 3.0 * one);
+}
+
+TEST(Ycsb, MixRatios)
+{
+    YcsbGenerator a(Ycsb::A, 100000, 1);
+    int reads = 0, updates = 0;
+    for (int i = 0; i < 20000; i++) {
+        YcsbOp op = a.next();
+        if (op.kind == YcsbOp::Kind::Read)
+            reads++;
+        else if (op.kind == YcsbOp::Kind::Update)
+            updates++;
+    }
+    EXPECT_NEAR(reads, 10000, 400);
+    EXPECT_NEAR(updates, 10000, 400);
+
+    YcsbGenerator c(Ycsb::C, 100000, 2);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_EQ(c.next().kind, YcsbOp::Kind::Read);
+}
+
+TEST(Ycsb, InsertsGrowKeyspace)
+{
+    YcsbGenerator d(Ycsb::D, 1000, 3);
+    const std::uint64_t before = d.records();
+    int inserts = 0;
+    for (int i = 0; i < 10000; i++) {
+        YcsbOp op = d.next();
+        if (op.kind == YcsbOp::Kind::Insert) {
+            EXPECT_GE(op.key, before);
+            inserts++;
+        } else {
+            EXPECT_LT(op.key, d.records());
+        }
+    }
+    EXPECT_NEAR(inserts, 500, 120);
+    EXPECT_EQ(d.records(), before + static_cast<std::uint64_t>(inserts));
+}
+
+TEST(Ycsb, ScansHaveLengths)
+{
+    YcsbGenerator e(Ycsb::E, 100000, 4);
+    int scans = 0;
+    for (int i = 0; i < 1000; i++) {
+        YcsbOp op = e.next();
+        if (op.kind == YcsbOp::Kind::Scan) {
+            scans++;
+            EXPECT_GE(op.scanLen, 1u);
+            EXPECT_LE(op.scanLen, YcsbGenerator::kMaxScanLen);
+        }
+    }
+    EXPECT_GT(scans, 900);
+}
