@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_shared_writers.cpp" "bench/CMakeFiles/fig10_shared_writers.dir/fig10_shared_writers.cpp.o" "gcc" "bench/CMakeFiles/fig10_shared_writers.dir/fig10_shared_writers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/bpd_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/bpd_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/bpd_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/monetad/CMakeFiles/bpd_monetad.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/bpd_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/bypassd/CMakeFiles/bpd_bypassd.dir/DependInfo.cmake"
+  "/root/repo/build/src/spdk/CMakeFiles/bpd_spdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/xrp/CMakeFiles/bpd_xrp.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/bpd_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/bpd_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/bpd_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/bpd_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bpd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bpd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

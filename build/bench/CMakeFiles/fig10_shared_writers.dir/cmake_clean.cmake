@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_shared_writers.dir/fig10_shared_writers.cpp.o"
+  "CMakeFiles/fig10_shared_writers.dir/fig10_shared_writers.cpp.o.d"
+  "fig10_shared_writers"
+  "fig10_shared_writers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_shared_writers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_fairness.dir/fig11_fairness.cpp.o"
+  "CMakeFiles/fig11_fairness.dir/fig11_fairness.cpp.o.d"
+  "fig11_fairness"
+  "fig11_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

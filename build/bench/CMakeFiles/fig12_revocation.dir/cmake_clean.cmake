@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_revocation.dir/fig12_revocation.cpp.o"
+  "CMakeFiles/fig12_revocation.dir/fig12_revocation.cpp.o.d"
+  "fig12_revocation"
+  "fig12_revocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

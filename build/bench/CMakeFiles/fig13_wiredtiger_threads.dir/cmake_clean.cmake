@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_wiredtiger_threads.dir/fig13_wiredtiger_threads.cpp.o"
+  "CMakeFiles/fig13_wiredtiger_threads.dir/fig13_wiredtiger_threads.cpp.o.d"
+  "fig13_wiredtiger_threads"
+  "fig13_wiredtiger_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_wiredtiger_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_wiredtiger_cache.dir/fig14_wiredtiger_cache.cpp.o"
+  "CMakeFiles/fig14_wiredtiger_cache.dir/fig14_wiredtiger_cache.cpp.o.d"
+  "fig14_wiredtiger_cache"
+  "fig14_wiredtiger_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_wiredtiger_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_bpfkv.dir/fig15_bpfkv.cpp.o"
+  "CMakeFiles/fig15_bpfkv.dir/fig15_bpfkv.cpp.o.d"
+  "fig15_bpfkv"
+  "fig15_bpfkv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_bpfkv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_kvell.dir/fig16_kvell.cpp.o"
+  "CMakeFiles/fig16_kvell.dir/fig16_kvell.cpp.o.d"
+  "fig16_kvell"
+  "fig16_kvell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_kvell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

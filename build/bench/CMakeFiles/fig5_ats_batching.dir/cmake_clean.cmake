@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_ats_batching.dir/fig5_ats_batching.cpp.o"
+  "CMakeFiles/fig5_ats_batching.dir/fig5_ats_batching.cpp.o.d"
+  "fig5_ats_batching"
+  "fig5_ats_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ats_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

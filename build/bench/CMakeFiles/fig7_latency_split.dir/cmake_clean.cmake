@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_latency_split.dir/fig7_latency_split.cpp.o"
+  "CMakeFiles/fig7_latency_split.dir/fig7_latency_split.cpp.o.d"
+  "fig7_latency_split"
+  "fig7_latency_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_latency_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

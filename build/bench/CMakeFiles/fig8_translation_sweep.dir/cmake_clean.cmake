@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_translation_sweep.dir/fig8_translation_sweep.cpp.o"
+  "CMakeFiles/fig8_translation_sweep.dir/fig8_translation_sweep.cpp.o.d"
+  "fig8_translation_sweep"
+  "fig8_translation_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_translation_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

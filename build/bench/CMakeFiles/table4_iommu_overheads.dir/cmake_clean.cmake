@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_iommu_overheads.dir/table4_iommu_overheads.cpp.o"
+  "CMakeFiles/table4_iommu_overheads.dir/table4_iommu_overheads.cpp.o.d"
+  "table4_iommu_overheads"
+  "table4_iommu_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_iommu_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_fmap_overheads.dir/table5_fmap_overheads.cpp.o"
+  "CMakeFiles/table5_fmap_overheads.dir/table5_fmap_overheads.cpp.o.d"
+  "table5_fmap_overheads"
+  "table5_fmap_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_fmap_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

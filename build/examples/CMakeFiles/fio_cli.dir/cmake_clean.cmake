@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fio_cli.dir/fio_cli.cpp.o"
+  "CMakeFiles/fio_cli.dir/fio_cli.cpp.o.d"
+  "fio_cli"
+  "fio_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fio_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

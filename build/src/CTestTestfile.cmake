@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("mem")
+subdirs("ssd")
+subdirs("iommu")
+subdirs("fs")
+subdirs("kern")
+subdirs("bypassd")
+subdirs("spdk")
+subdirs("monetad")
+subdirs("xrp")
+subdirs("system")
+subdirs("vmm")
+subdirs("workloads")
+subdirs("apps")

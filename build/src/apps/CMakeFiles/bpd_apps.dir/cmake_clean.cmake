@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpd_apps.dir/bpfkv.cpp.o"
+  "CMakeFiles/bpd_apps.dir/bpfkv.cpp.o.d"
+  "CMakeFiles/bpd_apps.dir/kvell.cpp.o"
+  "CMakeFiles/bpd_apps.dir/kvell.cpp.o.d"
+  "CMakeFiles/bpd_apps.dir/wiredtiger.cpp.o"
+  "CMakeFiles/bpd_apps.dir/wiredtiger.cpp.o.d"
+  "libbpd_apps.a"
+  "libbpd_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpd_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpd_bypassd.dir/file_table.cpp.o"
+  "CMakeFiles/bpd_bypassd.dir/file_table.cpp.o.d"
+  "CMakeFiles/bpd_bypassd.dir/module.cpp.o"
+  "CMakeFiles/bpd_bypassd.dir/module.cpp.o.d"
+  "CMakeFiles/bpd_bypassd.dir/userlib.cpp.o"
+  "CMakeFiles/bpd_bypassd.dir/userlib.cpp.o.d"
+  "libbpd_bypassd.a"
+  "libbpd_bypassd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpd_bypassd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/block_allocator.cpp" "src/fs/CMakeFiles/bpd_fs.dir/block_allocator.cpp.o" "gcc" "src/fs/CMakeFiles/bpd_fs.dir/block_allocator.cpp.o.d"
+  "/root/repo/src/fs/ext4.cpp" "src/fs/CMakeFiles/bpd_fs.dir/ext4.cpp.o" "gcc" "src/fs/CMakeFiles/bpd_fs.dir/ext4.cpp.o.d"
+  "/root/repo/src/fs/extent_tree.cpp" "src/fs/CMakeFiles/bpd_fs.dir/extent_tree.cpp.o" "gcc" "src/fs/CMakeFiles/bpd_fs.dir/extent_tree.cpp.o.d"
+  "/root/repo/src/fs/journal.cpp" "src/fs/CMakeFiles/bpd_fs.dir/journal.cpp.o" "gcc" "src/fs/CMakeFiles/bpd_fs.dir/journal.cpp.o.d"
+  "/root/repo/src/fs/page_cache.cpp" "src/fs/CMakeFiles/bpd_fs.dir/page_cache.cpp.o" "gcc" "src/fs/CMakeFiles/bpd_fs.dir/page_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ssd/CMakeFiles/bpd_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bpd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/bpd_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bpd_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

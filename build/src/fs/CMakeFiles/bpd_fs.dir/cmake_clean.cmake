@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpd_fs.dir/block_allocator.cpp.o"
+  "CMakeFiles/bpd_fs.dir/block_allocator.cpp.o.d"
+  "CMakeFiles/bpd_fs.dir/ext4.cpp.o"
+  "CMakeFiles/bpd_fs.dir/ext4.cpp.o.d"
+  "CMakeFiles/bpd_fs.dir/extent_tree.cpp.o"
+  "CMakeFiles/bpd_fs.dir/extent_tree.cpp.o.d"
+  "CMakeFiles/bpd_fs.dir/journal.cpp.o"
+  "CMakeFiles/bpd_fs.dir/journal.cpp.o.d"
+  "CMakeFiles/bpd_fs.dir/page_cache.cpp.o"
+  "CMakeFiles/bpd_fs.dir/page_cache.cpp.o.d"
+  "libbpd_fs.a"
+  "libbpd_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpd_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpd_iommu.dir/iommu.cpp.o"
+  "CMakeFiles/bpd_iommu.dir/iommu.cpp.o.d"
+  "CMakeFiles/bpd_iommu.dir/iotlb.cpp.o"
+  "CMakeFiles/bpd_iommu.dir/iotlb.cpp.o.d"
+  "libbpd_iommu.a"
+  "libbpd_iommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpd_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

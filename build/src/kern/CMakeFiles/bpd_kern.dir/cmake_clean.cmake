@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpd_kern.dir/aio.cpp.o"
+  "CMakeFiles/bpd_kern.dir/aio.cpp.o.d"
+  "CMakeFiles/bpd_kern.dir/io_uring.cpp.o"
+  "CMakeFiles/bpd_kern.dir/io_uring.cpp.o.d"
+  "CMakeFiles/bpd_kern.dir/kernel.cpp.o"
+  "CMakeFiles/bpd_kern.dir/kernel.cpp.o.d"
+  "libbpd_kern.a"
+  "libbpd_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpd_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

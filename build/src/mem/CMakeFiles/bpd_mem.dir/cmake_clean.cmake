@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpd_mem.dir/address_space.cpp.o"
+  "CMakeFiles/bpd_mem.dir/address_space.cpp.o.d"
+  "CMakeFiles/bpd_mem.dir/frame_allocator.cpp.o"
+  "CMakeFiles/bpd_mem.dir/frame_allocator.cpp.o.d"
+  "CMakeFiles/bpd_mem.dir/page_table.cpp.o"
+  "CMakeFiles/bpd_mem.dir/page_table.cpp.o.d"
+  "libbpd_mem.a"
+  "libbpd_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpd_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monetad/monetad.cpp" "src/monetad/CMakeFiles/bpd_monetad.dir/monetad.cpp.o" "gcc" "src/monetad/CMakeFiles/bpd_monetad.dir/monetad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kern/CMakeFiles/bpd_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/bpd_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/bpd_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bpd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/bpd_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bpd_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

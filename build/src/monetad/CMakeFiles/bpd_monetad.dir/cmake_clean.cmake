@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpd_monetad.dir/monetad.cpp.o"
+  "CMakeFiles/bpd_monetad.dir/monetad.cpp.o.d"
+  "libbpd_monetad.a"
+  "libbpd_monetad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpd_monetad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

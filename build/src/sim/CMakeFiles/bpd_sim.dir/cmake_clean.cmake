@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpd_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/bpd_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/bpd_sim.dir/logging.cpp.o"
+  "CMakeFiles/bpd_sim.dir/logging.cpp.o.d"
+  "CMakeFiles/bpd_sim.dir/random.cpp.o"
+  "CMakeFiles/bpd_sim.dir/random.cpp.o.d"
+  "CMakeFiles/bpd_sim.dir/stats.cpp.o"
+  "CMakeFiles/bpd_sim.dir/stats.cpp.o.d"
+  "libbpd_sim.a"
+  "libbpd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpd_spdk.dir/spdk.cpp.o"
+  "CMakeFiles/bpd_spdk.dir/spdk.cpp.o.d"
+  "libbpd_spdk.a"
+  "libbpd_spdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpd_spdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

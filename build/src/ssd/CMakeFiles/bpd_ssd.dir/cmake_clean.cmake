@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpd_ssd.dir/block_store.cpp.o"
+  "CMakeFiles/bpd_ssd.dir/block_store.cpp.o.d"
+  "CMakeFiles/bpd_ssd.dir/nvme.cpp.o"
+  "CMakeFiles/bpd_ssd.dir/nvme.cpp.o.d"
+  "libbpd_ssd.a"
+  "libbpd_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpd_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpd_system.dir/system.cpp.o"
+  "CMakeFiles/bpd_system.dir/system.cpp.o.d"
+  "libbpd_system.a"
+  "libbpd_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpd_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

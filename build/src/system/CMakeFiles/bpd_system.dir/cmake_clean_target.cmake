@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbpd_system.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpd_vmm.dir/vmm.cpp.o"
+  "CMakeFiles/bpd_vmm.dir/vmm.cpp.o.d"
+  "libbpd_vmm.a"
+  "libbpd_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpd_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

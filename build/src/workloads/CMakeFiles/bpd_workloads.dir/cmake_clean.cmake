@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpd_workloads.dir/fio.cpp.o"
+  "CMakeFiles/bpd_workloads.dir/fio.cpp.o.d"
+  "CMakeFiles/bpd_workloads.dir/ycsb.cpp.o"
+  "CMakeFiles/bpd_workloads.dir/ycsb.cpp.o.d"
+  "libbpd_workloads.a"
+  "libbpd_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpd_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpd_xrp.dir/xrp.cpp.o"
+  "CMakeFiles/bpd_xrp.dir/xrp.cpp.o.d"
+  "libbpd_xrp.a"
+  "libbpd_xrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpd_xrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bpd_xrp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/bpd_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/bpd_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_baselines_integration.cpp" "tests/CMakeFiles/bpd_tests.dir/test_baselines_integration.cpp.o" "gcc" "tests/CMakeFiles/bpd_tests.dir/test_baselines_integration.cpp.o.d"
+  "/root/repo/tests/test_bypassd.cpp" "tests/CMakeFiles/bpd_tests.dir/test_bypassd.cpp.o" "gcc" "tests/CMakeFiles/bpd_tests.dir/test_bypassd.cpp.o.d"
+  "/root/repo/tests/test_coverage2.cpp" "tests/CMakeFiles/bpd_tests.dir/test_coverage2.cpp.o" "gcc" "tests/CMakeFiles/bpd_tests.dir/test_coverage2.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/bpd_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/bpd_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_ext4.cpp" "tests/CMakeFiles/bpd_tests.dir/test_ext4.cpp.o" "gcc" "tests/CMakeFiles/bpd_tests.dir/test_ext4.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/bpd_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/bpd_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_fs_structures.cpp" "tests/CMakeFiles/bpd_tests.dir/test_fs_structures.cpp.o" "gcc" "tests/CMakeFiles/bpd_tests.dir/test_fs_structures.cpp.o.d"
+  "/root/repo/tests/test_iommu.cpp" "tests/CMakeFiles/bpd_tests.dir/test_iommu.cpp.o" "gcc" "tests/CMakeFiles/bpd_tests.dir/test_iommu.cpp.o.d"
+  "/root/repo/tests/test_kernel.cpp" "tests/CMakeFiles/bpd_tests.dir/test_kernel.cpp.o" "gcc" "tests/CMakeFiles/bpd_tests.dir/test_kernel.cpp.o.d"
+  "/root/repo/tests/test_mem.cpp" "tests/CMakeFiles/bpd_tests.dir/test_mem.cpp.o" "gcc" "tests/CMakeFiles/bpd_tests.dir/test_mem.cpp.o.d"
+  "/root/repo/tests/test_ondisk_recovery.cpp" "tests/CMakeFiles/bpd_tests.dir/test_ondisk_recovery.cpp.o" "gcc" "tests/CMakeFiles/bpd_tests.dir/test_ondisk_recovery.cpp.o.d"
+  "/root/repo/tests/test_ssd.cpp" "tests/CMakeFiles/bpd_tests.dir/test_ssd.cpp.o" "gcc" "tests/CMakeFiles/bpd_tests.dir/test_ssd.cpp.o.d"
+  "/root/repo/tests/test_stats_random.cpp" "tests/CMakeFiles/bpd_tests.dir/test_stats_random.cpp.o" "gcc" "tests/CMakeFiles/bpd_tests.dir/test_stats_random.cpp.o.d"
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/bpd_tests.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/bpd_tests.dir/test_stress.cpp.o.d"
+  "/root/repo/tests/test_table3.cpp" "tests/CMakeFiles/bpd_tests.dir/test_table3.cpp.o" "gcc" "tests/CMakeFiles/bpd_tests.dir/test_table3.cpp.o.d"
+  "/root/repo/tests/test_vmm.cpp" "tests/CMakeFiles/bpd_tests.dir/test_vmm.cpp.o" "gcc" "tests/CMakeFiles/bpd_tests.dir/test_vmm.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/bpd_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/bpd_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vmm/CMakeFiles/bpd_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/monetad/CMakeFiles/bpd_monetad.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/bpd_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/bpd_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/bpd_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/bypassd/CMakeFiles/bpd_bypassd.dir/DependInfo.cmake"
+  "/root/repo/build/src/spdk/CMakeFiles/bpd_spdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/xrp/CMakeFiles/bpd_xrp.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/bpd_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/bpd_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/bpd_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/bpd_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bpd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bpd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
