@@ -7,6 +7,10 @@
  * simulated time) and guard against performance regressions.
  */
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include <benchmark/benchmark.h>
 
 #include "fs/block_allocator.hpp"
@@ -16,8 +20,79 @@
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
+#include "ssd/block_store.hpp"
 
 using namespace bpd;
+
+// ---------------------------------------------------------------------
+// Global allocation counter: replaces operator new/delete for this
+// binary so benchmarks can assert hot paths are allocation-free (the
+// "allocs/op" counter on the event-queue benches must read 0).
+// ---------------------------------------------------------------------
+
+static std::atomic<std::uint64_t> g_allocCount{0};
+
+void *
+operator new(std::size_t n)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace {
+
+/** Track allocations across a benchmark loop and report allocs/op. */
+class AllocCounter
+{
+  public:
+    void start() { start_ = g_allocCount.load(); }
+
+    void
+    report(benchmark::State &state)
+    {
+        const double allocs
+            = static_cast<double>(g_allocCount.load() - start_);
+        state.counters["allocs/op"] = benchmark::Counter(
+            allocs, benchmark::Counter::kAvgIterations);
+    }
+
+  private:
+    std::uint64_t start_ = 0;
+};
+
+} // namespace
 
 static void
 BM_PageTableWalk(benchmark::State &state)
@@ -113,6 +188,130 @@ BM_EventDispatch(benchmark::State &state)
     benchmark::DoNotOptimize(sink);
 }
 BENCHMARK(BM_EventDispatch);
+
+static void
+BM_EventQueueScheduleRunOne(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    std::uint64_t sink = 0;
+    // Warm the slab and heap storage so steady state is measured.
+    for (int i = 0; i < 64; i++)
+        eq.after(1, [&sink]() { sink++; });
+    eq.run();
+    AllocCounter allocs;
+    allocs.start();
+    for (auto _ : state) {
+        eq.after(10, [&sink]() { sink++; });
+        eq.runOne();
+    }
+    allocs.report(state);
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleRunOne);
+
+static void
+BM_EventQueueCancel(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    std::uint64_t sink = 0;
+    eq.after(1, [&sink]() { sink++; });
+    eq.run();
+    AllocCounter allocs;
+    allocs.start();
+    for (auto _ : state) {
+        const sim::EventId id = eq.after(10, [&sink]() { sink++; });
+        eq.after(10, [&sink]() { sink++; });
+        benchmark::DoNotOptimize(eq.cancel(id));
+        eq.runOne(); // reclaims the cancelled zombie, runs the survivor
+    }
+    allocs.report(state);
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueCancel);
+
+static void
+BM_EventQueueChurn1k(benchmark::State &state)
+{
+    // Steady-state heap churn with 1024 pending events at mixed times,
+    // the shape macro runs produce.
+    sim::EventQueue eq;
+    sim::Rng rng(7);
+    std::uint64_t sink = 0;
+    for (int i = 0; i < 1024; i++)
+        eq.after(1 + rng.nextUint(1000), [&sink]() { sink++; });
+    AllocCounter allocs;
+    allocs.start();
+    for (auto _ : state) {
+        eq.after(1000 + rng.nextUint(1000), [&sink]() { sink++; });
+        eq.runOne();
+    }
+    allocs.report(state);
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueChurn1k);
+
+static void
+BM_BlockStoreWrite4K(benchmark::State &state)
+{
+    ssd::BlockStore bs(1ull << 30);
+    std::vector<std::uint8_t> buf(4096, 0xa5);
+    sim::Rng rng(11);
+    for (auto _ : state)
+        bs.write(rng.nextUint(1 << 18) * 4096ull, buf);
+    benchmark::DoNotOptimize(bs.residentBytes());
+}
+BENCHMARK(BM_BlockStoreWrite4K);
+
+static void
+BM_BlockStoreRead4K(benchmark::State &state)
+{
+    ssd::BlockStore bs(1ull << 30);
+    std::vector<std::uint8_t> init(ssd::BlockStore::kExtentBytes, 0x5a);
+    for (std::uint64_t off = 0; off < (64ull << 20);
+         off += init.size())
+        bs.write(off, init);
+    std::vector<std::uint8_t> buf(4096);
+    sim::Rng rng(12);
+    for (auto _ : state) {
+        bs.read(rng.nextUint(1 << 14) * 4096ull, buf);
+        benchmark::DoNotOptimize(buf.data());
+    }
+}
+BENCHMARK(BM_BlockStoreRead4K);
+
+static void
+BM_BlockStoreReadSeq64K(benchmark::State &state)
+{
+    ssd::BlockStore bs(1ull << 30);
+    std::vector<std::uint8_t> init(ssd::BlockStore::kExtentBytes, 0x5a);
+    for (std::uint64_t off = 0; off < (64ull << 20);
+         off += init.size())
+        bs.write(off, init);
+    std::vector<std::uint8_t> buf(64 * 1024);
+    std::uint64_t off = 0;
+    for (auto _ : state) {
+        bs.read(off % (64ull << 20), buf);
+        off += buf.size();
+        benchmark::DoNotOptimize(buf.data());
+    }
+}
+BENCHMARK(BM_BlockStoreReadSeq64K);
+
+static void
+BM_BlockStoreIsZero(benchmark::State &state)
+{
+    ssd::BlockStore bs(1ull << 30);
+    std::vector<std::uint8_t> buf(4096, 0xff);
+    // Half the probed blocks written, half trimmed back to zero.
+    for (std::uint64_t b = 0; b < 4096; b++)
+        bs.write(b * 4096, buf);
+    bs.zeroBlocks(2048, 2048);
+    sim::Rng rng(13);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            bs.isZero(rng.nextUint(4096) * 4096ull, 4096));
+}
+BENCHMARK(BM_BlockStoreIsZero);
 
 static void
 BM_HistogramPercentile(benchmark::State &state)

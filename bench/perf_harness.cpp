@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Wall-clock performance harness for the simulator itself.
+ *
+ * Runs three representative macro scenarios (a fig9-style 24-thread
+ * random-read sweep cell, a fig13-style WiredTiger YCSB-A run, and the
+ * fig12 revocation timeline) and reports, per scenario:
+ *
+ *  - events executed and simulated nanoseconds covered,
+ *  - host wall-clock seconds and events/second (the headline number),
+ *  - a 64-bit FNV-1a digest of the *simulated* outputs (ops, latency
+ *    percentiles, timeline buckets, ...) which must be bit-identical
+ *    across purely host-side optimizations (invariant 9).
+ *
+ * Output is a JSON document (schema "bypassd-bench-v1", documented in
+ * README.md). Compare two runs with tools/perf_report, which also emits
+ * the merged BENCH_PR.json trajectory file.
+ *
+ * Usage: perf_harness [--quick] [--label NAME] [--out FILE]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/resource.h>
+
+#include "apps/wiredtiger.hpp"
+#include "bench/common.hpp"
+#include "workloads/fio.hpp"
+
+using namespace bpd;
+
+namespace {
+
+/** FNV-1a over 64-bit words; chained across all scenario outputs. */
+std::uint64_t
+fnv(std::uint64_t h, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; i++) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+fnvDouble(std::uint64_t h, double d)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return fnv(h, bits);
+}
+
+constexpr std::uint64_t kFnvSeed = 0xcbf29ce484222325ull;
+
+std::uint64_t
+hashHistogram(std::uint64_t h, const sim::Histogram &hist)
+{
+    h = fnv(h, hist.count());
+    h = fnv(h, hist.min());
+    h = fnv(h, hist.max());
+    h = fnv(h, hist.p50());
+    h = fnv(h, hist.p99());
+    h = fnv(h, hist.p999());
+    return h;
+}
+
+struct ScenarioResult
+{
+    std::string name;
+    std::uint64_t events = 0;   //!< simulator events executed
+    Time simNs = 0;             //!< virtual time covered
+    double wallSec = 0;         //!< host wall-clock
+    std::uint64_t digest = 0;   //!< FNV-1a of simulated outputs
+    double metric = 0;          //!< scenario-native throughput metric
+    std::string metricName;
+
+    double
+    eventsPerSec() const
+    {
+        return wallSec > 0 ? static_cast<double>(events) / wallSec : 0;
+    }
+};
+
+double
+wallNow()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Fig. 9 cell: 24 threads of 4 KiB BypassD random reads. */
+ScenarioResult
+runFig9Randread(bool quick)
+{
+    ScenarioResult r;
+    r.name = "fig9_randread_24t";
+    r.metricName = "iops";
+
+    sim::setVerbose(false);
+    sys::SystemConfig cfg;
+    cfg.deviceBytes = 16ull << 30;
+    sys::System s(cfg);
+
+    wl::FioJob job;
+    job.engine = wl::Engine::Bypassd;
+    job.rw = wl::RwMode::RandRead;
+    job.bs = 4096;
+    job.numJobs = 24;
+    job.runtime = (quick ? 10 : 60) * kMs;
+    job.warmup = 1 * kMs;
+    job.fileBytes = 256ull << 20;
+
+    const double t0 = wallNow();
+    wl::FioRunner runner(s);
+    const wl::FioResult res = runner.run(job);
+    r.wallSec = wallNow() - t0;
+
+    r.events = s.eq.executed();
+    r.simNs = s.now();
+    r.metric = res.iops();
+
+    std::uint64_t h = kFnvSeed;
+    h = fnv(h, res.ops);
+    h = fnv(h, res.bytes);
+    h = fnv(h, res.elapsed);
+    h = hashHistogram(h, res.latency);
+    h = fnv(h, s.now());
+    h = fnv(h, s.eq.executed());
+    r.digest = h;
+    return r;
+}
+
+/** Fig. 13 cell: WiredTiger YCSB-A, 16 threads, BypassD engine. */
+ScenarioResult
+runFig13WiredTiger(bool quick)
+{
+    ScenarioResult r;
+    r.name = "fig13_wiredtiger_ycsba";
+    r.metricName = "kops";
+
+    auto s = bench::makeSystem(16ull << 30);
+    apps::WiredTigerConfig cfg;
+    cfg.records = 4'000'000;
+    cfg.cacheBytes = 28ull << 20;
+    cfg.engine = apps::WtEngine::Bypassd;
+    apps::WiredTigerModel wt(*s, cfg);
+
+    const double t0 = wallNow();
+    wt.setup();
+    const unsigned threads = 16;
+    wt.run(wl::Ycsb::A, threads, 4000 / threads); // cache warmup
+    const auto res
+        = wt.run(wl::Ycsb::A, threads, quick ? 800 : 2500);
+    r.wallSec = wallNow() - t0;
+
+    r.events = s->eq.executed();
+    r.simNs = s->now();
+    r.metric = res.kops;
+
+    std::uint64_t h = kFnvSeed;
+    h = fnv(h, res.ops);
+    h = fnv(h, res.deviceIos);
+    h = fnv(h, res.elapsed);
+    h = hashHistogram(h, res.latency);
+    h = fnv(h, s->now());
+    h = fnv(h, s->eq.executed());
+    r.digest = h;
+    return r;
+}
+
+/** Fig. 12: BypassD reader with kernel revocation mid-run. */
+ScenarioResult
+runFig12Revocation(bool quick)
+{
+    ScenarioResult r;
+    r.name = "fig12_revocation";
+    r.metricName = "mb_per_s";
+
+    auto s = bench::makeSystem(16ull << 30);
+    kern::Process &reader = s->newProcess(1000, 1000);
+    const int cfd
+        = s->kernel.setupCreateFile(reader, "/shared.db", 1ull << 30, 0);
+    int rc = -1;
+    s->kernel.sysClose(reader, cfd, [&rc](int cr) { rc = cr; });
+    s->run();
+
+    bypassd::UserLib &lib = s->userLib(reader);
+    int fd = -1;
+    lib.open("/shared.db", fs::kOpenRead | fs::kOpenDirect, 0644,
+             [&fd](int f) { fd = f; });
+    s->run();
+    sim::panicIf(fd < 0 || !lib.isDirect(fd), "reader open failed");
+    lib.prepareThread(0);
+    s->kernel.cpu().acquire(1);
+
+    const double t0 = wallNow();
+    const Time horizon = (quick ? 2 : 8) * kSec;
+    const Time revokeT = horizon / 2;
+    const Time tEnd = s->now() + horizon;
+    sim::TimeSeries throughput(250 * kMs);
+    std::vector<std::uint8_t> buf(4096);
+    sim::Rng rng(5);
+
+    auto loop = std::make_shared<std::function<void()>>();
+    *loop = [&, loop]() {
+        if (s->now() >= tEnd)
+            return;
+        const std::uint64_t off
+            = rng.nextUint((1ull << 30) / 4096) * 4096;
+        lib.pread(0, fd, buf, off,
+                  [&, loop](long long n, kern::IoTrace) {
+                      if (n > 0)
+                          throughput.record(s->now(),
+                                            static_cast<double>(n));
+                      (*loop)();
+                  });
+    };
+    (*loop)();
+
+    kern::Process &intruder = s->newProcess(1000, 1000);
+    Time revokeAt = 0;
+    s->eq.schedule(revokeT, [&]() {
+        s->kernel.sysOpen(intruder, "/shared.db", fs::kOpenRead, 0644,
+                          [&](int f) {
+                              sim::panicIf(f < 0, "buffered open failed");
+                              revokeAt = s->now();
+                          });
+    });
+
+    s->run();
+    s->kernel.cpu().release(1);
+    r.wallSec = wallNow() - t0;
+
+    r.events = s->eq.executed();
+    r.simNs = s->now();
+
+    double total = 0;
+    std::uint64_t h = kFnvSeed;
+    for (std::size_t b = 0; b < throughput.buckets(); b++) {
+        h = fnvDouble(h, throughput.bucketSum(b));
+        total += throughput.bucketSum(b);
+    }
+    h = fnv(h, revokeAt);
+    h = fnv(h, lib.iommuFaults());
+    h = fnv(h, s->module.revocations());
+    h = fnv(h, s->now());
+    h = fnv(h, s->eq.executed());
+    r.digest = h;
+    r.metric = total / 1e6
+               / (static_cast<double>(horizon) / kSec); // MB/s
+    return r;
+}
+
+std::uint64_t
+peakRssBytes()
+{
+    struct rusage ru;
+    getrusage(RUSAGE_SELF, &ru);
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024; // Linux: KiB
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string label = "local";
+    std::string out;
+    for (int i = 1; i < argc; i++) {
+        const std::string a = argv[i];
+        if (a == "--quick") {
+            quick = true;
+        } else if (a == "--label" && i + 1 < argc) {
+            label = argv[++i];
+        } else if (a == "--out" && i + 1 < argc) {
+            out = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: perf_harness [--quick] [--label NAME] "
+                         "[--out FILE]\n");
+            return 2;
+        }
+    }
+
+    bench::banner("perf_harness",
+                  quick ? "simulator wall-clock scenarios (quick)"
+                        : "simulator wall-clock scenarios");
+
+    std::vector<ScenarioResult> results;
+    results.push_back(runFig9Randread(quick));
+    results.push_back(runFig13WiredTiger(quick));
+    results.push_back(runFig12Revocation(quick));
+
+    std::printf("%-24s %12s %10s %14s %12s  %s\n", "scenario", "events",
+                "wall(s)", "events/sec", "metric", "digest");
+    for (const auto &r : results) {
+        std::printf("%-24s %12llu %10.3f %14.0f %9.0f %s %016llx\n",
+                    r.name.c_str(), (unsigned long long)r.events,
+                    r.wallSec, r.eventsPerSec(), r.metric,
+                    r.metricName.c_str(),
+                    (unsigned long long)r.digest);
+    }
+    std::printf("peak RSS: %.1f MB\n",
+                static_cast<double>(peakRssBytes()) / (1 << 20));
+
+    if (!out.empty()) {
+        std::FILE *f = std::fopen(out.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", out.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n");
+        std::fprintf(f, "  \"schema\": \"bypassd-bench-v1\",\n");
+        std::fprintf(f, "  \"label\": \"%s\",\n", label.c_str());
+        std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+        std::fprintf(f, "  \"peak_rss_bytes\": %llu,\n",
+                     (unsigned long long)peakRssBytes());
+        std::fprintf(f, "  \"scenarios\": [\n");
+        for (std::size_t i = 0; i < results.size(); i++) {
+            const auto &r = results[i];
+            std::fprintf(f, "    {\n");
+            std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
+            std::fprintf(f, "      \"events\": %llu,\n",
+                         (unsigned long long)r.events);
+            std::fprintf(f, "      \"sim_ns\": %llu,\n",
+                         (unsigned long long)r.simNs);
+            std::fprintf(f, "      \"wall_sec\": %.6f,\n", r.wallSec);
+            std::fprintf(f, "      \"events_per_sec\": %.1f,\n",
+                         r.eventsPerSec());
+            std::fprintf(f, "      \"%s\": %.3f,\n", r.metricName.c_str(),
+                         r.metric);
+            std::fprintf(f, "      \"digest\": \"%016llx\"\n",
+                         (unsigned long long)r.digest);
+            std::fprintf(f, "    }%s\n",
+                         i + 1 < results.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", out.c_str());
+    }
+    return 0;
+}

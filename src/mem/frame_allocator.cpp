@@ -33,8 +33,11 @@ FrameAllocator::alloc()
 void
 FrameAllocator::checkLive(Frame f) const
 {
-    sim::panicIf(f == kNullFrame || f >= frames_.size() || !liveMap_[f],
-                 sim::strf("access to dead frame %u", f));
+    // Branch before formatting: this guard runs on every frame access,
+    // and building the message eagerly would dominate the walk hot path.
+    if (f == kNullFrame || f >= frames_.size() || !liveMap_[f])
+        [[unlikely]]
+        sim::panic(sim::strf("access to dead frame %u", f));
 }
 
 void

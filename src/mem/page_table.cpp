@@ -45,6 +45,7 @@ PageTable::ensureChild(Frame parent, unsigned idx, bool writable)
 void
 PageTable::set(Vaddr va, Pte pte)
 {
+    invalidateWalkCache();
     Frame cur = root_;
     for (unsigned level = 3; level >= 1; level--)
         cur = ensureChild(cur, ptIndex(va, level), true);
@@ -66,6 +67,7 @@ PageTable::get(Vaddr va) const
 void
 PageTable::clear(Vaddr va)
 {
+    invalidateWalkCache();
     Frame cur = root_;
     for (unsigned level = 3; level >= 1; level--) {
         cur = childOf(cur, ptIndex(va, level));
@@ -81,6 +83,7 @@ PageTable::attachTable(Vaddr va, unsigned level, Frame table, bool writable)
     sim::panicIf(level < 1 || level > 2, "attach level must be 1 or 2");
     sim::panicIf(va % levelSpan(level) != 0,
                  "attach va not aligned to level span");
+    invalidateWalkCache();
     unsigned writes = 0;
     Frame cur = root_;
     for (unsigned l = 3; l > level; l--) {
@@ -117,6 +120,7 @@ bool
 PageTable::detachTable(Vaddr va, unsigned level)
 {
     sim::panicIf(level < 1 || level > 2, "detach level must be 1 or 2");
+    invalidateWalkCache();
     Frame cur = root_;
     for (unsigned l = 3; l > level; l--) {
         cur = childOf(cur, ptIndex(va, l));
@@ -148,6 +152,23 @@ PageTable::Walk
 PageTable::walk(Vaddr va) const
 {
     Walk w;
+    const Vaddr region = va >> 21;
+    if (cachedGen_ == mutGen_ && cachedRegion_ == region) {
+        // Fast path: upper three levels unchanged since last resolved;
+        // only the leaf entry needs reading. framesRead reports the full
+        // walk so modeled timing matches the uncached path exactly.
+        w.framesRead = 4;
+        const Pte e = fa_.table(cachedLeafTable_)[ptIndex(va, 0)];
+        if (!isPresent(e)) {
+            w.present = false;
+            w.writable = false;
+            return w;
+        }
+        w.present = true;
+        w.writable = cachedUpperWritable_ && isWritable(e);
+        w.leaf = e;
+        return w;
+    }
     w.writable = true;
     Frame cur = root_;
     for (unsigned level = 3;; level--) {
@@ -170,6 +191,12 @@ PageTable::walk(Vaddr va) const
             w.present = true;
             w.leaf = e;
             return w;
+        }
+        if (level == 1) {
+            cachedGen_ = mutGen_;
+            cachedRegion_ = region;
+            cachedLeafTable_ = frameOf(e);
+            cachedUpperWritable_ = w.writable;
         }
         cur = frameOf(e);
     }

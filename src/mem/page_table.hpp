@@ -99,9 +99,27 @@ class PageTable
     Frame childOf(Frame parent, unsigned idx) const;
     Frame ensureChild(Frame parent, unsigned idx, bool writable);
 
+    /** Invalidate the walker's cached upper path after any mutation. */
+    void invalidateWalkCache() { mutGen_++; }
+
     FrameAllocator &fa_;
     Frame root_;
     std::unordered_set<Frame> owned_;
+
+    /**
+     * One-entry walker cache of the last resolved upper path (PGD->PMD):
+     * for the cached 2 MiB region, walk() jumps straight to the leaf
+     * table. Sequential VBA sweeps (Figs. 8/9) hit it almost always.
+     * Leaf entries are read fresh each walk, so shared file-table frames
+     * updated behind our back stay coherent; structural mutations bump
+     * mutGen_ which invalidates the cache. framesRead still reports the
+     * full 4-level cost, keeping the simulated timing identical.
+     */
+    std::uint64_t mutGen_ = 1;
+    mutable std::uint64_t cachedGen_ = 0;
+    mutable Vaddr cachedRegion_ = 0;   //!< va >> 21
+    mutable Frame cachedLeafTable_ = kNullFrame;
+    mutable bool cachedUpperWritable_ = false;
 };
 
 } // namespace bpd::mem

@@ -1,18 +1,100 @@
 #include "sim/event_queue.hpp"
 
+#include <utility>
+
 #include "sim/logging.hpp"
 
 namespace bpd::sim {
 
+namespace {
+
+/** Compose the public id from a slot index and its generation stamp. */
+inline EventId
+makeId(std::uint32_t slot, std::uint32_t gen)
+{
+    return (static_cast<EventId>(slot + 1) << 32) | gen;
+}
+
+} // namespace
+
+std::uint32_t
+EventQueue::allocSlot()
+{
+    if (freeHead_ != kNilSlot) {
+        const std::uint32_t s = freeHead_;
+        freeHead_ = slots_[s].nextFree;
+        return s;
+    }
+    panicIf(slots_.size() >= kNilSlot, "event slab exhausted");
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t slot)
+{
+    Slot &s = slots_[slot];
+    s.cb.reset();
+    s.armed = false;
+    s.gen++; // stale every outstanding id naming this slot
+    s.nextFree = freeHead_;
+    freeHead_ = slot;
+}
+
+void
+EventQueue::heapPush(const HeapEntry &e)
+{
+    heap_.push_back(e);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 4;
+        if (!earlier(heap_[i], heap_[parent]))
+            break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
+    }
+}
+
+EventQueue::HeapEntry
+EventQueue::heapPop()
+{
+    const HeapEntry top = heap_[0];
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+        const std::size_t first = 4 * i + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        const std::size_t last = std::min(first + 4, n);
+        for (std::size_t c = first + 1; c < last; c++) {
+            if (earlier(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!earlier(heap_[best], heap_[i]))
+            break;
+        std::swap(heap_[i], heap_[best]);
+        i = best;
+    }
+    return top;
+}
+
 EventId
 EventQueue::schedule(Time when, Callback cb)
 {
-    panicIf(when < now_, strf("scheduling into the past: %llu < %llu",
-                              (unsigned long long)when,
-                              (unsigned long long)now_));
-    EventId id = nextId_++;
-    heap_.push(Entry{when, id, std::move(cb)});
-    return id;
+    if (when < now_) [[unlikely]]
+        panic(strf("scheduling into the past: %llu < %llu",
+                   (unsigned long long)when,
+                   (unsigned long long)now_));
+    const std::uint32_t slot = allocSlot();
+    Slot &s = slots_[slot];
+    s.cb = std::move(cb);
+    s.armed = true;
+    heapPush(HeapEntry{when, nextSeq_++, slot});
+    live_++;
+    return makeId(slot, s.gen);
 }
 
 EventId
@@ -24,27 +106,40 @@ EventQueue::after(Time delay, Callback cb)
 bool
 EventQueue::cancel(EventId id)
 {
-    if (id == kNoEvent || id >= nextId_)
+    if (id == kNoEvent)
         return false;
-    // We cannot efficiently remove from the heap; remember the id and skip
-    // it at pop time. The set is purged as entries surface.
-    return cancelled_.insert(id).second;
+    const std::uint64_t slotPlus1 = id >> 32;
+    if (slotPlus1 == 0 || slotPlus1 > slots_.size())
+        return false;
+    const std::uint32_t slot = static_cast<std::uint32_t>(slotPlus1 - 1);
+    Slot &s = slots_[slot];
+    if (!s.armed || s.gen != static_cast<std::uint32_t>(id))
+        return false;
+    // The heap entry stays behind as a zombie and is discarded (and the
+    // slot recycled) when it surfaces; only then may the slot be reused,
+    // so a live heap entry can never alias a fresh event.
+    s.cb.reset();
+    s.armed = false;
+    live_--;
+    return true;
 }
 
 bool
 EventQueue::popAndRun()
 {
     while (!heap_.empty()) {
-        Entry e = heap_.top();
-        heap_.pop();
-        auto it = cancelled_.find(e.id);
-        if (it != cancelled_.end()) {
-            cancelled_.erase(it);
+        const HeapEntry e = heapPop();
+        Slot &s = slots_[e.slot];
+        if (!s.armed) { // cancelled; reclaim the zombie slot
+            releaseSlot(e.slot);
             continue;
         }
         now_ = e.when;
-        ++executed_;
-        e.cb();
+        executed_++;
+        live_--;
+        Callback cb = std::move(s.cb);
+        releaseSlot(e.slot); // before invoking: callbacks may schedule
+        cb();
         return true;
     }
     return false;
@@ -68,13 +163,10 @@ EventQueue::runUntil(Time t)
 {
     std::size_t n = 0;
     while (!heap_.empty()) {
-        // Skip cancelled heads so .when is meaningful.
-        while (!heap_.empty()
-               && cancelled_.count(heap_.top().id)) {
-            cancelled_.erase(heap_.top().id);
-            heap_.pop();
-        }
-        if (heap_.empty() || heap_.top().when > t)
+        // Discard cancelled heads so the head's .when is meaningful.
+        while (!heap_.empty() && !slots_[heap_[0].slot].armed)
+            releaseSlot(heapPop().slot);
+        if (heap_.empty() || heap_[0].when > t)
             break;
         if (popAndRun())
             ++n;

@@ -54,7 +54,8 @@ Rng::next()
 std::uint64_t
 Rng::nextUint(std::uint64_t bound)
 {
-    panicIf(bound == 0, "nextUint bound must be > 0");
+    if (bound == 0) [[unlikely]]
+        panic("nextUint bound must be > 0");
     // Lemire's multiply-shift rejection method.
     std::uint64_t x = next();
     __uint128_t m = static_cast<__uint128_t>(x) * bound;

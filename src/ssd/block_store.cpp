@@ -17,11 +17,52 @@ BlockStore::BlockStore(std::uint64_t capacityBytes)
 void
 BlockStore::checkRange(DevAddr addr, std::uint64_t len) const
 {
-    sim::panicIf(addr + len > capacity_ || addr + len < addr,
-                 sim::strf("device access out of range: %llu+%llu > %llu",
-                           (unsigned long long)addr,
-                           (unsigned long long)len,
-                           (unsigned long long)capacity_));
+    if (addr + len > capacity_ || addr + len < addr) [[unlikely]]
+        sim::panic(
+            sim::strf("device access out of range: %llu+%llu > %llu",
+                      (unsigned long long)addr,
+                      (unsigned long long)len,
+                      (unsigned long long)capacity_));
+}
+
+const BlockStore::Extent *
+BlockStore::findExtent(std::uint64_t idx) const
+{
+    if (idx == lastIdx_)
+        return lastExt_;
+    auto it = extents_.find(idx);
+    if (it == extents_.end())
+        return nullptr;
+    lastIdx_ = idx;
+    lastExt_ = it->second.get();
+    return lastExt_;
+}
+
+BlockStore::Extent &
+BlockStore::ensureExtent(std::uint64_t idx)
+{
+    if (idx == lastIdx_ && lastExt_)
+        return *lastExt_;
+    auto &slot = extents_[idx];
+    if (!slot) {
+        slot = std::make_unique<Extent>();
+        slot->data.reset(static_cast<std::uint8_t *>(
+            std::calloc(kExtentBytes, 1)));
+        sim::panicIf(!slot->data, "out of memory materializing extent");
+    }
+    lastIdx_ = idx;
+    lastExt_ = slot.get();
+    return *slot;
+}
+
+void
+BlockStore::dropExtent(std::uint64_t idx)
+{
+    extents_.erase(idx);
+    if (idx == lastIdx_) {
+        lastIdx_ = ~0ull;
+        lastExt_ = nullptr;
+    }
 }
 
 void
@@ -31,15 +72,16 @@ BlockStore::read(DevAddr addr, std::span<std::uint8_t> out) const
     std::size_t done = 0;
     while (done < out.size()) {
         const DevAddr cur = addr + done;
-        const std::uint64_t chunkIdx = cur / kBlockBytes;
-        const std::size_t off = cur % kBlockBytes;
+        const std::uint64_t idx = cur / kExtentBytes;
+        const std::size_t off = cur % kExtentBytes;
         const std::size_t n
-            = std::min(out.size() - done, kBlockBytes - off);
-        auto it = chunks_.find(chunkIdx);
-        if (it == chunks_.end())
+            = std::min<std::uint64_t>(out.size() - done,
+                                      kExtentBytes - off);
+        const Extent *e = findExtent(idx);
+        if (e == nullptr)
             std::memset(out.data() + done, 0, n);
         else
-            std::memcpy(out.data() + done, it->second->data() + off, n);
+            std::memcpy(out.data() + done, e->data.get() + off, n);
         done += n;
     }
 }
@@ -51,15 +93,25 @@ BlockStore::write(DevAddr addr, std::span<const std::uint8_t> in)
     std::size_t done = 0;
     while (done < in.size()) {
         const DevAddr cur = addr + done;
-        const std::uint64_t chunkIdx = cur / kBlockBytes;
-        const std::size_t off = cur % kBlockBytes;
-        const std::size_t n = std::min(in.size() - done, kBlockBytes - off);
-        auto &chunk = chunks_[chunkIdx];
-        if (!chunk) {
-            chunk = std::make_unique<Chunk>();
-            chunk->fill(0);
+        const std::uint64_t idx = cur / kExtentBytes;
+        const std::size_t off = cur % kExtentBytes;
+        const std::size_t n
+            = std::min<std::uint64_t>(in.size() - done,
+                                      kExtentBytes - off);
+        Extent &e = ensureExtent(idx);
+        std::memcpy(e.data.get() + off, in.data() + done, n);
+        const std::uint64_t firstBlk = off / kBlockBytes;
+        const std::uint64_t lastBlk = (off + n - 1) / kBlockBytes;
+        for (std::uint64_t b = firstBlk; b <= lastBlk; b++) {
+            if (!testBit(e.written, b)) {
+                setBit(e.written, b);
+                e.writtenCount++;
+                residentBlocks_++;
+            }
+            // Conservative: the block may now hold nonzero bytes;
+            // isZero() falls back to an exact scan for flagged blocks.
+            setBit(e.nonzero, b);
         }
-        std::memcpy(chunk->data() + off, in.data() + done, n);
         done += n;
     }
 }
@@ -68,8 +120,32 @@ void
 BlockStore::zeroBlocks(BlockNo start, std::uint64_t count)
 {
     checkRange(start * kBlockBytes, count * kBlockBytes);
-    for (std::uint64_t b = start; b < start + count; b++)
-        chunks_.erase(b);
+    for (std::uint64_t b = start; b < start + count;) {
+        const std::uint64_t idx = b * kBlockBytes / kExtentBytes;
+        const std::uint64_t firstInExt = b % kExtentBlocks;
+        const std::uint64_t spanInExt = std::min(
+            start + count - b, kExtentBlocks - firstInExt);
+        auto it = extents_.find(idx);
+        if (it != extents_.end()) {
+            Extent &e = *it->second;
+            for (std::uint64_t i = firstInExt;
+                 i < firstInExt + spanInExt; i++) {
+                if (testBit(e.nonzero, i)) {
+                    std::memset(e.data.get() + i * kBlockBytes, 0,
+                                kBlockBytes);
+                    clearBit(e.nonzero, i);
+                }
+                if (testBit(e.written, i)) {
+                    clearBit(e.written, i);
+                    e.writtenCount--;
+                    residentBlocks_--;
+                }
+            }
+            if (e.writtenCount == 0)
+                dropExtent(idx);
+        }
+        b += spanInExt;
+    }
 }
 
 bool
@@ -79,16 +155,26 @@ BlockStore::isZero(DevAddr addr, std::uint64_t len) const
     std::uint64_t done = 0;
     while (done < len) {
         const DevAddr cur = addr + done;
-        const std::uint64_t chunkIdx = cur / kBlockBytes;
-        const std::size_t off = cur % kBlockBytes;
-        const std::size_t n
-            = std::min<std::uint64_t>(len - done, kBlockBytes - off);
-        auto it = chunks_.find(chunkIdx);
-        if (it != chunks_.end()) {
-            const std::uint8_t *p = it->second->data() + off;
-            for (std::size_t i = 0; i < n; i++) {
-                if (p[i] != 0)
-                    return false;
+        const std::uint64_t idx = cur / kExtentBytes;
+        const std::size_t off = cur % kExtentBytes;
+        const std::size_t n = std::min<std::uint64_t>(
+            len - done, kExtentBytes - off);
+        const Extent *e = findExtent(idx);
+        if (e != nullptr) {
+            const std::uint64_t firstBlk = off / kBlockBytes;
+            const std::uint64_t lastBlk = (off + n - 1) / kBlockBytes;
+            for (std::uint64_t b = firstBlk; b <= lastBlk; b++) {
+                if (!testBit(e->nonzero, b))
+                    continue; // metadata proves the block is zero
+                const std::size_t lo = std::max<std::size_t>(
+                    off, b * kBlockBytes);
+                const std::size_t hi = std::min<std::size_t>(
+                    off + n, (b + 1) * kBlockBytes);
+                const std::uint8_t *p = e->data.get() + lo;
+                for (std::size_t i = 0; i < hi - lo; i++) {
+                    if (p[i] != 0)
+                        return false;
+                }
             }
         }
         done += n;
@@ -99,7 +185,7 @@ BlockStore::isZero(DevAddr addr, std::uint64_t len) const
 std::uint64_t
 BlockStore::residentBytes() const
 {
-    return chunks_.size() * kBlockBytes;
+    return residentBlocks_ * kBlockBytes;
 }
 
 } // namespace bpd::ssd

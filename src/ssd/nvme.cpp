@@ -76,7 +76,7 @@ NvmeDevice::createQueuePair(Pasid pasid, std::uint32_t depth, bool vbaMode)
         new QueuePair(*this, qid, pasid, depth, vbaMode));
     QueuePair *raw = qp.get();
     queues_[qid] = std::move(qp);
-    rrOrder_.push_back(qid);
+    rrOrder_.push_back(raw);
     return raw;
 }
 
@@ -111,7 +111,7 @@ NvmeDevice::destroyQueuePair(std::uint16_t qid)
         eq_.after(10 * kUs, [this, qid]() { destroyQueuePair(qid); });
         return;
     }
-    rrOrder_.erase(std::remove(rrOrder_.begin(), rrOrder_.end(), qid),
+    rrOrder_.erase(std::remove(rrOrder_.begin(), rrOrder_.end(), qp),
                    rrOrder_.end());
     if (rrNext_ >= rrOrder_.size())
         rrNext_ = 0;
@@ -172,12 +172,8 @@ NvmeDevice::tryDispatch()
             if (rrOrder_.empty())
                 break;
             rrNext_ = rrNext_ % rrOrder_.size();
-            const std::uint16_t qid = rrOrder_[rrNext_];
+            QueuePair &qp = *rrOrder_[rrNext_];
             rrNext_ = (rrNext_ + 1) % rrOrder_.size();
-            auto it = queues_.find(qid);
-            if (it == queues_.end())
-                continue;
-            QueuePair &qp = *it->second;
             if (qp.sq_.empty())
                 continue;
             Command cmd = qp.sq_.front();

@@ -267,7 +267,8 @@ class NvmeDevice
     sim::Rng rng_;
 
     std::unordered_map<std::uint16_t, std::unique_ptr<QueuePair>> queues_;
-    std::vector<std::uint16_t> rrOrder_; //!< round-robin arbitration order
+    /** Round-robin arbitration order; owning entries live in queues_. */
+    std::vector<QueuePair *> rrOrder_;
     std::size_t rrNext_ = 0;
     std::uint16_t nextQid_ = 1;
 

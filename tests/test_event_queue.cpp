@@ -132,6 +132,82 @@ TEST(EventQueue, PendingExcludesCancelled)
     eq.run();
 }
 
+TEST(EventQueue, CancelHeadTwiceThenDrain)
+{
+    // Regression: double-cancelling the head and draining must never
+    // underflow the pending() count.
+    EventQueue eq;
+    EventId a = eq.schedule(10, []() {});
+    int ran = 0;
+    eq.schedule(10, [&ran]() { ran++; });
+    EXPECT_TRUE(eq.cancel(a));
+    EXPECT_FALSE(eq.cancel(a));
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_TRUE(eq.runOne()); // skips the cancelled head, runs the other
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_FALSE(eq.runOne());
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, CancelExecutedIdFails)
+{
+    // Regression: cancelling an id that already ran must fail and must
+    // not corrupt the pending() count (the old tombstone-set accounting
+    // underflowed here).
+    EventQueue eq;
+    EventId a = eq.schedule(5, []() {});
+    eq.run();
+    EXPECT_FALSE(eq.cancel(a));
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RecycledSlotDoesNotAliasStaleId)
+{
+    EventQueue eq;
+    EventId a = eq.schedule(5, []() {});
+    EXPECT_TRUE(eq.cancel(a));
+    eq.runUntil(5); // reclaims the cancelled slot
+    bool ran = false;
+    EventId b = eq.schedule(6, [&ran]() { ran = true; });
+    EXPECT_NE(a, b);
+    EXPECT_FALSE(eq.cancel(a)); // stale id must not hit the new event
+    eq.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, OversizedCallbackFallsBackToHeap)
+{
+    EventQueue eq;
+    struct Big
+    {
+        char payload[200] = {};
+    } big;
+    big.payload[0] = 42;
+    char seen = 0;
+    eq.schedule(1, [big, &seen]() { seen = big.payload[0]; });
+    eq.run();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueue, ManyCancelledZombiesDrainCleanly)
+{
+    EventQueue eq;
+    int ran = 0;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 1000; i++)
+        ids.push_back(eq.schedule(10, [&ran]() { ran++; }));
+    for (int i = 0; i < 1000; i += 2)
+        EXPECT_TRUE(eq.cancel(ids[i]));
+    EXPECT_EQ(eq.pending(), 500u);
+    eq.run();
+    EXPECT_EQ(ran, 500);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.executed(), 500u);
+}
+
 // --- Coroutine layer ---
 //
 // NOTE: coroutine bodies are free functions taking parameters (copied

@@ -1,0 +1,358 @@
+/**
+ * @file
+ * perf_report: compares two perf_harness JSON outputs (baseline vs
+ * current), prints a speedup table, checks that per-scenario digests
+ * match (bit-identical simulated results), and writes a merged
+ * BENCH_PR.json suitable for attaching to a PR.
+ *
+ * Usage:
+ *   perf_report <baseline.json> <current.json> [--out BENCH_PR.json]
+ *
+ * Exit status is non-zero if any scenario present in both files has a
+ * digest mismatch, so CI can gate on simulation-result identity.
+ *
+ * The parser below handles exactly the "bypassd-bench-v1" schema that
+ * perf_harness emits (flat objects, string/number/bool scalars, one
+ * "scenarios" array of flat objects) — it is not a general JSON parser.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Scenario
+{
+    std::string name;
+    std::map<std::string, std::string> fields; // raw scalar tokens
+};
+
+struct BenchFile
+{
+    std::map<std::string, std::string> fields; // top-level scalars
+    std::vector<Scenario> scenarios;
+};
+
+/** Tokenizing cursor over the JSON text. */
+struct Cursor
+{
+    const std::string &s;
+    std::size_t i = 0;
+
+    void
+    skipWs()
+    {
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\n'
+                                || s[i] == '\t' || s[i] == '\r'))
+            i++;
+    }
+
+    bool
+    eat(char c)
+    {
+        skipWs();
+        if (i < s.size() && s[i] == c) {
+            i++;
+            return true;
+        }
+        return false;
+    }
+
+    [[noreturn]] void
+    fail(const char *what) const
+    {
+        std::fprintf(stderr, "perf_report: parse error near byte %zu: %s\n",
+                     i, what);
+        std::exit(2);
+    }
+
+    std::string
+    parseString()
+    {
+        skipWs();
+        if (i >= s.size() || s[i] != '"')
+            fail("expected string");
+        i++;
+        std::string out;
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\' && i + 1 < s.size())
+                i++;
+            out += s[i++];
+        }
+        if (i >= s.size())
+            fail("unterminated string");
+        i++;
+        return out;
+    }
+
+    /** A number / true / false / null, returned as its raw token. */
+    std::string
+    parseScalarToken()
+    {
+        skipWs();
+        std::size_t start = i;
+        while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ']'
+               && s[i] != '\n')
+            i++;
+        std::string t = s.substr(start, i - start);
+        while (!t.empty() && (t.back() == ' ' || t.back() == '\r'))
+            t.pop_back();
+        if (t.empty())
+            fail("expected scalar value");
+        return t;
+    }
+
+    /** Flat object: string keys mapping to scalars only. */
+    std::map<std::string, std::string>
+    parseFlatObject()
+    {
+        std::map<std::string, std::string> out;
+        if (!eat('{'))
+            fail("expected '{'");
+        skipWs();
+        if (eat('}'))
+            return out;
+        for (;;) {
+            const std::string key = parseString();
+            if (!eat(':'))
+                fail("expected ':'");
+            skipWs();
+            if (i < s.size() && s[i] == '"')
+                out[key] = parseString();
+            else
+                out[key] = parseScalarToken();
+            if (eat(','))
+                continue;
+            if (eat('}'))
+                return out;
+            fail("expected ',' or '}'");
+        }
+    }
+};
+
+BenchFile
+parseBenchFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "perf_report: cannot open %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    BenchFile bf;
+    Cursor c{text};
+    if (!c.eat('{'))
+        c.fail("expected top-level '{'");
+    for (;;) {
+        const std::string key = c.parseString();
+        if (!c.eat(':'))
+            c.fail("expected ':'");
+        if (key == "scenarios") {
+            if (!c.eat('['))
+                c.fail("expected '['");
+            c.skipWs();
+            if (!c.eat(']')) {
+                for (;;) {
+                    Scenario sc;
+                    sc.fields = c.parseFlatObject();
+                    sc.name = sc.fields.count("name")
+                                  ? sc.fields["name"]
+                                  : "?";
+                    bf.scenarios.push_back(std::move(sc));
+                    if (c.eat(','))
+                        continue;
+                    if (c.eat(']'))
+                        break;
+                    c.fail("expected ',' or ']'");
+                }
+            }
+        } else {
+            c.skipWs();
+            if (c.i < text.size() && text[c.i] == '"')
+                bf.fields[key] = c.parseString();
+            else
+                bf.fields[key] = c.parseScalarToken();
+        }
+        if (c.eat(','))
+            continue;
+        if (c.eat('}'))
+            break;
+        c.fail("expected ',' or '}'");
+    }
+    const auto it = bf.fields.find("schema");
+    if (it == bf.fields.end() || it->second != "bypassd-bench-v1") {
+        std::fprintf(stderr,
+                     "perf_report: %s: unsupported schema (want "
+                     "bypassd-bench-v1)\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    return bf;
+}
+
+double
+numField(const Scenario &s, const char *key)
+{
+    const auto it = s.fields.find(key);
+    return it == s.fields.end() ? 0.0 : std::atof(it->second.c_str());
+}
+
+std::string
+strField(const Scenario &s, const char *key)
+{
+    const auto it = s.fields.find(key);
+    return it == s.fields.end() ? std::string() : it->second;
+}
+
+const Scenario *
+findScenario(const BenchFile &bf, const std::string &name)
+{
+    for (const Scenario &s : bf.scenarios)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+/** Re-emit a flat scalar map as a JSON object body at an indent. */
+void
+emitObject(std::FILE *f, const std::map<std::string, std::string> &m,
+           const char *indent)
+{
+    bool first = true;
+    for (const auto &[k, v] : m) {
+        std::fprintf(f, "%s%s\"%s\": ", first ? "" : ",\n", indent,
+                     k.c_str());
+        // Strings were unquoted during parsing; numbers/bools kept raw.
+        const bool isRaw
+            = !v.empty()
+              && (v == "true" || v == "false" || v == "null"
+                  || v.find_first_not_of("-+.0123456789eE")
+                         == std::string::npos);
+        if (isRaw)
+            std::fprintf(f, "%s", v.c_str());
+        else
+            std::fprintf(f, "\"%s\"", v.c_str());
+        first = false;
+    }
+    std::fprintf(f, "\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string outPath;
+    std::vector<std::string> inputs;
+    for (int i = 1; i < argc; i++) {
+        const std::string a = argv[i];
+        if (a == "--out" && i + 1 < argc)
+            outPath = argv[++i];
+        else if (a == "--help" || a == "-h") {
+            std::printf("usage: perf_report <baseline.json> "
+                        "<current.json> [--out BENCH_PR.json]\n");
+            return 0;
+        } else
+            inputs.push_back(a);
+    }
+    if (inputs.size() != 2) {
+        std::fprintf(stderr, "usage: perf_report <baseline.json> "
+                             "<current.json> [--out BENCH_PR.json]\n");
+        return 2;
+    }
+
+    const BenchFile base = parseBenchFile(inputs[0]);
+    const BenchFile cur = parseBenchFile(inputs[1]);
+
+    std::printf("%-26s %14s %14s %8s  %s\n", "scenario",
+                "base ev/s", "cur ev/s", "speedup", "digest");
+    bool digestMismatch = false;
+    struct Row
+    {
+        std::string name;
+        double speedup;
+        bool match;
+    };
+    std::vector<Row> rows;
+    for (const Scenario &c : cur.scenarios) {
+        const Scenario *b = findScenario(base, c.name);
+        if (!b) {
+            std::printf("%-26s %14s %14.1f %8s  (new)\n",
+                        c.name.c_str(), "-",
+                        numField(c, "events_per_sec"), "-");
+            continue;
+        }
+        const double be = numField(*b, "events_per_sec");
+        const double ce = numField(c, "events_per_sec");
+        const double speedup = be > 0 ? ce / be : 0.0;
+        const bool match = strField(*b, "digest") == strField(c, "digest");
+        digestMismatch |= !match;
+        rows.push_back(Row{c.name, speedup, match});
+        std::printf("%-26s %14.1f %14.1f %7.2fx  %s\n", c.name.c_str(),
+                    be, ce, speedup, match ? "match" : "MISMATCH");
+    }
+    const double baseRss = std::atof(
+        base.fields.count("peak_rss_bytes")
+            ? base.fields.at("peak_rss_bytes").c_str()
+            : "0");
+    const double curRss = std::atof(
+        cur.fields.count("peak_rss_bytes")
+            ? cur.fields.at("peak_rss_bytes").c_str()
+            : "0");
+    std::printf("peak RSS: %.1f MiB -> %.1f MiB\n",
+                baseRss / (1 << 20), curRss / (1 << 20));
+    if (digestMismatch)
+        std::fprintf(stderr, "perf_report: DIGEST MISMATCH — simulated "
+                             "results differ from baseline\n");
+
+    if (!outPath.empty()) {
+        std::FILE *f = std::fopen(outPath.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "perf_report: cannot write %s\n",
+                         outPath.c_str());
+            return 2;
+        }
+        std::fprintf(f, "{\n  \"schema\": \"bypassd-bench-report-v1\",\n");
+        std::fprintf(f, "  \"digest_match\": %s,\n",
+                     digestMismatch ? "false" : "true");
+        std::fprintf(f, "  \"comparison\": [\n");
+        for (std::size_t i = 0; i < rows.size(); i++)
+            std::fprintf(f,
+                         "    {\"name\": \"%s\", \"speedup\": %.3f, "
+                         "\"digest_match\": %s}%s\n",
+                         rows[i].name.c_str(), rows[i].speedup,
+                         rows[i].match ? "true" : "false",
+                         i + 1 < rows.size() ? "," : "");
+        std::fprintf(f, "  ],\n");
+
+        auto emitRun = [&](const char *key, const BenchFile &bf) {
+            std::fprintf(f, "  \"%s\": {\n", key);
+            emitObject(f, bf.fields, "    ");
+            std::fprintf(f, "    ,\"scenarios\": [\n");
+            for (std::size_t i = 0; i < bf.scenarios.size(); i++) {
+                std::fprintf(f, "      {\n");
+                emitObject(f, bf.scenarios[i].fields, "        ");
+                std::fprintf(f, "      }%s\n",
+                             i + 1 < bf.scenarios.size() ? "," : "");
+            }
+            std::fprintf(f, "    ]\n  }");
+        };
+        emitRun("baseline", base);
+        std::fprintf(f, ",\n");
+        emitRun("current", cur);
+        std::fprintf(f, "\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", outPath.c_str());
+    }
+    return digestMismatch ? 1 : 0;
+}
