@@ -8,10 +8,13 @@
 #define BPD_BENCH_COMMON_HPP
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/export.hpp"
 #include "sim/logging.hpp"
 #include "system/system.hpp"
 #include "workloads/fio.hpp"
@@ -66,6 +69,113 @@ runFio(const wl::FioJob &job, sys::SystemConfig cfg = {})
     sys::System s(cfg);
     wl::FioRunner runner(s);
     return runner.run(job);
+}
+
+/**
+ * Shared --trace/--metrics plumbing for the bench binaries. Each traced
+ * run (a System lifetime) is captured as one Perfetto process; all
+ * captures merge into a single trace file and one metrics document.
+ */
+struct ObsCapture
+{
+    std::string tracePath;
+    std::string metricsPath;
+    obs::Level level = obs::Level::Device;
+
+    std::vector<std::pair<std::string, obs::TraceData>> traces;
+    std::vector<obs::MetricsRun> runs;
+
+    bool enabled() const
+    {
+        return !tracePath.empty() || !metricsPath.empty();
+    }
+
+    /**
+     * Consume "--trace FILE", "--metrics FILE" or "--trace-level N"
+     * at argv[i]. Returns how many argv slots were consumed (0 when
+     * the argument is not one of ours).
+     */
+    int
+    parseArg(int argc, char **argv, int i)
+    {
+        const std::string a = argv[i];
+        if (a == "--trace" && i + 1 < argc) {
+            tracePath = argv[i + 1];
+            return 2;
+        }
+        if (a == "--metrics" && i + 1 < argc) {
+            metricsPath = argv[i + 1];
+            return 2;
+        }
+        if (a == "--trace-level" && i + 1 < argc) {
+            const int v = std::atoi(argv[i + 1]);
+            level = v <= 1 ? obs::Level::Requests
+                           : (v == 2 ? obs::Level::Layers
+                                     : obs::Level::Device);
+            return 2;
+        }
+        return 0;
+    }
+
+    /** Enable tracing on @p s when capture was requested. */
+    void
+    attach(sys::System &s) const
+    {
+        if (enabled())
+            s.enableTracing(level);
+    }
+
+    /** Snapshot @p s's trace and metrics under the run label. */
+    void
+    capture(const std::string &label, sys::System &s)
+    {
+        if (!enabled())
+            return;
+        s.collectMetrics();
+        if (s.tracer())
+            traces.emplace_back(label, s.tracer()->data());
+        runs.push_back(obs::MetricsRun{label, s.metrics.snapshot()});
+    }
+
+    /** Write the requested output files; false on I/O error. */
+    bool
+    write() const
+    {
+        bool ok = true;
+        if (!tracePath.empty()) {
+            std::vector<obs::TraceProcess> procs;
+            procs.reserve(traces.size());
+            for (const auto &[name, data] : traces)
+                procs.push_back(obs::TraceProcess{name, &data});
+            if (obs::writeChromeTraceFile(tracePath, procs))
+                std::printf("wrote %s\n", tracePath.c_str());
+            else
+                ok = false;
+        }
+        if (!metricsPath.empty()) {
+            if (obs::writeMetricsFile(metricsPath, runs))
+                std::printf("wrote %s\n", metricsPath.c_str());
+            else
+                ok = false;
+        }
+        return ok;
+    }
+};
+
+/** runFio under an ObsCapture: trace/metrics captured as @p label. */
+inline wl::FioResult
+runFio(const wl::FioJob &job, sys::SystemConfig cfg, ObsCapture &obs,
+       const std::string &label)
+{
+    sim::setVerbose(false);
+    if (cfg.deviceBytes == (sys::SystemConfig{}).deviceBytes)
+        cfg.deviceBytes = 64ull << 30;
+    sys::System s(cfg);
+    obs.attach(s);
+    wl::FioRunner runner(s);
+    wl::FioResult res = runner.run(job);
+    obs.capture(label, s);
+    return res;
 }
 
 } // namespace bpd::bench

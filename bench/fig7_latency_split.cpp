@@ -2,6 +2,13 @@
  * @file
  * Fig. 7: random-read latency breakdown (user / kernel / device /
  * translation) per block size, sync versus BypassD.
+ *
+ * With --trace FILE each (bs, engine) cell is captured as a Perfetto
+ * process in one Chrome trace-event file; tools/trace_view reproduces
+ * this table's per-layer breakdown from that trace.
+ *
+ * Usage: fig7_latency_split [--trace FILE] [--metrics FILE]
+ *                           [--trace-level N]
  */
 
 #include "bench/common.hpp"
@@ -10,8 +17,20 @@ using namespace bpd;
 using namespace bpd::wl;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsCapture obs;
+    for (int i = 1; i < argc; i++) {
+        if (int used = obs.parseArg(argc, argv, i)) {
+            i += used - 1;
+        } else {
+            std::fprintf(stderr,
+                         "usage: fig7_latency_split [--trace FILE] "
+                         "[--metrics FILE] [--trace-level N]\n");
+            return 2;
+        }
+    }
+
     bench::banner("Fig. 7", "random read latency breakdown");
 
     const std::uint32_t sizes[]
@@ -29,7 +48,9 @@ main()
             job.runtime = 8 * kMs;
             job.warmup = 1 * kMs;
             job.fileBytes = 1ull << 30;
-            FioResult r = bench::runFio(job);
+            const std::string label = sim::strf(
+                "fig7_%uk_%s", bs >> 10, toString(e));
+            FioResult r = bench::runFio(job, {}, obs, label);
             std::printf("%-8u %-9s %10.0f %10.0f %10.0f %10.0f %10.0f\n",
                         bs >> 10, toString(e), r.avgUserNs,
                         r.avgKernelNs, r.avgTranslateNs, r.avgDeviceNs,
@@ -39,5 +60,5 @@ main()
     std::printf("\nPaper shape: sync spends ~3.8us in the kernel at "
                 "every size;\nBypassD's user time is mostly the DMA "
                 "buffer copy and grows with bs.\n");
-    return 0;
+    return obs.write() ? 0 : 1;
 }

@@ -12,8 +12,20 @@ using namespace bpd;
 using namespace bpd::wl;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsCapture obs;
+    for (int i = 1; i < argc; i++) {
+        if (int used = obs.parseArg(argc, argv, i)) {
+            i += used - 1;
+        } else {
+            std::fprintf(stderr,
+                         "usage: fig9_thread_scaling [--trace FILE] "
+                         "[--metrics FILE] [--trace-level N]\n");
+            return 2;
+        }
+    }
+
     bench::banner("Fig. 9", "random read latency and IOPS vs threads");
 
     const unsigned threads[] = {1, 2, 4, 8, 12, 16, 20, 24};
@@ -37,7 +49,8 @@ main()
             job.runtime = 6 * kMs;
             job.warmup = 1 * kMs;
             job.fileBytes = 512ull << 20;
-            FioResult r = bench::runFio(job);
+            FioResult r = bench::runFio(
+                job, {}, obs, sim::strf("fig9_%s_%ut", toString(e), t));
             std::printf(" %5.1fu/%4.0fk", r.latency.mean() / 1e3,
                         r.iops() / 1e3);
         }
@@ -48,5 +61,5 @@ main()
                 "device saturates\n(~1.5M IOPS); io_uring latency blows "
                 "up past 12 threads because each ring\npins an extra "
                 "polling core on the 24-HW-thread machine.\n");
-    return 0;
+    return obs.write() ? 0 : 1;
 }

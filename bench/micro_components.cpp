@@ -13,10 +13,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
 #include "fs/block_allocator.hpp"
 #include "fs/extent_tree.hpp"
 #include "iommu/iommu.hpp"
 #include "mem/page_table.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
@@ -249,6 +252,57 @@ BM_EventQueueChurn1k(benchmark::State &state)
     benchmark::DoNotOptimize(sink);
 }
 BENCHMARK(BM_EventQueueChurn1k);
+
+static void
+BM_TracerDisabledNullCheck(benchmark::State &state)
+{
+    // The exact instrumentation shape every component carries on its
+    // hot path: one branch on a (here: volatile, so the compiler can't
+    // fold it) null tracer pointer inside the scheduled work. The
+    // zero-cost-when-disabled contract requires allocs/op == 0 and
+    // throughput indistinguishable from BM_EventQueueScheduleRunOne.
+    sim::EventQueue eq;
+    obs::Tracer *volatile tracerSlot = nullptr;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < 64; i++)
+        eq.after(1, [&sink]() { sink++; });
+    eq.run();
+    AllocCounter allocs;
+    allocs.start();
+    for (auto _ : state) {
+        eq.after(10, [&sink, &tracerSlot]() {
+            if (obs::Tracer *t = tracerSlot)
+                t->instant(0, "noop", 0);
+            sink++;
+        });
+        eq.runOne();
+    }
+    allocs.report(state);
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_TracerDisabledNullCheck);
+
+static void
+BM_TracerEnabledSpan(benchmark::State &state)
+{
+    // Cost of recording one argful span when tracing IS enabled (the
+    // price paid only under --trace). The tracer is recycled every 2^20
+    // spans to bound the benchmark's memory.
+    sim::EventQueue eq;
+    std::optional<obs::Tracer> tracer;
+    tracer.emplace(eq, obs::Level::Device);
+    std::uint16_t track = tracer->track("bench");
+    for (auto _ : state) {
+        if (tracer->spanCount() >= (1u << 20)) {
+            tracer.emplace(eq, obs::Level::Device);
+            track = tracer->track("bench");
+        }
+        tracer->span(track, "nvme.cmd", tracer->newTrace(), 0, 100,
+                     {{"bytes", 4096}});
+    }
+    benchmark::DoNotOptimize(tracer->spanCount());
+}
+BENCHMARK(BM_TracerEnabledSpan);
 
 static void
 BM_BlockStoreWrite4K(benchmark::State &state)

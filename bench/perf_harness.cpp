@@ -16,7 +16,16 @@
  * README.md). Compare two runs with tools/perf_report, which also emits
  * the merged BENCH_PR.json trajectory file.
  *
+ * With --trace/--metrics the scenarios run with the obs tracer enabled
+ * and a Perfetto-loadable trace / metrics JSON is written alongside.
+ * Tracing is semantically transparent: the digests must stay
+ * bit-identical with or without it (tools/perf_report enforces this in
+ * CI). Per-scenario metric counters (IOTLB hit/miss, page walks,
+ * journal commits, ...) are embedded flat in each scenario object so
+ * perf_report can diff them between runs.
+ *
  * Usage: perf_harness [--quick] [--label NAME] [--out FILE]
+ *                     [--trace FILE] [--metrics FILE] [--trace-level N]
  */
 
 #include <chrono>
@@ -78,12 +87,39 @@ struct ScenarioResult
     double metric = 0;          //!< scenario-native throughput metric
     std::string metricName;
 
+    /** Key simulated counters, embedded flat in the scenario JSON so
+     *  tools/perf_report can diff them between runs. */
+    struct Counters
+    {
+        std::uint64_t iotlbHits = 0;
+        std::uint64_t iotlbMisses = 0;
+        std::uint64_t walkCacheMisses = 0;
+        std::uint64_t pageWalkFrames = 0;
+        std::uint64_t journalCommits = 0;
+        std::uint64_t syscalls = 0;
+        std::uint64_t vbaTranslations = 0;
+        std::uint64_t deviceOps = 0;
+    } counters;
+
     double
     eventsPerSec() const
     {
         return wallSec > 0 ? static_cast<double>(events) / wallSec : 0;
     }
 };
+
+void
+fillCounters(ScenarioResult &r, sys::System &s)
+{
+    r.counters.iotlbHits = s.iommu.iotlb().hits();
+    r.counters.iotlbMisses = s.iommu.iotlb().misses();
+    r.counters.walkCacheMisses = s.iommu.walkCache().misses();
+    r.counters.pageWalkFrames = s.iommu.framesRead();
+    r.counters.journalCommits = s.ext4.journal().committedTxns();
+    r.counters.syscalls = s.kernel.syscallCount();
+    r.counters.vbaTranslations = s.iommu.vbaTranslations();
+    r.counters.deviceOps = s.dev.totalOps();
+}
 
 double
 wallNow()
@@ -95,7 +131,7 @@ wallNow()
 
 /** Fig. 9 cell: 24 threads of 4 KiB BypassD random reads. */
 ScenarioResult
-runFig9Randread(bool quick)
+runFig9Randread(bool quick, bench::ObsCapture &obs)
 {
     ScenarioResult r;
     r.name = "fig9_randread_24t";
@@ -105,6 +141,7 @@ runFig9Randread(bool quick)
     sys::SystemConfig cfg;
     cfg.deviceBytes = 16ull << 30;
     sys::System s(cfg);
+    obs.attach(s);
 
     wl::FioJob job;
     job.engine = wl::Engine::Bypassd;
@@ -132,18 +169,21 @@ runFig9Randread(bool quick)
     h = fnv(h, s.now());
     h = fnv(h, s.eq.executed());
     r.digest = h;
+    fillCounters(r, s);
+    obs.capture(r.name, s);
     return r;
 }
 
 /** Fig. 13 cell: WiredTiger YCSB-A, 16 threads, BypassD engine. */
 ScenarioResult
-runFig13WiredTiger(bool quick)
+runFig13WiredTiger(bool quick, bench::ObsCapture &obs)
 {
     ScenarioResult r;
     r.name = "fig13_wiredtiger_ycsba";
     r.metricName = "kops";
 
     auto s = bench::makeSystem(16ull << 30);
+    obs.attach(*s);
     apps::WiredTigerConfig cfg;
     cfg.records = 4'000'000;
     cfg.cacheBytes = 28ull << 20;
@@ -170,18 +210,21 @@ runFig13WiredTiger(bool quick)
     h = fnv(h, s->now());
     h = fnv(h, s->eq.executed());
     r.digest = h;
+    fillCounters(r, *s);
+    obs.capture(r.name, *s);
     return r;
 }
 
 /** Fig. 12: BypassD reader with kernel revocation mid-run. */
 ScenarioResult
-runFig12Revocation(bool quick)
+runFig12Revocation(bool quick, bench::ObsCapture &obs)
 {
     ScenarioResult r;
     r.name = "fig12_revocation";
     r.metricName = "mb_per_s";
 
     auto s = bench::makeSystem(16ull << 30);
+    obs.attach(*s);
     kern::Process &reader = s->newProcess(1000, 1000);
     const int cfd
         = s->kernel.setupCreateFile(reader, "/shared.db", 1ull << 30, 0);
@@ -253,6 +296,8 @@ runFig12Revocation(bool quick)
     r.digest = h;
     r.metric = total / 1e6
                / (static_cast<double>(horizon) / kSec); // MB/s
+    fillCounters(r, *s);
+    obs.capture(r.name, *s);
     return r;
 }
 
@@ -272,6 +317,7 @@ main(int argc, char **argv)
     bool quick = false;
     std::string label = "local";
     std::string out;
+    bench::ObsCapture obs;
     for (int i = 1; i < argc; i++) {
         const std::string a = argv[i];
         if (a == "--quick") {
@@ -280,10 +326,13 @@ main(int argc, char **argv)
             label = argv[++i];
         } else if (a == "--out" && i + 1 < argc) {
             out = argv[++i];
+        } else if (int used = obs.parseArg(argc, argv, i)) {
+            i += used - 1;
         } else {
             std::fprintf(stderr,
                          "usage: perf_harness [--quick] [--label NAME] "
-                         "[--out FILE]\n");
+                         "[--out FILE] [--trace FILE] [--metrics FILE] "
+                         "[--trace-level N]\n");
             return 2;
         }
     }
@@ -293,9 +342,9 @@ main(int argc, char **argv)
                         : "simulator wall-clock scenarios");
 
     std::vector<ScenarioResult> results;
-    results.push_back(runFig9Randread(quick));
-    results.push_back(runFig13WiredTiger(quick));
-    results.push_back(runFig12Revocation(quick));
+    results.push_back(runFig9Randread(quick, obs));
+    results.push_back(runFig13WiredTiger(quick, obs));
+    results.push_back(runFig12Revocation(quick, obs));
 
     std::printf("%-24s %12s %10s %14s %12s  %s\n", "scenario", "events",
                 "wall(s)", "events/sec", "metric", "digest");
@@ -335,6 +384,22 @@ main(int argc, char **argv)
                          r.eventsPerSec());
             std::fprintf(f, "      \"%s\": %.3f,\n", r.metricName.c_str(),
                          r.metric);
+            std::fprintf(f, "      \"iotlb_hits\": %llu,\n",
+                         (unsigned long long)r.counters.iotlbHits);
+            std::fprintf(f, "      \"iotlb_misses\": %llu,\n",
+                         (unsigned long long)r.counters.iotlbMisses);
+            std::fprintf(f, "      \"walk_cache_misses\": %llu,\n",
+                         (unsigned long long)r.counters.walkCacheMisses);
+            std::fprintf(f, "      \"page_walk_frames\": %llu,\n",
+                         (unsigned long long)r.counters.pageWalkFrames);
+            std::fprintf(f, "      \"journal_commits\": %llu,\n",
+                         (unsigned long long)r.counters.journalCommits);
+            std::fprintf(f, "      \"syscalls\": %llu,\n",
+                         (unsigned long long)r.counters.syscalls);
+            std::fprintf(f, "      \"vba_translations\": %llu,\n",
+                         (unsigned long long)r.counters.vbaTranslations);
+            std::fprintf(f, "      \"device_ops\": %llu,\n",
+                         (unsigned long long)r.counters.deviceOps);
             std::fprintf(f, "      \"digest\": \"%016llx\"\n",
                          (unsigned long long)r.digest);
             std::fprintf(f, "    }%s\n",
@@ -344,5 +409,7 @@ main(int argc, char **argv)
         std::fclose(f);
         std::printf("wrote %s\n", out.c_str());
     }
+    if (!obs.write())
+        return 1;
     return 0;
 }

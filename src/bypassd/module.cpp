@@ -27,6 +27,14 @@ BypassdModule::~BypassdModule()
     kernel_.setBypassdHooks(nullptr);
 }
 
+void
+BypassdModule::setTracer(obs::Tracer *t)
+{
+    trace_ = t;
+    if (trace_)
+        obsTrack_ = trace_->track("bypassd");
+}
+
 FileTableCache *
 BypassdModule::cacheOf(fs::Inode &ino)
 {
@@ -64,6 +72,9 @@ BypassdModule::fmap(kern::Process &p, InodeNum inoNum, bool writable)
     fs::Inode *ino = kernel_.vfs().fs().inode(inoNum);
     if (!ino || ino->isDir()) {
         rejectedFmaps_++;
+        if (trace_ && trace_->wants(obs::Level::Layers))
+            trace_->instant(obsTrack_, "bypassd.fmap_rejected", 0,
+                            {{"ino", static_cast<std::int64_t>(inoNum)}});
         return res;
     }
 
@@ -81,6 +92,9 @@ BypassdModule::fmap(kern::Process &p, InodeNum inoNum, bool writable)
     }
     if (!hasOpen) {
         rejectedFmaps_++;
+        if (trace_ && trace_->wants(obs::Level::Layers))
+            trace_->instant(obsTrack_, "bypassd.fmap_rejected", 0,
+                            {{"ino", static_cast<std::int64_t>(inoNum)}});
         return res;
     }
     writable = writable && mayWrite;
@@ -99,6 +113,9 @@ BypassdModule::fmap(kern::Process &p, InodeNum inoNum, bool writable)
     if (ino->kernelOpens > 0 || revoked_.count(inoNum)
         || ino->metadataMultiWriter) {
         rejectedFmaps_++;
+        if (trace_ && trace_->wants(obs::Level::Layers))
+            trace_->instant(obsTrack_, "bypassd.fmap_rejected", 0,
+                            {{"ino", static_cast<std::int64_t>(inoNum)}});
         return res;
     }
 
@@ -113,6 +130,7 @@ BypassdModule::fmap(kern::Process &p, InodeNum inoNum, bool writable)
     if (it != cache->attachments.end()) {
         res.vba = it->second.vba;
         res.mappedBytes = cache->mappedBlocks() * kBlockBytes;
+        emitFmap(res, inoNum);
         return res;
     }
 
@@ -124,6 +142,9 @@ BypassdModule::fmap(kern::Process &p, InodeNum inoNum, bool writable)
     const Vaddr vba = p.aspace().reserve(regionBytes, mem::kPmdSpan);
     if (vba == 0) {
         rejectedFmaps_++;
+        if (trace_ && trace_->wants(obs::Level::Layers))
+            trace_->instant(obsTrack_, "bypassd.fmap_rejected", 0,
+                            {{"ino", static_cast<std::int64_t>(inoNum)}});
         return res;
     }
 
@@ -144,7 +165,23 @@ BypassdModule::fmap(kern::Process &p, InodeNum inoNum, bool writable)
 
     res.vba = vba;
     res.mappedBytes = cache->mappedBlocks() * kBlockBytes;
+    emitFmap(res, inoNum);
     return res;
+}
+
+void
+BypassdModule::emitFmap(const FmapResult &res, InodeNum ino)
+{
+    if (!trace_ || !trace_->wants(obs::Level::Layers))
+        return;
+    // The caller charges res.cost after we return; model the fmap as a
+    // span covering that upcoming work.
+    const Time now = kernel_.eq().now();
+    trace_->span(obsTrack_,
+                 res.cold ? "bypassd.fmap_cold" : "bypassd.fmap_warm", 0,
+                 now, now + res.cost,
+                 {{"ino", static_cast<std::int64_t>(ino)},
+                  {"bytes", static_cast<std::int64_t>(res.mappedBytes)}});
 }
 
 void
@@ -205,6 +242,9 @@ BypassdModule::revoke(fs::Inode &ino)
         return;
     }
     revocations_++;
+    if (trace_ && trace_->wants(obs::Level::Requests))
+        trace_->instant(obsTrack_, "bypassd.revocation", 0,
+                        {{"ino", static_cast<std::int64_t>(ino.ino)}});
     // Detach every process; their next direct I/O faults in the IOMMU,
     // UserLib re-fmap()s, gets VBA 0 and falls back (Section 3.6).
     std::vector<Pid> pids;

@@ -81,6 +81,9 @@ class BypassdModule : public kern::BypassdHooks
     /** Is direct access currently revoked for this inode? */
     bool isRevoked(InodeNum ino) const { return revoked_.count(ino) != 0; }
 
+    /** Attach the observability tracer (nullptr disables). */
+    void setTracer(obs::Tracer *t);
+
     /** @name Statistics */
     ///@{
     std::uint64_t coldFmaps() const { return coldFmaps_; }
@@ -108,8 +111,13 @@ class BypassdModule : public kern::BypassdHooks
     void detachOne(kern::Process &p, fs::Inode &ino,
                    FileTableCache &cache, bool quarantineVa);
     void releaseQuarantine(kern::Process &p, InodeNum ino);
+    /** Emit the fmap cold/warm span when tracing is enabled. */
+    void emitFmap(const FmapResult &res, InodeNum ino);
 
     kern::Kernel &kernel_;
+
+    obs::Tracer *trace_ = nullptr;
+    std::uint16_t obsTrack_ = 0;
 
     std::uint64_t coldFmaps_ = 0;
     std::uint64_t warmFmaps_ = 0;

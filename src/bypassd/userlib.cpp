@@ -162,6 +162,36 @@ UserLib::write(Tid tid, int fd, std::span<const std::uint8_t> buf,
            });
 }
 
+std::uint16_t
+UserLib::obsTrack()
+{
+    if (!obsTrackInit_) {
+        obsTrack_ = kernel_.tracer()->track(
+            "bypassd.p" + std::to_string(proc_.pid()));
+        obsTrackInit_ = true;
+    }
+    return obsTrack_;
+}
+
+kern::IoCb
+UserLib::wrapRequest(const char *name, obs::TraceId trace, kern::IoCb cb)
+{
+    obs::Tracer *t = kernel_.tracer();
+    const Time start = kernel_.eq().now();
+    const std::uint16_t track = obsTrack();
+    return [this, t, name, track, trace, start,
+            cb = std::move(cb)](long long n, kern::IoTrace tr) {
+        obs::RequestBreakdown b;
+        b.userNs = tr.userNs;
+        b.kernelNs = tr.kernelNs;
+        b.translateNs = tr.translateNs;
+        b.deviceNs = tr.deviceNs;
+        b.bytes = n > 0 ? static_cast<std::uint64_t>(n) : 0;
+        t->request(track, name, trace, start, kernel_.eq().now(), b);
+        cb(n, tr);
+    };
+}
+
 void
 UserLib::pread(Tid tid, int fd, std::span<std::uint8_t> buf,
                std::uint64_t off, kern::IoCb cb)
@@ -175,17 +205,38 @@ UserLib::pread(Tid tid, int fd, std::span<std::uint8_t> buf,
                            });
         return;
     }
+    obs::TraceId trace = 0;
+    if (obs::Tracer *t = kernel_.tracer()) {
+        trace = t->newTrace();
+        cb = wrapRequest("bypassd.pread", trace, std::move(cb));
+    }
+    preadResume(tid, fd, buf, off, std::move(cb), trace);
+}
+
+void
+UserLib::preadResume(Tid tid, int fd, std::span<std::uint8_t> buf,
+                     std::uint64_t off, kern::IoCb cb, obs::TraceId trace)
+{
+    FileInfo *fi = info(fd);
+    if (!fi) {
+        kernel_.eq().after(kernel_.costs().userlibSubmitNs,
+                           [cb = std::move(cb)]() {
+                               cb(kern::errOf(fs::FsStatus::Inval),
+                                  kern::IoTrace{});
+                           });
+        return;
+    }
     if (!fi->direct) {
         fallbackOps_++;
-        kernel_.sysPread(proc_, fd, buf, off, std::move(cb));
+        kernel_.sysPread(proc_, fd, buf, off, std::move(cb), trace);
         return;
     }
     // Non-blocking-write mode: reads must observe buffered writes.
     if (cfg_.nonBlockingWrites
-        && consultPendingWrites(tid, fd, buf, off, cb)) {
+        && consultPendingWrites(tid, fd, buf, off, cb, trace)) {
         return;
     }
-    directRead(tid, fd, buf, off, std::move(cb));
+    directRead(tid, fd, buf, off, std::move(cb), trace);
 }
 
 void
@@ -201,29 +252,51 @@ UserLib::pwrite(Tid tid, int fd, std::span<const std::uint8_t> buf,
                            });
         return;
     }
+    obs::TraceId trace = 0;
+    if (obs::Tracer *t = kernel_.tracer()) {
+        trace = t->newTrace();
+        cb = wrapRequest("bypassd.pwrite", trace, std::move(cb));
+    }
+    pwriteResume(tid, fd, buf, off, std::move(cb), trace);
+}
+
+void
+UserLib::pwriteResume(Tid tid, int fd, std::span<const std::uint8_t> buf,
+                      std::uint64_t off, kern::IoCb cb, obs::TraceId trace)
+{
+    FileInfo *fi = info(fd);
+    if (!fi) {
+        kernel_.eq().after(kernel_.costs().userlibSubmitNs,
+                           [cb = std::move(cb)]() {
+                               cb(kern::errOf(fs::FsStatus::Inval),
+                                  kern::IoTrace{});
+                           });
+        return;
+    }
     if (!fi->direct) {
         fallbackOps_++;
-        kernel_.sysPwrite(proc_, fd, buf, off, std::move(cb));
+        kernel_.sysPwrite(proc_, fd, buf, off, std::move(cb), trace);
         return;
     }
     if (off + buf.size() > fi->size) {
-        appendWrite(tid, fd, buf, off, std::move(cb));
+        appendWrite(tid, fd, buf, off, std::move(cb), trace);
         return;
     }
     const bool partial = (off % kSectorBytes) != 0
                          || (buf.size() % kSectorBytes) != 0;
     if (partial)
-        partialWrite(tid, fd, buf, off, std::move(cb));
+        partialWrite(tid, fd, buf, off, std::move(cb), trace);
     else if (cfg_.nonBlockingWrites)
-        nonBlockingWrite(tid, fd, buf, off, std::move(cb));
+        nonBlockingWrite(tid, fd, buf, off, std::move(cb), trace);
     else
-        directOverwrite(tid, fd, buf, off, std::move(cb));
+        directOverwrite(tid, fd, buf, off, std::move(cb), trace);
 }
 
 void
 UserLib::nonBlockingWrite(Tid tid, int fd,
                           std::span<const std::uint8_t> buf,
-                          std::uint64_t off, kern::IoCb cb)
+                          std::uint64_t off, kern::IoCb cb,
+                          obs::TraceId trace)
 {
     FileInfo *fi = info(fd);
     const std::uint64_t end = off + buf.size();
@@ -235,13 +308,13 @@ UserLib::nonBlockingWrite(Tid tid, int fd,
         if (off < pend && poff < end) {
             auto data = std::make_shared<std::vector<std::uint8_t>>(
                 buf.begin(), buf.end());
-            pw->waiters.push_back([this, tid, fd, data, off,
+            pw->waiters.push_back([this, tid, fd, data, off, trace,
                                    cb = std::move(cb)]() {
                 nonBlockingWrite(
                     tid, fd,
                     std::span<const std::uint8_t>(data->data(),
                                                   data->size()),
-                    off, cb);
+                    off, cb, trace);
             });
             return;
         }
@@ -291,7 +364,7 @@ UserLib::nonBlockingWrite(Tid tid, int fd,
         *issue = nullptr;
     };
 
-    *issue = [this, tid, fd, pw, off, issue, complete]() {
+    *issue = [this, tid, fd, pw, off, trace, issue, complete]() {
         FileInfo *fi2 = info(fd);
         if (!fi2 || !fi2->direct) {
             // Revoked or closed: write back through the kernel.
@@ -301,7 +374,8 @@ UserLib::nonBlockingWrite(Tid tid, int fd,
                               off,
                               [complete](long long, kern::IoTrace) {
                                   complete();
-                              });
+                              },
+                              trace);
             return;
         }
         ssd::Command cmd;
@@ -311,11 +385,12 @@ UserLib::nonBlockingWrite(Tid tid, int fd,
         cmd.len = static_cast<std::uint32_t>(pw->data.size());
         cmd.hostBuf = std::span<std::uint8_t>(pw->data.data(),
                                               pw->data.size());
-        submitWithRetry(tid, cmd, [this, fd, issue, complete](
+        cmd.trace = trace;
+        submitWithRetry(tid, cmd, [this, fd, trace, issue, complete](
                                       const ssd::Completion &comp) {
             if (comp.status != ssd::Status::Success) {
                 handleFault(fd, [issue]() { (*issue)(); },
-                            [issue]() { (*issue)(); });
+                            [issue]() { (*issue)(); }, trace);
                 return;
             }
             complete();
@@ -327,7 +402,8 @@ UserLib::nonBlockingWrite(Tid tid, int fd,
 bool
 UserLib::consultPendingWrites(Tid tid, int fd,
                               std::span<std::uint8_t> buf,
-                              std::uint64_t off, const kern::IoCb &cb)
+                              std::uint64_t off, const kern::IoCb &cb,
+                              obs::TraceId trace)
 {
     FileInfo *fi = info(fd);
     if (!fi || fi->pendingWrites.empty())
@@ -372,9 +448,10 @@ UserLib::consultPendingWrites(Tid tid, int fd,
     // device, then read normally (the device is the point of coherence).
     auto remaining = std::make_shared<std::size_t>(overlaps.size());
     for (auto &pw : overlaps) {
-        pw->waiters.push_back([this, tid, fd, buf, off, cb, remaining]() {
+        pw->waiters.push_back([this, tid, fd, buf, off, cb, trace,
+                               remaining]() {
             if (--*remaining == 0)
-                pread(tid, fd, buf, off, cb);
+                preadResume(tid, fd, buf, off, cb, trace);
         });
     }
     return true;
@@ -406,9 +483,12 @@ UserLib::submitWithRetry(Tid tid, ssd::Command cmd,
 
 void
 UserLib::handleFault(int fd, std::function<void()> retryDirect,
-                     std::function<void()> fallbackKernel)
+                     std::function<void()> fallbackKernel,
+                     obs::TraceId trace)
 {
     iommuFaults_++;
+    if (obs::Tracer *t = kernel_.tracer())
+        t->instant(obsTrack(), "bypassd.iommu_fault", trace);
     FileInfo *fi = info(fd);
     if (!fi) {
         fallbackKernel();
@@ -442,7 +522,7 @@ UserLib::handleFault(int fd, std::function<void()> retryDirect,
 
 void
 UserLib::directRead(Tid tid, int fd, std::span<std::uint8_t> buf,
-                    std::uint64_t off, kern::IoCb cb)
+                    std::uint64_t off, kern::IoCb cb, obs::TraceId trace)
 {
     FileInfo *fi = info(fd);
     const Time start = kernel_.eq().now();
@@ -460,9 +540,10 @@ UserLib::directRead(Tid tid, int fd, std::span<std::uint8_t> buf,
             const Time statCost = kernel_.cpu().scaled(
                 c.userToKernelNs + 500 + c.kernelToUserNs);
             kernel_.eq().after(statCost,
-                               [this, tid, fd, buf, off,
+                               [this, tid, fd, buf, off, trace,
                                 cb = std::move(cb)]() {
-                                   directRead(tid, fd, buf, off, cb);
+                                   directRead(tid, fd, buf, off, cb,
+                                              trace);
                                });
             return;
         }
@@ -490,7 +571,8 @@ UserLib::directRead(Tid tid, int fd, std::span<std::uint8_t> buf,
     directReads_++;
     const Time submitCost = kernel_.cpu().scaled(c.userlibSubmitNs);
     kernel_.eq().after(submitCost, [this, tid, fd, buf, off, n, aStart,
-                                    len, start, cb = std::move(cb)]() {
+                                    len, start, trace,
+                                    cb = std::move(cb)]() {
         FileInfo *fi = info(fd);
         if (!fi) {
             cb(kern::errOf(fs::FsStatus::Inval), kern::IoTrace{});
@@ -504,19 +586,22 @@ UserLib::directRead(Tid tid, int fd, std::span<std::uint8_t> buf,
         ThreadCtx &tc = ctx(tid);
         cmd.dmaIova = tc.uq->dmaIova;
         cmd.useIova = true;
+        cmd.trace = trace;
         const Time tSubmit = kernel_.eq().now();
         submitWithRetry(tid, cmd, [this, tid, fd, buf, off, n, aStart,
-                                   start, tSubmit, cb = std::move(cb)](
+                                   start, tSubmit, trace,
+                                   cb = std::move(cb)](
                                       const ssd::Completion &comp) {
             if (comp.status != ssd::Status::Success) {
                 handleFault(
                     fd,
-                    [this, tid, fd, buf, off, cb]() {
-                        directRead(tid, fd, buf, off, cb);
+                    [this, tid, fd, buf, off, trace, cb]() {
+                        directRead(tid, fd, buf, off, cb, trace);
                     },
-                    [this, fd, buf, off, cb]() {
-                        kernel_.sysPread(proc_, fd, buf, off, cb);
-                    });
+                    [this, fd, buf, off, trace, cb]() {
+                        kernel_.sysPread(proc_, fd, buf, off, cb, trace);
+                    },
+                    trace);
                 return;
             }
             // Copy from the DMA buffer into the user buffer (the main
@@ -549,7 +634,8 @@ UserLib::directRead(Tid tid, int fd, std::span<std::uint8_t> buf,
 void
 UserLib::directOverwrite(Tid tid, int fd,
                          std::span<const std::uint8_t> buf,
-                         std::uint64_t off, kern::IoCb cb)
+                         std::uint64_t off, kern::IoCb cb,
+                         obs::TraceId trace)
 {
     FileInfo *fi = info(fd);
     (void)fi;
@@ -565,7 +651,7 @@ UserLib::directOverwrite(Tid tid, int fd,
         = kernel_.cpu().scaled(c.userlibSubmitNs + c.copyCost(n));
     std::memcpy(tc.uq->dmaBuf.data(), buf.data(), n);
     kernel_.eq().after(submitCost, [this, tid, fd, buf, off, n, start,
-                                    cb = std::move(cb)]() {
+                                    trace, cb = std::move(cb)]() {
         FileInfo *fi = info(fd);
         if (!fi) {
             cb(kern::errOf(fs::FsStatus::Inval), kern::IoTrace{});
@@ -579,19 +665,21 @@ UserLib::directOverwrite(Tid tid, int fd,
         ThreadCtx &tc = ctx(tid);
         cmd.dmaIova = tc.uq->dmaIova;
         cmd.useIova = true;
+        cmd.trace = trace;
         const Time tSubmit = kernel_.eq().now();
         submitWithRetry(tid, cmd, [this, tid, fd, buf, off, n, start,
-                                   tSubmit, cb = std::move(cb)](
+                                   tSubmit, trace, cb = std::move(cb)](
                                       const ssd::Completion &comp) {
             if (comp.status != ssd::Status::Success) {
                 handleFault(
                     fd,
-                    [this, tid, fd, buf, off, cb]() {
-                        directOverwrite(tid, fd, buf, off, cb);
+                    [this, tid, fd, buf, off, trace, cb]() {
+                        directOverwrite(tid, fd, buf, off, cb, trace);
                     },
-                    [this, fd, buf, off, cb]() {
-                        kernel_.sysPwrite(proc_, fd, buf, off, cb);
-                    });
+                    [this, fd, buf, off, trace, cb]() {
+                        kernel_.sysPwrite(proc_, fd, buf, off, cb, trace);
+                    },
+                    trace);
                 return;
             }
             const Time post
@@ -612,7 +700,7 @@ UserLib::directOverwrite(Tid tid, int fd,
 
 void
 UserLib::partialWrite(Tid tid, int fd, std::span<const std::uint8_t> buf,
-                      std::uint64_t off, kern::IoCb cb)
+                      std::uint64_t off, kern::IoCb cb, obs::TraceId trace)
 {
     FileInfo *fi = info(fd);
     const std::uint64_t firstSec = off / kSectorBytes;
@@ -628,6 +716,7 @@ UserLib::partialWrite(Tid tid, int fd, std::span<const std::uint8_t> buf,
             pw.data.assign(buf.begin(), buf.end());
             pw.off = off;
             pw.cb = std::move(cb);
+            pw.trace = trace;
             fi->pendingPartials.push_back(std::move(pw));
             return;
         }
@@ -662,14 +751,14 @@ UserLib::partialWrite(Tid tid, int fd, std::span<const std::uint8_t> buf,
         = kernel_.cpu().scaled(kernel_.costs().userlibSubmitNs);
     directWrites_++;
     kernel_.eq().after(submitCost, [this, tid, fd, data, off, aStart, len,
-                                    start, finish]() {
+                                    start, trace, finish]() {
         FileInfo *fi2 = info(fd);
         if (!fi2 || !fi2->direct) {
             // Revoked meanwhile: fall back through the kernel.
             kernel_.sysPwrite(
                 proc_, fd,
                 std::span<const std::uint8_t>(data->data(), data->size()),
-                off, finish);
+                off, finish, trace);
             return;
         }
         ThreadCtx &tc = ctx(tid);
@@ -680,13 +769,14 @@ UserLib::partialWrite(Tid tid, int fd, std::span<const std::uint8_t> buf,
         rd.len = len;
         rd.dmaIova = tc.uq->dmaIova;
         rd.useIova = true;
+        rd.trace = trace;
         submitWithRetry(tid, rd, [this, tid, fd, data, off, aStart, len,
-                                  start,
+                                  start, trace,
                                   finish](const ssd::Completion &comp) {
             if (comp.status != ssd::Status::Success) {
                 handleFault(
                     fd,
-                    [this, tid, fd, data, off, start, finish]() {
+                    [this, tid, fd, data, off, start, trace, finish]() {
                         // Retry whole RMW from scratch via the public
                         // path so serialization state stays sound.
                         (void)start;
@@ -699,15 +789,16 @@ UserLib::partialWrite(Tid tid, int fd, std::span<const std::uint8_t> buf,
                             proc_, fd,
                             std::span<const std::uint8_t>(data->data(),
                                                           data->size()),
-                            off, finish);
+                            off, finish, trace);
                     },
-                    [this, fd, data, off, finish]() {
+                    [this, fd, data, off, trace, finish]() {
                         kernel_.sysPwrite(
                             proc_, fd,
                             std::span<const std::uint8_t>(data->data(),
                                                           data->size()),
-                            off, finish);
-                    });
+                            off, finish, trace);
+                    },
+                    trace);
                 return;
             }
             FileInfo *fi3 = info(fd);
@@ -722,7 +813,7 @@ UserLib::partialWrite(Tid tid, int fd, std::span<const std::uint8_t> buf,
             const Time modCost = kernel_.cpu().scaled(
                 kernel_.costs().copyCost(data->size()));
             kernel_.eq().after(modCost, [this, tid, fd, data, off, aStart,
-                                         len, start, finish]() {
+                                         len, start, trace, finish]() {
                 FileInfo *fi4 = info(fd);
                 if (!fi4) {
                     finish(kern::errOf(fs::FsStatus::Inval),
@@ -737,6 +828,7 @@ UserLib::partialWrite(Tid tid, int fd, std::span<const std::uint8_t> buf,
                 wr.len = len;
                 wr.dmaIova = tc3.uq->dmaIova;
                 wr.useIova = true;
+                wr.trace = trace;
                 submitWithRetry(tid, wr, [this, data, start, finish](
                                              const ssd::Completion &c2) {
                     kern::IoTrace tr;
@@ -777,20 +869,21 @@ UserLib::drainPendingPartials(int fd)
         fi->pendingPartials.erase(it);
         auto data = std::make_shared<std::vector<std::uint8_t>>(
             std::move(pw.data));
-        pwrite(pw.tid, pw.fd,
-               std::span<const std::uint8_t>(data->data(), data->size()),
-               pw.off,
-               [data, cb = std::move(pw.cb)](long long n,
-                                             kern::IoTrace tr) {
-                   cb(n, tr);
-               });
+        pwriteResume(
+            pw.tid, pw.fd,
+            std::span<const std::uint8_t>(data->data(), data->size()),
+            pw.off,
+            [data, cb = std::move(pw.cb)](long long n, kern::IoTrace tr) {
+                cb(n, tr);
+            },
+            pw.trace);
         return;
     }
 }
 
 void
 UserLib::appendWrite(Tid tid, int fd, std::span<const std::uint8_t> buf,
-                     std::uint64_t off, kern::IoCb cb)
+                     std::uint64_t off, kern::IoCb cb, obs::TraceId trace)
 {
     FileInfo *fi = info(fd);
     appendsRouted_++;
@@ -802,16 +895,17 @@ UserLib::appendWrite(Tid tid, int fd, std::span<const std::uint8_t> buf,
             fi->size = std::max(fi->size, off + buf.size());
             if ((off % kSectorBytes) != 0
                 || (buf.size() % kSectorBytes) != 0)
-                partialWrite(tid, fd, buf, off, std::move(cb));
+                partialWrite(tid, fd, buf, off, std::move(cb), trace);
             else
-                directOverwrite(tid, fd, buf, off, std::move(cb));
+                directOverwrite(tid, fd, buf, off, std::move(cb), trace);
             return;
         }
         const std::uint64_t chunk = std::max<std::uint64_t>(
             cfg_.appendPreallocBytes, buf.size());
         kernel_.sysFallocate(
             proc_, fd, fi->preallocEnd, chunk,
-            [this, tid, fd, buf, off, chunk, cb = std::move(cb)](int rc) {
+            [this, tid, fd, buf, off, chunk, trace,
+             cb = std::move(cb)](int rc) {
                 FileInfo *fi2 = info(fd);
                 if (rc < 0 || !fi2) {
                     cb(rc, kern::IoTrace{});
@@ -820,7 +914,7 @@ UserLib::appendWrite(Tid tid, int fd, std::span<const std::uint8_t> buf,
                 fi2->preallocEnd += chunk;
                 // fallocate extended the inode size; keep padding
                 // invisible by tracking the logical size locally.
-                appendWrite(tid, fd, buf, off, cb);
+                appendWrite(tid, fd, buf, off, cb, trace);
             });
         return;
     }
@@ -841,7 +935,8 @@ UserLib::appendWrite(Tid tid, int fd, std::span<const std::uint8_t> buf,
                 fi2->preallocEnd = std::max(fi2->preallocEnd, fi2->size);
             }
             cb(n, tr);
-        });
+        },
+        trace);
 }
 
 void

@@ -118,6 +118,7 @@ class UserLib
             std::vector<std::uint8_t> data;
             std::uint64_t off;
             kern::IoCb cb;
+            obs::TraceId trace = 0;
         };
         std::deque<PendingPartial> pendingPartials;
 
@@ -147,15 +148,29 @@ class UserLib
     FileInfo *info(int fd);
     const FileInfo *info(int fd) const;
 
+    /**
+     * Dispatch stages of pread/pwrite after the request envelope has
+     * been opened: re-dispatched requests (pending-write waiters,
+     * serialized partials) re-enter here so one logical request keeps
+     * one trace id and one envelope.
+     */
+    void preadResume(Tid tid, int fd, std::span<std::uint8_t> buf,
+                     std::uint64_t off, kern::IoCb cb, obs::TraceId trace);
+    void pwriteResume(Tid tid, int fd, std::span<const std::uint8_t> buf,
+                      std::uint64_t off, kern::IoCb cb,
+                      obs::TraceId trace);
+
     void directRead(Tid tid, int fd, std::span<std::uint8_t> buf,
-                    std::uint64_t off, kern::IoCb cb);
+                    std::uint64_t off, kern::IoCb cb, obs::TraceId trace);
     void directOverwrite(Tid tid, int fd,
                          std::span<const std::uint8_t> buf,
-                         std::uint64_t off, kern::IoCb cb);
+                         std::uint64_t off, kern::IoCb cb,
+                         obs::TraceId trace);
     /** Section 5.1 non-blocking write path. */
     void nonBlockingWrite(Tid tid, int fd,
                           std::span<const std::uint8_t> buf,
-                          std::uint64_t off, kern::IoCb cb);
+                          std::uint64_t off, kern::IoCb cb,
+                          obs::TraceId trace);
     /**
      * Read-side pending-write handling: serve fully-buffered reads from
      * the pending buffers; make partially-overlapping reads wait.
@@ -163,20 +178,28 @@ class UserLib
      */
     bool consultPendingWrites(Tid tid, int fd,
                               std::span<std::uint8_t> buf,
-                              std::uint64_t off, const kern::IoCb &cb);
+                              std::uint64_t off, const kern::IoCb &cb,
+                              obs::TraceId trace);
     void drainPendingWrites(int fd, std::function<void()> done);
     void partialWrite(Tid tid, int fd, std::span<const std::uint8_t> buf,
-                      std::uint64_t off, kern::IoCb cb);
+                      std::uint64_t off, kern::IoCb cb, obs::TraceId trace);
     void drainPendingPartials(int fd);
     void appendWrite(Tid tid, int fd, std::span<const std::uint8_t> buf,
-                     std::uint64_t off, kern::IoCb cb);
+                     std::uint64_t off, kern::IoCb cb, obs::TraceId trace);
 
     /**
      * IOMMU fault recovery (Section 3.6): re-fmap; retry on success,
      * permanently fall back to the kernel interface on VBA 0.
      */
     void handleFault(int fd, std::function<void()> retryDirect,
-                     std::function<void()> fallbackKernel);
+                     std::function<void()> fallbackKernel,
+                     obs::TraceId trace = 0);
+
+    /** Emit a "bypassd.*" request envelope at completion (tracing on). */
+    kern::IoCb wrapRequest(const char *name, obs::TraceId trace,
+                           kern::IoCb cb);
+    /** Lazily interned "bypassd.p<pid>" track (tracer must be set). */
+    std::uint16_t obsTrack();
 
     void submitWithRetry(Tid tid, ssd::Command cmd,
                          ssd::CommandDispatcher::CompletionFn fn);
@@ -197,6 +220,9 @@ class UserLib
     std::uint64_t iommuFaults_ = 0;
     std::uint64_t nbWrites_ = 0;
     std::uint64_t pendingReadHits_ = 0;
+
+    std::uint16_t obsTrack_ = 0;
+    bool obsTrackInit_ = false;
 };
 
 } // namespace bpd::bypassd

@@ -30,6 +30,8 @@ Journal::commit()
         committedTxns_++;
         if (commitHook_)
             commitHook_(committed_.back());
+        if (commitObs_)
+            commitObs_(committed_.back().size());
     }
 }
 

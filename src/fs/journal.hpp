@@ -66,6 +66,17 @@ class Journal
         commitHook_ = std::move(hook);
     }
 
+    /**
+     * Install an additional observer called with the record count of
+     * each committed transaction. Unlike the commit hook (which the FS
+     * owns for durability), this slot is reserved for observability and
+     * must not mutate filesystem state.
+     */
+    void setCommitObserver(std::function<void(std::size_t)> obs)
+    {
+        commitObs_ = std::move(obs);
+    }
+
     /** Abort: discard the open transaction. */
     void abort();
 
@@ -92,6 +103,7 @@ class Journal
     std::uint64_t committedTxns_ = 0;
     std::uint64_t records_ = 0;
     std::function<void(const std::vector<JRecord> &)> commitHook_;
+    std::function<void(std::size_t)> commitObs_;
 };
 
 } // namespace bpd::fs

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "obs/trace.hpp"
 #include "sim/logging.hpp"
 
 namespace bpd::iommu {
@@ -143,8 +144,20 @@ Iommu::translateVba(Pasid pasid, Vaddr vba, std::uint32_t len, bool isWrite,
 }
 
 void
+Iommu::setTracer(obs::Tracer *t)
+{
+    trace_ = t;
+    obsTrack_ = t ? t->track("iommu") : 0;
+}
+
+void
 Iommu::invalidateRange(Pasid pasid, Vaddr start, std::uint64_t len)
 {
+    if (trace_ && trace_->wants(obs::Level::Device)) {
+        trace_->instant(obsTrack_, "iommu.invalidate_range", 0,
+                        {{"pasid", static_cast<std::int64_t>(pasid)},
+                         {"len", static_cast<std::int64_t>(len)}});
+    }
     const Vaddr first = start >> 21;
     const Vaddr last = (start + (len ? len - 1 : 0)) >> 21;
     walkCache_.invalidateIf([=](std::uint64_t key) {
@@ -159,6 +172,10 @@ Iommu::invalidateRange(Pasid pasid, Vaddr start, std::uint64_t len)
 void
 Iommu::invalidateAll(Pasid pasid)
 {
+    if (trace_ && trace_->wants(obs::Level::Device)) {
+        trace_->instant(obsTrack_, "iommu.invalidate_all", 0,
+                        {{"pasid", static_cast<std::int64_t>(pasid)}});
+    }
     // Conservative: the key mixes PASID non-invertibly, so flush both
     // caches for correctness on PASID teardown.
     (void)pasid;

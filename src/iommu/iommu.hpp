@@ -31,6 +31,10 @@
 #include "mem/page_table.hpp"
 #include "sim/event_queue.hpp"
 
+namespace bpd::obs {
+class Tracer;
+}
+
 namespace bpd::iommu {
 
 /** Timing and geometry knobs. */
@@ -153,6 +157,12 @@ class Iommu
     TranslationCache &walkCacheMut() { return walkCache_; }
     ///@}
 
+    /**
+     * Attach a span tracer (null = disabled). Emits instant events on
+     * translation-cache invalidations; read-only, timing-neutral.
+     */
+    void setTracer(obs::Tracer *t);
+
   private:
     static std::uint64_t wcKey(Pasid pasid, Vaddr va);
     static std::uint64_t dmaKey(Pasid pasid, std::uint64_t iova);
@@ -171,6 +181,9 @@ class Iommu
 
     TranslationCache iotlb_;
     TranslationCache walkCache_;
+
+    obs::Tracer *trace_ = nullptr;
+    std::uint16_t obsTrack_ = 0;
 
     std::uint64_t vbaTranslations_ = 0;
     std::uint64_t vbaFaults_ = 0;

@@ -4,11 +4,36 @@
 
 namespace bpd::kern {
 
+IoCb
+Aio::wrapRequest(const char *name, Pid pid, obs::TraceId trace, IoCb cb)
+{
+    obs::Tracer *t = k_.tracer();
+    const Time start = k_.eq().now();
+    const std::uint16_t track
+        = t->track("libaio.p" + std::to_string(pid));
+    return [this, t, name, track, trace, start,
+            cb = std::move(cb)](long long n, IoTrace tr) {
+        obs::RequestBreakdown b;
+        b.userNs = tr.userNs;
+        b.kernelNs = tr.kernelNs;
+        b.translateNs = tr.translateNs;
+        b.deviceNs = tr.deviceNs;
+        b.bytes = n > 0 ? static_cast<std::uint64_t>(n) : 0;
+        t->request(track, name, trace, start, k_.eq().now(), b);
+        cb(n, tr);
+    };
+}
+
 void
 Aio::pread(Process &p, int fd, std::span<std::uint8_t> buf,
            std::uint64_t off, IoCb cb)
 {
     // QD1 libaio = sync path + extra io_getevents round trip.
+    obs::TraceId trace = 0;
+    if (obs::Tracer *t = k_.tracer()) {
+        trace = t->newTrace();
+        cb = wrapRequest("libaio.pread", p.pid(), trace, std::move(cb));
+    }
     const Time extra = k_.cpu().scaled(k_.costs().aioExtraNs);
     k_.sysPread(p, fd, buf, off,
                 [this, extra, cb = std::move(cb)](long long n,
@@ -18,13 +43,19 @@ Aio::pread(Process &p, int fd, std::span<std::uint8_t> buf,
                         tr.kernelNs += extra;
                         cb(n, tr);
                     });
-                });
+                },
+                trace);
 }
 
 void
 Aio::pwrite(Process &p, int fd, std::span<const std::uint8_t> buf,
             std::uint64_t off, IoCb cb)
 {
+    obs::TraceId trace = 0;
+    if (obs::Tracer *t = k_.tracer()) {
+        trace = t->newTrace();
+        cb = wrapRequest("libaio.pwrite", p.pid(), trace, std::move(cb));
+    }
     const Time extra = k_.cpu().scaled(k_.costs().aioExtraNs);
     k_.sysPwrite(p, fd, buf, off,
                  [this, extra, cb = std::move(cb)](long long n,
@@ -34,7 +65,8 @@ Aio::pwrite(Process &p, int fd, std::span<const std::uint8_t> buf,
                          tr.kernelNs += extra;
                          cb(n, tr);
                      });
-                 });
+                 },
+                 trace);
 }
 
 void
@@ -47,16 +79,24 @@ Aio::submitBatch(Process &p, std::vector<Op> ops, BatchCb cb)
     for (std::size_t i = 0; i < ops.size(); i++) {
         const Op op = ops[i];
         k_.eq().after(i * spacing, [this, &p, op, i, shared]() {
-            auto done = [shared, i](long long n, IoTrace tr) {
+            IoCb done = [shared, i](long long n, IoTrace tr) {
                 (*shared)(i, n, tr);
             };
+            obs::TraceId trace = 0;
+            if (obs::Tracer *t = k_.tracer()) {
+                trace = t->newTrace();
+                done = wrapRequest(op.write ? "libaio.pwrite"
+                                            : "libaio.pread",
+                                   p.pid(), trace, std::move(done));
+            }
             if (op.write) {
                 k_.sysPwrite(p, op.fd,
                              std::span<const std::uint8_t>(op.buf.data(),
                                                            op.buf.size()),
-                             op.off, done);
+                             op.off, std::move(done), trace);
             } else {
-                k_.sysPread(p, op.fd, op.buf, op.off, done);
+                k_.sysPread(p, op.fd, op.buf, op.off, std::move(done),
+                            trace);
             }
         });
     }

@@ -48,6 +48,10 @@ class Aio
                 std::uint64_t off, IoCb cb);
 
   private:
+    /** Emit a "libaio.*" request envelope at completion (tracing on). */
+    IoCb wrapRequest(const char *name, Pid pid, obs::TraceId trace,
+                     IoCb cb);
+
     Kernel &k_;
 };
 

@@ -55,6 +55,25 @@ IoUring::doIo(bool write, int fd, std::span<std::uint8_t> buf,
     CpuModel &cpu = k_.cpu();
     const CostModel &c = k_.costs();
 
+    obs::TraceId trace = 0;
+    if (obs::Tracer *t = k_.tracer()) {
+        trace = t->newTrace();
+        const std::uint16_t track
+            = t->track("uring.p" + std::to_string(p_.pid()));
+        const char *name = write ? "uring.pwrite" : "uring.pread";
+        cb = [this, t, track, name, trace, start,
+              cb = std::move(cb)](long long res, IoTrace tr) {
+            obs::RequestBreakdown b;
+            b.userNs = tr.userNs;
+            b.kernelNs = tr.kernelNs;
+            b.translateNs = tr.translateNs;
+            b.deviceNs = tr.deviceNs;
+            b.bytes = res > 0 ? static_cast<std::uint64_t>(res) : 0;
+            t->request(track, name, trace, start, k_.eq().now(), b);
+            cb(res, tr);
+        };
+    }
+
     const std::uint64_t n
         = write ? buf.size()
                 : (off >= node->size
@@ -103,7 +122,7 @@ IoUring::doIo(bool write, int fd, std::span<std::uint8_t> buf,
     }
 
     k_.eq().after(submitDelay, [this, node, buf, off, n, start, write,
-                                cb = std::move(cb)]() mutable {
+                                trace, cb = std::move(cb)]() mutable {
         std::vector<fs::Seg> segs;
         fs::FsStatus st = k_.vfs().fs().mapRange(*node, off, n, &segs);
         if (st != fs::FsStatus::Ok) {
@@ -129,7 +148,8 @@ IoUring::doIo(bool write, int fd, std::span<std::uint8_t> buf,
                                    : errOf(fs::FsStatus::Inval),
                                tr);
                         });
-                    });
+                    },
+                    trace);
     });
 }
 

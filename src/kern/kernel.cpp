@@ -66,6 +66,44 @@ Kernel::process(Pid pid)
     return it == procs_.end() ? nullptr : it->second.get();
 }
 
+void
+Kernel::forEachProcess(const std::function<void(Process &)> &fn)
+{
+    for (auto &[pid, proc] : procs_)
+        fn(*proc);
+}
+
+std::uint16_t
+Kernel::ktrack(Pid pid)
+{
+    auto it = obsTracks_.find(pid);
+    if (it != obsTracks_.end())
+        return it->second;
+    const std::uint16_t t
+        = trace_->track("kern.p" + std::to_string(pid));
+    obsTracks_[pid] = t;
+    return t;
+}
+
+IoCb
+Kernel::wrapRequest(const char *name, Pid pid, obs::TraceId trace,
+                    IoCb cb)
+{
+    const Time start = eq_.now();
+    const std::uint16_t track = ktrack(pid);
+    return [this, name, track, trace, start,
+            cb = std::move(cb)](long long n, IoTrace tr) {
+        obs::RequestBreakdown b;
+        b.userNs = tr.userNs;
+        b.kernelNs = tr.kernelNs;
+        b.translateNs = tr.translateNs;
+        b.deviceNs = tr.deviceNs;
+        b.bytes = n > 0 ? static_cast<std::uint64_t>(n) : 0;
+        trace_->request(track, name, trace, start, eq_.now(), b);
+        cb(n, tr);
+    };
+}
+
 fs::FsStatus
 Kernel::setNamespaceRoot(Process &p, const std::string &root)
 {
@@ -92,7 +130,8 @@ Kernel::nsPath(const Process &p, const std::string &path) const
 void
 Kernel::deviceIo(ssd::Op op, const std::vector<fs::Seg> &segs,
                  std::span<std::uint8_t> buf,
-                 std::function<void(ssd::Status, Time)> cb)
+                 std::function<void(ssd::Status, Time)> cb,
+                 obs::TraceId trace)
 {
     struct Agg
     {
@@ -117,6 +156,7 @@ Kernel::deviceIo(ssd::Op op, const std::vector<fs::Seg> &segs,
         cmd.addrIsVba = false;
         cmd.len = static_cast<std::uint32_t>(seg.len);
         cmd.hostBuf = buf.subspan(off, seg.len);
+        cmd.trace = trace;
         off += seg.len;
         const bool ok = kq_->submit(cmd, [this, agg](
                                              const ssd::Completion &c) {
@@ -190,9 +230,13 @@ Kernel::sysClose(Process &p, int fd, IntCb cb)
 
 void
 Kernel::sysPread(Process &p, int fd, std::span<std::uint8_t> buf,
-                 std::uint64_t off, IoCb cb)
+                 std::uint64_t off, IoCb cb, obs::TraceId trace)
 {
     syscalls_++;
+    if (trace_ && trace == 0) {
+        trace = trace_->newTrace();
+        cb = wrapRequest("sync.pread", p.pid(), trace, std::move(cb));
+    }
     OpenFile *of = p.file(fd);
     if (!of || !(of->flags & kOpenRead)) {
         eq_.after(costs_.userToKernelNs, [cb = std::move(cb)]() {
@@ -203,16 +247,20 @@ Kernel::sysPread(Process &p, int fd, std::span<std::uint8_t> buf,
     fs::Inode *node = vfs_.fs().inode(of->ino);
     sim::panicIf(node == nullptr, "open fd with dead inode");
     if (of->flags & kOpenDirect)
-        directRead(p, *node, buf, off, std::move(cb));
+        directRead(p, *node, buf, off, std::move(cb), trace);
     else
-        bufferedRead(p, *node, buf, off, std::move(cb));
+        bufferedRead(p, *node, buf, off, std::move(cb), trace);
 }
 
 void
 Kernel::sysPwrite(Process &p, int fd, std::span<const std::uint8_t> buf,
-                  std::uint64_t off, IoCb cb)
+                  std::uint64_t off, IoCb cb, obs::TraceId trace)
 {
     syscalls_++;
+    if (trace_ && trace == 0) {
+        trace = trace_->newTrace();
+        cb = wrapRequest("sync.pwrite", p.pid(), trace, std::move(cb));
+    }
     OpenFile *of = p.file(fd);
     if (!of || !(of->flags & kOpenWrite)) {
         eq_.after(costs_.userToKernelNs, [cb = std::move(cb)]() {
@@ -223,9 +271,9 @@ Kernel::sysPwrite(Process &p, int fd, std::span<const std::uint8_t> buf,
     fs::Inode *node = vfs_.fs().inode(of->ino);
     sim::panicIf(node == nullptr, "open fd with dead inode");
     if (of->flags & kOpenDirect)
-        directWrite(p, *node, buf, off, std::move(cb));
+        directWrite(p, *node, buf, off, std::move(cb), trace);
     else
-        bufferedWrite(p, *node, buf, off, std::move(cb));
+        bufferedWrite(p, *node, buf, off, std::move(cb), trace);
 }
 
 void
@@ -261,9 +309,9 @@ Kernel::sysWrite(Process &p, int fd, std::span<const std::uint8_t> buf,
 
 void
 Kernel::directRead(Process &p, fs::Inode &ino, std::span<std::uint8_t> buf,
-                   std::uint64_t off, IoCb cb)
+                   std::uint64_t off, IoCb cb, obs::TraceId trace)
 {
-    (void)p;
+    const Pid pid = p.pid();
     const Time start = eq_.now();
     const std::uint64_t n
         = off >= ino.size
@@ -284,8 +332,13 @@ Kernel::directRead(Process &p, fs::Inode &ino, std::span<std::uint8_t> buf,
     const Time submitCost
         = cpu_.scaled(costs_.userToKernelNs + costs_.vfsCost(n)
                       + costs_.blockLayerNs + costs_.nvmeDriverNs);
-    eq_.after(submitCost, [this, &ino, buf, off, n, start,
+    eq_.after(submitCost, [this, &ino, buf, off, n, start, pid, trace,
                            cb = std::move(cb)]() mutable {
+        if (trace_ && trace_->wants(obs::Level::Layers)) {
+            // Syscall entry through driver submit (Table 1 rows 1-4).
+            trace_->span(ktrack(pid), "kern.vfs_submit", trace, start,
+                         eq_.now());
+        }
         // Device I/O happens on the sector-aligned envelope; unaligned
         // requests bounce through a kernel buffer.
         const std::uint64_t aStart = off & ~(kSectorBytes - 1);
@@ -306,36 +359,45 @@ Kernel::directRead(Process &p, fs::Inode &ino, std::span<std::uint8_t> buf,
                 aEnd - aStart);
             target = std::span<std::uint8_t>(*bounce);
         }
-        deviceIo(ssd::Op::Read, segs, target,
-                 [this, buf, off, n, aStart, bounce, start, &ino,
-                  cb = std::move(cb)](ssd::Status dst, Time devNs) {
-                     if (bounce) {
-                         std::memcpy(buf.data(),
-                                     bounce->data() + (off - aStart), n);
-                     }
-                     vfs_.fs().touch(ino, false);
-                     const Time exitCost
-                         = cpu_.scaled(costs_.kernelToUserNs);
-                     eq_.after(exitCost, [n, start, devNs, dst, this,
-                                          cb = std::move(cb)]() {
-                         IoTrace tr;
-                         const Time total = eq_.now() - start;
-                         tr.deviceNs = devNs;
-                         tr.kernelNs = total - devNs;
-                         cb(dst == ssd::Status::Success
-                                ? static_cast<long long>(n)
-                                : errOf(fs::FsStatus::Inval),
-                            tr);
-                     });
-                 });
+        deviceIo(
+            ssd::Op::Read, segs, target,
+            [this, buf, off, n, aStart, bounce, start, pid, trace, &ino,
+             cb = std::move(cb)](ssd::Status dst, Time devNs) {
+                if (bounce) {
+                    std::memcpy(buf.data(),
+                                bounce->data() + (off - aStart), n);
+                }
+                vfs_.fs().touch(ino, false);
+                const Time exitCost
+                    = cpu_.scaled(costs_.kernelToUserNs);
+                const Time exitStart = eq_.now();
+                eq_.after(exitCost, [n, start, exitStart, pid, trace,
+                                     devNs, dst, this,
+                                     cb = std::move(cb)]() {
+                    if (trace_ && trace_->wants(obs::Level::Layers)) {
+                        trace_->span(ktrack(pid), "kern.exit", trace,
+                                     exitStart, eq_.now());
+                    }
+                    IoTrace tr;
+                    const Time total = eq_.now() - start;
+                    tr.deviceNs = devNs;
+                    tr.kernelNs = total - devNs;
+                    cb(dst == ssd::Status::Success
+                           ? static_cast<long long>(n)
+                           : errOf(fs::FsStatus::Inval),
+                       tr);
+                });
+            },
+            trace);
     });
 }
 
 void
 Kernel::directWrite(Process &p, fs::Inode &ino,
                     std::span<const std::uint8_t> buf, std::uint64_t off,
-                    IoCb cb)
+                    IoCb cb, obs::TraceId trace)
 {
+    const Pid pid = p.pid();
     const Time start = eq_.now();
     const std::uint64_t n = buf.size();
     if (n == 0) {
@@ -377,8 +439,13 @@ Kernel::directWrite(Process &p, fs::Inode &ino,
         = vfsDone
           + cpu_.scaled(costs_.blockLayerNs + costs_.nvmeDriverNs);
 
-    eq_.schedule(submitAt, [this, &ino, buf, off, n, start,
+    eq_.schedule(submitAt, [this, &ino, buf, off, n, start, pid, trace,
                             cb = std::move(cb)]() mutable {
+        if (trace_ && trace_->wants(obs::Level::Layers)) {
+            // Includes any wait on the per-inode ext4 write lock.
+            trace_->span(ktrack(pid), "kern.vfs_submit", trace, start,
+                         eq_.now());
+        }
         const std::uint64_t aStart = off & ~(kSectorBytes - 1);
         const std::uint64_t aEnd
             = (off + n + kSectorBytes - 1) & ~(kSectorBytes - 1);
@@ -391,12 +458,17 @@ Kernel::directWrite(Process &p, fs::Inode &ino,
             return;
         }
 
-        auto finish = [this, n, start, &ino, cb = std::move(cb)](
-                          ssd::Status dst, Time devNs) {
+        auto finish = [this, n, start, pid, trace, &ino,
+                       cb = std::move(cb)](ssd::Status dst, Time devNs) {
             vfs_.fs().touch(ino, true);
             const Time exitCost = cpu_.scaled(costs_.kernelToUserNs);
-            eq_.after(exitCost, [this, n, start, devNs, dst,
-                                 cb = std::move(cb)]() {
+            const Time exitStart = eq_.now();
+            eq_.after(exitCost, [this, n, start, exitStart, pid, trace,
+                                 devNs, dst, cb = std::move(cb)]() {
+                if (trace_ && trace_->wants(obs::Level::Layers)) {
+                    trace_->span(ktrack(pid), "kern.exit", trace,
+                                 exitStart, eq_.now());
+                }
                 IoTrace tr;
                 const Time total = eq_.now() - start;
                 tr.deviceNs = devNs;
@@ -410,38 +482,40 @@ Kernel::directWrite(Process &p, fs::Inode &ino,
 
         if (aligned) {
             deviceIo(ssd::Op::Write, segs, unconst(buf),
-                     std::move(finish));
+                     std::move(finish), trace);
             return;
         }
         // Unaligned: read-modify-write of the sector envelope through a
         // kernel bounce buffer.
         auto bounce = std::make_shared<std::vector<std::uint8_t>>(
             aEnd - aStart);
-        deviceIo(ssd::Op::Read, segs, std::span<std::uint8_t>(*bounce),
-                 [this, segs, bounce, buf, off, n, aStart,
-                  finish = std::move(finish)](ssd::Status rst,
-                                              Time rdevNs) mutable {
-                     if (rst != ssd::Status::Success) {
-                         finish(rst, rdevNs);
-                         return;
-                     }
-                     std::memcpy(bounce->data() + (off - aStart),
-                                 buf.data(), n);
-                     deviceIo(ssd::Op::Write, segs,
-                              std::span<std::uint8_t>(*bounce),
-                              [bounce, rdevNs,
-                               finish = std::move(finish)](
-                                  ssd::Status wst, Time wdevNs) {
-                                  finish(wst, rdevNs + wdevNs);
-                              });
-                 });
+        deviceIo(
+            ssd::Op::Read, segs, std::span<std::uint8_t>(*bounce),
+            [this, segs, bounce, buf, off, n, aStart, trace,
+             finish = std::move(finish)](ssd::Status rst,
+                                         Time rdevNs) mutable {
+                if (rst != ssd::Status::Success) {
+                    finish(rst, rdevNs);
+                    return;
+                }
+                std::memcpy(bounce->data() + (off - aStart),
+                            buf.data(), n);
+                deviceIo(ssd::Op::Write, segs,
+                         std::span<std::uint8_t>(*bounce),
+                         [bounce, rdevNs, finish = std::move(finish)](
+                             ssd::Status wst, Time wdevNs) {
+                             finish(wst, rdevNs + wdevNs);
+                         },
+                         trace);
+            },
+            trace);
     });
 }
 
 void
 Kernel::bufferedRead(Process &p, fs::Inode &ino,
                      std::span<std::uint8_t> buf, std::uint64_t off,
-                     IoCb cb)
+                     IoCb cb, obs::TraceId trace)
 {
     (void)p;
     const Time start = eq_.now();
@@ -501,7 +575,7 @@ Kernel::bufferedRead(Process &p, fs::Inode &ino,
     }
 
     // Fetch all missing pages, then complete.
-    eq_.after(cpu_.scaled(cost), [this, &ino, misses,
+    eq_.after(cpu_.scaled(cost), [this, &ino, misses, trace,
                                   finish = std::move(finish)]() mutable {
         auto remaining = std::make_shared<std::size_t>(misses.size());
         for (std::uint64_t pg : misses) {
@@ -546,7 +620,8 @@ Kernel::bufferedRead(Process &p, fs::Inode &ino,
                          "mapped page failed mapRange");
             deviceIo(ssd::Op::Read, segs,
                      std::span<std::uint8_t>(scratch->data(), kBlockBytes),
-                     [installPage](ssd::Status, Time) { installPage(); });
+                     [installPage](ssd::Status, Time) { installPage(); },
+                     trace);
         }
     });
 }
@@ -554,8 +629,9 @@ Kernel::bufferedRead(Process &p, fs::Inode &ino,
 void
 Kernel::bufferedWrite(Process &p, fs::Inode &ino,
                       std::span<const std::uint8_t> buf, std::uint64_t off,
-                      IoCb cb)
+                      IoCb cb, obs::TraceId trace)
 {
+    (void)trace; // buffered writes complete in the page cache
     const Time start = eq_.now();
     const std::uint64_t n = buf.size();
 
@@ -811,13 +887,17 @@ Kernel::sysStat(Process &p, const std::string &path, Stat *out, IntCb cb)
 void
 Kernel::appendPath(Process &p, fs::Inode &ino,
                    std::span<const std::uint8_t> buf, std::uint64_t off,
-                   IoCb cb)
+                   IoCb cb, obs::TraceId trace)
 {
     syscalls_++;
+    if (trace_ && trace == 0) {
+        trace = trace_->newTrace();
+        cb = wrapRequest("sync.append", p.pid(), trace, std::move(cb));
+    }
     // Appends route through the kernel: allocate, update metadata, attach
     // new FTEs, then write directly to the device without buffering
     // (Table 3).
-    directWrite(p, ino, buf, off, std::move(cb));
+    directWrite(p, ino, buf, off, std::move(cb), trace);
 }
 
 int

@@ -34,6 +34,7 @@
 #include "kern/cpu_model.hpp"
 #include "kern/process.hpp"
 #include "mem/frame_allocator.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "ssd/dispatcher.hpp"
 #include "ssd/nvme.hpp"
@@ -138,10 +139,18 @@ class Kernel
     void sysOpen(Process &p, const std::string &path, std::uint32_t flags,
                  std::uint16_t mode, IntCb cb);
     void sysClose(Process &p, int fd, IntCb cb);
+    /**
+     * Data syscalls carry an optional request trace id. 0 (the
+     * default) means this syscall is the outermost layer: when tracing
+     * is enabled the kernel allocates an id and emits the request
+     * envelope span itself. A non-zero id means an engine above
+     * (libaio, UserLib fallback) owns the envelope and the kernel only
+     * propagates the id down to the device.
+     */
     void sysPread(Process &p, int fd, std::span<std::uint8_t> buf,
-                  std::uint64_t off, IoCb cb);
+                  std::uint64_t off, IoCb cb, obs::TraceId trace = 0);
     void sysPwrite(Process &p, int fd, std::span<const std::uint8_t> buf,
-                   std::uint64_t off, IoCb cb);
+                   std::uint64_t off, IoCb cb, obs::TraceId trace = 0);
     void sysRead(Process &p, int fd, std::span<std::uint8_t> buf, IoCb cb);
     void sysWrite(Process &p, int fd, std::span<const std::uint8_t> buf,
                   IoCb cb);
@@ -191,29 +200,47 @@ class Kernel
      */
     void deviceIo(ssd::Op op, const std::vector<fs::Seg> &segs,
                   std::span<std::uint8_t> buf,
-                  std::function<void(ssd::Status, Time)> cb);
+                  std::function<void(ssd::Status, Time)> cb,
+                  obs::TraceId trace = 0);
 
     /** The kernel-interface path for appends (used by UserLib, Table 3). */
     void appendPath(Process &p, fs::Inode &ino,
                     std::span<const std::uint8_t> buf, std::uint64_t off,
-                    IoCb cb);
+                    IoCb cb, obs::TraceId trace = 0);
 
     std::uint64_t syscallCount() const { return syscalls_; }
+
+    /**
+     * Attach a span tracer (null = disabled, the default). Every
+     * instrumentation site is one branch on this pointer; when null the
+     * syscall paths are untouched (no allocation, no time read).
+     */
+    void setTracer(obs::Tracer *t) { trace_ = t; }
+    obs::Tracer *tracer() const { return trace_; }
+
+    /** Visit every live process (used by System::enableTracing). */
+    void forEachProcess(const std::function<void(Process &)> &fn);
 
   private:
     void directRead(Process &p, fs::Inode &ino,
                     std::span<std::uint8_t> buf, std::uint64_t off,
-                    IoCb cb);
+                    IoCb cb, obs::TraceId trace);
     void directWrite(Process &p, fs::Inode &ino,
                      std::span<const std::uint8_t> buf, std::uint64_t off,
-                     IoCb cb);
+                     IoCb cb, obs::TraceId trace);
     void bufferedRead(Process &p, fs::Inode &ino,
                       std::span<std::uint8_t> buf, std::uint64_t off,
-                      IoCb cb);
+                      IoCb cb, obs::TraceId trace);
     void bufferedWrite(Process &p, fs::Inode &ino,
                        std::span<const std::uint8_t> buf,
-                       std::uint64_t off, IoCb cb);
+                       std::uint64_t off, IoCb cb, obs::TraceId trace);
     void writebackDirty(fs::Inode &ino, std::function<void(Time)> done);
+
+    /** Interned "kern.p<pid>" track (tracer enabled only). */
+    std::uint16_t ktrack(Pid pid);
+    /** Wrap @p cb to emit the request envelope span at completion. */
+    IoCb wrapRequest(const char *name, Pid pid, obs::TraceId trace,
+                     IoCb cb);
 
     sim::EventQueue &eq_;
     mem::FrameAllocator &fa_;
@@ -231,6 +258,9 @@ class Kernel
     std::unordered_map<Pid, std::unique_ptr<Process>> procs_;
     Pid nextPid_ = 1;
     std::uint64_t syscalls_ = 0;
+
+    obs::Tracer *trace_ = nullptr;
+    std::unordered_map<Pid, std::uint16_t> obsTracks_;
 };
 
 } // namespace bpd::kern

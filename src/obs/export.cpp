@@ -1,0 +1,157 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+
+namespace bpd::obs {
+
+namespace {
+
+void printEscaped(std::FILE *f, const char *s)
+{
+    for (; *s; ++s) {
+        char c = *s;
+        if (c == '"' || c == '\\')
+            std::fputc('\\', f);
+        std::fputc(c, f);
+    }
+}
+
+/** ns → µs with 3 decimals, the native unit of the Chrome format. */
+void printTs(std::FILE *f, Time ns)
+{
+    std::fprintf(f, "%" PRIu64 ".%03u", ns / 1000,
+                 static_cast<unsigned>(ns % 1000));
+}
+
+void printArgs(std::FILE *f, const SpanRec &rec)
+{
+    std::fputs("\"args\":{", f);
+    bool first = true;
+    if (rec.trace != 0) {
+        std::fprintf(f, "\"trace\":%" PRIu64, rec.trace);
+        first = false;
+    }
+    for (unsigned i = 0; i < rec.nargs; ++i) {
+        if (!first)
+            std::fputc(',', f);
+        first = false;
+        std::fputc('"', f);
+        printEscaped(f, rec.args[i].key);
+        std::fprintf(f, "\":%" PRId64, rec.args[i].value);
+    }
+    std::fputc('}', f);
+}
+
+} // namespace
+
+void writeChromeTrace(std::FILE *f,
+                      const std::vector<TraceProcess> &processes)
+{
+    std::fputs("{\"traceEvents\":[", f);
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            std::fputs(",\n", f);
+        else
+            std::fputc('\n', f);
+        first = false;
+    };
+
+    for (std::size_t p = 0; p < processes.size(); ++p) {
+        const unsigned pid = static_cast<unsigned>(p + 1);
+        const TraceData *data = processes[p].data;
+        if (!data)
+            continue;
+
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%u,"
+                     "\"tid\":0,\"args\":{\"name\":\"",
+                     pid);
+        printEscaped(f, processes[p].name.c_str());
+        std::fputs("\"}}", f);
+
+        for (std::size_t t = 0; t < data->tracks.size(); ++t) {
+            sep();
+            std::fprintf(f,
+                         "{\"ph\":\"M\",\"name\":\"thread_name\","
+                         "\"pid\":%u,\"tid\":%zu,\"args\":{\"name\":\"",
+                         pid, t);
+            printEscaped(f, data->tracks[t].c_str());
+            std::fputs("\"}}", f);
+        }
+
+        for (const SpanRec &rec : data->spans) {
+            sep();
+            if (rec.phase == 'i') {
+                std::fprintf(f,
+                             "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"%s\","
+                             "\"pid\":%u,\"tid\":%u,\"ts\":",
+                             rec.name, pid, rec.track);
+                printTs(f, rec.start);
+            } else {
+                std::fprintf(f,
+                             "{\"ph\":\"X\",\"name\":\"%s\",\"pid\":%u,"
+                             "\"tid\":%u,\"ts\":",
+                             rec.name, pid, rec.track);
+                printTs(f, rec.start);
+                std::fputs(",\"dur\":", f);
+                printTs(f, rec.end - rec.start);
+            }
+            std::fputc(',', f);
+            printArgs(f, rec);
+            std::fputc('}', f);
+        }
+    }
+
+    std::fputs("\n],\"displayTimeUnit\":\"ns\"}\n", f);
+}
+
+bool writeChromeTraceFile(const std::string &path,
+                          const std::vector<TraceProcess> &processes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    writeChromeTrace(f, processes);
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+}
+
+void writeMetricsJson(std::FILE *f, const std::vector<MetricsRun> &runs)
+{
+    std::fputs("{\n  \"schema\": \"bypassd-metrics-v1\",\n  \"runs\": {",
+               f);
+    bool first = true;
+    for (const MetricsRun &run : runs) {
+        if (!first)
+            std::fputc(',', f);
+        first = false;
+        std::fputs("\n    \"", f);
+        printEscaped(f, run.name.c_str());
+        std::fputs("\": ", f);
+        // Re-indent the snapshot body under "runs".
+        const std::string body = run.snapshot.toJson("  ");
+        for (char c : body) {
+            std::fputc(c, f);
+            if (c == '\n')
+                std::fputs("    ", f);
+        }
+    }
+    std::fputs(first ? "}\n}\n" : "\n  }\n}\n", f);
+}
+
+bool writeMetricsFile(const std::string &path,
+                      const std::vector<MetricsRun> &runs)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    writeMetricsJson(f, runs);
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace bpd::obs

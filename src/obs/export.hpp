@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Exporters: Chrome trace-event JSON (loadable in Perfetto /
+ * chrome://tracing) and a metrics JSON dump.
+ *
+ * Each TraceData becomes one Perfetto *process* (pid) so benches that
+ * build one System per scenario/cell can merge all runs into a single
+ * file; interned tracks become *threads* (tid) with thread_name
+ * metadata. Virtual-time nanoseconds are emitted as fractional
+ * microseconds (the unit the Chrome format expects).
+ */
+
+#ifndef BPD_OBS_EXPORT_HPP
+#define BPD_OBS_EXPORT_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace bpd::obs {
+
+/** One traced run: shown as a named process in Perfetto. */
+struct TraceProcess
+{
+    std::string name;
+    const TraceData *data = nullptr;
+};
+
+/** One metrics snapshot, keyed by run label in the output object. */
+struct MetricsRun
+{
+    std::string name;
+    MetricsSnapshot snapshot;
+};
+
+/** Write Chrome trace-event JSON ({"traceEvents": [...]}). */
+void writeChromeTrace(std::FILE *f,
+                      const std::vector<TraceProcess> &processes);
+
+/** writeChromeTrace to @p path; returns false on I/O error. */
+bool writeChromeTraceFile(const std::string &path,
+                          const std::vector<TraceProcess> &processes);
+
+/** Write {"schema": "bypassd-metrics-v1", "runs": {label: {...}}}. */
+void writeMetricsJson(std::FILE *f, const std::vector<MetricsRun> &runs);
+
+/** writeMetricsJson to @p path; returns false on I/O error. */
+bool writeMetricsFile(const std::string &path,
+                      const std::vector<MetricsRun> &runs);
+
+} // namespace bpd::obs
+
+#endif // BPD_OBS_EXPORT_HPP

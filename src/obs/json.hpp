@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser, header-only. Just enough to
+ * round-trip-validate the obs exporters (tools/trace_view,
+ * tests/test_obs) without an external dependency. Numbers are parsed
+ * as double; no \uXXXX decoding beyond passthrough.
+ */
+
+#ifndef BPD_OBS_JSON_HPP
+#define BPD_OBS_JSON_HPP
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bpd::obs::json {
+
+struct Value
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Value> arr;
+    std::map<std::string, Value> obj;
+
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *find(const std::string &key) const
+    {
+        if (type != Type::Object)
+            return nullptr;
+        auto it = obj.find(key);
+        return it == obj.end() ? nullptr : &it->second;
+    }
+};
+
+class Parser
+{
+  public:
+    Parser(const char *text, std::size_t len)
+        : begin_(text), p_(text), end_(text + len)
+    {
+    }
+
+    bool parse(Value &out, std::string &err)
+    {
+        skipWs();
+        if (!parseValue(out, err))
+            return false;
+        skipWs();
+        if (p_ != end_) {
+            err = "trailing data at offset "
+                  + std::to_string(p_ - begin_);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (p_ != end_
+               && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n'
+                   || *p_ == '\r'))
+            ++p_;
+    }
+
+    bool fail(std::string &err, const std::string &what)
+    {
+        err = what + " near offset " + std::to_string(p_ - begin_);
+        return false;
+    }
+
+    bool parseValue(Value &out, std::string &err)
+    {
+        if (p_ == end_)
+            return fail(err, "unexpected end of input");
+        switch (*p_) {
+        case '{': return parseObject(out, err);
+        case '[': return parseArray(out, err);
+        case '"':
+            out.type = Value::Type::String;
+            return parseString(out.str, err);
+        case 't':
+        case 'f': return parseBool(out, err);
+        case 'n': return parseNull(out, err);
+        default: return parseNumber(out, err);
+        }
+    }
+
+    bool parseObject(Value &out, std::string &err)
+    {
+        out.type = Value::Type::Object;
+        ++p_; // '{'
+        skipWs();
+        if (p_ != end_ && *p_ == '}') {
+            ++p_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (p_ == end_ || *p_ != '"')
+                return fail(err, "expected object key");
+            std::string key;
+            if (!parseString(key, err))
+                return false;
+            skipWs();
+            if (p_ == end_ || *p_ != ':')
+                return fail(err, "expected ':'");
+            ++p_;
+            skipWs();
+            if (!parseValue(out.obj[key], err))
+                return false;
+            skipWs();
+            if (p_ == end_)
+                return fail(err, "unterminated object");
+            if (*p_ == ',') {
+                ++p_;
+                continue;
+            }
+            if (*p_ == '}') {
+                ++p_;
+                return true;
+            }
+            return fail(err, "expected ',' or '}'");
+        }
+    }
+
+    bool parseArray(Value &out, std::string &err)
+    {
+        out.type = Value::Type::Array;
+        ++p_; // '['
+        skipWs();
+        if (p_ != end_ && *p_ == ']') {
+            ++p_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            out.arr.emplace_back();
+            if (!parseValue(out.arr.back(), err))
+                return false;
+            skipWs();
+            if (p_ == end_)
+                return fail(err, "unterminated array");
+            if (*p_ == ',') {
+                ++p_;
+                continue;
+            }
+            if (*p_ == ']') {
+                ++p_;
+                return true;
+            }
+            return fail(err, "expected ',' or ']'");
+        }
+    }
+
+    bool parseString(std::string &out, std::string &err)
+    {
+        ++p_; // opening quote
+        out.clear();
+        while (p_ != end_ && *p_ != '"') {
+            if (*p_ == '\\') {
+                ++p_;
+                if (p_ == end_)
+                    return fail(err, "unterminated escape");
+                switch (*p_) {
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'r': out += '\r'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'u':
+                    // Passthrough: keep the raw escape text.
+                    out += "\\u";
+                    for (int i = 0; i < 4 && p_ + 1 != end_; ++i)
+                        out += *++p_;
+                    break;
+                default: out += *p_;
+                }
+                ++p_;
+            } else {
+                out += *p_++;
+            }
+        }
+        if (p_ == end_)
+            return fail(err, "unterminated string");
+        ++p_; // closing quote
+        return true;
+    }
+
+    bool parseBool(Value &out, std::string &err)
+    {
+        out.type = Value::Type::Bool;
+        if (end_ - p_ >= 4 && std::string(p_, p_ + 4) == "true") {
+            out.boolean = true;
+            p_ += 4;
+            return true;
+        }
+        if (end_ - p_ >= 5 && std::string(p_, p_ + 5) == "false") {
+            out.boolean = false;
+            p_ += 5;
+            return true;
+        }
+        return fail(err, "bad literal");
+    }
+
+    bool parseNull(Value &out, std::string &err)
+    {
+        if (end_ - p_ >= 4 && std::string(p_, p_ + 4) == "null") {
+            out.type = Value::Type::Null;
+            p_ += 4;
+            return true;
+        }
+        return fail(err, "bad literal");
+    }
+
+    bool parseNumber(Value &out, std::string &err)
+    {
+        char *numEnd = nullptr;
+        out.type = Value::Type::Number;
+        out.number = std::strtod(p_, &numEnd);
+        if (numEnd == p_)
+            return fail(err, "bad number");
+        p_ = numEnd;
+        return true;
+    }
+
+    const char *begin_;
+    const char *p_;
+    const char *end_;
+};
+
+/** Parse @p text; on failure returns false and sets @p err. */
+inline bool parse(const std::string &text, Value &out, std::string &err)
+{
+    Parser p(text.data(), text.size());
+    return p.parse(out, err);
+}
+
+} // namespace bpd::obs::json
+
+#endif // BPD_OBS_JSON_HPP

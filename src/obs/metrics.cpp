@@ -1,0 +1,133 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace bpd::obs {
+
+namespace {
+
+void appendEscaped(std::string &out, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+} // namespace
+
+void MetricsSnapshot::merge(const MetricsSnapshot &other)
+{
+    for (const auto &[k, v] : other.counters)
+        counters[k] += v;
+    for (const auto &[k, v] : other.gauges)
+        gauges[k] = v;
+    for (const auto &[k, h] : other.histograms)
+        histograms[k].merge(h);
+}
+
+std::string MetricsSnapshot::toJson(const std::string &indent) const
+{
+    std::string out = "{\n";
+    const std::string in1 = indent;
+    const std::string in2 = indent + indent;
+    char buf[160];
+
+    out += in1 + "\"counters\": {";
+    bool first = true;
+    for (const auto &[k, v] : counters) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += in2 + "\"";
+        appendEscaped(out, k);
+        std::snprintf(buf, sizeof(buf), "\": %" PRIu64, v);
+        out += buf;
+    }
+    out += first ? "},\n" : "\n" + in1 + "},\n";
+
+    out += in1 + "\"gauges\": {";
+    first = true;
+    for (const auto &[k, v] : gauges) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += in2 + "\"";
+        appendEscaped(out, k);
+        std::snprintf(buf, sizeof(buf), "\": %.6g", v);
+        out += buf;
+    }
+    out += first ? "},\n" : "\n" + in1 + "},\n";
+
+    out += in1 + "\"histograms\": {";
+    first = true;
+    for (const auto &[k, h] : histograms) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += in2 + "\"";
+        appendEscaped(out, k);
+        out += "\": ";
+        std::snprintf(buf, sizeof(buf),
+                      "{\"count\": %" PRIu64 ", \"min\": %" PRIu64
+                      ", \"max\": %" PRIu64
+                      ", \"mean\": %.3f, \"p50\": %" PRIu64
+                      ", \"p99\": %" PRIu64 ", \"p999\": %" PRIu64 "}",
+                      h.count(), h.min(), h.max(), h.mean(), h.p50(),
+                      h.p99(), h.p999());
+        out += buf;
+    }
+    out += first ? "}\n" : "\n" + in1 + "}\n";
+
+    out += "}";
+    return out;
+}
+
+std::string MetricsRegistry::key(const std::string &module,
+                                 const std::string &name)
+{
+    return module + "." + name;
+}
+
+Counter &MetricsRegistry::counter(const std::string &module,
+                                  const std::string &name)
+{
+    return counters_[key(module, name)];
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &module,
+                              const std::string &name)
+{
+    return gauges_[key(module, name)];
+}
+
+sim::Histogram &MetricsRegistry::histogram(const std::string &module,
+                                           const std::string &name)
+{
+    return histograms_[key(module, name)];
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot s;
+    for (const auto &[k, c] : counters_)
+        s.counters[k] = c.value();
+    for (const auto &[k, g] : gauges_)
+        s.gauges[k] = g.value();
+    for (const auto &[k, h] : histograms_)
+        s.histograms[k] = h;
+    return s;
+}
+
+} // namespace bpd::obs

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Request-scoped span tracer.
+ *
+ * Every simulated I/O is assigned a trace id at its outermost
+ * submission point (UserLib pread/pwrite, sync syscall, libaio,
+ * io_uring, SPDK) and carries it across layer boundaries; each layer
+ * emits spans stamped with virtual time. Spans are recorded
+ * retrospectively — a layer emits the span when the request completes,
+ * using the start timestamp it captured in its completion closure — so
+ * no per-request span stack is needed across async callbacks.
+ *
+ * Zero-cost-when-disabled contract: components hold a raw
+ * `obs::Tracer *` that is null by default. Every instrumentation site
+ * is guarded by a single branch on that pointer; when it is null no
+ * allocation, no virtual call and no formatting happens on the
+ * schedule/run path (bench/micro_components asserts allocs/op == 0).
+ *
+ * Semantic-transparency contract: instrumentation only *reads*
+ * simulator state (EventQueue::now(), completion fields, counters). It
+ * never schedules events, never draws random numbers and never mutates
+ * component state, so same-seed digests are bit-identical with tracing
+ * on, off, or at any verbosity (tests/test_determinism.cpp asserts
+ * this).
+ */
+
+#ifndef BPD_OBS_TRACE_HPP
+#define BPD_OBS_TRACE_HPP
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+
+namespace bpd::obs {
+
+class MetricsRegistry;
+
+/** Id shared by every span belonging to one logical I/O request. */
+using TraceId = std::uint64_t;
+
+/**
+ * Verbosity: each level includes everything below it.
+ *  - Requests: one envelope span per I/O plus rare events
+ *    (IOMMU faults, revocations).
+ *  - Layers: per-layer crossings (syscall segments, fmap, device
+ *    command lifetime, journal commits).
+ *  - Device: device-internal detail (SQ arbitration wait, ATS
+ *    translate with walk detail, media service, invalidations).
+ */
+enum class Level : std::uint8_t {
+    Requests = 1,
+    Layers = 2,
+    Device = 3,
+};
+
+/** One key/value annotation on a span ("args" in the Chrome format). */
+struct Arg
+{
+    const char *key;
+    std::int64_t value;
+};
+
+/**
+ * One recorded event. @c name must point to a string literal (static
+ * storage) so records stay valid after the emitting component — or the
+ * whole System — is destroyed.
+ */
+struct SpanRec
+{
+    static constexpr std::size_t kMaxArgs = 6;
+
+    const char *name = nullptr;
+    TraceId trace = 0;
+    Time start = 0;
+    Time end = 0; ///< == start for instant events
+    std::uint16_t track = 0;
+    std::uint8_t nargs = 0;
+    char phase = 'X'; ///< 'X' complete span, 'i' instant
+    std::array<Arg, kMaxArgs> args{};
+};
+
+/**
+ * The recorded trace: a flat event list plus the interned track-name
+ * table. Copyable, so benches can capture it before tearing down the
+ * System that produced it.
+ */
+struct TraceData
+{
+    std::vector<SpanRec> spans;
+    std::vector<std::string> tracks; ///< index == SpanRec::track
+};
+
+/** Per-layer breakdown attached to a request envelope (Table 1 axes). */
+struct RequestBreakdown
+{
+    std::uint64_t userNs = 0;
+    std::uint64_t kernelNs = 0;
+    std::uint64_t translateNs = 0;
+    std::uint64_t deviceNs = 0;
+    std::uint64_t bytes = 0;
+};
+
+class Tracer
+{
+  public:
+    /**
+     * @param eq       source of virtual timestamps (for now()).
+     * @param level    verbosity ceiling for wants().
+     * @param metrics  optional registry that receives per-layer
+     *                 request histograms (obs.req_*_ns).
+     */
+    Tracer(const sim::EventQueue &eq, Level level,
+           MetricsRegistry *metrics = nullptr);
+
+    Level level() const { return level_; }
+
+    /** Should events of verbosity @p l be emitted? */
+    bool wants(Level l) const
+    {
+        return static_cast<std::uint8_t>(l)
+               <= static_cast<std::uint8_t>(level_);
+    }
+
+    /** Allocate a fresh request id (monotonic, never 0). */
+    TraceId newTrace() { return ++lastTrace_; }
+
+    /** Current virtual time. */
+    Time now() const { return eq_.now(); }
+
+    /**
+     * Intern a track (Perfetto thread) name; returns its id. Called on
+     * the first traced event of a component, which caches the result.
+     */
+    std::uint16_t track(const std::string &name);
+
+    /** Record a complete span [start, end] on @p track. */
+    void span(std::uint16_t track, const char *name, TraceId trace,
+              Time start, Time end, std::initializer_list<Arg> args = {});
+
+    /** Record an instant event at the current virtual time. */
+    void instant(std::uint16_t track, const char *name, TraceId trace,
+                 std::initializer_list<Arg> args = {});
+
+    /**
+     * Record a request envelope span carrying its per-layer breakdown
+     * as args (user_ns/kernel_ns/xlate_ns/device_ns/bytes; what
+     * tools/trace_view aggregates into the Table 1 table) and feed the
+     * obs.req_*_ns histograms in the metrics registry.
+     */
+    void request(std::uint16_t track, const char *name, TraceId trace,
+                 Time start, Time end, const RequestBreakdown &b);
+
+    const TraceData &data() const { return data_; }
+    std::size_t spanCount() const { return data_.spans.size(); }
+
+  private:
+    const sim::EventQueue &eq_;
+    Level level_;
+    TraceId lastTrace_ = 0;
+    TraceData data_;
+    sim::Histogram *hTotal_ = nullptr;
+    sim::Histogram *hUser_ = nullptr;
+    sim::Histogram *hKernel_ = nullptr;
+    sim::Histogram *hTranslate_ = nullptr;
+    sim::Histogram *hDevice_ = nullptr;
+};
+
+} // namespace bpd::obs
+
+#endif // BPD_OBS_TRACE_HPP

@@ -75,8 +75,29 @@ SpdkDriver::doIo(Tid tid, ssd::Op op, DevAddr addr,
 {
     sim::panicIf(!initialized_, "SPDK I/O before init()");
     const Time start = eq_.now();
+
+    obs::TraceId trace = 0;
+    if (obs::Tracer *t = dev_.tracer()) {
+        trace = t->newTrace();
+        const std::uint16_t track
+            = t->track("spdk.t" + std::to_string(tid));
+        const char *name
+            = op == ssd::Op::Write ? "spdk.write" : "spdk.read";
+        cb = [this, t, track, name, trace, start,
+              cb = std::move(cb)](long long res, kern::IoTrace tr) {
+            obs::RequestBreakdown b;
+            b.userNs = tr.userNs;
+            b.kernelNs = tr.kernelNs;
+            b.translateNs = tr.translateNs;
+            b.deviceNs = tr.deviceNs;
+            b.bytes = res > 0 ? static_cast<std::uint64_t>(res) : 0;
+            t->request(track, name, trace, start, eq_.now(), b);
+            cb(res, tr);
+        };
+    }
+
     const Time submitCost = cpu_.scaled(costs_.submitNs);
-    eq_.after(submitCost, [this, tid, op, addr, buf, start,
+    eq_.after(submitCost, [this, tid, op, addr, buf, start, trace,
                            cb = std::move(cb)]() {
         ThreadCtx &tc = ctx(tid);
         ssd::Command cmd;
@@ -85,6 +106,7 @@ SpdkDriver::doIo(Tid tid, ssd::Op op, DevAddr addr,
         cmd.addrIsVba = false;
         cmd.len = static_cast<std::uint32_t>(buf.size());
         cmd.hostBuf = buf; // zero-copy: DMA straight into the caller
+        cmd.trace = trace;
         const Time tSubmit = eq_.now();
         const bool ok = tc.disp->submit(
             cmd, [this, buf, start, tSubmit,

@@ -1,7 +1,9 @@
 #include "ssd/nvme.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/trace.hpp"
 #include "sim/logging.hpp"
 
 namespace bpd::ssd {
@@ -36,6 +38,8 @@ QueuePair::submit(const Command &cmd)
     if (sq_.size() + inflight_ >= depth_)
         return false;
     Command c = cmd;
+    if (dev_.trace_)
+        c.enq = dev_.eq_.now();
     sq_.push_back(c);
     dev_.ring(qid_);
     return true;
@@ -141,6 +145,15 @@ NvmeDevice::releaseExclusive(Pasid owner)
         qp->disabled_ = false;
 }
 
+std::uint16_t
+NvmeDevice::qtrack(QueuePair &qp)
+{
+    if (qp.obsTrack_ == 0)
+        qp.obsTrack_
+            = trace_->track("nvme.q" + std::to_string(qp.qid_));
+    return qp.obsTrack_;
+}
+
 void
 NvmeDevice::ring(std::uint16_t qid)
 {
@@ -213,6 +226,14 @@ void
 NvmeDevice::finish(QueuePair &qp, Completion comp)
 {
     comp.qid = qp.qid();
+    if (trace_ && trace_->wants(obs::Level::Layers)) {
+        // Full device-side command lifetime: SQ fetch through CQ post.
+        trace_->span(
+            qtrack(qp), "nvme.cmd", comp.trace, comp.submitTime,
+            comp.completeTime,
+            {{"xlate_ns", static_cast<std::int64_t>(comp.translateNs)},
+             {"status", static_cast<std::int64_t>(comp.status)}});
+    }
     qp.inflight_--;
     qp.completedOps_++;
     if (comp.status != Status::Success)
@@ -242,6 +263,7 @@ NvmeDevice::startMedia()
         linkFreeAt_ = serviceStart + xfer;
         Time done = serviceStart + mediaTime(job.op, job.len) + xfer;
         done = std::max(done, job.minDone);
+        job.mediaStart = serviceStart;
         if (job.op == Op::Write) {
             job.qp->lastWriteDone_
                 = std::max(job.qp->lastWriteDone_, done);
@@ -261,6 +283,14 @@ NvmeDevice::startMedia()
                 off += seg.len;
             }
             job.comp.completeTime = eq_.now();
+            if (trace_ && trace_->wants(obs::Level::Device)) {
+                trace_->span(
+                    qtrack(*job.qp), "nvme.media", job.comp.trace,
+                    job.mediaStart, eq_.now(),
+                    {{"bytes", static_cast<std::int64_t>(job.len)},
+                     {"write",
+                      static_cast<std::int64_t>(job.op == Op::Write)}});
+            }
             busyUnits_--;
             startMedia();
             finish(*job.qp, job.comp);
@@ -274,6 +304,14 @@ NvmeDevice::process(QueuePair &qp, Command cmd)
     const Time submitTime = eq_.now();
     totalOps_++;
 
+    if (trace_ && trace_->wants(obs::Level::Device) && cmd.enq != 0
+        && submitTime > cmd.enq) {
+        // Time spent queued in the SQ before round-robin arbitration
+        // fetched the command.
+        trace_->span(qtrack(qp), "nvme.sq_wait", cmd.trace, cmd.enq,
+                     submitTime);
+    }
+
     auto fail = [&](Status st, Time extraDelay) {
         if (st == Status::TranslationFault || st == Status::PermissionFault
             || st == Status::DevIdFault) {
@@ -283,6 +321,7 @@ NvmeDevice::process(QueuePair &qp, Command cmd)
         comp.cid = cmd.cid;
         comp.status = st;
         comp.submitTime = submitTime;
+        comp.trace = cmd.trace;
         eq_.after(profile_.cmdFetchNs + extraDelay,
                   [this, &qp, comp]() mutable {
                       comp.completeTime = eq_.now();
@@ -314,6 +353,7 @@ NvmeDevice::process(QueuePair &qp, Command cmd)
         comp.cid = cmd.cid;
         comp.status = Status::Success;
         comp.submitTime = submitTime;
+        comp.trace = cmd.trace;
         eq_.schedule(done, [this, &qp, comp]() mutable {
             comp.completeTime = eq_.now();
             finish(qp, comp);
@@ -331,9 +371,34 @@ NvmeDevice::process(QueuePair &qp, Command cmd)
     std::vector<iommu::TransSeg> segs;
     Time translateNs = 0;
     if (cmd.addrIsVba) {
+        const bool devTrace = trace_ && trace_->wants(obs::Level::Device);
+        std::uint64_t wcMiss0 = 0, tlbMiss0 = 0, tlbHit0 = 0;
+        if (devTrace) {
+            wcMiss0 = iommu_.walkCache().misses();
+            tlbMiss0 = iommu_.iotlb().misses();
+            tlbHit0 = iommu_.iotlb().hits();
+        }
         iommu::TransResult tr = iommu_.translateVbaSync(
             qp.pasid(), cmd.addr, cmd.len, cmd.op == Op::Write, devId_);
         translateNs = tr.latency;
+        if (devTrace) {
+            // ATS request goes out once the command is fetched; for
+            // writes it overlaps the data-in transfer (Section 4.3).
+            const Time ats = submitTime + profile_.cmdFetchNs;
+            trace_->span(
+                qtrack(qp), "iommu.ats_translate", cmd.trace, ats,
+                ats + tr.latency,
+                {{"pages", static_cast<std::int64_t>(tr.pages)},
+                 {"frames_read",
+                  static_cast<std::int64_t>(tr.framesRead)},
+                 {"wc_miss", static_cast<std::int64_t>(
+                                 iommu_.walkCache().misses() - wcMiss0)},
+                 {"iotlb_miss", static_cast<std::int64_t>(
+                                    iommu_.iotlb().misses() - tlbMiss0)},
+                 {"iotlb_hit", static_cast<std::int64_t>(
+                                   iommu_.iotlb().hits() - tlbHit0)},
+                 {"fault", static_cast<std::int64_t>(!tr.ok)}});
+        }
         if (!tr.ok) {
             fail(statusFromFault(tr.fault), tr.latency);
             return;
@@ -396,6 +461,7 @@ NvmeDevice::process(QueuePair &qp, Command cmd)
     job.comp.status = Status::Success;
     job.comp.submitTime = submitTime;
     job.comp.translateNs = translateNs;
+    job.comp.trace = cmd.trace;
     job.minDone = 0;
 
     // Reads serialize the ATS translation before media access (and do

@@ -34,6 +34,10 @@
 #include "sim/random.hpp"
 #include "ssd/block_store.hpp"
 
+namespace bpd::obs {
+class Tracer;
+}
+
 namespace bpd::ssd {
 
 /** Device timing/geometry profile. */
@@ -85,6 +89,16 @@ struct Command
     bool useIova = false;
     /** ...or a direct host span (kernel/driver-owned buffers). */
     std::span<std::uint8_t> hostBuf;
+
+    /** @name Observability (no effect on simulated behavior)
+     * Request trace id carried across layers, and the SQ enqueue time
+     * stamped by submit() when device tracing is enabled (for the
+     * sq_wait arbitration span).
+     */
+    ///@{
+    std::uint64_t trace = 0;
+    Time enq = 0;
+    ///@}
 };
 
 /** A completion-queue entry. */
@@ -96,6 +110,7 @@ struct Completion
     Time submitTime = 0;
     Time completeTime = 0;
     Time translateNs = 0; //!< modeled VBA translation latency component
+    std::uint64_t trace = 0; //!< request trace id (observability only)
 };
 
 class NvmeDevice;
@@ -174,6 +189,8 @@ class QueuePair
     std::uint64_t completedOps_ = 0;
     std::uint64_t completedBytes_ = 0;
     std::uint64_t faults_ = 0;
+
+    std::uint16_t obsTrack_ = 0; //!< interned "nvme.q<qid>" track
 };
 
 /**
@@ -225,6 +242,14 @@ class NvmeDevice
 
     bool claimed() const { return claimOwner_ != kNoPasid; }
 
+    /**
+     * Attach a span tracer (null = disabled, the default). All device
+     * instrumentation is guarded by one branch on this pointer and only
+     * reads simulator state, so enabling it cannot change timing.
+     */
+    void setTracer(obs::Tracer *t) { trace_ = t; }
+    obs::Tracer *tracer() const { return trace_; }
+
     /** @name Aggregate statistics */
     ///@{
     std::uint64_t totalOps() const { return totalOps_; }
@@ -248,9 +273,11 @@ class NvmeDevice
         std::shared_ptr<std::vector<std::uint8_t>> staged;
         Completion comp;
         Time minDone; //!< completion cannot precede this (write ATS)
+        Time mediaStart = 0; //!< service start (observability only)
     };
 
     void ring(std::uint16_t qid);
+    std::uint16_t qtrack(QueuePair &qp);
     void tryDispatch();
     void process(QueuePair &qp, Command cmd);
     void finish(QueuePair &qp, Completion comp);
@@ -279,6 +306,8 @@ class NvmeDevice
     bool dispatchScheduled_ = false;
 
     Pasid claimOwner_ = kNoPasid;
+
+    obs::Tracer *trace_ = nullptr;
 
     std::uint64_t totalOps_ = 0;
     std::uint64_t readBytes_ = 0;

@@ -21,6 +21,77 @@ System::newProcess(std::uint32_t uid, std::uint32_t gid)
     return kernel.createProcess(fs::Credentials{uid, gid});
 }
 
+obs::Tracer &
+System::enableTracing(obs::Level level)
+{
+    if (tracer_)
+        return *tracer_;
+    tracer_ = std::make_unique<obs::Tracer>(eq, level, &metrics);
+    obs::Tracer *t = tracer_.get();
+    kernel.setTracer(t);
+    dev.setTracer(t);
+    iommu.setTracer(t);
+    module.setTracer(t);
+    // Journal commits show up as instants on their own "fs" track.
+    const std::uint16_t fsTrack = t->track("fs");
+    ext4.journal().setCommitObserver([t, fsTrack](std::size_t records) {
+        if (t->wants(obs::Level::Layers))
+            t->instant(fsTrack, "journal.commit", 0,
+                       {{"records",
+                         static_cast<std::int64_t>(records)}});
+    });
+    return *tracer_;
+}
+
+void
+System::collectMetrics()
+{
+    metrics.counter("sim", "events_executed").set(eq.executed());
+    metrics.counter("kern", "syscalls").set(kernel.syscallCount());
+    metrics.counter("iommu", "vba_translations")
+        .set(iommu.vbaTranslations());
+    metrics.counter("iommu", "vba_faults").set(iommu.vbaFaults());
+    metrics.counter("iommu", "page_walk_frames").set(iommu.framesRead());
+    metrics.counter("iommu", "iotlb_hits").set(iommu.iotlb().hits());
+    metrics.counter("iommu", "iotlb_misses").set(iommu.iotlb().misses());
+    metrics.counter("iommu", "walk_cache_hits")
+        .set(iommu.walkCache().hits());
+    metrics.counter("iommu", "walk_cache_misses")
+        .set(iommu.walkCache().misses());
+    metrics.counter("ssd", "ops").set(dev.totalOps());
+    metrics.counter("ssd", "read_bytes").set(dev.readBytes());
+    metrics.counter("ssd", "write_bytes").set(dev.writeBytes());
+    metrics.counter("ssd", "translation_faults")
+        .set(dev.translationFaults());
+    metrics.counter("fs", "journal_commits")
+        .set(ext4.journal().committedTxns());
+    metrics.counter("fs", "journal_records")
+        .set(ext4.journal().records());
+    metrics.counter("fs", "metadata_ops").set(ext4.metadataOps());
+    metrics.counter("bypassd", "cold_fmaps").set(module.coldFmaps());
+    metrics.counter("bypassd", "warm_fmaps").set(module.warmFmaps());
+    metrics.counter("bypassd", "revocations").set(module.revocations());
+    metrics.counter("bypassd", "rejected_fmaps")
+        .set(module.rejectedFmaps());
+    std::uint64_t directReads = 0, directWrites = 0, fallbacks = 0,
+                  iommuFaults = 0;
+    kernel.forEachProcess([&](kern::Process &p) {
+        if (!p.userLib)
+            return;
+        directReads += p.userLib->directReads();
+        directWrites += p.userLib->directWrites();
+        fallbacks += p.userLib->kernelFallbackOps();
+        iommuFaults += p.userLib->iommuFaults();
+    });
+    metrics.counter("bypassd", "direct_reads").set(directReads);
+    metrics.counter("bypassd", "direct_writes").set(directWrites);
+    metrics.counter("bypassd", "kernel_fallback_ops").set(fallbacks);
+    metrics.counter("bypassd", "iommu_faults").set(iommuFaults);
+    metrics.gauge("ssd", "resident_bytes")
+        .set(static_cast<double>(store.residentBytes()));
+    metrics.gauge("sim", "now_ns").set(static_cast<double>(eq.now()));
+}
+
 bypassd::UserLib &
 System::userLib(kern::Process &p)
 {

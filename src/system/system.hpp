@@ -18,6 +18,8 @@
 #include "kern/aio.hpp"
 #include "kern/kernel.hpp"
 #include "mem/frame_allocator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "ssd/block_store.hpp"
 #include "ssd/nvme.hpp"
@@ -59,6 +61,34 @@ class System
 
     Time now() const { return eq.now(); }
 
+    /**
+     * Turn on request-scoped tracing at the given verbosity and wire
+     * the tracer into every layer (kernel, device, IOMMU, BypassD
+     * module, journal). Idempotent; the level is fixed by the first
+     * call. Tracing only observes the simulation — same-seed digests
+     * are bit-identical with tracing on or off.
+     */
+    obs::Tracer &enableTracing(obs::Level level = obs::Level::Device);
+
+    /** The active tracer, or nullptr when tracing is off. */
+    obs::Tracer *tracer() { return tracer_.get(); }
+
+    /**
+     * Pull current counters out of every component's stat accessors
+     * into the metrics registry (cheap; call before snapshotting).
+     */
+    void collectMetrics();
+
+    /**
+     * Declared first so they outlive every component that holds a
+     * tracer pointer or emits from a teardown path.
+     */
+    obs::MetricsRegistry metrics;
+
+  private:
+    std::unique_ptr<obs::Tracer> tracer_;
+
+  public:
     SystemConfig cfg;
     sim::EventQueue eq;
     mem::FrameAllocator frames;

@@ -51,15 +51,21 @@ digestFio(std::uint64_t h, const wl::FioResult &r)
     return h;
 }
 
-/** One kernel-interface job and one BypassD job on a single system. */
+/**
+ * One kernel-interface job and one BypassD job on a single system.
+ * traceLevel 0 runs untraced; 1..3 enable the obs tracer at that
+ * verbosity — the digest must not depend on it (tracing transparency).
+ */
 std::uint64_t
-runMixedWorkload(std::uint64_t seed)
+runMixedWorkload(std::uint64_t seed, int traceLevel = 0)
 {
     sim::setVerbose(false);
     sys::SystemConfig cfg;
     cfg.deviceBytes = 2ull << 30;
     cfg.seed = seed;
     sys::System s(cfg);
+    if (traceLevel > 0)
+        s.enableTracing(static_cast<obs::Level>(traceLevel));
     wl::FioRunner runner(s);
 
     std::uint64_t h = 0xcbf29ce484222325ull;
@@ -100,6 +106,20 @@ TEST(Determinism, SameSeedSameDigest)
 TEST(Determinism, DifferentSeedsDiffer)
 {
     EXPECT_NE(runMixedWorkload(7), runMixedWorkload(8));
+}
+
+/**
+ * Tracing transparency: enabling the obs tracer — at any verbosity —
+ * must not perturb the simulation. Instrumentation only reads state;
+ * it never schedules events or draws RNG, so the same-seed digest is
+ * bit-identical whether tracing is off, requests-only, or full-device
+ * detail.
+ */
+TEST(Determinism, TracingDoesNotPerturbDigest)
+{
+    const std::uint64_t off = runMixedWorkload(7);
+    EXPECT_EQ(off, runMixedWorkload(7, 1)); // Level::Requests
+    EXPECT_EQ(off, runMixedWorkload(7, 3)); // Level::Device
 }
 
 /**

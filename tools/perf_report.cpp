@@ -8,6 +8,11 @@
  * Usage:
  *   perf_report <baseline.json> <current.json> [--out BENCH_PR.json]
  *
+ * Also diffs the per-scenario simulated metric counters (events
+ * executed, IOTLB hit rate, page walks, journal commits, ...) that
+ * newer harness outputs embed in each scenario object; scenarios or
+ * baselines without them show "-".
+ *
  * Exit status is non-zero if any scenario present in both files has a
  * digest mismatch, so CI can gate on simulation-result identity.
  *
@@ -223,6 +228,68 @@ findScenario(const BenchFile &bf, const std::string &name)
     return nullptr;
 }
 
+bool
+hasField(const Scenario &s, const char *key)
+{
+    return s.fields.count(key) != 0;
+}
+
+/** One "base -> cur" cell of the counter diff table ("-" if absent). */
+std::string
+counterCell(const Scenario *s, const char *key)
+{
+    if (!s || !hasField(*s, key))
+        return "-";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", numField(*s, key));
+    return buf;
+}
+
+/**
+ * Diff the simulated metric counters embedded in the scenario objects.
+ * These are outputs of the simulation (not host-side timing), so any
+ * base/cur difference on an unchanged workload is a semantic change —
+ * the digest gate catches it, this table says *where*.
+ */
+void
+printCounterDiff(const BenchFile &base, const BenchFile &cur)
+{
+    static const char *const kKeys[] = {
+        "events",          "device_ops",       "syscalls",
+        "vba_translations", "iotlb_hits",      "iotlb_misses",
+        "walk_cache_misses", "page_walk_frames", "journal_commits",
+    };
+    bool any = false;
+    for (const Scenario &c : cur.scenarios)
+        for (const char *k : kKeys)
+            any |= hasField(c, k);
+    if (!any)
+        return;
+
+    std::printf("\nsimulated counters (base -> cur):\n");
+    for (const Scenario &c : cur.scenarios) {
+        const Scenario *b = findScenario(base, c.name);
+        std::printf("  %s\n", c.name.c_str());
+        for (const char *k : kKeys) {
+            if (!hasField(c, k) && (!b || !hasField(*b, k)))
+                continue;
+            const std::string bs = counterCell(b, k);
+            const std::string cs = counterCell(&c, k);
+            std::printf("    %-20s %14s -> %-14s%s\n", k, bs.c_str(),
+                        cs.c_str(),
+                        (bs != "-" && cs != "-" && bs != cs) ? "  *"
+                                                             : "");
+        }
+        if (hasField(c, "iotlb_hits") && hasField(c, "iotlb_misses")) {
+            const double h = numField(c, "iotlb_hits");
+            const double m = numField(c, "iotlb_misses");
+            if (h + m > 0)
+                std::printf("    %-20s %14s    %.2f%%\n",
+                            "iotlb_hit_rate", "", 100.0 * h / (h + m));
+        }
+    }
+}
+
 /** Re-emit a flat scalar map as a JSON object body at an indent. */
 void
 emitObject(std::FILE *f, const std::map<std::string, std::string> &m,
@@ -311,6 +378,7 @@ main(int argc, char **argv)
             : "0");
     std::printf("peak RSS: %.1f MiB -> %.1f MiB\n",
                 baseRss / (1 << 20), curRss / (1 << 20));
+    printCounterDiff(base, cur);
     if (digestMismatch)
         std::fprintf(stderr, "perf_report: DIGEST MISMATCH — simulated "
                              "results differ from baseline\n");

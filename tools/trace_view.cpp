@@ -1,0 +1,245 @@
+/**
+ * @file
+ * trace_view: analyze a Chrome trace-event JSON produced by the obs
+ * exporter (bench --trace) and print per-layer latency breakdowns.
+ *
+ * Request envelopes — the "X" events carrying user_ns/kernel_ns/
+ * xlate_ns/device_ns args emitted by obs::Tracer::request() — are
+ * grouped by (process, request name) and averaged, regenerating the
+ * Table 1 / Fig. 7 per-layer split straight from a trace. A second
+ * section counts every span/instant name per process so the span
+ * taxonomy of a run is visible at a glance.
+ *
+ * Also serves as the CI validator for exporter output: it re-parses
+ * the full JSON and checks the trace-event invariants (exit 2 on JSON
+ * parse errors, exit 1 on structural violations or an empty trace).
+ *
+ * Usage: trace_view TRACE.json [--from-us X] [--to-us Y] [--no-spans]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+struct LayerAgg
+{
+    std::uint64_t count = 0;
+    double userNs = 0;
+    double kernelNs = 0;
+    double xlateNs = 0;
+    double deviceNs = 0;
+    double totalNs = 0;
+    double bytes = 0;
+};
+
+double
+numArg(const bpd::obs::json::Value &args, const char *key, double dflt)
+{
+    const bpd::obs::json::Value *v = args.find(key);
+    return v && v->isNumber() ? v->number : dflt;
+}
+
+std::string
+readFile(const char *path, bool *ok)
+{
+    std::FILE *f = std::fopen(path, "rb");
+    if (!f) {
+        *ok = false;
+        return {};
+    }
+    std::string out;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    *ok = true;
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *path = nullptr;
+    double fromUs = -1, toUs = -1;
+    bool showSpans = true;
+    for (int i = 1; i < argc; i++) {
+        const std::string a = argv[i];
+        if (a == "--from-us" && i + 1 < argc)
+            fromUs = std::atof(argv[++i]);
+        else if (a == "--to-us" && i + 1 < argc)
+            toUs = std::atof(argv[++i]);
+        else if (a == "--no-spans")
+            showSpans = false;
+        else if (!path && a[0] != '-')
+            path = argv[i];
+        else {
+            std::fprintf(stderr,
+                         "usage: trace_view TRACE.json [--from-us X] "
+                         "[--to-us Y] [--no-spans]\n");
+            return 2;
+        }
+    }
+    if (!path) {
+        std::fprintf(stderr, "trace_view: no trace file given\n");
+        return 2;
+    }
+
+    bool ok = false;
+    const std::string text = readFile(path, &ok);
+    if (!ok) {
+        std::fprintf(stderr, "trace_view: cannot read %s\n", path);
+        return 2;
+    }
+
+    bpd::obs::json::Value root;
+    std::string err;
+    if (!bpd::obs::json::parse(text, root, err)) {
+        std::fprintf(stderr, "trace_view: JSON parse error in %s: %s\n",
+                     path, err.c_str());
+        return 2;
+    }
+
+    // ---- structural validation (the CI gate) ------------------------
+    if (!root.isObject()) {
+        std::fprintf(stderr, "trace_view: top level is not an object\n");
+        return 1;
+    }
+    const bpd::obs::json::Value *events = root.find("traceEvents");
+    if (!events || !events->isArray()) {
+        std::fprintf(stderr, "trace_view: missing traceEvents array\n");
+        return 1;
+    }
+
+    std::map<std::uint64_t, std::string> procNames;
+    std::map<std::pair<std::uint64_t, std::string>, LayerAgg> layers;
+    std::map<std::pair<std::uint64_t, std::string>, std::uint64_t> spans;
+    std::uint64_t nComplete = 0, nInstant = 0, nMeta = 0;
+
+    for (const auto &ev : events->arr) {
+        if (!ev.isObject()) {
+            std::fprintf(stderr,
+                         "trace_view: non-object trace event\n");
+            return 1;
+        }
+        const bpd::obs::json::Value *ph = ev.find("ph");
+        const bpd::obs::json::Value *name = ev.find("name");
+        const bpd::obs::json::Value *pid = ev.find("pid");
+        if (!ph || !ph->isString() || !name || !name->isString()
+            || !pid || !pid->isNumber()) {
+            std::fprintf(stderr,
+                         "trace_view: event missing ph/name/pid\n");
+            return 1;
+        }
+        const std::uint64_t p = static_cast<std::uint64_t>(pid->number);
+        if (ph->str == "M") {
+            nMeta++;
+            if (name->str == "process_name") {
+                const bpd::obs::json::Value *args = ev.find("args");
+                const bpd::obs::json::Value *pn
+                    = args ? args->find("name") : nullptr;
+                if (pn && pn->isString())
+                    procNames[p] = pn->str;
+            }
+            continue;
+        }
+        const bpd::obs::json::Value *ts = ev.find("ts");
+        if (!ts || !ts->isNumber()) {
+            std::fprintf(stderr, "trace_view: %s event missing ts\n",
+                         ph->str.c_str());
+            return 1;
+        }
+        if (fromUs >= 0 && ts->number < fromUs)
+            continue;
+        if (toUs >= 0 && ts->number > toUs)
+            continue;
+        if (ph->str == "i") {
+            nInstant++;
+            spans[{p, name->str}]++;
+            continue;
+        }
+        if (ph->str != "X") {
+            std::fprintf(stderr, "trace_view: unexpected phase '%s'\n",
+                         ph->str.c_str());
+            return 1;
+        }
+        const bpd::obs::json::Value *dur = ev.find("dur");
+        if (!dur || !dur->isNumber() || dur->number < 0) {
+            std::fprintf(stderr, "trace_view: X event without dur\n");
+            return 1;
+        }
+        nComplete++;
+        spans[{p, name->str}]++;
+
+        const bpd::obs::json::Value *args = ev.find("args");
+        if (!args || !args->isObject() || !args->find("user_ns"))
+            continue; // a layer span, not a request envelope
+        LayerAgg &agg = layers[{p, name->str}];
+        agg.count++;
+        agg.userNs += numArg(*args, "user_ns", 0);
+        agg.kernelNs += numArg(*args, "kernel_ns", 0);
+        agg.xlateNs += numArg(*args, "xlate_ns", 0);
+        agg.deviceNs += numArg(*args, "device_ns", 0);
+        agg.totalNs += dur->number * 1000.0; // us -> ns
+        agg.bytes += numArg(*args, "bytes", 0);
+    }
+
+    if (nComplete + nInstant == 0) {
+        std::fprintf(stderr, "trace_view: trace has no events\n");
+        return 1;
+    }
+
+    std::printf("%s: %llu complete spans, %llu instants, %llu metadata "
+                "records, %zu processes\n",
+                path, (unsigned long long)nComplete,
+                (unsigned long long)nInstant, (unsigned long long)nMeta,
+                procNames.size());
+
+    if (!layers.empty()) {
+        std::printf("\nPer-layer request latency breakdown "
+                    "(mean ns/op, Table 1 axes):\n");
+        std::printf("%-24s %-16s %9s %9s %9s %9s %9s %9s %9s\n",
+                    "process", "request", "count", "user", "kernel",
+                    "xlate", "device", "total", "bytes");
+        for (const auto &[key, a] : layers) {
+            const auto &[p, name] = key;
+            const auto it = procNames.find(p);
+            const std::string proc
+                = it != procNames.end()
+                      ? it->second
+                      : "pid" + std::to_string(p);
+            const double c = static_cast<double>(a.count);
+            std::printf(
+                "%-24s %-16s %9llu %9.0f %9.0f %9.0f %9.0f %9.0f %9.0f\n",
+                proc.c_str(), name.c_str(), (unsigned long long)a.count,
+                a.userNs / c, a.kernelNs / c, a.xlateNs / c,
+                a.deviceNs / c, a.totalNs / c, a.bytes / c);
+        }
+    } else {
+        std::printf("\n(no request envelopes in this trace)\n");
+    }
+
+    if (showSpans) {
+        std::printf("\nSpan counts by process:\n");
+        for (const auto &[key, count] : spans) {
+            const auto &[p, name] = key;
+            const auto it = procNames.find(p);
+            const std::string proc
+                = it != procNames.end()
+                      ? it->second
+                      : "pid" + std::to_string(p);
+            std::printf("  %-24s %-24s %10llu\n", proc.c_str(),
+                        name.c_str(), (unsigned long long)count);
+        }
+    }
+    return 0;
+}
