@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "obs/export.hpp"
+#include "obs/replay.hpp"
 #include "sim/logging.hpp"
 #include "system/system.hpp"
 #include "workloads/fio.hpp"
@@ -82,7 +83,13 @@ struct ObsCapture
     std::string metricsPath;
     obs::Level level = obs::Level::Device;
 
-    std::vector<std::pair<std::string, obs::TraceData>> traces;
+    struct Capture
+    {
+        std::string label;
+        obs::TraceData data;
+        obs::ReplayMeta meta;
+    };
+    std::vector<Capture> traces;
     std::vector<obs::MetricsRun> runs;
 
     bool enabled() const
@@ -132,8 +139,17 @@ struct ObsCapture
         if (!enabled())
             return;
         s.collectMetrics();
-        if (s.tracer())
-            traces.emplace_back(label, s.tracer()->data());
+        if (s.tracer()) {
+            Capture c;
+            c.label = label;
+            c.data = s.tracer()->data();
+            c.meta.config = obs::configToMap(s.cfg);
+            c.meta.counters = obs::curatedCounters(s);
+            c.meta.digest = obs::replayDigest(c.data.replay);
+            c.meta.events = s.eq.executed();
+            c.meta.simNs = s.now();
+            traces.push_back(std::move(c));
+        }
         runs.push_back(obs::MetricsRun{label, s.metrics.snapshot()});
     }
 
@@ -145,8 +161,9 @@ struct ObsCapture
         if (!tracePath.empty()) {
             std::vector<obs::TraceProcess> procs;
             procs.reserve(traces.size());
-            for (const auto &[name, data] : traces)
-                procs.push_back(obs::TraceProcess{name, &data});
+            for (const auto &c : traces)
+                procs.push_back(
+                    obs::TraceProcess{c.label, &c.data, &c.meta});
             if (obs::writeChromeTraceFile(tracePath, procs))
                 std::printf("wrote %s\n", tracePath.c_str());
             else

@@ -11,8 +11,20 @@ using namespace bpd;
 using namespace bpd::wl;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsCapture obs;
+    for (int i = 1; i < argc; i++) {
+        if (int used = obs.parseArg(argc, argv, i)) {
+            i += used - 1;
+        } else {
+            std::fprintf(stderr,
+                         "usage: fig10_shared_writers [--trace FILE] "
+                         "[--metrics FILE] [--trace-level N]\n");
+            return 2;
+        }
+    }
+
     bench::banner("Fig. 10",
                   "aggregate write bandwidth, multiple writer processes");
 
@@ -37,7 +49,9 @@ main()
             job.runtime = 6 * kMs;
             job.warmup = 1 * kMs;
             job.fileBytes = 512ull << 20;
-            FioResult r = bench::runFio(job);
+            FioResult r = bench::runFio(
+                job, {}, obs,
+                sim::strf("fig10_%s_%uproc", toString(e), n));
             std::printf(" %9.0f", r.bwBytesPerSec() / 1e6);
         }
         std::printf("\n");
@@ -51,5 +65,5 @@ main()
                 "path, so aggregate\nbandwidth leads the kernel engines "
                 "at every process count; SPDK cannot\nshare the device "
                 "between processes at all.\n");
-    return 0;
+    return obs.write() ? 0 : 1;
 }

@@ -52,9 +52,11 @@ makeReader(sys::System &s, const std::string &path, std::uint64_t bytes,
 }
 
 double
-foregroundLatency(Engine fgEngine, unsigned backgroundReaders)
+foregroundLatency(Engine fgEngine, unsigned backgroundReaders,
+                  bench::ObsCapture &obs)
 {
     auto s = bench::makeSystem(64ull << 30);
+    obs.attach(*s);
     constexpr std::uint64_t kFile = 256ull << 20;
 
     // Background readers always use the BypassD interface (they model
@@ -118,14 +120,29 @@ foregroundLatency(Engine fgEngine, unsigned backgroundReaders)
 
     s->run();
     s->kernel.cpu().release(backgroundReaders + 1);
+    obs.capture(sim::strf("fig11_%s_%ubg", toString(fgEngine),
+                          backgroundReaders),
+                *s);
     return lat->mean();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsCapture obs;
+    for (int i = 1; i < argc; i++) {
+        if (int used = obs.parseArg(argc, argv, i)) {
+            i += used - 1;
+        } else {
+            std::fprintf(stderr,
+                         "usage: fig11_fairness [--trace FILE] "
+                         "[--metrics FILE] [--trace-level N]\n");
+            return 2;
+        }
+    }
+
     bench::banner("Fig. 11",
                   "4KB random-read latency with background readers");
 
@@ -137,12 +154,12 @@ main()
     for (Engine e : {Engine::Sync, Engine::Bypassd}) {
         std::printf("%-10s", toString(e));
         for (unsigned n : readers)
-            std::printf(" %8.1f", foregroundLatency(e, n) / 1e3);
+            std::printf(" %8.1f", foregroundLatency(e, n, obs) / 1e3);
         std::printf("\n");
     }
     std::printf("\nPaper shape: latency grows with device load, but "
                 "BypassD stays below\nthe kernel baseline even with 16 "
                 "background readers — the device's\nround-robin queue "
                 "arbitration balances the load.\n");
-    return 0;
+    return obs.write() ? 0 : 1;
 }

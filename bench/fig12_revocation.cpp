@@ -14,12 +14,25 @@
 using namespace bpd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsCapture obs;
+    for (int i = 1; i < argc; i++) {
+        if (int used = obs.parseArg(argc, argv, i)) {
+            i += used - 1;
+        } else {
+            std::fprintf(stderr,
+                         "usage: fig12_revocation [--trace FILE] "
+                         "[--metrics FILE] [--trace-level N]\n");
+            return 2;
+        }
+    }
+
     bench::banner("Fig. 12",
                   "read throughput over time with access revocation");
 
     auto s = bench::makeSystem(16ull << 30);
+    obs.attach(*s);
     kern::Process &reader = s->newProcess(1000, 1000);
     const int cfd
         = s->kernel.setupCreateFile(reader, "/shared.db", 1ull << 30, 0);
@@ -70,6 +83,7 @@ main()
 
     s->run();
     s->kernel.cpu().release(1);
+    obs.capture("fig12_revocation", *s);
 
     std::printf("%8s %14s %12s\n", "t(s)", "throughput", "interface");
     for (std::size_t b = 0; b < throughput.buckets(); b++) {
@@ -88,5 +102,5 @@ main()
     std::printf("Paper shape: ~780MB/s on the BypassD interface dropping "
                 "to ~500MB/s\non the kernel interface after revocation "
                 "at t=5s.\n");
-    return 0;
+    return obs.write() ? 0 : 1;
 }

@@ -14,9 +14,10 @@ using namespace bpd::apps;
 namespace {
 
 double
-runOne(WtEngine e, wl::Ycsb w, unsigned threads)
+runOne(WtEngine e, wl::Ycsb w, unsigned threads, bench::ObsCapture &obs)
 {
     auto s = bench::makeSystem(16ull << 30);
+    obs.attach(*s);
     WiredTigerConfig cfg;
     cfg.records = 4'000'000;
     cfg.cacheBytes = 28ull << 20; // ~13% of data, like 6GB/46GB
@@ -24,14 +25,30 @@ runOne(WtEngine e, wl::Ycsb w, unsigned threads)
     WiredTigerModel wt(*s, cfg);
     wt.setup();
     wt.run(w, threads, 4000 / threads); // untimed cache warmup
-    return wt.run(w, threads, 2500).kops;
+    const double kops = wt.run(w, threads, 2500).kops;
+    obs.capture(sim::strf("fig13_%s_%s_%uT", toString(e), toString(w),
+                          threads),
+                *s);
+    return kops;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsCapture obs;
+    for (int i = 1; i < argc; i++) {
+        if (int used = obs.parseArg(argc, argv, i)) {
+            i += used - 1;
+        } else {
+            std::fprintf(stderr,
+                         "usage: fig13_wiredtiger_threads [--trace FILE] "
+                         "[--metrics FILE] [--trace-level N]\n");
+            return 2;
+        }
+    }
+
     bench::banner("Fig. 13", "WiredTiger YCSB throughput vs threads");
 
     const wl::Ycsb workloads[] = {wl::Ycsb::A, wl::Ycsb::B, wl::Ycsb::C,
@@ -48,7 +65,7 @@ main()
              {WtEngine::Sync, WtEngine::Xrp, WtEngine::Bypassd}) {
             std::printf("%-9s", toString(e));
             for (unsigned t : threads)
-                std::printf(" %8.0f", runOne(e, w, t));
+                std::printf(" %8.0f", runOne(e, w, t, obs));
             std::printf("\n");
         }
     }
@@ -56,5 +73,5 @@ main()
                 "over XRP on average,\nlargest at low thread counts; "
                 "D (insert-heavy, cache-resident) shows\nlittle benefit; "
                 "on E (scans) XRP cannot help but BypassD still does.\n");
-    return 0;
+    return obs.write() ? 0 : 1;
 }

@@ -15,9 +15,11 @@ using namespace bpd::apps;
 namespace {
 
 double
-runOne(WtEngine e, wl::Ycsb w, std::uint64_t cacheBytes)
+runOne(WtEngine e, wl::Ycsb w, std::uint64_t cacheBytes,
+       bench::ObsCapture &obs)
 {
     auto s = bench::makeSystem(16ull << 30);
+    obs.attach(*s);
     WiredTigerConfig cfg;
     cfg.records = 2'000'000;
     cfg.cacheBytes = cacheBytes;
@@ -25,14 +27,30 @@ runOne(WtEngine e, wl::Ycsb w, std::uint64_t cacheBytes)
     WiredTigerModel wt(*s, cfg);
     wt.setup();
     wt.run(w, 1, 120000); // untimed warmup to cache steady state
-    return wt.run(w, 1, 25000).kops;
+    const double kops = wt.run(w, 1, 25000).kops;
+    obs.capture(sim::strf("fig14_%s_%s_%lluM", toString(e), toString(w),
+                          (unsigned long long)(cacheBytes >> 20)),
+                *s);
+    return kops;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsCapture obs;
+    for (int i = 1; i < argc; i++) {
+        if (int used = obs.parseArg(argc, argv, i)) {
+            i += used - 1;
+        } else {
+            std::fprintf(stderr,
+                         "usage: fig14_wiredtiger_cache [--trace FILE] "
+                         "[--metrics FILE] [--trace-level N]\n");
+            return 2;
+        }
+    }
+
     bench::banner("Fig. 14",
                   "WiredTiger throughput vs cache size (normalized)");
 
@@ -59,7 +77,7 @@ main()
         std::printf("\n");
         std::vector<double> base;
         for (const auto &c : caches)
-            base.push_back(runOne(WtEngine::Sync, w, c.bytes));
+            base.push_back(runOne(WtEngine::Sync, w, c.bytes, obs));
         std::printf("%-9s", "sync");
         for (std::size_t i = 0; i < std::size(caches); i++)
             std::printf(" %8.2f", 1.0);
@@ -67,7 +85,7 @@ main()
         for (WtEngine e : {WtEngine::Xrp, WtEngine::Bypassd}) {
             std::printf("%-9s", toString(e));
             for (std::size_t i = 0; i < std::size(caches); i++) {
-                const double k = runOne(e, w, caches[i].bytes);
+                const double k = runOne(e, w, caches[i].bytes, obs);
                 std::printf(" %8.2f", k / base[i]);
             }
             std::printf("\n");
@@ -77,5 +95,5 @@ main()
                 "grows (fewer chained\nmisses to offload); BypassD's "
                 "improvement is consistent across cache\nsizes because "
                 "it accelerates every I/O.\n");
-    return 0;
+    return obs.write() ? 0 : 1;
 }

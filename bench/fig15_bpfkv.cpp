@@ -14,23 +14,38 @@ using namespace bpd::apps;
 namespace {
 
 BpfKv::Result
-runOne(KvEngine e, unsigned threads)
+runOne(KvEngine e, unsigned threads, bench::ObsCapture &obs)
 {
     auto s = bench::makeSystem(128ull << 30);
+    obs.attach(*s);
     BpfKvConfig cfg;
     cfg.records = 920'000'000;
     cfg.engine = e;
     BpfKv kv(*s, cfg);
     kv.setup();
     sim::panicIf(kv.iosPerLookup() != 7, "expected 7 I/Os per lookup");
-    return kv.run(threads, 400);
+    BpfKv::Result r = kv.run(threads, 400);
+    obs.capture(sim::strf("fig15_%s_%uT", toString(e), threads), *s);
+    return r;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsCapture obs;
+    for (int i = 1; i < argc; i++) {
+        if (int used = obs.parseArg(argc, argv, i)) {
+            i += used - 1;
+        } else {
+            std::fprintf(stderr,
+                         "usage: fig15_bpfkv [--trace FILE] "
+                         "[--metrics FILE] [--trace-level N]\n");
+            return 2;
+        }
+    }
+
     bench::banner("Fig. 15", "BPF-KV avg and p99.9 request latency");
 
     const unsigned threads[] = {1, 2, 4, 8, 12, 16, 20, 24};
@@ -44,7 +59,7 @@ main()
     for (KvEngine e : engines) {
         std::printf("%-9s", toString(e));
         for (unsigned t : threads) {
-            BpfKv::Result r = runOne(e, t);
+            BpfKv::Result r = runOne(e, t, obs);
             std::printf(" %6.1f/%6.1f", r.latency.mean() / 1e3,
                         static_cast<double>(r.latency.p999()) / 1e3);
         }
@@ -56,5 +71,5 @@ main()
                 "traversals,\nBypassD sits ~4us above SPDK (7 x 550ns "
                 "VBA translations) and ~9.6%%\nbetter than XRP in "
                 "throughput.\n");
-    return 0;
+    return obs.write() ? 0 : 1;
 }

@@ -14,23 +14,41 @@ using namespace bpd::apps;
 namespace {
 
 KvellModel::Result
-runOne(KvellEngine e, std::uint32_t qd, wl::Ycsb w, unsigned threads)
+runOne(KvellEngine e, std::uint32_t qd, wl::Ycsb w, unsigned threads,
+       bench::ObsCapture &obs, const char *variant)
 {
     auto s = bench::makeSystem(32ull << 30);
+    obs.attach(*s);
     KvellConfig cfg;
     cfg.records = 5'000'000;
     cfg.engine = e;
     cfg.queueDepth = qd;
     KvellModel kv(*s, cfg);
     kv.setup();
-    return kv.run(w, threads, 1500);
+    KvellModel::Result r = kv.run(w, threads, 1500);
+    obs.capture(sim::strf("fig16_%s_%s_%uT", variant, toString(w),
+                          threads),
+                *s);
+    return r;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsCapture obs;
+    for (int i = 1; i < argc; i++) {
+        if (int used = obs.parseArg(argc, argv, i)) {
+            i += used - 1;
+        } else {
+            std::fprintf(stderr,
+                         "usage: fig16_kvell [--trace FILE] "
+                         "[--metrics FILE] [--trace-level N]\n");
+            return 2;
+        }
+    }
+
     bench::banner("Fig. 16", "KVell throughput and latency for YCSB");
 
     const unsigned threads[] = {1, 2, 4, 8, 16};
@@ -55,7 +73,8 @@ main()
         for (const Variant &v : variants) {
             std::printf("%-10s", v.name);
             for (unsigned t : threads) {
-                KvellModel::Result r = runOne(v.engine, v.qd, w, t);
+                KvellModel::Result r
+                    = runOne(v.engine, v.qd, w, t, obs, v.name);
                 std::printf(" %6.0fk/%6.0fus", r.kops(),
                             r.latency.mean() / 1e3);
             }
@@ -68,5 +87,5 @@ main()
                 "kvell_1 (33%%/24%% on B/C) and approaches\nkvell_64 on "
                 "write-heavy A because direct userspace writes dodge the "
                 "ext4\nsame-file write serialization.\n");
-    return 0;
+    return obs.write() ? 0 : 1;
 }

@@ -10,8 +10,20 @@ using namespace bpd;
 using namespace bpd::wl;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsCapture obs;
+    for (int i = 1; i < argc; i++) {
+        if (int used = obs.parseArg(argc, argv, i)) {
+            i += used - 1;
+        } else {
+            std::fprintf(stderr,
+                         "usage: fig6_fio_curves [--trace FILE] "
+                         "[--metrics FILE] [--trace-level N]\n");
+            return 2;
+        }
+    }
+
     bench::banner("Fig. 6",
                   "FIO single-threaded random-access latency/bandwidth");
 
@@ -38,7 +50,11 @@ main()
                 job.runtime = 8 * kMs;
                 job.warmup = 1 * kMs;
                 job.fileBytes = 1ull << 30;
-                FioResult r = bench::runFio(job);
+                FioResult r = bench::runFio(
+                    job, {}, obs,
+                    sim::strf("fig6_%s_%s_%uk", toString(e),
+                              rw == RwMode::RandRead ? "rd" : "wr",
+                              bs >> 10));
                 std::printf("  %5.1fus/%4.2fG",
                             r.latency.mean() / 1e3,
                             r.bwBytesPerSec() / 1e9);
@@ -49,5 +65,5 @@ main()
     std::printf("\nPaper shape: spdk < bypassd << io_uring < sync ~ "
                 "libaio;\n4KB read: sync ~7.9us, bypassd ~4.6us (-42%%), "
                 "spdk ~4.2us.\n");
-    return 0;
+    return obs.write() ? 0 : 1;
 }

@@ -225,21 +225,75 @@ runFig12Revocation(bool quick, bench::ObsCapture &obs)
 
     auto s = bench::makeSystem(16ull << 30);
     obs.attach(*s);
+    bpd::obs::Tracer *tr = s->tracer();
+    constexpr auto kBypassd
+        = static_cast<std::uint8_t>(wl::Engine::Bypassd);
     kern::Process &reader = s->newProcess(1000, 1000);
+    std::uint32_t sharedDb = bpd::obs::ReplayRec::kNoFile;
+    if (tr)
+        sharedDb = tr->replayFile("/shared.db");
     const int cfd
         = s->kernel.setupCreateFile(reader, "/shared.db", 1ull << 30, 0);
+    if (tr) {
+        bpd::obs::ReplayRec rec;
+        rec.op = bpd::obs::ReplayRec::Create;
+        rec.engine = kBypassd;
+        rec.proc = reader.pasid();
+        rec.file = sharedDb;
+        rec.offset = 1ull << 30;
+        tr->replayMark(rec, cfd);
+    }
     int rc = -1;
-    s->kernel.sysClose(reader, cfd, [&rc](int cr) { rc = cr; });
+    std::uint32_t ri = 0;
+    if (tr) {
+        bpd::obs::ReplayRec rec;
+        rec.op = bpd::obs::ReplayRec::Close;
+        rec.engine = kBypassd;
+        rec.proc = reader.pasid();
+        rec.file = sharedDb;
+        ri = tr->replayBegin(rec);
+    }
+    s->kernel.sysClose(reader, cfd, [&rc, tr, ri](int cr) {
+        rc = cr;
+        if (tr)
+            tr->replayEnd(ri, cr);
+    });
     s->run();
 
     bypassd::UserLib &lib = s->userLib(reader);
     int fd = -1;
-    lib.open("/shared.db", fs::kOpenRead | fs::kOpenDirect, 0644,
-             [&fd](int f) { fd = f; });
+    constexpr std::uint32_t kReaderFlags
+        = fs::kOpenRead | fs::kOpenDirect;
+    if (tr) {
+        bpd::obs::ReplayRec rec;
+        rec.op = bpd::obs::ReplayRec::Open;
+        rec.engine = kBypassd;
+        rec.proc = reader.pasid();
+        rec.file = sharedDb;
+        rec.aux = kReaderFlags;
+        ri = tr->replayBegin(rec);
+    }
+    lib.open("/shared.db", kReaderFlags, 0644, [&fd, tr, ri](int f) {
+        fd = f;
+        if (tr)
+            tr->replayEnd(ri, f);
+    });
     s->run();
     sim::panicIf(fd < 0 || !lib.isDirect(fd), "reader open failed");
     lib.prepareThread(0);
     s->kernel.cpu().acquire(1);
+    if (tr) {
+        bpd::obs::ReplayRec rec;
+        rec.op = bpd::obs::ReplayRec::PrepThread;
+        rec.engine = kBypassd;
+        rec.proc = reader.pasid();
+        rec.file = sharedDb;
+        tr->replayMark(rec);
+        rec.op = bpd::obs::ReplayRec::CpuAcquire;
+        rec.file = bpd::obs::ReplayRec::kNoFile;
+        rec.offset = 1;
+        tr->replayMark(rec);
+    }
 
     const double t0 = wallNow();
     const Time horizon = (quick ? 2 : 8) * kSec;
@@ -255,8 +309,22 @@ runFig12Revocation(bool quick, bench::ObsCapture &obs)
             return;
         const std::uint64_t off
             = rng.nextUint((1ull << 30) / 4096) * 4096;
+        std::uint32_t pi = 0;
+        if (tr) {
+            bpd::obs::ReplayRec rec;
+            rec.op = bpd::obs::ReplayRec::Read;
+            rec.engine = kBypassd;
+            rec.lane = 0;
+            rec.proc = reader.pasid();
+            rec.file = sharedDb;
+            rec.offset = off;
+            rec.len = buf.size();
+            pi = tr->replayBegin(rec);
+        }
         lib.pread(0, fd, buf, off,
-                  [&, loop](long long n, kern::IoTrace) {
+                  [&, loop, pi](long long n, kern::IoTrace) {
+                      if (tr)
+                          tr->replayEnd(pi, n);
                       if (n > 0)
                           throughput.record(s->now(),
                                             static_cast<double>(n));
@@ -268,8 +336,22 @@ runFig12Revocation(bool quick, bench::ObsCapture &obs)
     kern::Process &intruder = s->newProcess(1000, 1000);
     Time revokeAt = 0;
     s->eq.schedule(revokeT, [&]() {
+        std::uint32_t oi = 0;
+        if (tr) {
+            bpd::obs::ReplayRec rec;
+            rec.op = bpd::obs::ReplayRec::Open;
+            rec.engine
+                = static_cast<std::uint8_t>(wl::Engine::Sync);
+            rec.lane = 0;
+            rec.proc = intruder.pasid();
+            rec.file = sharedDb;
+            rec.aux = fs::kOpenRead;
+            oi = tr->replayBegin(rec);
+        }
         s->kernel.sysOpen(intruder, "/shared.db", fs::kOpenRead, 0644,
-                          [&](int f) {
+                          [&, oi](int f) {
+                              if (tr)
+                                  tr->replayEnd(oi, f);
                               sim::panicIf(f < 0, "buffered open failed");
                               revokeAt = s->now();
                           });
@@ -277,6 +359,14 @@ runFig12Revocation(bool quick, bench::ObsCapture &obs)
 
     s->run();
     s->kernel.cpu().release(1);
+    if (tr) {
+        bpd::obs::ReplayRec rec;
+        rec.op = bpd::obs::ReplayRec::CpuRelease;
+        rec.engine = kBypassd;
+        rec.proc = reader.pasid();
+        rec.offset = 1;
+        tr->replayMark(rec);
+    }
     r.wallSec = wallNow() - t0;
 
     r.events = s->eq.executed();

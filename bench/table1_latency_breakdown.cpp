@@ -9,12 +9,25 @@
 using namespace bpd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsCapture obs;
+    for (int i = 1; i < argc; i++) {
+        if (int used = obs.parseArg(argc, argv, i)) {
+            i += used - 1;
+        } else {
+            std::fprintf(stderr,
+                         "usage: table1_latency_breakdown [--trace FILE] "
+                         "[--metrics FILE] [--trace-level N]\n");
+            return 2;
+        }
+    }
+
     bench::banner("Table 1",
                   "latency breakdown of 4KB read() on Optane SSD");
 
     auto s = bench::makeSystem();
+    obs.attach(*s);
     kern::Process &p = s->newProcess();
     const int fd = s->kernel.setupCreateFile(p, "/t1.dat", 16 << 20, 7);
 
@@ -94,5 +107,6 @@ main()
                 (unsigned long long)btr.deviceNs,
                 100.0 * static_cast<double>(btotal)
                     / static_cast<double>(total));
-    return 0;
+    obs.capture("table1_breakdown", *s);
+    return obs.write() ? 0 : 1;
 }

@@ -28,14 +28,35 @@ ioatCopy(iommu::Iommu *mmu, Pasid pasid, std::uint64_t srcIova,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsCapture obs;
+    for (int i = 1; i < argc; i++) {
+        if (int used = obs.parseArg(argc, argv, i)) {
+            i += used - 1;
+        } else {
+            std::fprintf(stderr,
+                         "usage: table4_iommu_overheads [--trace FILE] "
+                         "[--metrics FILE] [--trace-level N]\n");
+            return 2;
+        }
+    }
+
     bench::banner("Table 4",
                   "IOMMU translation overheads: IOAT DMA copy latency");
 
     sim::setVerbose(false);
     sim::EventQueue eq;
     iommu::Iommu mmu(eq);
+
+    // No System here — trace the standalone IOMMU directly.
+    bpd::obs::MetricsRegistry reg;
+    std::unique_ptr<bpd::obs::Tracer> tr;
+    if (obs.enabled()) {
+        tr = std::make_unique<bpd::obs::Tracer>(eq, obs.level, &reg);
+        mmu.setTracer(tr.get());
+    }
+
     const Pasid pasid = 5;
     constexpr std::size_t kBufs = 4096;
     std::vector<std::vector<std::uint8_t>> bufs(
@@ -79,5 +100,24 @@ main()
     std::printf("\nIOTLB: %llu hits, %llu misses\n",
                 (unsigned long long)mmu.iotlb().hits(),
                 (unsigned long long)mmu.iotlb().misses());
-    return 0;
+
+    if (obs.enabled()) {
+        reg.counter("iommu", "iotlb_hits").set(mmu.iotlb().hits());
+        reg.counter("iommu", "iotlb_misses").set(mmu.iotlb().misses());
+        reg.counter("iommu", "walk_cache_hits")
+            .set(mmu.walkCache().hits());
+        reg.counter("iommu", "walk_cache_misses")
+            .set(mmu.walkCache().misses());
+        reg.counter("iommu", "page_walk_frames").set(mmu.framesRead());
+        bench::ObsCapture::Capture c;
+        c.label = "table4_ioat_copy";
+        c.data = tr->data();
+        c.meta.digest = bpd::obs::replayDigest(c.data.replay);
+        c.meta.events = eq.executed();
+        c.meta.simNs = eq.now();
+        obs.traces.push_back(std::move(c));
+        obs.runs.push_back(
+            bpd::obs::MetricsRun{"table4_ioat_copy", reg.snapshot()});
+    }
+    return obs.write() ? 0 : 1;
 }

@@ -10,8 +10,20 @@
 using namespace bpd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsCapture obs;
+    for (int i = 1; i < argc; i++) {
+        if (int used = obs.parseArg(argc, argv, i)) {
+            i += used - 1;
+        } else {
+            std::fprintf(stderr,
+                         "usage: table5_fmap_overheads [--trace FILE] "
+                         "[--metrics FILE] [--trace-level N]\n");
+            return 2;
+        }
+    }
+
     bench::banner("Table 5", "fmap() overheads in BypassD");
 
     struct Case
@@ -34,6 +46,7 @@ main()
 
     for (const Case &c : cases) {
         auto s = bench::makeSystem(64ull << 30);
+        obs.attach(*s);
         kern::Process &owner = s->newProcess();
         const std::string path = std::string("/t5_") + c.name;
         const int cfd
@@ -78,9 +91,10 @@ main()
         std::printf("%-8s %14.2f %18.2f %18.2f   (%.2f / %.2f / %.2f)\n",
                     c.name, openUs, warmUs, coldUs, c.paperOpen,
                     c.paperWarm, c.paperCold);
+        obs.capture(std::string("table5_fmap_") + c.name, *s);
     }
     std::printf("\nWarm fmap attaches shared leaf tables at PMD (2MiB) "
                 "granularity;\ncold fmap additionally writes one FTE per "
                 "4KiB block (Section 4.1).\n");
-    return 0;
+    return obs.write() ? 0 : 1;
 }

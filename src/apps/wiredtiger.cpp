@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hpp"
+#include "workloads/fio.hpp"
 
 namespace bpd::apps {
 
@@ -81,9 +82,27 @@ WiredTigerModel::setup()
     scratch_.assign(64 << 10, 0);
 
     proc_ = &s_.newProcess();
+    // The tree's reads and writes replay either through the BypassD
+    // shim or the sync syscall path; XRP chains are flagged as
+    // unsupported at their issue site (opLookup).
+    replayEngine_ = cfg_.engine == WtEngine::Bypassd
+                        ? static_cast<std::uint8_t>(wl::Engine::Bypassd)
+                        : static_cast<std::uint8_t>(wl::Engine::Sync);
+    obs::Tracer *t = s_.tracer();
+    if (t)
+        fileId_ = t->replayFile(cfg_.path);
     const int cfd = s_.kernel.setupCreateFile(*proc_, cfg_.path,
                                               fileBytes_, 0);
     sim::panicIf(cfd < 0, "wiredtiger: file setup failed");
+    if (t) {
+        obs::ReplayRec r;
+        r.op = obs::ReplayRec::Create;
+        r.engine = replayEngine_;
+        r.proc = proc_->pasid();
+        r.file = fileId_;
+        r.offset = fileBytes_;
+        t->replayMark(r, cfd);
+    }
 
     switch (cfg_.engine) {
       case WtEngine::Sync:
@@ -94,13 +113,39 @@ WiredTigerModel::setup()
         break;
       case WtEngine::Bypassd: {
         int rc = -1;
-        s_.kernel.sysClose(*proc_, cfd, [&rc](int r) { rc = r; });
+        std::uint32_t ri = 0;
+        if (t) {
+            obs::ReplayRec r;
+            r.op = obs::ReplayRec::Close;
+            r.engine = replayEngine_;
+            r.proc = proc_->pasid();
+            r.file = fileId_;
+            ri = t->replayBegin(r);
+        }
+        s_.kernel.sysClose(*proc_, cfd, [&rc, t, ri](int r) {
+            rc = r;
+            if (t)
+                t->replayEnd(ri, r);
+        });
         s_.run();
         lib_ = &s_.userLib(*proc_);
         int fd = -1;
-        lib_->open(cfg_.path,
-                   fs::kOpenRead | fs::kOpenWrite | fs::kOpenDirect, 0644,
-                   [&fd](int f) { fd = f; });
+        const std::uint32_t oflags
+            = fs::kOpenRead | fs::kOpenWrite | fs::kOpenDirect;
+        if (t) {
+            obs::ReplayRec r;
+            r.op = obs::ReplayRec::Open;
+            r.engine = replayEngine_;
+            r.proc = proc_->pasid();
+            r.file = fileId_;
+            r.aux = oflags;
+            ri = t->replayBegin(r);
+        }
+        lib_->open(cfg_.path, oflags, 0644, [&fd, t, ri](int f) {
+            fd = f;
+            if (t)
+                t->replayEnd(ri, f);
+        });
         s_.run();
         sim::panicIf(fd < 0 || !lib_->isDirect(fd),
                      "wiredtiger: bypassd open failed");
@@ -150,8 +195,25 @@ WiredTigerModel::readPage(Tid tid, std::uint64_t off, std::uint32_t len,
                           std::function<void()> done)
 {
     deviceIos_++;
+    obs::Tracer *t = s_.tracer();
+    std::uint32_t ri = 0;
+    if (t) {
+        obs::ReplayRec r;
+        r.op = obs::ReplayRec::Read;
+        r.engine = replayEngine_;
+        r.lane = static_cast<std::uint16_t>(tid);
+        r.proc = proc_->pasid();
+        r.tid = tid;
+        r.file = fileId_;
+        r.offset = off;
+        r.len = len;
+        ri = t->replayBegin(r);
+    }
     auto span = std::span<std::uint8_t>(scratch_.data(), len);
-    auto cb = [done = std::move(done)](long long n, kern::IoTrace) {
+    auto cb = [done = std::move(done), t, ri](long long n,
+                                              kern::IoTrace) {
+        if (t)
+            t->replayEnd(ri, n);
         sim::panicIf(n < 0, "wiredtiger: read failed");
         done();
     };
@@ -166,9 +228,26 @@ WiredTigerModel::writePage(Tid tid, std::uint64_t off,
                            std::function<void()> done)
 {
     deviceIos_++;
+    obs::Tracer *t = s_.tracer();
+    std::uint32_t ri = 0;
+    if (t) {
+        obs::ReplayRec r;
+        r.op = obs::ReplayRec::Write;
+        r.engine = replayEngine_;
+        r.lane = static_cast<std::uint16_t>(tid);
+        r.proc = proc_->pasid();
+        r.tid = tid;
+        r.file = fileId_;
+        r.offset = off;
+        r.len = cfg_.pageBytes;
+        ri = t->replayBegin(r);
+    }
     auto span = std::span<const std::uint8_t>(scratch_.data(),
                                               cfg_.pageBytes);
-    auto cb = [done = std::move(done)](long long n, kern::IoTrace) {
+    auto cb = [done = std::move(done), t, ri](long long n,
+                                              kern::IoTrace) {
+        if (t)
+            t->replayEnd(ri, n);
         sim::panicIf(n < 0, "wiredtiger: write failed");
         done();
     };
@@ -232,6 +311,11 @@ WiredTigerModel::opLookup(Tid tid, std::uint64_t key, bool update,
         }
         const unsigned chainLen = depth_ - firstMiss;
         if (cfg_.engine == WtEngine::Xrp && chainLen >= 2) {
+            // Chained resubmission happens inside the driver; there is
+            // no workload-level record for it, so the trace is marked
+            // partial and trace_replay refuses it.
+            if (obs::Tracer *tr = s_.tracer())
+                tr->replayUnsupported("xrp.chain");
             // XRP: the dependent miss-chain resubmits from the driver.
             auto offs = std::make_shared<std::vector<std::uint64_t>>();
             for (unsigned l = firstMiss; l < depth_; l++)
@@ -287,6 +371,15 @@ WiredTigerModel::run(wl::Ycsb workload, unsigned threads,
     const std::uint64_t startIos = deviceIos_;
 
     s_.kernel.cpu().acquire(threads);
+    obs::Tracer *tracer = s_.tracer();
+    if (tracer) {
+        obs::ReplayRec r;
+        r.op = obs::ReplayRec::CpuAcquire;
+        r.engine = replayEngine_;
+        r.proc = proc_->pasid();
+        r.offset = threads;
+        tracer->replayMark(r);
+    }
     auto remaining = std::make_shared<unsigned>(threads);
 
     for (unsigned t = 0; t < threads; t++) {
@@ -347,6 +440,14 @@ WiredTigerModel::run(wl::Ycsb workload, unsigned threads,
     s_.run();
     sim::panicIf(*remaining != 0, "wiredtiger: threads still running");
     s_.kernel.cpu().release(threads);
+    if (tracer) {
+        obs::ReplayRec r;
+        r.op = obs::ReplayRec::CpuRelease;
+        r.engine = replayEngine_;
+        r.proc = proc_->pasid();
+        r.offset = threads;
+        tracer->replayMark(r);
+    }
 
     res.elapsed = s_.now() - start;
     res.deviceIos = deviceIos_ - startIos;

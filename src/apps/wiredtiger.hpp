@@ -113,6 +113,8 @@ class WiredTigerModel
     bypassd::UserLib *lib_ = nullptr;
     std::unique_ptr<xrp::XrpEngine> xrp_;
     int fd_ = -1;
+    std::uint32_t fileId_ = obs::ReplayRec::kNoFile;
+    std::uint8_t replayEngine_ = obs::ReplayRec::kEngineNone;
 
     // App-level LRU page cache.
     std::uint64_t cacheCapacity_ = 0;

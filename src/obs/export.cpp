@@ -104,7 +104,96 @@ void writeChromeTrace(std::FILE *f,
         }
     }
 
-    std::fputs("\n],\"displayTimeUnit\":\"ns\"}\n", f);
+    std::fputs("\n],\"displayTimeUnit\":\"ns\"", f);
+
+    // Replay-sufficient request records, one entry per traced process.
+    // Perfetto and chrome://tracing ignore unknown top-level keys, so
+    // the trace stays loadable; tools/trace_replay reads this section.
+    bool anyReplay = false;
+    for (const TraceProcess &tp : processes)
+        anyReplay |= tp.data
+                     && (!tp.data->replay.empty() || tp.replay != nullptr);
+    if (anyReplay) {
+        std::fputs(",\n\"replay\":[", f);
+        bool firstProc = true;
+        for (std::size_t p = 0; p < processes.size(); ++p) {
+            const TraceData *data = processes[p].data;
+            if (!data || (data->replay.empty() && !processes[p].replay))
+                continue;
+            if (!firstProc)
+                std::fputc(',', f);
+            firstProc = false;
+            std::fprintf(f, "\n{\"process\":\"");
+            printEscaped(f, processes[p].name.c_str());
+            std::fprintf(f, "\",\"pid\":%u",
+                         static_cast<unsigned>(p + 1));
+
+            if (!data->replayMissing.empty()) {
+                std::fputs(",\"partial\":true,\"missing\":[", f);
+                for (std::size_t m = 0; m < data->replayMissing.size();
+                     ++m) {
+                    if (m)
+                        std::fputc(',', f);
+                    std::fputc('"', f);
+                    printEscaped(f, data->replayMissing[m].c_str());
+                    std::fputc('"', f);
+                }
+                std::fputc(']', f);
+            }
+
+            if (const ReplayMeta *meta = processes[p].replay) {
+                std::fputs(",\"config\":{", f);
+                for (std::size_t k = 0; k < meta->config.size(); ++k) {
+                    if (k)
+                        std::fputc(',', f);
+                    std::fputc('"', f);
+                    printEscaped(f, meta->config[k].first.c_str());
+                    // %.17g round-trips doubles exactly through the
+                    // bundled parser.
+                    std::fprintf(f, "\":%.17g", meta->config[k].second);
+                }
+                std::fputs("},\"counters\":{", f);
+                for (std::size_t k = 0; k < meta->counters.size(); ++k) {
+                    if (k)
+                        std::fputc(',', f);
+                    std::fputc('"', f);
+                    printEscaped(f, meta->counters[k].first.c_str());
+                    std::fprintf(f, "\":%" PRIu64,
+                                 meta->counters[k].second);
+                }
+                std::fprintf(f,
+                             "},\"digest\":\"%016" PRIx64
+                             "\",\"events\":%" PRIu64
+                             ",\"sim_ns\":%" PRIu64,
+                             meta->digest, meta->events, meta->simNs);
+            }
+
+            std::fputs(",\"files\":[", f);
+            for (std::size_t i = 0; i < data->files.size(); ++i) {
+                if (i)
+                    std::fputc(',', f);
+                std::fputc('"', f);
+                printEscaped(f, data->files[i].c_str());
+                std::fputc('"', f);
+            }
+            std::fputs("],\"ops\":[", f);
+            for (std::size_t i = 0; i < data->replay.size(); ++i) {
+                const ReplayRec &r = data->replay[i];
+                std::fprintf(f,
+                             "%s\n[%u,%u,%u,%" PRIu32 ",%" PRIu32
+                             ",%" PRIu32 ",%" PRIu64 ",%" PRIu64
+                             ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                             ",%" PRId64 "]",
+                             i ? "," : "", r.op, r.engine, r.lane,
+                             r.proc, r.tid, r.file, r.offset, r.len,
+                             r.aux, r.issue, r.complete, r.result);
+            }
+            std::fputs("]}", f);
+        }
+        std::fputs("\n]", f);
+    }
+
+    std::fputs("}\n", f);
 }
 
 bool writeChromeTraceFile(const std::string &path,

@@ -22,11 +22,27 @@
 
 namespace bpd::obs {
 
+/**
+ * Capture-side metadata accompanying a process's replay stream: the
+ * System configuration it ran under (flat key -> number map, assembled
+ * by bench::ObsCapture), the stream digest, and a curated counter
+ * snapshot. trace_replay verifies a round trip against these.
+ */
+struct ReplayMeta
+{
+    std::vector<std::pair<std::string, double>> config;
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::uint64_t digest = 0;
+    std::uint64_t events = 0; ///< EventQueue::executed() at capture
+    Time simNs = 0;           ///< virtual time at capture
+};
+
 /** One traced run: shown as a named process in Perfetto. */
 struct TraceProcess
 {
     std::string name;
     const TraceData *data = nullptr;
+    const ReplayMeta *replay = nullptr; ///< optional replay metadata
 };
 
 /** One metrics snapshot, keyed by run label in the output object. */

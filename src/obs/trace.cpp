@@ -20,6 +20,51 @@ Tracer::Tracer(const sim::EventQueue &eq, Level level,
     }
 }
 
+std::uint64_t
+replayDigest(const std::vector<ReplayRec> &ops)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (unsigned i = 0; i < 8; i++) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    mix(ops.size());
+    for (const ReplayRec &r : ops) {
+        mix(r.op);
+        mix(r.engine);
+        mix(r.lane);
+        mix(r.proc);
+        mix(r.tid);
+        mix(r.file);
+        mix(r.offset);
+        mix(r.len);
+        mix(r.aux);
+        mix(r.issue);
+        mix(r.complete);
+        mix(static_cast<std::uint64_t>(r.result));
+    }
+    return h;
+}
+
+std::uint32_t Tracer::replayFile(const std::string &path)
+{
+    for (std::size_t i = 0; i < data_.files.size(); ++i)
+        if (data_.files[i] == path)
+            return static_cast<std::uint32_t>(i);
+    data_.files.push_back(path);
+    return static_cast<std::uint32_t>(data_.files.size() - 1);
+}
+
+void Tracer::replayUnsupported(const char *what)
+{
+    for (const std::string &w : data_.replayMissing)
+        if (w == what)
+            return;
+    data_.replayMissing.emplace_back(what);
+}
+
 std::uint16_t Tracer::track(const std::string &name)
 {
     for (std::size_t i = 0; i < data_.tracks.size(); ++i)

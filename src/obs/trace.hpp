@@ -86,6 +86,62 @@ struct SpanRec
 };
 
 /**
+ * One replayable workload-level operation. Recorded at the *issuing*
+ * site (FioRunner job slots, WiredTiger page I/O, bench drive loops) —
+ * not inside the engines — so each record carries the logical thread
+ * (lane) that issued it, which async kernel paths cannot know. The
+ * stream is recorded at every trace Level (replay records are cheap and
+ * carry no device detail).
+ *
+ * Replay semantics (src/obs/replay.cpp):
+ *  - lane == kMainLane: a sequential program-order step (setup,
+ *    teardown, CPU acquire/release). It waits for *all* earlier records
+ *    to complete — the recorded streams are produced by phases separated
+ *    by run-to-quiescence drains, which this mirrors.
+ *  - other lanes: one closed loop per (proc, lane); each record chains
+ *    onto the earlier same-lane record whose completion triggered it and
+ *    onto the last main-lane record before it. Recorded inter-arrival
+ *    gaps (issue - dependency completion) are preserved, so think time
+ *    and app-level serialization survive replay under any config.
+ */
+struct ReplayRec
+{
+    enum Op : std::uint8_t {
+        NewProcess = 0, ///< aux = uid<<32|gid; proc = pasid
+        Create,         ///< setupCreateFile; offset = size, aux = fill seed
+        Open,           ///< engine Bypassd: lib open; Sync: sysOpen;
+                        ///< IoUring: ring setup; Spdk: driver claim.
+                        ///< aux = open flags
+        PrepThread,     ///< UserLib::prepareThread(tid)
+        Read,
+        Write,
+        Fsync,
+        Close,          ///< current handle of (proc, file); Spdk: release
+        CpuAcquire,     ///< offset = n
+        CpuRelease,     ///< offset = n
+    };
+
+    /** Engine codes mirror wl::Engine by value (obs cannot include it):
+     *  0 sync, 1 libaio, 2 io_uring, 3 spdk, 4 bypassd. */
+    static constexpr std::uint8_t kEngineNone = 0xff;
+    static constexpr std::uint16_t kMainLane = 0xffff;
+    static constexpr std::uint32_t kNoFile = 0xffffffffu;
+
+    std::uint8_t op = Read;
+    std::uint8_t engine = kEngineNone;
+    std::uint16_t lane = kMainLane;
+    std::uint32_t proc = 0; ///< issuing process PASID
+    std::uint32_t tid = 0;  ///< engine thread argument
+    std::uint32_t file = kNoFile; ///< index into TraceData::files
+    std::uint64_t offset = 0;     ///< byte offset; raw DevAddr for SPDK
+    std::uint64_t len = 0;
+    std::uint64_t aux = 0;
+    Time issue = 0;
+    Time complete = 0;
+    std::int64_t result = 0;
+};
+
+/**
  * The recorded trace: a flat event list plus the interned track-name
  * table. Copyable, so benches can capture it before tearing down the
  * System that produced it.
@@ -94,7 +150,23 @@ struct TraceData
 {
     std::vector<SpanRec> spans;
     std::vector<std::string> tracks; ///< index == SpanRec::track
+    std::vector<ReplayRec> replay;   ///< workload ops, in issue order
+    std::vector<std::string> files;  ///< index == ReplayRec::file
+    /**
+     * Ops the recording sites could not express (e.g. XRP chained
+     * resubmission); non-empty means the replay stream is incomplete
+     * and trace_replay refuses to treat it as a faithful workload.
+     */
+    std::vector<std::string> replayMissing;
 };
+
+/**
+ * FNV-1a digest over the replay stream, every field of every record in
+ * issue order. Captured alongside the trace and recomputed after a
+ * replay: under the identical configuration the two must be
+ * bit-identical (the round-trip invariant CI enforces).
+ */
+std::uint64_t replayDigest(const std::vector<ReplayRec> &ops);
 
 /** Per-layer breakdown attached to a request envelope (Table 1 axes). */
 struct RequestBreakdown
@@ -155,6 +227,45 @@ class Tracer
      */
     void request(std::uint16_t track, const char *name, TraceId trace,
                  Time start, Time end, const RequestBreakdown &b);
+
+    /** @name Replay-stream recording (any level; see ReplayRec)
+     * Sites are guarded by the component's tracer pointer, keeping the
+     * zero-cost-when-disabled contract; recording only appends to the
+     * record vector, keeping the semantic-transparency contract. */
+    ///@{
+    /** Intern a file path; returns its id for ReplayRec::file. */
+    std::uint32_t replayFile(const std::string &path);
+
+    /** Record an op now; completion arrives later via replayEnd(). */
+    std::uint32_t replayBegin(ReplayRec rec)
+    {
+        rec.issue = eq_.now();
+        rec.complete = rec.issue;
+        data_.replay.push_back(rec);
+        return static_cast<std::uint32_t>(data_.replay.size() - 1);
+    }
+
+    /** Stamp completion time and result on a replayBegin() record. */
+    void replayEnd(std::uint32_t idx, std::int64_t result)
+    {
+        ReplayRec &r = data_.replay[idx];
+        r.complete = eq_.now();
+        r.result = result;
+    }
+
+    /** Record an untimed op (setup helpers, CPU occupancy changes). */
+    void replayMark(ReplayRec rec, std::int64_t result = 0)
+    {
+        rec.issue = eq_.now();
+        rec.complete = rec.issue;
+        rec.result = result;
+        data_.replay.push_back(rec);
+    }
+
+    /** Flag an op the record format cannot express; marks the stream
+     *  as non-replayable (kept once per distinct @p what). */
+    void replayUnsupported(const char *what);
+    ///@}
 
     const TraceData &data() const { return data_; }
     std::size_t spanCount() const { return data_.spans.size(); }

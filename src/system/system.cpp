@@ -18,7 +18,15 @@ System::System(SystemConfig config)
 kern::Process &
 System::newProcess(std::uint32_t uid, std::uint32_t gid)
 {
-    return kernel.createProcess(fs::Credentials{uid, gid});
+    kern::Process &p = kernel.createProcess(fs::Credentials{uid, gid});
+    if (tracer_) {
+        obs::ReplayRec r;
+        r.op = obs::ReplayRec::NewProcess;
+        r.proc = p.pasid();
+        r.aux = (static_cast<std::uint64_t>(uid) << 32) | gid;
+        tracer_->replayMark(r, p.pasid());
+    }
+    return p;
 }
 
 obs::Tracer &

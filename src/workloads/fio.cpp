@@ -29,6 +29,7 @@ struct JobCtx
     std::unique_ptr<kern::IoUring> ring;
     int fd = -1;
     DevAddr rawBase = 0; // SPDK raw region
+    std::uint32_t fileId = obs::ReplayRec::kNoFile;
     sim::Rng rng{1};
     std::uint64_t cursor = 0;
     std::vector<std::uint8_t> buf;
@@ -52,6 +53,27 @@ FioRunner::run(const FioJob &job)
 
     auto ctxs = std::vector<std::unique_ptr<JobCtx>>();
     std::unique_ptr<spdk::SpdkDriver> spdkDrv;
+
+    // Replay-stream recording (obs/trace.hpp): every workload-level op
+    // the runner issues is recorded with its lane (job index) so
+    // tools/trace_replay can re-drive the exact request stream.
+    obs::Tracer *t = s_.tracer();
+    const auto eng = static_cast<std::uint8_t>(job.engine);
+    auto mark = [&](obs::ReplayRec::Op op, JobCtx &ctx,
+                    std::uint64_t offset = 0, std::uint64_t aux = 0,
+                    std::int64_t result = 0) {
+        if (!t)
+            return;
+        obs::ReplayRec r;
+        r.op = op;
+        r.engine = eng;
+        r.proc = ctx.proc->pasid();
+        r.tid = ctx.idx;
+        r.file = ctx.fileId;
+        r.offset = offset;
+        r.aux = aux;
+        t->replayMark(r, result);
+    };
 
     kern::Process *shared = nullptr;
     const bool write
@@ -88,34 +110,69 @@ FioRunner::run(const FioJob &job)
                          "fio: spdk regions exceed device");
             break;
           case Engine::Bypassd: {
+            if (t)
+                ctx->fileId = t->replayFile(path);
             const int cfd = s_.kernel.setupCreateFile(*ctx->proc, path,
                                                       job.fileBytes, 0);
             sim::panicIf(cfd < 0, "fio: file setup failed");
+            mark(obs::ReplayRec::Create, *ctx, job.fileBytes, 0, cfd);
             int rc = -1;
-            s_.kernel.sysClose(*ctx->proc, cfd, [&rc](int r) { rc = r; });
+            std::uint32_t ri = 0;
+            if (t) {
+                obs::ReplayRec r;
+                r.op = obs::ReplayRec::Close;
+                r.engine = eng;
+                r.proc = ctx->proc->pasid();
+                r.tid = ctx->idx;
+                r.file = ctx->fileId;
+                ri = t->replayBegin(r);
+            }
+            s_.kernel.sysClose(*ctx->proc, cfd, [&rc, t, ri](int r) {
+                rc = r;
+                if (t)
+                    t->replayEnd(ri, r);
+            });
             s_.run();
             ctx->lib = &s_.userLib(*ctx->proc);
             int fd = -1;
-            ctx->lib->open(path,
-                           fs::kOpenRead | fs::kOpenWrite
-                               | fs::kOpenDirect,
-                           0644, [&fd](int f) { fd = f; });
+            const std::uint32_t oflags
+                = fs::kOpenRead | fs::kOpenWrite | fs::kOpenDirect;
+            if (t) {
+                obs::ReplayRec r;
+                r.op = obs::ReplayRec::Open;
+                r.engine = eng;
+                r.proc = ctx->proc->pasid();
+                r.tid = ctx->idx;
+                r.file = ctx->fileId;
+                r.aux = oflags;
+                ri = t->replayBegin(r);
+            }
+            ctx->lib->open(path, oflags, 0644, [&fd, t, ri](int f) {
+                fd = f;
+                if (t)
+                    t->replayEnd(ri, f);
+            });
             s_.run();
             sim::panicIf(fd < 0, "fio: bypassd open failed");
             sim::panicIf(!ctx->lib->isDirect(fd),
                          "fio: bypassd fd not direct");
             ctx->fd = fd;
             ctx->lib->prepareThread(i);
+            mark(obs::ReplayRec::PrepThread, *ctx);
             break;
           }
           default: {
+            if (t)
+                ctx->fileId = t->replayFile(path);
             const int fd = s_.kernel.setupCreateFile(*ctx->proc, path,
                                                      job.fileBytes, 0);
             sim::panicIf(fd < 0, "fio: file setup failed");
+            mark(obs::ReplayRec::Create, *ctx, job.fileBytes, 0, fd);
             ctx->fd = fd;
             if (job.engine == Engine::IoUring) {
                 ctx->ring = std::make_unique<kern::IoUring>(s_.kernel,
                                                             *ctx->proc);
+                mark(obs::ReplayRec::Open, *ctx);
             }
             break;
           }
@@ -128,10 +185,12 @@ FioRunner::run(const FioJob &job)
             s_.eq, s_.dev, s_.kernel.cpu(),
             ctxs[0]->proc->pasid());
         sim::panicIf(!spdkDrv->init(), "fio: spdk claim failed");
+        mark(obs::ReplayRec::Open, *ctxs[0]);
     }
 
     // Application threads occupy CPUs while the job runs.
     s_.kernel.cpu().acquire(job.numJobs);
+    mark(obs::ReplayRec::CpuAcquire, *ctxs[0], job.numJobs);
 
     const Time measureStart = s_.now() + job.warmup;
     const Time tEnd = measureStart + job.runtime;
@@ -155,7 +214,23 @@ FioRunner::run(const FioJob &job)
         const std::uint64_t off
             = blkIdx * static_cast<std::uint64_t>(job.bs);
         const Time start = s_.now();
-        auto done = [&, start](long long n, kern::IoTrace tr) {
+        std::uint32_t ri = 0;
+        if (t) {
+            obs::ReplayRec r;
+            r.op = write ? obs::ReplayRec::Write : obs::ReplayRec::Read;
+            r.engine = eng;
+            r.lane = static_cast<std::uint16_t>(ctx.idx);
+            r.proc = ctx.proc->pasid();
+            r.tid = ctx.idx;
+            r.file = ctx.fileId;
+            r.offset = job.engine == Engine::Spdk ? ctx.rawBase + off
+                                                  : off;
+            r.len = job.bs;
+            ri = t->replayBegin(r);
+        }
+        auto done = [&, start, ri](long long n, kern::IoTrace tr) {
+            if (t)
+                t->replayEnd(ri, n);
             sim::panicIf(n < 0, "fio: I/O failed");
             const Time now = s_.now();
             if (start >= measureStart && now <= tEnd) {
@@ -219,8 +294,11 @@ FioRunner::run(const FioJob &job)
     sim::panicIf(running != 0, "fio: jobs still running after drain");
 
     s_.kernel.cpu().release(job.numJobs);
-    if (spdkDrv)
+    mark(obs::ReplayRec::CpuRelease, *ctxs[0], job.numJobs);
+    if (spdkDrv) {
+        mark(obs::ReplayRec::Close, *ctxs[0]);
         spdkDrv->shutdown();
+    }
 
     // ---- aggregate ----
     FioResult res;

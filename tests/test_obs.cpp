@@ -6,7 +6,9 @@
  * through the bundled JSON parser.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <set>
@@ -200,9 +202,12 @@ TEST(Tracer, LevelGatesVerbosity)
 
 namespace {
 
-/** Small mixed sync + BypassD run with tracing at @p level. */
+/** Small traced run over @p engines (sync + BypassD by default). */
 sys::System *
-tracedRun(obs::Level level)
+tracedRun(obs::Level level,
+          std::initializer_list<wl::Engine> engines
+          = {wl::Engine::Sync, wl::Engine::Bypassd},
+          wl::RwMode rw = wl::RwMode::RandRead)
 {
     sim::setVerbose(false);
     sys::SystemConfig cfg;
@@ -211,12 +216,11 @@ tracedRun(obs::Level level)
     auto *s = new sys::System(cfg);
     s->enableTracing(level);
     wl::FioRunner runner(*s);
-    const wl::Engine engines[] = {wl::Engine::Sync, wl::Engine::Bypassd};
     int jobNum = 0;
     for (wl::Engine e : engines) {
         wl::FioJob job;
         job.engine = e;
-        job.rw = wl::RwMode::RandRead;
+        job.rw = rw;
         job.bs = 4096;
         job.numJobs = 2;
         job.runtime = 1 * kMs;
@@ -238,6 +242,41 @@ isEnvelope(const obs::SpanRec &rec)
             return true;
     }
     return false;
+}
+
+/** Map of request-id -> envelope, asserting the own-envelope rule. */
+std::map<obs::TraceId, const obs::SpanRec *>
+collectEnvelopes(const obs::TraceData &d)
+{
+    std::map<obs::TraceId, const obs::SpanRec *> envelopes;
+    for (const obs::SpanRec &rec : d.spans) {
+        if (!isEnvelope(rec))
+            continue;
+        EXPECT_NE(rec.trace, 0u);
+        EXPECT_EQ(envelopes.count(rec.trace), 0u);
+        envelopes[rec.trace] = &rec;
+    }
+    return envelopes;
+}
+
+/** Count device spans named @p name nesting inside their envelope. */
+std::size_t
+countNested(const obs::TraceData &d,
+            const std::map<obs::TraceId, const obs::SpanRec *> &envelopes,
+            const char *name)
+{
+    std::size_t nested = 0;
+    for (const obs::SpanRec &rec : d.spans) {
+        if (std::string(rec.name) != name || rec.trace == 0)
+            continue;
+        auto it = envelopes.find(rec.trace);
+        if (it == envelopes.end())
+            continue;
+        EXPECT_GE(rec.start, it->second->start);
+        EXPECT_LE(rec.end, it->second->end);
+        nested++;
+    }
+    return nested;
 }
 
 } // namespace
@@ -307,6 +346,101 @@ TEST(TracedRun, RequestsLevelOmitsDeviceDetail)
             envelopes++;
     }
     EXPECT_GT(envelopes, 50u);
+}
+
+TEST(TracedRun, AsyncEngineEnvelopesNestDeviceSpans)
+{
+    std::unique_ptr<sys::System> s(tracedRun(
+        obs::Level::Device,
+        {wl::Engine::Libaio, wl::Engine::IoUring, wl::Engine::Spdk}));
+    const obs::TraceData &d = s->tracer()->data();
+    const auto envelopes = collectEnvelopes(d);
+    ASSERT_GT(envelopes.size(), 50u);
+
+    // All three async engines produced their own envelope type.
+    std::set<std::string> envNames;
+    for (const auto &[id, rec] : envelopes)
+        envNames.insert(rec->name);
+    EXPECT_EQ(envNames.count("libaio.pread"), 1u);
+    EXPECT_EQ(envNames.count("uring.pread"), 1u);
+    EXPECT_EQ(envNames.count("spdk.read"), 1u);
+
+    // Device-level nvme.cmd spans nest inside the envelopes of the
+    // kernel engines and of SPDK's raw path alike.
+    EXPECT_GT(countNested(d, envelopes, "nvme.cmd"), 50u);
+}
+
+TEST(TracedRun, FmapSpansPrecedeBypassdRequests)
+{
+    std::unique_ptr<sys::System> s(
+        tracedRun(obs::Level::Device, {wl::Engine::Bypassd}));
+    const obs::TraceData &d = s->tracer()->data();
+
+    // Earliest BypassD request envelope: fmap happens at open time,
+    // strictly before the I/O loop starts issuing.
+    Time firstReq = s->now();
+    for (const obs::SpanRec &rec : d.spans) {
+        if (isEnvelope(rec) && std::string(rec.name) == "bypassd.pread")
+            firstReq = std::min(firstReq, rec.start);
+    }
+
+    std::size_t cold = 0, warm = 0;
+    for (const obs::SpanRec &rec : d.spans) {
+        const std::string name = rec.name;
+        if (name != "bypassd.fmap_cold" && name != "bypassd.fmap_warm")
+            continue;
+        (name == "bypassd.fmap_cold" ? cold : warm)++;
+        EXPECT_EQ(rec.phase, 'X');
+        EXPECT_LT(rec.start, rec.end); // fmap cost modelled as duration
+        EXPECT_LE(rec.end, firstReq);
+        bool hasBytes = false;
+        for (unsigned i = 0; i < rec.nargs; i++) {
+            if (std::string(rec.args[i].key) == "bytes") {
+                hasBytes = true;
+                EXPECT_GT(rec.args[i].value, 0);
+            }
+        }
+        EXPECT_TRUE(hasBytes);
+    }
+    // One cold fmap per job file; counts agree with the module.
+    EXPECT_EQ(cold, s->module.coldFmaps());
+    EXPECT_EQ(warm, s->module.warmFmaps());
+    EXPECT_GT(cold + warm, 0u);
+}
+
+TEST(TracedRun, JournalCommitInstantsMatchJournalAtLayersLevel)
+{
+    std::unique_ptr<sys::System> s(
+        tracedRun(obs::Level::Layers,
+                  {wl::Engine::Sync, wl::Engine::Bypassd},
+                  wl::RwMode::RandWrite));
+    const obs::TraceData &d = s->tracer()->data();
+    std::size_t commits = 0;
+    for (const obs::SpanRec &rec : d.spans) {
+        if (std::string(rec.name) != "journal.commit")
+            continue;
+        EXPECT_EQ(rec.phase, 'i');
+        ASSERT_EQ(rec.nargs, 1u);
+        EXPECT_STREQ(rec.args[0].key, "records");
+        EXPECT_GE(rec.args[0].value, 1);
+        commits++;
+    }
+    EXPECT_GT(commits, 0u);
+    EXPECT_EQ(commits, s->ext4.journal().committedTxns());
+
+    // At Requests level the journal instants (and fmap spans) are
+    // suppressed along with the rest of the layer detail.
+    std::unique_ptr<sys::System> r(
+        tracedRun(obs::Level::Requests,
+                  {wl::Engine::Sync, wl::Engine::Bypassd},
+                  wl::RwMode::RandWrite));
+    for (const obs::SpanRec &rec : r->tracer()->data().spans) {
+        const std::string name = rec.name;
+        EXPECT_TRUE(name != "journal.commit"
+                    && name != "bypassd.fmap_cold"
+                    && name != "bypassd.fmap_warm")
+            << name;
+    }
 }
 
 // ---------------------------------------------------------------------

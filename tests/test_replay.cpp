@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Trace-driven replay (src/obs/replay.*): the round-trip contract —
+ * capture a traced run, export it, parse it back, re-drive it through a
+ * fresh System, and require bit-identical stream digests and curated
+ * counters — plus cross-configuration replay (engine override, IOTLB
+ * sizing, lane capping) and the refusal paths.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.hpp"
+#include "obs/replay.hpp"
+#include "sim/logging.hpp"
+#include "system/system.hpp"
+#include "workloads/fio.hpp"
+
+using namespace bpd;
+
+namespace {
+
+struct CapturedRun
+{
+    obs::TraceData data;
+    obs::ReplayMeta meta;
+};
+
+/** Run @p job traced, snapshot trace + replay metadata like the bench
+ *  binaries' ObsCapture does. */
+CapturedRun
+captureFio(const wl::FioJob &job, std::uint64_t seed = 7)
+{
+    sim::setVerbose(false);
+    sys::SystemConfig cfg;
+    cfg.deviceBytes = 1ull << 30;
+    cfg.seed = seed;
+    sys::System s(cfg);
+    s.enableTracing(obs::Level::Requests);
+    wl::FioRunner runner(s);
+    runner.run(job);
+
+    CapturedRun cap;
+    cap.data = s.tracer()->data();
+    cap.meta.config = obs::configToMap(s.cfg);
+    cap.meta.counters = obs::curatedCounters(s);
+    cap.meta.digest = obs::replayDigest(cap.data.replay);
+    cap.meta.events = s.eq.executed();
+    cap.meta.simNs = s.now();
+    return cap;
+}
+
+/** Export to a temp file and parse back; expects one replay stream. */
+obs::RecordedProcess
+roundTripLoad(const CapturedRun &cap, const std::string &tag)
+{
+    const std::string path
+        = ::testing::TempDir() + "bpd_replay_" + tag + ".json";
+    EXPECT_TRUE(obs::writeChromeTraceFile(
+        path, {obs::TraceProcess{tag, &cap.data, &cap.meta}}));
+
+    obs::RecordedTrace trace;
+    std::string err;
+    EXPECT_TRUE(obs::loadRecordedTrace(path, trace, err)) << err;
+    std::remove(path.c_str());
+    EXPECT_EQ(trace.processes.size(), 1u);
+    return trace.processes.empty() ? obs::RecordedProcess{}
+                                   : trace.processes[0];
+}
+
+wl::FioJob
+smallJob(wl::Engine e, wl::RwMode rw)
+{
+    wl::FioJob job;
+    job.engine = e;
+    job.rw = rw;
+    job.bs = 4096;
+    job.numJobs = 2;
+    job.runtime = 500 * kUs;
+    job.warmup = 50 * kUs;
+    job.fileBytes = 2ull << 20;
+    job.seed = 11;
+    job.filePrefix = "/replay";
+    return job;
+}
+
+void
+expectRoundTrip(const obs::RecordedProcess &rec)
+{
+    ASSERT_TRUE(rec.hasMeta);
+    ASSERT_FALSE(rec.partial);
+    obs::ReplayResult res;
+    std::string err;
+    ASSERT_TRUE(obs::replayRun(rec, {}, res, err)) << err;
+    EXPECT_EQ(res.digest, rec.digest)
+        << "replayed stream diverged from capture";
+    for (const auto &[k, v] : res.counters) {
+        for (const auto &[rk, rv] : rec.counters)
+            if (rk == k)
+                EXPECT_EQ(v, rv) << "counter " << k;
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Round trip: identical config => bit-identical digests and counters
+// ---------------------------------------------------------------------
+
+TEST(ReplayRoundTrip, SyncRandRead)
+{
+    const CapturedRun cap
+        = captureFio(smallJob(wl::Engine::Sync, wl::RwMode::RandRead));
+    expectRoundTrip(roundTripLoad(cap, "sync_rr"));
+}
+
+TEST(ReplayRoundTrip, BypassdRandRead)
+{
+    const CapturedRun cap = captureFio(
+        smallJob(wl::Engine::Bypassd, wl::RwMode::RandRead));
+    expectRoundTrip(roundTripLoad(cap, "bpd_rr"));
+}
+
+TEST(ReplayRoundTrip, BypassdRandWriteExercisesJournal)
+{
+    const CapturedRun cap = captureFio(
+        smallJob(wl::Engine::Bypassd, wl::RwMode::RandWrite));
+    const obs::RecordedProcess rec = roundTripLoad(cap, "bpd_rw");
+    bool journaled = false;
+    for (const auto &[k, v] : rec.counters)
+        if (k == "journal_commits" && v > 0)
+            journaled = true;
+    EXPECT_TRUE(journaled);
+    expectRoundTrip(rec);
+}
+
+TEST(ReplayRoundTrip, IoUringRandRead)
+{
+    const CapturedRun cap = captureFio(
+        smallJob(wl::Engine::IoUring, wl::RwMode::RandRead));
+    expectRoundTrip(roundTripLoad(cap, "uring_rr"));
+}
+
+TEST(ReplayRoundTrip, LibaioRandRead)
+{
+    const CapturedRun cap = captureFio(
+        smallJob(wl::Engine::Libaio, wl::RwMode::RandRead));
+    expectRoundTrip(roundTripLoad(cap, "aio_rr"));
+}
+
+// ---------------------------------------------------------------------
+// Cross-configuration replay
+// ---------------------------------------------------------------------
+
+TEST(ReplayCrossConfig, BypassdStreamUnderIoUring)
+{
+    const CapturedRun cap = captureFio(
+        smallJob(wl::Engine::Bypassd, wl::RwMode::RandRead));
+    const obs::RecordedProcess rec = roundTripLoad(cap, "xcfg");
+
+    std::uint64_t dataOps = 0;
+    for (const auto &r : rec.ops)
+        if (r.op == obs::ReplayRec::Read
+            || r.op == obs::ReplayRec::Write
+            || r.op == obs::ReplayRec::Fsync)
+            dataOps++;
+
+    obs::ReplayOptions opt;
+    opt.engine = static_cast<int>(wl::Engine::IoUring);
+    opt.iotlbEntries = 64;
+    obs::ReplayResult res;
+    std::string err;
+    ASSERT_TRUE(obs::replayRun(rec, opt, res, err)) << err;
+    // Same request stream, different data path: every data op is
+    // re-driven, but timing (and hence the digest) diverges.
+    EXPECT_EQ(res.ops, dataOps);
+    EXPECT_NE(res.digest, rec.digest);
+    // The kernel path does not touch the IOMMU's VBA machinery.
+    for (const auto &[k, v] : res.counters)
+        if (k == "vba_translations")
+            EXPECT_EQ(v, 0u);
+}
+
+TEST(ReplayCrossConfig, IotlbSizingChangesTimingOnly)
+{
+    const CapturedRun cap = captureFio(
+        smallJob(wl::Engine::Bypassd, wl::RwMode::RandRead));
+    const obs::RecordedProcess rec = roundTripLoad(cap, "iotlb");
+
+    obs::ReplayOptions opt;
+    opt.iotlbEntries = 4;
+    opt.iotlbWays = 2;
+    obs::ReplayResult res;
+    std::string err;
+    ASSERT_TRUE(obs::replayRun(rec, opt, res, err)) << err;
+    obs::ReplayResult base;
+    ASSERT_TRUE(obs::replayRun(rec, {}, base, err)) << err;
+    EXPECT_EQ(res.ops, base.ops);
+    EXPECT_GE(res.simNs, base.simNs); // a tiny IOTLB cannot be faster
+}
+
+TEST(ReplayCrossConfig, LaneCapReplaysSubset)
+{
+    wl::FioJob job = smallJob(wl::Engine::Sync, wl::RwMode::RandRead);
+    job.numJobs = 4;
+    const CapturedRun cap = captureFio(job);
+    const obs::RecordedProcess rec = roundTripLoad(cap, "lanes");
+
+    obs::ReplayOptions opt;
+    opt.lanes = 1;
+    obs::ReplayResult capped, full;
+    std::string err;
+    ASSERT_TRUE(obs::replayRun(rec, opt, capped, err)) << err;
+    ASSERT_TRUE(obs::replayRun(rec, {}, full, err)) << err;
+    EXPECT_GT(capped.ops, 0u);
+    EXPECT_LT(capped.ops, full.ops);
+}
+
+// ---------------------------------------------------------------------
+// Refusal paths
+// ---------------------------------------------------------------------
+
+TEST(ReplayRefusal, PartialStream)
+{
+    const CapturedRun cap
+        = captureFio(smallJob(wl::Engine::Sync, wl::RwMode::RandRead));
+    obs::RecordedProcess rec = roundTripLoad(cap, "partial");
+    rec.partial = true;
+    rec.missing.push_back("xrp.chain");
+    obs::ReplayResult res;
+    std::string err;
+    EXPECT_FALSE(obs::replayRun(rec, {}, res, err));
+    EXPECT_NE(err.find("xrp.chain"), std::string::npos);
+}
+
+TEST(ReplayRefusal, SpdkOverrideTarget)
+{
+    const CapturedRun cap
+        = captureFio(smallJob(wl::Engine::Sync, wl::RwMode::RandRead));
+    const obs::RecordedProcess rec = roundTripLoad(cap, "spdktgt");
+    obs::ReplayOptions opt;
+    opt.engine = static_cast<int>(wl::Engine::Spdk);
+    obs::ReplayResult res;
+    std::string err;
+    EXPECT_FALSE(obs::replayRun(rec, opt, res, err));
+}
+
+TEST(ReplayRefusal, EmptyStream)
+{
+    obs::RecordedProcess rec;
+    rec.name = "empty";
+    obs::ReplayResult res;
+    std::string err;
+    EXPECT_FALSE(obs::replayRun(rec, {}, res, err));
+}
+
+// ---------------------------------------------------------------------
+// Loader
+// ---------------------------------------------------------------------
+
+TEST(ReplayLoad, TraceWithoutReplaySectionYieldsNoProcesses)
+{
+    const std::string path
+        = ::testing::TempDir() + "bpd_replay_nosec.json";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"traceEvents\":[],\"displayTimeUnit\":\"ns\"}", f);
+    std::fclose(f);
+
+    obs::RecordedTrace trace;
+    std::string err;
+    ASSERT_TRUE(obs::loadRecordedTrace(path, trace, err)) << err;
+    EXPECT_TRUE(trace.processes.empty());
+    std::remove(path.c_str());
+}
+
+TEST(ReplayLoad, MalformedOpsRowRejected)
+{
+    const std::string path
+        = ::testing::TempDir() + "bpd_replay_badrow.json";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"traceEvents\":[],\"displayTimeUnit\":\"ns\","
+               "\"replay\":[{\"process\":\"x\",\"pid\":1,"
+               "\"files\":[],\"ops\":[[1,2,3]]}]}",
+               f);
+    std::fclose(f);
+
+    obs::RecordedTrace trace;
+    std::string err;
+    EXPECT_FALSE(obs::loadRecordedTrace(path, trace, err));
+    std::remove(path.c_str());
+}
+
+TEST(ReplayLoad, ConfigRoundTripsThroughMap)
+{
+    sys::SystemConfig cfg;
+    cfg.seed = 1234;
+    cfg.iommu.iotlbEntries = 96;
+    cfg.ssd.readBaseNs = 7777;
+    const sys::SystemConfig back
+        = obs::configFromMap(obs::configToMap(cfg));
+    EXPECT_EQ(back.seed, 1234u);
+    EXPECT_EQ(back.iommu.iotlbEntries, 96u);
+    EXPECT_EQ(back.ssd.readBaseNs, 7777u);
+}

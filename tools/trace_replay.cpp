@@ -1,0 +1,340 @@
+/**
+ * @file
+ * trace_replay: re-drive the replay streams embedded in a trace file
+ * produced by the bench binaries' --trace flag (obs::writeChromeTrace).
+ *
+ *   trace_replay TRACE.json [options]
+ *
+ *   --list                  show replay streams and exit
+ *   --label NAME            replay only the stream named NAME
+ *   --verify                require bit-identical digests/counters vs
+ *                           the capture metadata (no overrides allowed)
+ *   --out FILE              write replay results as bypassd-bench-v1
+ *                           JSON (perf_report-diffable)
+ *   --emit-capture FILE     write the *recorded* metadata in the same
+ *                           schema, for diffing capture vs replay
+ *   --engine E              re-drive under engine E (sync, libaio,
+ *                           io_uring, bypassd)
+ *   --lanes N               replay only the first N lanes
+ *   --iotlb-entries N       IOTLB capacity override
+ *   --iotlb-ways N          IOTLB associativity override
+ *   --walk-cache-entries N  walk-cache capacity override
+ *   --ssd-read-ns N         SSD read base latency override
+ *   --ssd-write-ns N        SSD write base latency override
+ *
+ * Exit status: 0 success; 1 verify mismatch or unreplayable trace
+ * (partial stream, no replay section, bad override target); 2 usage,
+ * I/O, or parse errors.
+ */
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/obs/replay.hpp"
+
+using namespace bpd;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s TRACE.json [--list] [--label NAME] "
+                 "[--verify]\n"
+                 "          [--out FILE] [--emit-capture FILE]\n"
+                 "          [--engine sync|libaio|io_uring|bypassd] "
+                 "[--lanes N]\n"
+                 "          [--iotlb-entries N] [--iotlb-ways N] "
+                 "[--walk-cache-entries N]\n"
+                 "          [--ssd-read-ns N] [--ssd-write-ns N]\n",
+                 argv0);
+    return 2;
+}
+
+bool
+parseEngine(const std::string &name, int &out)
+{
+    static const std::pair<const char *, wl::Engine> names[] = {
+        {"sync", wl::Engine::Sync},       {"libaio", wl::Engine::Libaio},
+        {"io_uring", wl::Engine::IoUring}, {"uring", wl::Engine::IoUring},
+        {"spdk", wl::Engine::Spdk},       {"bypassd", wl::Engine::Bypassd},
+    };
+    for (const auto &[n, e] : names) {
+        if (name == n) {
+            out = static_cast<int>(e);
+            return true;
+        }
+    }
+    return false;
+}
+
+/** One output row: either recorded metadata or a replay result. */
+struct Row
+{
+    std::string name;
+    std::uint64_t events = 0;
+    Time simNs = 0;
+    double wallSec = 0;
+    double metric = 0; //!< replayed data ops
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::uint64_t digest = 0;
+};
+
+bool
+writeBenchJson(const std::string &path, const std::string &label,
+               const std::vector<Row> &rows)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        std::fprintf(stderr, "trace_replay: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"bypassd-bench-v1\",\n");
+    std::fprintf(f, "  \"label\": \"%s\",\n", label.c_str());
+    std::fprintf(f, "  \"quick\": true,\n");
+    std::fprintf(f, "  \"peak_rss_bytes\": 0,\n");
+    std::fprintf(f, "  \"scenarios\": [\n");
+    for (std::size_t i = 0; i < rows.size(); i++) {
+        const Row &r = rows[i];
+        const double wall = r.wallSec > 0 ? r.wallSec : 1e-9;
+        std::fprintf(f, "    {\n");
+        std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
+        std::fprintf(f, "      \"events\": %" PRIu64 ",\n", r.events);
+        std::fprintf(f, "      \"sim_ns\": %" PRIu64 ",\n",
+                     (std::uint64_t)r.simNs);
+        std::fprintf(f, "      \"wall_sec\": %.6f,\n", r.wallSec);
+        std::fprintf(f, "      \"events_per_sec\": %.1f,\n",
+                     (double)r.events / wall);
+        std::fprintf(f, "      \"replay_ops\": %.3f,\n", r.metric);
+        for (const auto &[k, v] : r.counters)
+            std::fprintf(f, "      \"%s\": %" PRIu64 ",\n", k.c_str(),
+                         v);
+        std::fprintf(f, "      \"digest\": \"%016" PRIx64 "\"\n",
+                     r.digest);
+        std::fprintf(f, "    }%s\n", i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+}
+
+void
+listProcesses(const obs::RecordedTrace &trace)
+{
+    for (const auto &p : trace.processes) {
+        std::uint64_t data = 0;
+        for (const auto &r : p.ops)
+            if (r.op == obs::ReplayRec::Read
+                || r.op == obs::ReplayRec::Write
+                || r.op == obs::ReplayRec::Fsync)
+                data++;
+        std::printf("%-28s pid=%-4u records=%-7zu data_ops=%-7" PRIu64
+                    " files=%zu%s%s\n",
+                    p.name.c_str(), p.pid, p.ops.size(), data,
+                    p.files.size(), p.hasMeta ? " meta" : "",
+                    p.partial ? " PARTIAL" : "");
+        if (p.partial)
+            for (const auto &m : p.missing)
+                std::printf("    unreplayable: %s\n", m.c_str());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string tracePath, outPath, capturePath, label;
+    bool list = false, verify = false;
+    obs::ReplayOptions opt;
+
+    for (int i = 1; i < argc; i++) {
+        const std::string a = argv[i];
+        auto val = [&](std::int64_t &dst) {
+            if (i + 1 >= argc)
+                return false;
+            dst = std::atoll(argv[++i]);
+            return true;
+        };
+        if (a == "--list") {
+            list = true;
+        } else if (a == "--verify") {
+            verify = true;
+        } else if (a == "--out" && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (a == "--emit-capture" && i + 1 < argc) {
+            capturePath = argv[++i];
+        } else if (a == "--label" && i + 1 < argc) {
+            label = argv[++i];
+        } else if (a == "--engine" && i + 1 < argc) {
+            if (!parseEngine(argv[++i], opt.engine)) {
+                std::fprintf(stderr,
+                             "trace_replay: unknown engine \"%s\"\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (a == "--lanes" && i + 1 < argc) {
+            opt.lanes = static_cast<std::uint32_t>(
+                std::atoll(argv[++i]));
+        } else if (a == "--iotlb-entries") {
+            if (!val(opt.iotlbEntries))
+                return usage(argv[0]);
+        } else if (a == "--iotlb-ways") {
+            if (!val(opt.iotlbWays))
+                return usage(argv[0]);
+        } else if (a == "--walk-cache-entries") {
+            if (!val(opt.walkCacheEntries))
+                return usage(argv[0]);
+        } else if (a == "--ssd-read-ns") {
+            if (!val(opt.ssdReadNs))
+                return usage(argv[0]);
+        } else if (a == "--ssd-write-ns") {
+            if (!val(opt.ssdWriteNs))
+                return usage(argv[0]);
+        } else if (!a.empty() && a[0] == '-') {
+            return usage(argv[0]);
+        } else if (tracePath.empty()) {
+            tracePath = a;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (tracePath.empty())
+        return usage(argv[0]);
+    if (verify && opt.overridesConfig()) {
+        std::fprintf(stderr,
+                     "trace_replay: --verify checks the round-trip "
+                     "contract and cannot be combined with overrides\n");
+        return 2;
+    }
+
+    obs::RecordedTrace trace;
+    std::string err;
+    if (!obs::loadRecordedTrace(tracePath, trace, err)) {
+        std::fprintf(stderr, "trace_replay: %s\n", err.c_str());
+        return 2;
+    }
+    if (trace.processes.empty()) {
+        std::fprintf(stderr,
+                     "trace_replay: %s has no replay streams — "
+                     "re-capture with a bench binary's --trace flag\n",
+                     tracePath.c_str());
+        return 1;
+    }
+    if (list) {
+        listProcesses(trace);
+        return 0;
+    }
+
+    std::vector<Row> captureRows, replayRows;
+    bool anyRun = false, mismatch = false;
+    for (const auto &p : trace.processes) {
+        if (!label.empty() && p.name != label)
+            continue;
+        anyRun = true;
+
+        if (p.hasMeta) {
+            Row cr;
+            cr.name = p.name;
+            cr.events = p.events;
+            cr.simNs = p.simNs;
+            // No wall time is recorded at capture; use simulated
+            // seconds so events_per_sec stays a sane magnitude.
+            cr.wallSec = static_cast<double>(p.simNs) * 1e-9;
+            cr.counters = p.counters;
+            cr.digest = p.digest;
+            for (const auto &r : p.ops)
+                if (r.op == obs::ReplayRec::Read
+                    || r.op == obs::ReplayRec::Write
+                    || r.op == obs::ReplayRec::Fsync)
+                    cr.metric++;
+            captureRows.push_back(std::move(cr));
+        }
+        if (verify && !p.hasMeta) {
+            std::fprintf(stderr,
+                         "trace_replay: \"%s\" carries no capture "
+                         "metadata; --verify needs a trace written by "
+                         "this tree's bench binaries\n",
+                         p.name.c_str());
+            return 1;
+        }
+
+        const auto t0 = std::chrono::steady_clock::now();
+        obs::ReplayResult res;
+        if (!obs::replayRun(p, opt, res, err)) {
+            std::fprintf(stderr, "trace_replay: \"%s\": %s\n",
+                         p.name.c_str(), err.c_str());
+            return 1;
+        }
+        const double wall
+            = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+
+        Row rr;
+        rr.name = p.name;
+        rr.events = res.events;
+        rr.simNs = res.simNs;
+        rr.wallSec = wall;
+        rr.metric = static_cast<double>(res.ops);
+        rr.counters = res.counters;
+        rr.digest = res.digest;
+        replayRows.push_back(std::move(rr));
+
+        std::printf("%-28s ops=%-8" PRIu64 " sim_ns=%-12" PRIu64
+                    " events=%-9" PRIu64 " digest=%016" PRIx64 "\n",
+                    p.name.c_str(), res.ops, (std::uint64_t)res.simNs,
+                    res.events, res.digest);
+
+        if (verify) {
+            bool ok = res.digest == p.digest;
+            if (!ok)
+                std::printf("  FAIL digest: recorded %016" PRIx64
+                            " replayed %016" PRIx64 "\n",
+                            p.digest, res.digest);
+            for (const auto &[k, v] : res.counters) {
+                for (const auto &[rk, rv] : p.counters) {
+                    if (rk == k && rv != v) {
+                        std::printf("  FAIL counter %s: recorded %" PRIu64
+                                    " replayed %" PRIu64 "\n",
+                                    k.c_str(), rv, v);
+                        ok = false;
+                    }
+                }
+            }
+            if (ok)
+                std::printf("  round-trip OK\n");
+            else
+                mismatch = true;
+        }
+    }
+
+    if (!anyRun) {
+        std::fprintf(stderr,
+                     "trace_replay: no replay stream named \"%s\"\n",
+                     label.c_str());
+        return 1;
+    }
+    if (!capturePath.empty()) {
+        if (captureRows.empty()) {
+            std::fprintf(stderr,
+                         "trace_replay: --emit-capture needs capture "
+                         "metadata in the trace\n");
+            return 1;
+        }
+        if (!writeBenchJson(capturePath, "capture", captureRows))
+            return 2;
+    }
+    if (!outPath.empty()
+        && !writeBenchJson(outPath, "replay", replayRows))
+        return 2;
+    return mismatch ? 1 : 0;
+}

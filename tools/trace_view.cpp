@@ -225,7 +225,13 @@ main(int argc, char **argv)
                 a.deviceNs / c, a.totalNs / c, a.bytes / c);
         }
     } else {
-        std::printf("\n(no request envelopes in this trace)\n");
+        std::fprintf(stderr,
+                     "%s: no request envelopes in this trace — it is "
+                     "too coarse for the latency breakdown (and for "
+                     "trace_replay). Re-capture with --trace-level 1 "
+                     "or higher on a traced bench run.\n",
+                     path);
+        return 1;
     }
 
     if (showSpans) {
