@@ -76,10 +76,18 @@ runFio(const wl::FioJob &job, sys::SystemConfig cfg = {})
  * Shared --trace/--metrics plumbing for the bench binaries. Each traced
  * run (a System lifetime) is captured as one Perfetto process; all
  * captures merge into a single trace file and one metrics document.
+ * --trace-stream writes the same file format incrementally through
+ * obs::StreamingTraceWriter, so span storage never accumulates in RSS.
+ *
+ * Any capture also turns on per-tenant attribution: tenant accounting
+ * only observes the simulation (digests are unchanged), and enabling it
+ * on every traced run means the CI traced-vs-untraced digest gate
+ * doubles as the accounting-on/off neutrality gate.
  */
 struct ObsCapture
 {
     std::string tracePath;
+    std::string streamPath;
     std::string metricsPath;
     obs::Level level = obs::Level::Device;
 
@@ -94,13 +102,14 @@ struct ObsCapture
 
     bool enabled() const
     {
-        return !tracePath.empty() || !metricsPath.empty();
+        return !tracePath.empty() || !streamPath.empty()
+               || !metricsPath.empty();
     }
 
     /**
-     * Consume "--trace FILE", "--metrics FILE" or "--trace-level N"
-     * at argv[i]. Returns how many argv slots were consumed (0 when
-     * the argument is not one of ours).
+     * Consume "--trace FILE", "--trace-stream FILE", "--metrics FILE"
+     * or "--trace-level N" at argv[i]. Returns how many argv slots
+     * were consumed (0 when the argument is not one of ours).
      */
     int
     parseArg(int argc, char **argv, int i)
@@ -108,6 +117,10 @@ struct ObsCapture
         const std::string a = argv[i];
         if (a == "--trace" && i + 1 < argc) {
             tracePath = argv[i + 1];
+            return 2;
+        }
+        if (a == "--trace-stream" && i + 1 < argc) {
+            streamPath = argv[i + 1];
             return 2;
         }
         if (a == "--metrics" && i + 1 < argc) {
@@ -124,12 +137,27 @@ struct ObsCapture
         return 0;
     }
 
-    /** Enable tracing on @p s when capture was requested. */
+    /**
+     * Enable tracing + tenant accounting on @p s when capture was
+     * requested. @p label names the streamed Perfetto process; it
+     * should match the label later passed to capture().
+     */
     void
-    attach(sys::System &s) const
+    attach(sys::System &s, const std::string &label = "run")
     {
-        if (enabled())
-            s.enableTracing(level);
+        if (!enabled())
+            return;
+        obs::Tracer &t = s.enableTracing(level);
+        s.enableTenantAccounting();
+        if (!streamPath.empty()) {
+            if (!stream_) {
+                stream_ = std::make_unique<obs::StreamingTraceWriter>();
+                sim::panicIf(!stream_->open(streamPath),
+                             "cannot open --trace-stream file");
+            }
+            stream_->beginProcess(label);
+            t.setStream(stream_.get());
+        }
     }
 
     /** Snapshot @p s's trace and metrics under the run label. */
@@ -140,22 +168,30 @@ struct ObsCapture
             return;
         s.collectMetrics();
         if (s.tracer()) {
-            Capture c;
-            c.label = label;
-            c.data = s.tracer()->data();
-            c.meta.config = obs::configToMap(s.cfg);
-            c.meta.counters = obs::curatedCounters(s);
-            c.meta.digest = obs::replayDigest(c.data.replay);
-            c.meta.events = s.eq.executed();
-            c.meta.simNs = s.now();
-            traces.push_back(std::move(c));
+            obs::ReplayMeta meta;
+            meta.config = obs::configToMap(s.cfg);
+            meta.counters = obs::curatedCounters(s);
+            meta.digest = obs::replayDigest(s.tracer()->data().replay);
+            meta.events = s.eq.executed();
+            meta.simNs = s.now();
+            if (stream_) {
+                s.tracer()->setStream(nullptr);
+                stream_->endProcess(s.tracer()->data(), &meta);
+            }
+            if (!tracePath.empty()) {
+                Capture c;
+                c.label = label;
+                c.data = s.tracer()->data();
+                c.meta = std::move(meta);
+                traces.push_back(std::move(c));
+            }
         }
         runs.push_back(obs::MetricsRun{label, s.metrics.snapshot()});
     }
 
     /** Write the requested output files; false on I/O error. */
     bool
-    write() const
+    write()
     {
         bool ok = true;
         if (!tracePath.empty()) {
@@ -169,6 +205,13 @@ struct ObsCapture
             else
                 ok = false;
         }
+        if (stream_) {
+            if (stream_->close())
+                std::printf("wrote %s\n", streamPath.c_str());
+            else
+                ok = false;
+            stream_.reset();
+        }
         if (!metricsPath.empty()) {
             if (obs::writeMetricsFile(metricsPath, runs))
                 std::printf("wrote %s\n", metricsPath.c_str());
@@ -177,7 +220,107 @@ struct ObsCapture
         }
         return ok;
     }
+
+  private:
+    std::unique_ptr<obs::StreamingTraceWriter> stream_;
 };
+
+/**
+ * Minimal "bypassd-bench-v1" emitter for the figure benches (--out).
+ * Each scenario is a flat object of raw JSON tokens — the same schema
+ * perf_harness writes — so tools/perf_report can diff any two files,
+ * including the per-tenant keys.
+ */
+struct BenchJson
+{
+    struct Scenario
+    {
+        std::string name;
+        std::vector<std::pair<std::string, std::string>> fields;
+    };
+    std::vector<Scenario> scenarios;
+
+    Scenario &
+    add(const std::string &name)
+    {
+        scenarios.push_back({name, {}});
+        return scenarios.back();
+    }
+
+    static void
+    field(Scenario &sc, const std::string &k, std::uint64_t v)
+    {
+        sc.fields.emplace_back(
+            k, sim::strf("%llu", static_cast<unsigned long long>(v)));
+    }
+
+    static void
+    fieldF(Scenario &sc, const std::string &k, double v)
+    {
+        sc.fields.emplace_back(k, sim::strf("%.3f", v));
+    }
+
+    bool
+    write(const std::string &path, const std::string &label) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return false;
+        }
+        std::fprintf(f, "{\n  \"schema\": \"bypassd-bench-v1\",\n");
+        std::fprintf(f, "  \"label\": \"%s\",\n", label.c_str());
+        std::fprintf(f, "  \"quick\": true,\n");
+        std::fprintf(f, "  \"peak_rss_bytes\": 0,\n");
+        std::fprintf(f, "  \"scenarios\": [\n");
+        for (std::size_t i = 0; i < scenarios.size(); i++) {
+            const Scenario &sc = scenarios[i];
+            std::fprintf(f, "    {\n      \"name\": \"%s\"",
+                         sc.name.c_str());
+            for (const auto &[k, v] : sc.fields)
+                std::fprintf(f, ",\n      \"%s\": %s", k.c_str(),
+                             v.c_str());
+            std::fprintf(f, "\n    }%s\n",
+                         i + 1 < scenarios.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+        return true;
+    }
+};
+
+/**
+ * Append tenant.<id>.{ssd_ops,iops,fmaps,revocations} fields from the
+ * system's tenant accounting; @p measuredSec is the simulated seconds
+ * the iops rate is computed over. No-op while accounting is off.
+ */
+inline void
+tenantFields(BenchJson::Scenario &sc, sys::System &s, double measuredSec)
+{
+    s.tenantAccounting().forEach(
+        [&](TenantId id, const obs::TenantCounters &tc) {
+            const std::string p = sim::strf("tenant.%u.", id);
+            BenchJson::field(sc, p + "ssd_ops", tc.ssdOps);
+            BenchJson::fieldF(sc, p + "iops",
+                              measuredSec > 0
+                                  ? static_cast<double>(tc.ssdOps)
+                                        / measuredSec
+                                  : 0.0);
+            BenchJson::field(sc, p + "fmaps",
+                             tc.bypassdColdFmaps + tc.bypassdWarmFmaps);
+            BenchJson::field(sc, p + "revocations",
+                             tc.bypassdRevokedVictims);
+        });
+}
+
+/** Abort unless sum-over-tenants == system totals (the fairness gate). */
+inline void
+checkTenantSums(sys::System &s)
+{
+    const std::string err = s.verifyTenantSums();
+    sim::panicIf(!err.empty(), "tenant attribution broken: " + err);
+}
 
 /** runFio under an ObsCapture: trace/metrics captured as @p label. */
 inline wl::FioResult
@@ -188,9 +331,13 @@ runFio(const wl::FioJob &job, sys::SystemConfig cfg, ObsCapture &obs,
     if (cfg.deviceBytes == (sys::SystemConfig{}).deviceBytes)
         cfg.deviceBytes = 64ull << 30;
     sys::System s(cfg);
-    obs.attach(s);
+    obs.attach(s, label);
+    // Attribution is digest-neutral and fills FioResult::tenants, and
+    // every captured bench run doubles as a sum-invariant check.
+    s.enableTenantAccounting();
     wl::FioRunner runner(s);
     wl::FioResult res = runner.run(job);
+    checkTenantSums(s);
     obs.capture(label, s);
     return res;
 }

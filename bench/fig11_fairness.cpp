@@ -4,11 +4,20 @@
  * a foreground process while 1..16 background reader processes hammer
  * the device. BypassD relies on the device's round-robin arbitration
  * across queues for fairness.
+ *
+ * Every cell runs with per-tenant attribution on and asserts the
+ * attribution invariant (sum over tenants == system totals,
+ * bit-exactly) after the drive loop — this is the fairness gate CI
+ * runs. With --out, a bypassd-bench-v1 JSON is written whose scenarios
+ * carry per-tenant iops/fmap/revocation fields next to the system
+ * totals. The drive loops record replay streams, so a --trace capture
+ * of this bench is replayable with trace_replay.
  */
 
 #include <functional>
 
 #include "bench/common.hpp"
+#include "bench/recording.hpp"
 
 using namespace bpd;
 using namespace bpd::wl;
@@ -20,26 +29,33 @@ struct Reader
     kern::Process *proc = nullptr;
     bypassd::UserLib *lib = nullptr;
     int fd = -1;
+    std::uint32_t fileId = obs::ReplayRec::kNoFile;
     std::vector<std::uint8_t> buf;
     sim::Rng rng{0};
 };
 
 std::unique_ptr<Reader>
-makeReader(sys::System &s, const std::string &path, std::uint64_t bytes,
-           std::uint32_t uid, std::uint64_t seed, bool viaBypassd)
+makeReader(sys::System &s, bench::Recorder &rec, const std::string &path,
+           std::uint64_t bytes, std::uint32_t uid, std::uint64_t seed,
+           bool viaBypassd)
 {
     auto r = std::make_unique<Reader>();
     r->proc = &s.newProcess(uid, uid);
-    const int cfd = s.kernel.setupCreateFile(*r->proc, path, bytes, 0);
+    r->fileId = rec.file(path);
+    const int cfd
+        = rec.createFile(*r->proc, r->fileId, path, bytes, 0,
+                         viaBypassd ? Engine::Bypassd : Engine::Sync);
     sim::panicIf(cfd < 0, "reader file setup failed");
     if (viaBypassd) {
         int rc = -1;
-        s.kernel.sysClose(*r->proc, cfd, [&rc](int x) { rc = x; });
+        rec.sysClose(*r->proc, cfd, r->fileId, [&rc](int x) { rc = x; },
+                     Engine::Bypassd);
         s.run();
         r->lib = &s.userLib(*r->proc);
         int fd = -1;
-        r->lib->open(path, fs::kOpenRead | fs::kOpenDirect, 0644,
-                     [&fd](int f) { fd = f; });
+        rec.open(*r->lib, *r->proc, r->fileId, path,
+                 fs::kOpenRead | fs::kOpenDirect,
+                 [&fd](int f) { fd = f; });
         s.run();
         sim::panicIf(fd < 0, "reader open failed");
         r->fd = fd;
@@ -53,40 +69,44 @@ makeReader(sys::System &s, const std::string &path, std::uint64_t bytes,
 
 double
 foregroundLatency(Engine fgEngine, unsigned backgroundReaders,
-                  bench::ObsCapture &obs)
+                  bench::ObsCapture &obs, bench::BenchJson *out)
 {
+    const std::string label = sim::strf(
+        "fig11_%s_%ubg", toString(fgEngine), backgroundReaders);
     auto s = bench::makeSystem(64ull << 30);
-    obs.attach(*s);
+    obs.attach(*s, label);
+    s->enableTenantAccounting();
+    bench::Recorder rec(*s);
     constexpr std::uint64_t kFile = 256ull << 20;
 
     // Background readers always use the BypassD interface (they model
     // other tenants sharing the device).
     std::vector<std::unique_ptr<Reader>> bgs;
     for (unsigned i = 0; i < backgroundReaders; i++) {
-        bgs.push_back(makeReader(*s, "/bg" + std::to_string(i) + ".dat",
+        bgs.push_back(makeReader(*s, rec,
+                                 "/bg" + std::to_string(i) + ".dat",
                                  kFile, 3000 + i, 100 + i, true));
     }
-    auto fg = makeReader(*s, "/fg.dat", kFile, 2000, 77,
+    auto fg = makeReader(*s, rec, "/fg.dat", kFile, 2000, 77,
                          fgEngine == Engine::Bypassd);
 
     const Time start = s->now();
     const Time measureStart = start + 1 * kMs;
     const Time tEnd = measureStart + 8 * kMs;
-    s->kernel.cpu().acquire(backgroundReaders + 1);
+    rec.cpuAcquire(*fg->proc, backgroundReaders + 1);
 
     // Background load: queue depth 4 per process until tEnd.
     for (auto &bgp : bgs) {
         Reader *bg = bgp.get();
         auto loop = std::make_shared<std::function<void()>>();
-        *loop = [bg, loop, tEnd, &s]() {
+        *loop = [bg, loop, tEnd, &s, &rec]() {
             if (s->now() >= tEnd)
                 return;
             const std::uint64_t off
                 = bg->rng.nextUint(kFile / 4096) * 4096;
-            bg->lib->pread(0, bg->fd, bg->buf, off,
-                           [loop](long long, kern::IoTrace) {
-                               (*loop)();
-                           });
+            rec.pread(*bg->lib, *bg->proc, 0, bg->fd, bg->buf, off, 0,
+                      bg->fileId,
+                      [loop](long long, kern::IoTrace) { (*loop)(); });
         };
         for (int d = 0; d < 4; d++)
             (*loop)();
@@ -97,7 +117,8 @@ foregroundLatency(Engine fgEngine, unsigned backgroundReaders,
     {
         Reader *f = fg.get();
         auto loop = std::make_shared<std::function<void()>>();
-        *loop = [f, loop, lat, measureStart, tEnd, fgEngine, &s]() {
+        *loop = [f, loop, lat, measureStart, tEnd, fgEngine, &s,
+                 &rec]() {
             if (s->now() >= tEnd)
                 return;
             const std::uint64_t off
@@ -111,18 +132,32 @@ foregroundLatency(Engine fgEngine, unsigned backgroundReaders,
                 (*loop)();
             };
             if (fgEngine == Engine::Bypassd)
-                f->lib->pread(0, f->fd, f->buf, off, done);
+                rec.pread(*f->lib, *f->proc, 0, f->fd, f->buf, off, 0,
+                          f->fileId, done);
             else
-                s->kernel.sysPread(*f->proc, f->fd, f->buf, off, done);
+                rec.sysPread(*f->proc, f->fd, f->buf, off, 0, f->fileId,
+                             done);
         };
         (*loop)();
     }
 
     s->run();
-    s->kernel.cpu().release(backgroundReaders + 1);
-    obs.capture(sim::strf("fig11_%s_%ubg", toString(fgEngine),
-                          backgroundReaders),
-                *s);
+    rec.cpuRelease(*fg->proc, backgroundReaders + 1);
+    // The fairness gate: attribution must sum exactly to the totals.
+    bench::checkTenantSums(*s);
+    obs.capture(label, *s);
+
+    if (out) {
+        bench::BenchJson::Scenario &sc = out->add(label);
+        const double simSec = static_cast<double>(s->now()) / 1e9;
+        bench::BenchJson::field(sc, "events", s->eq.executed());
+        bench::BenchJson::field(sc, "sim_ns", s->now());
+        bench::BenchJson::fieldF(sc, "fg_mean_lat_ns", lat->mean());
+        bench::BenchJson::field(sc, "device_ops", s->dev.totalOps());
+        bench::BenchJson::field(sc, "syscalls",
+                                s->kernel.syscallCount());
+        bench::tenantFields(sc, *s, simSec);
+    }
     return lat->mean();
 }
 
@@ -132,12 +167,17 @@ int
 main(int argc, char **argv)
 {
     bench::ObsCapture obs;
+    std::string outPath;
     for (int i = 1; i < argc; i++) {
-        if (int used = obs.parseArg(argc, argv, i)) {
+        const std::string a = argv[i];
+        if (a == "--out" && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (int used = obs.parseArg(argc, argv, i)) {
             i += used - 1;
         } else {
             std::fprintf(stderr,
-                         "usage: fig11_fairness [--trace FILE] "
+                         "usage: fig11_fairness [--out FILE] "
+                         "[--trace FILE] [--trace-stream FILE] "
                          "[--metrics FILE] [--trace-level N]\n");
             return 2;
         }
@@ -146,6 +186,8 @@ main(int argc, char **argv)
     bench::banner("Fig. 11",
                   "4KB random-read latency with background readers");
 
+    bench::BenchJson json;
+    bench::BenchJson *out = outPath.empty() ? nullptr : &json;
     const unsigned readers[] = {0, 1, 2, 4, 8, 12, 16};
     std::printf("%-10s", "engine");
     for (unsigned n : readers)
@@ -154,12 +196,15 @@ main(int argc, char **argv)
     for (Engine e : {Engine::Sync, Engine::Bypassd}) {
         std::printf("%-10s", toString(e));
         for (unsigned n : readers)
-            std::printf(" %8.1f", foregroundLatency(e, n, obs) / 1e3);
+            std::printf(" %8.1f",
+                        foregroundLatency(e, n, obs, out) / 1e3);
         std::printf("\n");
     }
     std::printf("\nPaper shape: latency grows with device load, but "
                 "BypassD stays below\nthe kernel baseline even with 16 "
                 "background readers — the device's\nround-robin queue "
                 "arbitration balances the load.\n");
+    if (out && !json.write(outPath, "fig11"))
+        return 1;
     return obs.write() ? 0 : 1;
 }

@@ -38,6 +38,7 @@
 
 #include "apps/wiredtiger.hpp"
 #include "bench/common.hpp"
+#include "bench/recording.hpp"
 #include "workloads/fio.hpp"
 
 using namespace bpd;
@@ -141,7 +142,7 @@ runFig9Randread(bool quick, bench::ObsCapture &obs)
     sys::SystemConfig cfg;
     cfg.deviceBytes = 16ull << 30;
     sys::System s(cfg);
-    obs.attach(s);
+    obs.attach(s, r.name);
 
     wl::FioJob job;
     job.engine = wl::Engine::Bypassd;
@@ -170,6 +171,7 @@ runFig9Randread(bool quick, bench::ObsCapture &obs)
     h = fnv(h, s.eq.executed());
     r.digest = h;
     fillCounters(r, s);
+    bench::checkTenantSums(s);
     obs.capture(r.name, s);
     return r;
 }
@@ -183,7 +185,7 @@ runFig13WiredTiger(bool quick, bench::ObsCapture &obs)
     r.metricName = "kops";
 
     auto s = bench::makeSystem(16ull << 30);
-    obs.attach(*s);
+    obs.attach(*s, r.name);
     apps::WiredTigerConfig cfg;
     cfg.records = 4'000'000;
     cfg.cacheBytes = 28ull << 20;
@@ -211,6 +213,7 @@ runFig13WiredTiger(bool quick, bench::ObsCapture &obs)
     h = fnv(h, s->eq.executed());
     r.digest = h;
     fillCounters(r, *s);
+    bench::checkTenantSums(*s);
     obs.capture(r.name, *s);
     return r;
 }
@@ -224,76 +227,25 @@ runFig12Revocation(bool quick, bench::ObsCapture &obs)
     r.metricName = "mb_per_s";
 
     auto s = bench::makeSystem(16ull << 30);
-    obs.attach(*s);
-    bpd::obs::Tracer *tr = s->tracer();
-    constexpr auto kBypassd
-        = static_cast<std::uint8_t>(wl::Engine::Bypassd);
+    obs.attach(*s, r.name);
+    bench::Recorder rec(*s);
     kern::Process &reader = s->newProcess(1000, 1000);
-    std::uint32_t sharedDb = bpd::obs::ReplayRec::kNoFile;
-    if (tr)
-        sharedDb = tr->replayFile("/shared.db");
-    const int cfd
-        = s->kernel.setupCreateFile(reader, "/shared.db", 1ull << 30, 0);
-    if (tr) {
-        bpd::obs::ReplayRec rec;
-        rec.op = bpd::obs::ReplayRec::Create;
-        rec.engine = kBypassd;
-        rec.proc = reader.pasid();
-        rec.file = sharedDb;
-        rec.offset = 1ull << 30;
-        tr->replayMark(rec, cfd);
-    }
+    const std::uint32_t sharedDb = rec.file("/shared.db");
+    const int cfd = rec.createFile(reader, sharedDb, "/shared.db",
+                                   1ull << 30, 0, wl::Engine::Bypassd);
     int rc = -1;
-    std::uint32_t ri = 0;
-    if (tr) {
-        bpd::obs::ReplayRec rec;
-        rec.op = bpd::obs::ReplayRec::Close;
-        rec.engine = kBypassd;
-        rec.proc = reader.pasid();
-        rec.file = sharedDb;
-        ri = tr->replayBegin(rec);
-    }
-    s->kernel.sysClose(reader, cfd, [&rc, tr, ri](int cr) {
-        rc = cr;
-        if (tr)
-            tr->replayEnd(ri, cr);
-    });
+    rec.sysClose(reader, cfd, sharedDb, [&rc](int cr) { rc = cr; },
+                 wl::Engine::Bypassd);
     s->run();
 
     bypassd::UserLib &lib = s->userLib(reader);
     int fd = -1;
-    constexpr std::uint32_t kReaderFlags
-        = fs::kOpenRead | fs::kOpenDirect;
-    if (tr) {
-        bpd::obs::ReplayRec rec;
-        rec.op = bpd::obs::ReplayRec::Open;
-        rec.engine = kBypassd;
-        rec.proc = reader.pasid();
-        rec.file = sharedDb;
-        rec.aux = kReaderFlags;
-        ri = tr->replayBegin(rec);
-    }
-    lib.open("/shared.db", kReaderFlags, 0644, [&fd, tr, ri](int f) {
-        fd = f;
-        if (tr)
-            tr->replayEnd(ri, f);
-    });
+    rec.open(lib, reader, sharedDb, "/shared.db",
+             fs::kOpenRead | fs::kOpenDirect, [&fd](int f) { fd = f; });
     s->run();
     sim::panicIf(fd < 0 || !lib.isDirect(fd), "reader open failed");
-    lib.prepareThread(0);
-    s->kernel.cpu().acquire(1);
-    if (tr) {
-        bpd::obs::ReplayRec rec;
-        rec.op = bpd::obs::ReplayRec::PrepThread;
-        rec.engine = kBypassd;
-        rec.proc = reader.pasid();
-        rec.file = sharedDb;
-        tr->replayMark(rec);
-        rec.op = bpd::obs::ReplayRec::CpuAcquire;
-        rec.file = bpd::obs::ReplayRec::kNoFile;
-        rec.offset = 1;
-        tr->replayMark(rec);
-    }
+    rec.prepareThread(lib, reader, 0);
+    rec.cpuAcquire(reader, 1);
 
     const double t0 = wallNow();
     const Time horizon = (quick ? 2 : 8) * kSec;
@@ -309,22 +261,8 @@ runFig12Revocation(bool quick, bench::ObsCapture &obs)
             return;
         const std::uint64_t off
             = rng.nextUint((1ull << 30) / 4096) * 4096;
-        std::uint32_t pi = 0;
-        if (tr) {
-            bpd::obs::ReplayRec rec;
-            rec.op = bpd::obs::ReplayRec::Read;
-            rec.engine = kBypassd;
-            rec.lane = 0;
-            rec.proc = reader.pasid();
-            rec.file = sharedDb;
-            rec.offset = off;
-            rec.len = buf.size();
-            pi = tr->replayBegin(rec);
-        }
-        lib.pread(0, fd, buf, off,
-                  [&, loop, pi](long long n, kern::IoTrace) {
-                      if (tr)
-                          tr->replayEnd(pi, n);
+        rec.pread(lib, reader, 0, fd, buf, off, 0, sharedDb,
+                  [&, loop](long long n, kern::IoTrace) {
                       if (n > 0)
                           throughput.record(s->now(),
                                             static_cast<double>(n));
@@ -333,40 +271,21 @@ runFig12Revocation(bool quick, bench::ObsCapture &obs)
     };
     (*loop)();
 
+    // The intruder's open fires at an absolute time while reads are in
+    // flight, so it records on a numbered lane of its own process.
     kern::Process &intruder = s->newProcess(1000, 1000);
     Time revokeAt = 0;
     s->eq.schedule(revokeT, [&]() {
-        std::uint32_t oi = 0;
-        if (tr) {
-            bpd::obs::ReplayRec rec;
-            rec.op = bpd::obs::ReplayRec::Open;
-            rec.engine
-                = static_cast<std::uint8_t>(wl::Engine::Sync);
-            rec.lane = 0;
-            rec.proc = intruder.pasid();
-            rec.file = sharedDb;
-            rec.aux = fs::kOpenRead;
-            oi = tr->replayBegin(rec);
-        }
-        s->kernel.sysOpen(intruder, "/shared.db", fs::kOpenRead, 0644,
-                          [&, oi](int f) {
-                              if (tr)
-                                  tr->replayEnd(oi, f);
-                              sim::panicIf(f < 0, "buffered open failed");
-                              revokeAt = s->now();
-                          });
+        rec.sysOpen(intruder, sharedDb, "/shared.db", fs::kOpenRead,
+                    [&](int f) {
+                        sim::panicIf(f < 0, "buffered open failed");
+                        revokeAt = s->now();
+                    },
+                    /*lane=*/0);
     });
 
     s->run();
-    s->kernel.cpu().release(1);
-    if (tr) {
-        bpd::obs::ReplayRec rec;
-        rec.op = bpd::obs::ReplayRec::CpuRelease;
-        rec.engine = kBypassd;
-        rec.proc = reader.pasid();
-        rec.offset = 1;
-        tr->replayMark(rec);
-    }
+    rec.cpuRelease(reader, 1);
     r.wallSec = wallNow() - t0;
 
     r.events = s->eq.executed();
@@ -387,6 +306,7 @@ runFig12Revocation(bool quick, bench::ObsCapture &obs)
     r.metric = total / 1e6
                / (static_cast<double>(horizon) / kSec); // MB/s
     fillCounters(r, *s);
+    bench::checkTenantSums(*s);
     obs.capture(r.name, *s);
     return r;
 }

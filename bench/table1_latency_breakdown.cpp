@@ -1,10 +1,13 @@
 /**
  * @file
  * Table 1: latency breakdown of a 4 KiB read() on the Optane-class SSD
- * through the standard kernel path, and the BypassD equivalent.
+ * through the standard kernel path, and the BypassD equivalent. Every
+ * op is sequential (drained between steps), so the recorded replay
+ * stream lives entirely on the main lane.
  */
 
 #include "bench/common.hpp"
+#include "bench/recording.hpp"
 
 using namespace bpd;
 
@@ -18,7 +21,8 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: table1_latency_breakdown [--trace FILE] "
-                         "[--metrics FILE] [--trace-level N]\n");
+                         "[--trace-stream FILE] [--metrics FILE] "
+                         "[--trace-level N]\n");
             return 2;
         }
     }
@@ -26,24 +30,28 @@ main(int argc, char **argv)
     bench::banner("Table 1",
                   "latency breakdown of 4KB read() on Optane SSD");
 
+    constexpr std::uint16_t kMain = obs::ReplayRec::kMainLane;
     auto s = bench::makeSystem();
-    obs.attach(*s);
+    obs.attach(*s, "table1_breakdown");
+    s->enableTenantAccounting();
+    bench::Recorder rec(*s);
     kern::Process &p = s->newProcess();
-    const int fd = s->kernel.setupCreateFile(p, "/t1.dat", 16 << 20, 7);
+    const std::uint32_t t1 = rec.file("/t1.dat");
+    const int fd = rec.createFile(p, t1, "/t1.dat", 16 << 20, 7);
 
     // Warm, then measure one sync read.
     std::vector<std::uint8_t> buf(4096);
     kern::IoTrace trace;
     long long got = 0;
-    s->kernel.sysPread(p, fd, buf, 0,
-                       [](long long, kern::IoTrace) {});
+    rec.sysPread(p, fd, buf, 0, kMain, t1,
+                 [](long long, kern::IoTrace) {});
     s->run();
     const Time t0 = s->now();
-    s->kernel.sysPread(p, fd, buf, 4096,
-                       [&](long long n, kern::IoTrace tr) {
-                           got = n;
-                           trace = tr;
-                       });
+    rec.sysPread(p, fd, buf, 4096, kMain, t1,
+                 [&](long long n, kern::IoTrace tr) {
+                     got = n;
+                     trace = tr;
+                 });
     s->run();
     const Time total = s->now() - t0;
     sim::panicIf(got != 4096, "read failed");
@@ -83,19 +91,19 @@ main(int argc, char **argv)
     // And the same access through BypassD, for contrast.
     bypassd::UserLib &lib = s->userLib(p);
     int rc = -1;
-    s->kernel.sysClose(p, fd, [&](int r) { rc = r; });
+    rec.sysClose(p, fd, t1, [&](int r) { rc = r; });
     s->run();
     int dfd = -1;
-    lib.open("/t1.dat", fs::kOpenRead | fs::kOpenDirect, 0644,
+    rec.open(lib, p, t1, "/t1.dat", fs::kOpenRead | fs::kOpenDirect,
              [&](int f) { dfd = f; });
     s->run();
-    lib.pread(0, dfd, buf, 0, [](long long, kern::IoTrace) {});
+    rec.pread(lib, p, 0, dfd, buf, 0, kMain, t1,
+              [](long long, kern::IoTrace) {});
     s->run();
     const Time b0 = s->now();
     kern::IoTrace btr;
-    lib.pread(0, dfd, buf, 4096, [&](long long, kern::IoTrace tr) {
-        btr = tr;
-    });
+    rec.pread(lib, p, 0, dfd, buf, 4096, kMain, t1,
+              [&](long long, kern::IoTrace tr) { btr = tr; });
     s->run();
     const Time btotal = s->now() - b0;
     std::printf("\nBypassD same access: total=%lluns "
@@ -107,6 +115,7 @@ main(int argc, char **argv)
                 (unsigned long long)btr.deviceNs,
                 100.0 * static_cast<double>(btotal)
                     / static_cast<double>(total));
+    bench::checkTenantSums(*s);
     obs.capture("table1_breakdown", *s);
     return obs.write() ? 0 : 1;
 }

@@ -3,9 +3,14 @@
  * Table 5: fmap() overheads — default open, open + warm fmap (cached
  * file tables, pointer attach only), open + cold fmap (build file
  * tables from the extent tree) for file sizes 4 KiB .. 16 GiB.
+ *
+ * The raw module.fmap()/setupOpen() probes are not expressible in the
+ * replay record format, so the recorded stream is marked unsupported —
+ * trace_replay refuses to re-drive it rather than replaying a lie.
  */
 
 #include "bench/common.hpp"
+#include "bench/recording.hpp"
 
 using namespace bpd;
 
@@ -19,7 +24,8 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: table5_fmap_overheads [--trace FILE] "
-                         "[--metrics FILE] [--trace-level N]\n");
+                         "[--trace-stream FILE] [--metrics FILE] "
+                         "[--trace-level N]\n");
             return 2;
         }
     }
@@ -45,29 +51,33 @@ main(int argc, char **argv)
                 "size", "open(us)", "open+warm(us)", "open+cold(us)");
 
     for (const Case &c : cases) {
+        const std::string label = std::string("table5_fmap_") + c.name;
         auto s = bench::makeSystem(64ull << 30);
-        obs.attach(*s);
+        obs.attach(*s, label);
+        s->enableTenantAccounting();
+        bench::Recorder rec(*s);
         kern::Process &owner = s->newProcess();
         const std::string path = std::string("/t5_") + c.name;
-        const int cfd
-            = s->kernel.setupCreateFile(owner, path, c.bytes, 0);
+        const std::uint32_t fileId = rec.file(path);
+        const int cfd = rec.createFile(owner, fileId, path, c.bytes, 0);
         sim::panicIf(cfd < 0, "file setup failed");
         int rc = -1;
-        s->kernel.sysClose(owner, cfd, [&](int r) { rc = r; });
+        rec.sysClose(owner, cfd, fileId, [&](int r) { rc = r; });
         s->run();
 
         // Default open (timed syscall, no fmap).
         Time t0 = s->now();
         int fd = -1;
-        s->kernel.sysOpen(owner, path,
-                          fs::kOpenRead | fs::kOpenWrite
-                              | fs::kOpenDirect | kern::kOpenBypassdIntent,
-                          0644, [&](int f) { fd = f; });
+        rec.sysOpen(owner, fileId, path,
+                    fs::kOpenRead | fs::kOpenWrite | fs::kOpenDirect
+                        | kern::kOpenBypassdIntent,
+                    [&](int f) { fd = f; });
         s->run();
         const Time openNs = s->now() - t0;
         sim::panicIf(fd < 0, "open failed");
 
         // Cold fmap: file tables do not exist yet.
+        rec.unsupported("bypassd.fmap");
         InodeNum ino;
         s->ext4.resolve(path, &ino);
         bypassd::FmapResult cold = s->module.fmap(owner, ino, true);
@@ -91,7 +101,8 @@ main(int argc, char **argv)
         std::printf("%-8s %14.2f %18.2f %18.2f   (%.2f / %.2f / %.2f)\n",
                     c.name, openUs, warmUs, coldUs, c.paperOpen,
                     c.paperWarm, c.paperCold);
-        obs.capture(std::string("table5_fmap_") + c.name, *s);
+        bench::checkTenantSums(*s);
+        obs.capture(label, *s);
     }
     std::printf("\nWarm fmap attaches shared leaf tables at PMD (2MiB) "
                 "granularity;\ncold fmap additionally writes one FTE per "

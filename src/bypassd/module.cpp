@@ -72,6 +72,8 @@ BypassdModule::fmap(kern::Process &p, InodeNum inoNum, bool writable)
     fs::Inode *ino = kernel_.vfs().fs().inode(inoNum);
     if (!ino || ino->isDir()) {
         rejectedFmaps_++;
+        if (acct_)
+            acct_->of(p.pasid()).bypassdRejectedFmaps++;
         if (trace_ && trace_->wants(obs::Level::Layers))
             trace_->instant(obsTrack_, "bypassd.fmap_rejected", 0,
                             {{"ino", static_cast<std::int64_t>(inoNum)}});
@@ -92,6 +94,8 @@ BypassdModule::fmap(kern::Process &p, InodeNum inoNum, bool writable)
     }
     if (!hasOpen) {
         rejectedFmaps_++;
+        if (acct_)
+            acct_->of(p.pasid()).bypassdRejectedFmaps++;
         if (trace_ && trace_->wants(obs::Level::Layers))
             trace_->instant(obsTrack_, "bypassd.fmap_rejected", 0,
                             {{"ino", static_cast<std::int64_t>(inoNum)}});
@@ -113,6 +117,8 @@ BypassdModule::fmap(kern::Process &p, InodeNum inoNum, bool writable)
     if (ino->kernelOpens > 0 || revoked_.count(inoNum)
         || ino->metadataMultiWriter) {
         rejectedFmaps_++;
+        if (acct_)
+            acct_->of(p.pasid()).bypassdRejectedFmaps++;
         if (trace_ && trace_->wants(obs::Level::Layers))
             trace_->instant(obsTrack_, "bypassd.fmap_rejected", 0,
                             {{"ino", static_cast<std::int64_t>(inoNum)}});
@@ -120,6 +126,15 @@ BypassdModule::fmap(kern::Process &p, InodeNum inoNum, bool writable)
     }
 
     FileTableCache *cache = ensureCache(*ino, &res);
+    // ensureCache bumped exactly one of coldFmaps_/warmFmaps_; it has
+    // no Process, so the per-tenant twin lands here.
+    if (acct_) {
+        obs::TenantCounters &tc = acct_->of(p.pasid());
+        if (res.cold)
+            tc.bypassdColdFmaps++;
+        else
+            tc.bypassdWarmFmaps++;
+    }
 
     // A re-fmap retires any quarantined region from a prior revocation:
     // the caller is about to replace its stale VBA.
@@ -142,6 +157,8 @@ BypassdModule::fmap(kern::Process &p, InodeNum inoNum, bool writable)
     const Vaddr vba = p.aspace().reserve(regionBytes, mem::kPmdSpan);
     if (vba == 0) {
         rejectedFmaps_++;
+        if (acct_)
+            acct_->of(p.pasid()).bypassdRejectedFmaps++;
         if (trace_ && trace_->wants(obs::Level::Layers))
             trace_->instant(obsTrack_, "bypassd.fmap_rejected", 0,
                             {{"ino", static_cast<std::int64_t>(inoNum)}});
@@ -252,10 +269,14 @@ BypassdModule::revoke(fs::Inode &ino)
         pids.push_back(pid);
     for (Pid pid : pids) {
         kern::Process *p = kernel_.process(pid);
-        if (p)
+        if (p) {
             detachOne(*p, ino, *cache, /*quarantineVa=*/true);
-        else
+            revokedVictims_++;
+            if (acct_)
+                acct_->of(p->pasid()).bypassdRevokedVictims++;
+        } else {
             cache->attachments.erase(pid);
+        }
     }
     revoked_.insert(ino.ino);
 }

@@ -84,12 +84,23 @@ class BypassdModule : public kern::BypassdHooks
     /** Attach the observability tracer (nullptr disables). */
     void setTracer(obs::Tracer *t);
 
+    /**
+     * Attach the per-tenant counter table (null = disabled). fmap and
+     * revocation bookkeeping is attributed to the calling/victim
+     * process's PASID. `revocations` stays system-only: one revocation
+     * can detach many victims, so its per-tenant counterpart is
+     * `revoked_victims` (one per detached process).
+     */
+    void setTenantAccounting(obs::TenantAccounting *a) { acct_ = a; }
+
     /** @name Statistics */
     ///@{
     std::uint64_t coldFmaps() const { return coldFmaps_; }
     std::uint64_t warmFmaps() const { return warmFmaps_; }
     std::uint64_t revocations() const { return revocations_; }
     std::uint64_t rejectedFmaps() const { return rejectedFmaps_; }
+    /** Processes detached by revocations (>= revocations()). */
+    std::uint64_t revokedVictims() const { return revokedVictims_; }
     ///@}
 
     /** VA headroom reserved beyond the file size for in-place growth. */
@@ -123,6 +134,9 @@ class BypassdModule : public kern::BypassdHooks
     std::uint64_t warmFmaps_ = 0;
     std::uint64_t revocations_ = 0;
     std::uint64_t rejectedFmaps_ = 0;
+    std::uint64_t revokedVictims_ = 0;
+
+    obs::TenantAccounting *acct_ = nullptr;
 
     std::set<InodeNum> revoked_;
 

@@ -207,7 +207,7 @@ UserLib::pread(Tid tid, int fd, std::span<std::uint8_t> buf,
     }
     obs::TraceId trace = 0;
     if (obs::Tracer *t = kernel_.tracer()) {
-        trace = t->newTrace();
+        trace = t->newTrace(proc_.pasid());
         cb = wrapRequest("bypassd.pread", trace, std::move(cb));
     }
     preadResume(tid, fd, buf, off, std::move(cb), trace);
@@ -254,7 +254,7 @@ UserLib::pwrite(Tid tid, int fd, std::span<const std::uint8_t> buf,
     }
     obs::TraceId trace = 0;
     if (obs::Tracer *t = kernel_.tracer()) {
-        trace = t->newTrace();
+        trace = t->newTrace(proc_.pasid());
         cb = wrapRequest("bypassd.pwrite", trace, std::move(cb));
     }
     pwriteResume(tid, fd, buf, off, std::move(cb), trace);

@@ -32,6 +32,17 @@ using Vaddr = std::uint64_t;
 /** Process Address Space ID used by the IOMMU to pick a page table. */
 using Pasid = std::uint32_t;
 
+/**
+ * Tenant identity for per-process attribution. A tenant is a process
+ * address space: the id equals the owning process's PASID, and tenant 0
+ * (== kNoPasid) is the system/kernel catch-all for work that cannot be
+ * pinned on a process (format-time metadata, kernel-queue housekeeping).
+ */
+using TenantId = std::uint32_t;
+
+/** System/kernel catch-all tenant. */
+constexpr TenantId kSystemTenant = 0;
+
 /** Device identifier stored in FTEs and checked against the requester. */
 using DevId = std::uint16_t;
 

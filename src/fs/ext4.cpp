@@ -313,7 +313,7 @@ Ext4Fs::makeNode(const std::string &path, FileType type,
     if (!mayAccess(*parent, creds, false, true))
         return FsStatus::Access;
 
-    metadataOps_++;
+    noteMetadataOp();
     const InodeNum ino = nextIno_++;
     journal_.begin();
     logAndApply(JRecord{JOp::CreateInode, ino,
@@ -362,7 +362,7 @@ Ext4Fs::unlink(const std::string &path, const Credentials &creds)
     if (victim->kernelOpens > 0 || !victim->bypassdOpeners.empty())
         return FsStatus::Busy;
 
-    metadataOps_++;
+    noteMetadataOp();
     journal_.begin();
     logAndApply(JRecord{JOp::RmDirent, parentIno, 0, 0, 0, leaf});
     logAndApply(JRecord{JOp::FreeInode, victim->ino, 0, 0, 0, {}});
@@ -404,7 +404,7 @@ Ext4Fs::rename(const std::string &from, const std::string &to,
             return FsStatus::Busy;
     }
 
-    metadataOps_++;
+    noteMetadataOp();
     journal_.begin();
     if (victim) {
         logAndApply(JRecord{JOp::RmDirent, toParent, 0, 0, 0, toLeaf});
@@ -479,7 +479,7 @@ Ext4Fs::extendTo(Inode &ino, std::uint64_t newSize,
     const std::uint64_t needBlocks
         = (newSize + kBlockBytes - 1) / kBlockBytes;
 
-    metadataOps_++;
+    noteMetadataOp();
     journal_.begin();
     std::uint64_t mapped = ino.extents.logicalEnd();
     while (mapped < needBlocks) {
@@ -522,7 +522,7 @@ Ext4Fs::truncate(Inode &ino, std::uint64_t newSize)
     if (newSize >= ino.size)
         return extendTo(ino, newSize, nullptr);
 
-    metadataOps_++;
+    noteMetadataOp();
     const std::uint64_t keepBlocks
         = (newSize + kBlockBytes - 1) / kBlockBytes;
     journal_.begin();
@@ -561,7 +561,7 @@ Ext4Fs::touch(Inode &ino, bool modified)
 void
 Ext4Fs::fsyncMeta(Inode &ino)
 {
-    metadataOps_++;
+    noteMetadataOp();
     journal_.begin();
     journal_.log(JRecord{JOp::SetTimes, ino.ino, ino.mtime, ino.atime, 0,
                          {}});

@@ -29,6 +29,7 @@
 #include "fs/inode.hpp"
 #include "fs/journal.hpp"
 #include "fs/types.hpp"
+#include "obs/tenant.hpp"
 #include "sim/event_queue.hpp"
 #include "ssd/block_store.hpp"
 
@@ -173,6 +174,20 @@ class Ext4Fs
     std::uint64_t blocksZeroed() const { return blocksZeroed_; }
     ///@}
 
+    /**
+     * Attach the per-tenant counter table and the kernel's active-
+     * tenant slot (both null = disabled). Wires the journal too, so
+     * records and metadata ops are attributed at the same program
+     * points as the aggregate stats.
+     */
+    void setTenantAccounting(obs::TenantAccounting *a,
+                             const TenantId *activeTenant)
+    {
+        acct_ = a;
+        activeTenant_ = activeTenant;
+        journal_.setTenantAccounting(a, activeTenant);
+    }
+
   private:
     struct Checkpoint;
     struct RawMountTag
@@ -202,6 +217,15 @@ class Ext4Fs
                          std::uint64_t *got);
     void takeCheckpoint();
 
+    /** metadataOps_++ plus per-tenant attribution (same site). */
+    void noteMetadataOp()
+    {
+        metadataOps_++;
+        if (acct_)
+            acct_->of(activeTenant_ ? *activeTenant_ : kSystemTenant)
+                .fsMetadataOps++;
+    }
+
     ssd::BlockStore &media_;
     FsConfig cfg_;
     sim::EventQueue *eq_;
@@ -223,6 +247,9 @@ class Ext4Fs
     std::uint64_t metadataOps_ = 0;
     mutable std::uint64_t extentLookups_ = 0;
     std::uint64_t blocksZeroed_ = 0;
+
+    obs::TenantAccounting *acct_ = nullptr;
+    const TenantId *activeTenant_ = nullptr;
 };
 
 } // namespace bpd::fs

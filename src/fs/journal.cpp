@@ -16,6 +16,9 @@ Journal::log(JRecord rec)
     sim::panicIf(depth_ == 0, "journal record outside a transaction");
     open_.push_back(std::move(rec));
     records_++;
+    if (acct_)
+        acct_->of(activeTenant_ ? *activeTenant_ : kSystemTenant)
+            .fsJournalRecords++;
 }
 
 void

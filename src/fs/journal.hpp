@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/tenant.hpp"
 
 namespace bpd::fs {
 
@@ -96,6 +97,18 @@ class Journal
     std::uint64_t committedTxns() const { return committedTxns_; }
     std::uint64_t records() const { return records_; }
 
+    /**
+     * Attach the per-tenant counter table and the kernel's active-
+     * tenant slot (both null = disabled): log() attributes each record
+     * to *activeTenant at the same point it increments records().
+     */
+    void setTenantAccounting(obs::TenantAccounting *a,
+                             const TenantId *activeTenant)
+    {
+        acct_ = a;
+        activeTenant_ = activeTenant;
+    }
+
   private:
     int depth_ = 0;
     std::vector<JRecord> open_;
@@ -104,6 +117,8 @@ class Journal
     std::uint64_t records_ = 0;
     std::function<void(const std::vector<JRecord> &)> commitHook_;
     std::function<void(std::size_t)> commitObs_;
+    obs::TenantAccounting *acct_ = nullptr;
+    const TenantId *activeTenant_ = nullptr;
 };
 
 } // namespace bpd::fs

@@ -16,10 +16,16 @@ PageCache::find(InodeNum ino, std::uint64_t index)
     auto it = pages_.find(key(ino, index));
     if (it == pages_.end()) {
         misses_++;
+        if (acct_)
+            acct_->of(curTenant()).fsPageCacheMisses++;
         return nullptr;
     }
     hits_++;
+    if (acct_)
+        acct_->of(curTenant()).fsPageCacheHits++;
     lru_.splice(lru_.begin(), lru_, it->second);
+    if (activeTenant_)
+        it->second->get()->tenant = curTenant();
     return it->second->get();
 }
 
@@ -44,6 +50,7 @@ PageCache::insert(InodeNum ino, std::uint64_t index,
     auto page = std::make_unique<Page>();
     page->ino = ino;
     page->index = index;
+    page->tenant = curTenant();
     page->data.fill(0);
     lru_.push_front(std::move(page));
     pages_[key(ino, index)] = lru_.begin();

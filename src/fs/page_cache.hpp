@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/tenant.hpp"
 
 namespace bpd::fs {
 
@@ -27,6 +28,9 @@ class PageCache
         std::uint64_t index; //!< file page index
         std::array<std::uint8_t, kBlockBytes> data;
         bool dirty = false;
+        /** Tenant that last dirtied/touched the page; dirty-victim
+         * writeback I/O is attributed to it. */
+        TenantId tenant = kSystemTenant;
     };
 
     explicit PageCache(std::uint64_t capacityBytes);
@@ -52,7 +56,24 @@ class PageCache
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
 
+    /**
+     * Attach the per-tenant counter table and the kernel's active-
+     * tenant slot (both null = disabled). Hits/misses are attributed
+     * to *activeTenant at the same program points as hits_/misses_.
+     */
+    void setTenantAccounting(obs::TenantAccounting *a,
+                             const TenantId *activeTenant)
+    {
+        acct_ = a;
+        activeTenant_ = activeTenant;
+    }
+
   private:
+    TenantId curTenant() const
+    {
+        return activeTenant_ ? *activeTenant_ : kSystemTenant;
+    }
+
     using Key = std::uint64_t;
 
     static Key
@@ -68,6 +89,8 @@ class PageCache
         pages_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    obs::TenantAccounting *acct_ = nullptr;
+    const TenantId *activeTenant_ = nullptr;
 };
 
 } // namespace bpd::fs

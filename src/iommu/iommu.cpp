@@ -54,6 +54,8 @@ Iommu::translateVbaSync(Pasid pasid, Vaddr vba, std::uint32_t len,
 {
     TransResult res;
     vbaTranslations_++;
+    if (acct_)
+        acct_->of(pasid).iommuVbaTranslations++;
 
     Time latency = profile_.pcieRoundTripNs + profile_.lookupNs;
     bool anyWalkCacheMiss = false;
@@ -65,6 +67,8 @@ Iommu::translateVbaSync(Pasid pasid, Vaddr vba, std::uint32_t len,
         if (!res.ok) {
             res.segs.clear();
             vbaFaults_++;
+            if (acct_)
+                acct_->of(pasid).iommuVbaFaults++;
         }
         if (profile_.fixedVbaLatencyNs >= 0) {
             res.latency = static_cast<Time>(profile_.fixedVbaLatencyNs);
@@ -103,6 +107,8 @@ Iommu::translateVbaSync(Pasid pasid, Vaddr vba, std::uint32_t len,
 
         const mem::PageTable::Walk w = pt.walk(pageVa);
         framesRead_ += w.framesRead;
+        if (acct_)
+            acct_->of(pasid).iommuPageWalkFrames += w.framesRead;
         res.framesRead += w.framesRead;
         if (!w.present)
             return finish(Fault::NotPresent);

@@ -29,6 +29,7 @@
 #include "common/types.hpp"
 #include "iommu/iotlb.hpp"
 #include "mem/page_table.hpp"
+#include "obs/tenant.hpp"
 #include "sim/event_queue.hpp"
 
 namespace bpd::obs {
@@ -163,6 +164,14 @@ class Iommu
      */
     void setTracer(obs::Tracer *t);
 
+    /**
+     * Attach the per-tenant counter table (null = disabled). The
+     * translating PASID is the tenant. IOTLB/walk-cache hit counters
+     * stay system-only on purpose: the caches are shared, so a hit
+     * caused by one tenant's fill serving another has no honest owner.
+     */
+    void setTenantAccounting(obs::TenantAccounting *a) { acct_ = a; }
+
   private:
     static std::uint64_t wcKey(Pasid pasid, Vaddr va);
     static std::uint64_t dmaKey(Pasid pasid, std::uint64_t iova);
@@ -184,6 +193,7 @@ class Iommu
 
     obs::Tracer *trace_ = nullptr;
     std::uint16_t obsTrack_ = 0;
+    obs::TenantAccounting *acct_ = nullptr;
 
     std::uint64_t vbaTranslations_ = 0;
     std::uint64_t vbaFaults_ = 0;

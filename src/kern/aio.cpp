@@ -31,7 +31,7 @@ Aio::pread(Process &p, int fd, std::span<std::uint8_t> buf,
     // QD1 libaio = sync path + extra io_getevents round trip.
     obs::TraceId trace = 0;
     if (obs::Tracer *t = k_.tracer()) {
-        trace = t->newTrace();
+        trace = t->newTrace(p.pasid());
         cb = wrapRequest("libaio.pread", p.pid(), trace, std::move(cb));
     }
     const Time extra = k_.cpu().scaled(k_.costs().aioExtraNs);
@@ -53,7 +53,7 @@ Aio::pwrite(Process &p, int fd, std::span<const std::uint8_t> buf,
 {
     obs::TraceId trace = 0;
     if (obs::Tracer *t = k_.tracer()) {
-        trace = t->newTrace();
+        trace = t->newTrace(p.pasid());
         cb = wrapRequest("libaio.pwrite", p.pid(), trace, std::move(cb));
     }
     const Time extra = k_.cpu().scaled(k_.costs().aioExtraNs);
@@ -84,7 +84,7 @@ Aio::submitBatch(Process &p, std::vector<Op> ops, BatchCb cb)
             };
             obs::TraceId trace = 0;
             if (obs::Tracer *t = k_.tracer()) {
-                trace = t->newTrace();
+                trace = t->newTrace(p.pasid());
                 done = wrapRequest(op.write ? "libaio.pwrite"
                                             : "libaio.pread",
                                    p.pid(), trace, std::move(done));

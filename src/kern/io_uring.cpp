@@ -57,7 +57,7 @@ IoUring::doIo(bool write, int fd, std::span<std::uint8_t> buf,
 
     obs::TraceId trace = 0;
     if (obs::Tracer *t = k_.tracer()) {
-        trace = t->newTrace();
+        trace = t->newTrace(p_.pasid());
         const std::uint16_t track
             = t->track("uring.p" + std::to_string(p_.pid()));
         const char *name = write ? "uring.pwrite" : "uring.pread";
@@ -88,6 +88,7 @@ IoUring::doIo(bool write, int fd, std::span<std::uint8_t> buf,
 
     // Extension writes fall back to the full allocation path.
     if (write && off + n > node->size) {
+        TenantScope ts(k_, p_.pasid());
         std::vector<fs::Extent> added;
         fs::FsStatus st = k_.vfs().fs().extendTo(*node, off + n, &added);
         if (st != fs::FsStatus::Ok) {
@@ -121,8 +122,10 @@ IoUring::doIo(bool write, int fd, std::span<std::uint8_t> buf,
         submitDelay = lockAt - k_.eq().now();
     }
 
+    const TenantId tenant = p_.pasid();
     k_.eq().after(submitDelay, [this, node, buf, off, n, start, write,
-                                trace, cb = std::move(cb)]() mutable {
+                                trace, tenant,
+                                cb = std::move(cb)]() mutable {
         std::vector<fs::Seg> segs;
         fs::FsStatus st = k_.vfs().fs().mapRange(*node, off, n, &segs);
         if (st != fs::FsStatus::Ok) {
@@ -131,8 +134,9 @@ IoUring::doIo(bool write, int fd, std::span<std::uint8_t> buf,
         }
         k_.deviceIo(write ? ssd::Op::Write : ssd::Op::Read, segs,
                     buf.subspan(0, n),
-                    [this, node, n, start, write,
+                    [this, node, n, start, write, tenant,
                      cb = std::move(cb)](ssd::Status dst, Time devNs) {
+                        TenantScope ts(k_, tenant);
                         k_.vfs().fs().touch(*node, write);
                         const Time reap
                             = k_.cpu().scaled(k_.costs().uringUserReapNs)
@@ -149,7 +153,7 @@ IoUring::doIo(bool write, int fd, std::span<std::uint8_t> buf,
                                tr);
                         });
                     },
-                    trace);
+                    trace, tenant);
     });
 }
 

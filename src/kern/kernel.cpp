@@ -131,7 +131,7 @@ void
 Kernel::deviceIo(ssd::Op op, const std::vector<fs::Seg> &segs,
                  std::span<std::uint8_t> buf,
                  std::function<void(ssd::Status, Time)> cb,
-                 obs::TraceId trace)
+                 obs::TraceId trace, TenantId tenant)
 {
     struct Agg
     {
@@ -157,6 +157,7 @@ Kernel::deviceIo(ssd::Op op, const std::vector<fs::Seg> &segs,
         cmd.len = static_cast<std::uint32_t>(seg.len);
         cmd.hostBuf = buf.subspan(off, seg.len);
         cmd.trace = trace;
+        cmd.tenant = tenant;
         off += seg.len;
         const bool ok = kq_->submit(cmd, [this, agg](
                                              const ssd::Completion &c) {
@@ -173,11 +174,12 @@ void
 Kernel::sysOpen(Process &p, const std::string &path, std::uint32_t flags,
                 std::uint16_t mode, IntCb cb)
 {
-    syscalls_++;
+    noteSyscall(p);
     const Time cost = cpu_.scaled(costs_.userToKernelNs + costs_.openBaseNs
                                   + costs_.kernelToUserNs);
     eq_.after(cost, [this, &p, path = nsPath(p, path), flags, mode,
                      cb = std::move(cb)]() {
+        TenantScope ts(*this, p.pasid());
         InodeNum ino;
         fs::FsStatus st = vfs_.open(path, flags, mode, p.creds(), &ino);
         if (st != fs::FsStatus::Ok) {
@@ -207,10 +209,11 @@ Kernel::sysOpen(Process &p, const std::string &path, std::uint32_t flags,
 void
 Kernel::sysClose(Process &p, int fd, IntCb cb)
 {
-    syscalls_++;
+    noteSyscall(p);
     const Time cost = cpu_.scaled(costs_.userToKernelNs + 300
                                   + costs_.kernelToUserNs);
     eq_.after(cost, [this, &p, fd, cb = std::move(cb)]() {
+        TenantScope ts(*this, p.pasid());
         OpenFile *of = p.file(fd);
         if (!of) {
             cb(errOf(fs::FsStatus::Inval));
@@ -232,9 +235,9 @@ void
 Kernel::sysPread(Process &p, int fd, std::span<std::uint8_t> buf,
                  std::uint64_t off, IoCb cb, obs::TraceId trace)
 {
-    syscalls_++;
+    noteSyscall(p);
     if (trace_ && trace == 0) {
-        trace = trace_->newTrace();
+        trace = trace_->newTrace(p.pasid());
         cb = wrapRequest("sync.pread", p.pid(), trace, std::move(cb));
     }
     OpenFile *of = p.file(fd);
@@ -256,9 +259,9 @@ void
 Kernel::sysPwrite(Process &p, int fd, std::span<const std::uint8_t> buf,
                   std::uint64_t off, IoCb cb, obs::TraceId trace)
 {
-    syscalls_++;
+    noteSyscall(p);
     if (trace_ && trace == 0) {
-        trace = trace_->newTrace();
+        trace = trace_->newTrace(p.pasid());
         cb = wrapRequest("sync.pwrite", p.pid(), trace, std::move(cb));
     }
     OpenFile *of = p.file(fd);
@@ -312,6 +315,7 @@ Kernel::directRead(Process &p, fs::Inode &ino, std::span<std::uint8_t> buf,
                    std::uint64_t off, IoCb cb, obs::TraceId trace)
 {
     const Pid pid = p.pid();
+    const TenantId tenant = p.pasid();
     const Time start = eq_.now();
     const std::uint64_t n
         = off >= ino.size
@@ -332,8 +336,9 @@ Kernel::directRead(Process &p, fs::Inode &ino, std::span<std::uint8_t> buf,
     const Time submitCost
         = cpu_.scaled(costs_.userToKernelNs + costs_.vfsCost(n)
                       + costs_.blockLayerNs + costs_.nvmeDriverNs);
-    eq_.after(submitCost, [this, &ino, buf, off, n, start, pid, trace,
-                           cb = std::move(cb)]() mutable {
+    eq_.after(submitCost, [this, &ino, buf, off, n, start, pid, tenant,
+                           trace, cb = std::move(cb)]() mutable {
+        TenantScope ts(*this, tenant);
         if (trace_ && trace_->wants(obs::Level::Layers)) {
             // Syscall entry through driver submit (Table 1 rows 1-4).
             trace_->span(ktrack(pid), "kern.vfs_submit", trace, start,
@@ -361,12 +366,13 @@ Kernel::directRead(Process &p, fs::Inode &ino, std::span<std::uint8_t> buf,
         }
         deviceIo(
             ssd::Op::Read, segs, target,
-            [this, buf, off, n, aStart, bounce, start, pid, trace, &ino,
-             cb = std::move(cb)](ssd::Status dst, Time devNs) {
+            [this, buf, off, n, aStart, bounce, start, pid, tenant, trace,
+             &ino, cb = std::move(cb)](ssd::Status dst, Time devNs) {
                 if (bounce) {
                     std::memcpy(buf.data(),
                                 bounce->data() + (off - aStart), n);
                 }
+                TenantScope ts(*this, tenant);
                 vfs_.fs().touch(ino, false);
                 const Time exitCost
                     = cpu_.scaled(costs_.kernelToUserNs);
@@ -388,7 +394,7 @@ Kernel::directRead(Process &p, fs::Inode &ino, std::span<std::uint8_t> buf,
                        tr);
                 });
             },
-            trace);
+            trace, tenant);
     });
 }
 
@@ -398,6 +404,8 @@ Kernel::directWrite(Process &p, fs::Inode &ino,
                     IoCb cb, obs::TraceId trace)
 {
     const Pid pid = p.pid();
+    const TenantId tenant = p.pasid();
+    TenantScope ts(*this, tenant); // covers the synchronous extendTo
     const Time start = eq_.now();
     const std::uint64_t n = buf.size();
     if (n == 0) {
@@ -439,8 +447,9 @@ Kernel::directWrite(Process &p, fs::Inode &ino,
         = vfsDone
           + cpu_.scaled(costs_.blockLayerNs + costs_.nvmeDriverNs);
 
-    eq_.schedule(submitAt, [this, &ino, buf, off, n, start, pid, trace,
-                            cb = std::move(cb)]() mutable {
+    eq_.schedule(submitAt, [this, &ino, buf, off, n, start, pid, tenant,
+                            trace, cb = std::move(cb)]() mutable {
+        TenantScope ts(*this, tenant);
         if (trace_ && trace_->wants(obs::Level::Layers)) {
             // Includes any wait on the per-inode ext4 write lock.
             trace_->span(ktrack(pid), "kern.vfs_submit", trace, start,
@@ -458,8 +467,9 @@ Kernel::directWrite(Process &p, fs::Inode &ino,
             return;
         }
 
-        auto finish = [this, n, start, pid, trace, &ino,
+        auto finish = [this, n, start, pid, tenant, trace, &ino,
                        cb = std::move(cb)](ssd::Status dst, Time devNs) {
+            TenantScope ts(*this, tenant);
             vfs_.fs().touch(ino, true);
             const Time exitCost = cpu_.scaled(costs_.kernelToUserNs);
             const Time exitStart = eq_.now();
@@ -482,7 +492,7 @@ Kernel::directWrite(Process &p, fs::Inode &ino,
 
         if (aligned) {
             deviceIo(ssd::Op::Write, segs, unconst(buf),
-                     std::move(finish), trace);
+                     std::move(finish), trace, tenant);
             return;
         }
         // Unaligned: read-modify-write of the sector envelope through a
@@ -491,7 +501,7 @@ Kernel::directWrite(Process &p, fs::Inode &ino,
             aEnd - aStart);
         deviceIo(
             ssd::Op::Read, segs, std::span<std::uint8_t>(*bounce),
-            [this, segs, bounce, buf, off, n, aStart, trace,
+            [this, segs, bounce, buf, off, n, aStart, trace, tenant,
              finish = std::move(finish)](ssd::Status rst,
                                          Time rdevNs) mutable {
                 if (rst != ssd::Status::Success) {
@@ -506,9 +516,9 @@ Kernel::directWrite(Process &p, fs::Inode &ino,
                              ssd::Status wst, Time wdevNs) {
                              finish(wst, rdevNs + wdevNs);
                          },
-                         trace);
+                         trace, tenant);
             },
-            trace);
+            trace, tenant);
     });
 }
 
@@ -517,7 +527,8 @@ Kernel::bufferedRead(Process &p, fs::Inode &ino,
                      std::span<std::uint8_t> buf, std::uint64_t off,
                      IoCb cb, obs::TraceId trace)
 {
-    (void)p;
+    const TenantId tenant = p.pasid();
+    TenantScope ts(*this, tenant); // covers the miss-detection lookups
     const Time start = eq_.now();
     const std::uint64_t n
         = off >= ino.size
@@ -544,8 +555,9 @@ Kernel::bufferedRead(Process &p, fs::Inode &ino,
             misses.push_back(pg);
     }
 
-    auto finish = [this, &ino, buf, off, n, start,
+    auto finish = [this, &ino, buf, off, n, start, tenant,
                    cb = std::move(cb)]() {
+        TenantScope ts(*this, tenant);
         // Functional copy from cache pages into the user buffer.
         std::uint64_t done = 0;
         while (done < n) {
@@ -575,21 +587,24 @@ Kernel::bufferedRead(Process &p, fs::Inode &ino,
     }
 
     // Fetch all missing pages, then complete.
-    eq_.after(cpu_.scaled(cost), [this, &ino, misses, trace,
+    eq_.after(cpu_.scaled(cost), [this, &ino, misses, trace, tenant,
                                   finish = std::move(finish)]() mutable {
         auto remaining = std::make_shared<std::size_t>(misses.size());
         for (std::uint64_t pg : misses) {
             auto scratch = std::make_shared<
                 std::vector<std::uint8_t>>(kBlockBytes, 0);
             auto installPage = [this, &ino, pg, scratch, remaining,
-                                finish]() {
+                                tenant, finish]() {
+                TenantScope ts(*this, tenant);
                 std::unique_ptr<fs::PageCache::Page> evicted;
                 fs::PageCache::Page *page
                     = pageCache_.insert(ino.ino, pg, &evicted);
                 std::memcpy(page->data.data(), scratch->data(),
                             kBlockBytes);
                 if (evicted) {
-                    // Write back a dirty victim asynchronously.
+                    // Write back a dirty victim asynchronously, billed
+                    // to the tenant that last touched the page.
+                    const TenantId vt = evicted->tenant;
                     std::vector<fs::Seg> vsegs;
                     if (vfs_.fs().mapRange(ino, evicted->index
                                                     * kBlockBytes,
@@ -601,7 +616,7 @@ Kernel::bufferedRead(Process &p, fs::Inode &ino,
                         deviceIo(ssd::Op::Write, vsegs,
                                  std::span<std::uint8_t>(
                                      (*keep)->data.data(), kBlockBytes),
-                                 [keep](ssd::Status, Time) {});
+                                 [keep](ssd::Status, Time) {}, 0, vt);
                     }
                 }
                 if (--*remaining == 0)
@@ -621,7 +636,7 @@ Kernel::bufferedRead(Process &p, fs::Inode &ino,
             deviceIo(ssd::Op::Read, segs,
                      std::span<std::uint8_t>(scratch->data(), kBlockBytes),
                      [installPage](ssd::Status, Time) { installPage(); },
-                     trace);
+                     trace, tenant);
         }
     });
 }
@@ -632,6 +647,8 @@ Kernel::bufferedWrite(Process &p, fs::Inode &ino,
                       IoCb cb, obs::TraceId trace)
 {
     (void)trace; // buffered writes complete in the page cache
+    const TenantId tenant = p.pasid();
+    TenantScope ts(*this, tenant); // covers the synchronous extendTo
     const Time start = eq_.now();
     const std::uint64_t n = buf.size();
 
@@ -659,8 +676,9 @@ Kernel::bufferedWrite(Process &p, fs::Inode &ino,
                       + pages * costs_.pageCacheLookupNs
                       + costs_.copyCost(n) + costs_.kernelToUserNs;
 
-    eq_.after(cpu_.scaled(cost), [this, &ino, buf, off, n, start,
+    eq_.after(cpu_.scaled(cost), [this, &ino, buf, off, n, start, tenant,
                                   cb = std::move(cb)]() {
+        TenantScope ts(*this, tenant);
         std::uint64_t done = 0;
         while (done < n) {
             const std::uint64_t cur = off + done;
@@ -672,6 +690,7 @@ Kernel::bufferedWrite(Process &p, fs::Inode &ino,
             fs::PageCache::Page *page
                 = pageCache_.insert(ino.ino, pg, &evicted);
             if (evicted) {
+                const TenantId vt = evicted->tenant;
                 std::vector<fs::Seg> vsegs;
                 if (vfs_.fs().mapRange(ino,
                                        evicted->index * kBlockBytes,
@@ -683,7 +702,7 @@ Kernel::bufferedWrite(Process &p, fs::Inode &ino,
                     deviceIo(ssd::Op::Write, vsegs,
                              std::span<std::uint8_t>((*keep)->data.data(),
                                                      kBlockBytes),
-                             [keep](ssd::Status, Time) {});
+                             [keep](ssd::Status, Time) {}, 0, vt);
                 }
             }
             std::memcpy(page->data.data() + pgOff, buf.data() + done,
@@ -717,20 +736,21 @@ Kernel::writebackDirty(fs::Inode &ino, std::function<void(Time)> done)
                 done(eq_.now() - start);
             continue;
         }
+        // Each page is billed to the tenant that last touched it.
         deviceIo(ssd::Op::Write, segs,
                  std::span<std::uint8_t>(page->data.data(), kBlockBytes),
                  [this, remaining, start, done](ssd::Status, Time) {
                      if (--*remaining == 0)
                          done(eq_.now() - start);
-                 });
+                 },
+                 0, page->tenant);
     }
 }
 
 void
 Kernel::sysFsync(Process &p, int fd, IntCb cb)
 {
-    (void)p;
-    syscalls_++;
+    noteSyscall(p);
     OpenFile *of = p.file(fd);
     if (!of) {
         eq_.after(costs_.userToKernelNs, [cb = std::move(cb)]() {
@@ -738,17 +758,21 @@ Kernel::sysFsync(Process &p, int fd, IntCb cb)
         });
         return;
     }
+    const TenantId tenant = p.pasid();
     fs::Inode *node = vfs_.fs().inode(of->ino);
     const Time cost
         = cpu_.scaled(costs_.userToKernelNs + costs_.fsyncMetaNs);
-    eq_.after(cost, [this, node, cb = std::move(cb)]() mutable {
-        writebackDirty(*node, [this, node, cb = std::move(cb)](Time) {
+    eq_.after(cost, [this, node, tenant, cb = std::move(cb)]() mutable {
+        writebackDirty(*node, [this, node, tenant,
+                               cb = std::move(cb)](Time) {
             // NVMe flush, then metadata commit.
             ssd::Command cmd;
             cmd.op = ssd::Op::Flush;
+            cmd.tenant = tenant;
             const bool ok = kq_->submit(
-                cmd, [this, node, cb = std::move(cb)](
+                cmd, [this, node, tenant, cb = std::move(cb)](
                          const ssd::Completion &) {
+                    TenantScope ts(*this, tenant);
                     vfs_.fs().fsyncMeta(*node);
                     eq_.after(cpu_.scaled(costs_.kernelToUserNs),
                               [cb = std::move(cb)]() { cb(0); });
@@ -762,7 +786,7 @@ void
 Kernel::sysFallocate(Process &p, int fd, std::uint64_t off,
                      std::uint64_t len, IntCb cb)
 {
-    syscalls_++;
+    noteSyscall(p);
     OpenFile *of = p.file(fd);
     if (!of || !(of->flags & kOpenWrite)) {
         eq_.after(costs_.userToKernelNs, [cb = std::move(cb)]() {
@@ -770,6 +794,7 @@ Kernel::sysFallocate(Process &p, int fd, std::uint64_t off,
         });
         return;
     }
+    TenantScope ts(*this, p.pasid()); // covers the synchronous extendTo
     fs::Inode *node = vfs_.fs().inode(of->ino);
     const std::uint64_t oldEnd = node->extents.logicalEnd();
     std::vector<fs::Extent> added;
@@ -800,7 +825,7 @@ Kernel::sysFallocate(Process &p, int fd, std::uint64_t off,
 void
 Kernel::sysFtruncate(Process &p, int fd, std::uint64_t size, IntCb cb)
 {
-    syscalls_++;
+    noteSyscall(p);
     OpenFile *of = p.file(fd);
     if (!of || !(of->flags & kOpenWrite)) {
         eq_.after(costs_.userToKernelNs, [cb = std::move(cb)]() {
@@ -808,6 +833,7 @@ Kernel::sysFtruncate(Process &p, int fd, std::uint64_t size, IntCb cb)
         });
         return;
     }
+    TenantScope ts(*this, p.pasid()); // synchronous truncate/extendTo
     fs::Inode *node = vfs_.fs().inode(of->ino);
     const bool shrinks = size < node->size;
     std::vector<fs::Extent> added;
@@ -835,11 +861,12 @@ Kernel::sysFtruncate(Process &p, int fd, std::uint64_t size, IntCb cb)
 void
 Kernel::sysUnlink(Process &p, const std::string &path, IntCb cb)
 {
-    syscalls_++;
+    noteSyscall(p);
     const Time cost = cpu_.scaled(costs_.userToKernelNs + costs_.openBaseNs
                                   + costs_.kernelToUserNs);
     eq_.after(cost, [this, &p, path = nsPath(p, path),
                      cb = std::move(cb)]() {
+        TenantScope ts(*this, p.pasid());
         cb(errOf(vfs_.fs().unlink(path, p.creds())));
     });
 }
@@ -848,12 +875,13 @@ void
 Kernel::sysRename(Process &p, const std::string &from,
                   const std::string &to, IntCb cb)
 {
-    syscalls_++;
+    noteSyscall(p);
     const Time cost = cpu_.scaled(costs_.userToKernelNs
                                   + 2 * costs_.openBaseNs
                                   + costs_.kernelToUserNs);
     eq_.after(cost, [this, &p, from = nsPath(p, from),
                      to = nsPath(p, to), cb = std::move(cb)]() {
+        TenantScope ts(*this, p.pasid());
         cb(errOf(vfs_.fs().rename(from, to, p.creds())));
     });
 }
@@ -861,8 +889,7 @@ Kernel::sysRename(Process &p, const std::string &from,
 void
 Kernel::sysStat(Process &p, const std::string &path, Stat *out, IntCb cb)
 {
-    (void)p;
-    syscalls_++;
+    noteSyscall(p);
     const Time cost = cpu_.scaled(costs_.userToKernelNs + 500
                                   + costs_.kernelToUserNs);
     eq_.after(cost, [this, path = nsPath(p, path), out,
@@ -889,9 +916,9 @@ Kernel::appendPath(Process &p, fs::Inode &ino,
                    std::span<const std::uint8_t> buf, std::uint64_t off,
                    IoCb cb, obs::TraceId trace)
 {
-    syscalls_++;
+    noteSyscall(p);
     if (trace_ && trace == 0) {
-        trace = trace_->newTrace();
+        trace = trace_->newTrace(p.pasid());
         cb = wrapRequest("sync.append", p.pid(), trace, std::move(cb));
     }
     // Appends route through the kernel: allocate, update metadata, attach

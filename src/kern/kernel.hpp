@@ -34,6 +34,7 @@
 #include "kern/cpu_model.hpp"
 #include "kern/process.hpp"
 #include "mem/frame_allocator.hpp"
+#include "obs/tenant.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "ssd/dispatcher.hpp"
@@ -201,7 +202,8 @@ class Kernel
     void deviceIo(ssd::Op op, const std::vector<fs::Seg> &segs,
                   std::span<std::uint8_t> buf,
                   std::function<void(ssd::Status, Time)> cb,
-                  obs::TraceId trace = 0);
+                  obs::TraceId trace = 0,
+                  TenantId tenant = kSystemTenant);
 
     /** The kernel-interface path for appends (used by UserLib, Table 3). */
     void appendPath(Process &p, fs::Inode &ino,
@@ -217,6 +219,29 @@ class Kernel
      */
     void setTracer(obs::Tracer *t) { trace_ = t; }
     obs::Tracer *tracer() const { return trace_; }
+
+    /**
+     * Attach the per-tenant counter table (null = disabled, the
+     * default). Syscall counts are attributed to the calling process's
+     * PASID; filesystem-side attribution flows through the active-tenant
+     * slot below.
+     */
+    void setTenantAccounting(obs::TenantAccounting *a) { acct_ = a; }
+
+    /**
+     * @name Active-tenant slot for filesystem attribution
+     * The VFS/page-cache/journal layers have no Process argument, so
+     * the kernel names the tenant on whose behalf it is currently
+     * executing filesystem code in this slot (via kern::TenantScope).
+     * Components hold a pointer to it (see
+     * fs::Ext4Fs::setTenantAccounting); kSystemTenant (the reset value)
+     * catches setup helpers and any unattributed work.
+     */
+    ///@{
+    TenantId activeTenant() const { return activeTenant_; }
+    void setActiveTenant(TenantId t) { activeTenant_ = t; }
+    const TenantId *activeTenantPtr() const { return &activeTenant_; }
+    ///@}
 
     /** Visit every live process (used by System::enableTracing). */
     void forEachProcess(const std::function<void(Process &)> &fn);
@@ -235,6 +260,14 @@ class Kernel
                        std::span<const std::uint8_t> buf,
                        std::uint64_t off, IoCb cb, obs::TraceId trace);
     void writebackDirty(fs::Inode &ino, std::function<void(Time)> done);
+
+    /** syscalls_++ plus per-tenant attribution (same site). */
+    void noteSyscall(const Process &p)
+    {
+        syscalls_++;
+        if (acct_)
+            acct_->of(p.pasid()).kernSyscalls++;
+    }
 
     /** Interned "kern.p<pid>" track (tracer enabled only). */
     std::uint16_t ktrack(Pid pid);
@@ -261,6 +294,34 @@ class Kernel
 
     obs::Tracer *trace_ = nullptr;
     std::unordered_map<Pid, std::uint16_t> obsTracks_;
+
+    obs::TenantAccounting *acct_ = nullptr;
+    TenantId activeTenant_ = kSystemTenant;
+};
+
+/**
+ * RAII scope naming the tenant on whose behalf the kernel is executing
+ * filesystem code. Event-queue callbacks interleave across processes,
+ * so a scope is opened at the top of each callback (or synchronous
+ * syscall body) that enters the VFS/page-cache/journal — never held
+ * across a deferred continuation. Nesting restores the outer value.
+ * When tenant accounting is disabled this is a pair of plain stores:
+ * no allocation, no time read, digest-neutral.
+ */
+class TenantScope
+{
+  public:
+    TenantScope(Kernel &k, TenantId t) : k_(k), prev_(k.activeTenant())
+    {
+        k_.setActiveTenant(t);
+    }
+    ~TenantScope() { k_.setActiveTenant(prev_); }
+    TenantScope(const TenantScope &) = delete;
+    TenantScope &operator=(const TenantScope &) = delete;
+
+  private:
+    Kernel &k_;
+    TenantId prev_;
 };
 
 } // namespace bpd::kern

@@ -67,6 +67,80 @@ void writeMetricsJson(std::FILE *f, const std::vector<MetricsRun> &runs);
 bool writeMetricsFile(const std::string &path,
                       const std::vector<MetricsRun> &runs);
 
+/**
+ * Incremental Chrome-trace writer: spans stream to the output file as
+ * the run progresses through a bounded buffer, so RSS stays flat for
+ * long Device-level traces. Produces byte-compatible output with
+ * writeChromeTrace (metadata events may appear at different positions,
+ * which the format permits).
+ *
+ * Usage, once per traced System:
+ *   writer.open(path);
+ *   pid = writer.beginProcess(label);  tracer.setStream(&writer);
+ *   ... run ...
+ *   tracer.setStream(nullptr);  writer.endProcess(data, &meta);
+ * and a final writer.close() emits the replay sections and trailer.
+ *
+ * Replay streams and track tables are small, so they are copied at
+ * endProcess() and written in the trailer; only spans stream.
+ */
+class StreamingTraceWriter : public SpanSink
+{
+  public:
+    /** Spans buffered between fwrite flushes. */
+    static constexpr std::size_t kBufferSpans = 4096;
+
+    StreamingTraceWriter() = default;
+    ~StreamingTraceWriter() override;
+
+    StreamingTraceWriter(const StreamingTraceWriter &) = delete;
+    StreamingTraceWriter &operator=(const StreamingTraceWriter &)
+        = delete;
+
+    /** Open @p path and write the header; false on I/O error. */
+    bool open(const std::string &path);
+    bool isOpen() const { return f_ != nullptr; }
+
+    /** Start the next Perfetto process; returns its pid. */
+    unsigned beginProcess(const std::string &name);
+
+    /** SpanSink: buffer the span, flush when the buffer fills. */
+    void onSpan(const SpanRec &rec,
+                const std::vector<std::string> &tracks) override;
+
+    /**
+     * Finish the current process: flush buffered spans and stash its
+     * replay stream/metadata (copied; emitted in the trailer).
+     */
+    void endProcess(const TraceData &data, const ReplayMeta *meta);
+
+    /** Flush, write the trailer, close. False if any write failed. */
+    bool close();
+
+  private:
+    struct PendingReplay
+    {
+        std::string name;
+        unsigned pid = 0;
+        TraceData data; ///< replay/files/replayMissing only (no spans)
+        ReplayMeta meta;
+        bool hasMeta = false;
+    };
+
+    void sep();
+    void flush();
+
+    std::FILE *f_ = nullptr;
+    bool first_ = true;
+    bool error_ = false;
+    unsigned pid_ = 0;
+    unsigned nextPid_ = 1;
+    std::string curName_;
+    std::size_t emittedTracks_ = 0;
+    std::vector<SpanRec> buf_;
+    std::vector<PendingReplay> pending_;
+};
+
 } // namespace bpd::obs
 
 #endif // BPD_OBS_EXPORT_HPP

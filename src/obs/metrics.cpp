@@ -38,6 +38,8 @@ void MetricsSnapshot::merge(const MetricsSnapshot &other)
         gauges[k] = v;
     for (const auto &[k, h] : other.histograms)
         histograms[k].merge(h);
+    for (const auto &[id, snap] : other.tenants)
+        tenants[id].merge(snap);
 }
 
 std::string MetricsSnapshot::toJson(const std::string &indent) const
@@ -88,9 +90,28 @@ std::string MetricsSnapshot::toJson(const std::string &indent) const
                       h.p99(), h.p999());
         out += buf;
     }
-    out += first ? "}\n" : "\n" + in1 + "}\n";
+    out += first ? "}" : "\n" + in1 + "}";
 
-    out += "}";
+    if (!tenants.empty()) {
+        out += ",\n" + in1 + "\"tenants\": {";
+        first = true;
+        for (const auto &[id, snap] : tenants) {
+            out += first ? "\n" : ",\n";
+            first = false;
+            std::snprintf(buf, sizeof(buf), "\"%" PRIu64 "\": ", id);
+            out += in2 + buf;
+            // Re-indent the nested snapshot body under this key.
+            const std::string body = snap.toJson(indent);
+            for (char c : body) {
+                out += c;
+                if (c == '\n')
+                    out += in2;
+            }
+        }
+        out += first ? "}" : "\n" + in1 + "}";
+    }
+
+    out += "\n}";
     return out;
 }
 
@@ -118,6 +139,15 @@ sim::Histogram &MetricsRegistry::histogram(const std::string &module,
     return histograms_[key(module, name)];
 }
 
+MetricsRegistry &MetricsRegistry::tenant(TenantId id)
+{
+    auto it = tenants_.find(id);
+    if (it == tenants_.end())
+        it = tenants_.emplace(id, std::make_unique<MetricsRegistry>())
+                 .first;
+    return *it->second;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const
 {
     MetricsSnapshot s;
@@ -127,6 +157,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const
         s.gauges[k] = g.value();
     for (const auto &[k, h] : histograms_)
         s.histograms[k] = h;
+    for (const auto &[id, reg] : tenants_)
+        s.tenants[id] = reg->snapshot();
     return s;
 }
 

@@ -15,8 +15,10 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
+#include "common/types.hpp"
 #include "sim/stats.hpp"
 
 namespace bpd::obs {
@@ -55,10 +57,18 @@ struct MetricsSnapshot
     std::map<std::string, double> gauges;
     std::map<std::string, sim::Histogram> histograms;
 
-    /** Sum counters, overwrite gauges, merge histograms. */
+    /**
+     * Scoped sub-snapshots, one per tenant. For every counter key that
+     * appears under a tenant, the sum across tenants equals the
+     * system-total counter of the same key, bit-exactly.
+     */
+    std::map<std::uint64_t, MetricsSnapshot> tenants;
+
+    /** Sum counters, overwrite gauges, merge histograms (recursive). */
     void merge(const MetricsSnapshot &other);
 
-    /** Serialize as a JSON object (counters/gauges/histograms keys). */
+    /** Serialize as a JSON object (counters/gauges/histograms keys,
+     * plus a "tenants" object when any scoped snapshot exists). */
     std::string toJson(const std::string &indent = "  ") const;
 };
 
@@ -71,6 +81,22 @@ class MetricsRegistry
     sim::Histogram &histogram(const std::string &module,
                               const std::string &name);
 
+    /**
+     * Scoped sub-registry for one tenant (find-or-create; the
+     * reference stays valid for the parent's lifetime). Counters
+     * registered here use the same module/name keys as the system
+     * totals they shadow: `metrics.tenant(id).counter("ssd", "ops")`
+     * is tenant @p id's slice of `metrics.counter("ssd", "ops")`.
+     */
+    MetricsRegistry &tenant(TenantId id);
+
+    /** Registered tenant scopes, in id order. */
+    template <typename Fn> void forEachTenant(Fn &&fn) const
+    {
+        for (const auto &[id, reg] : tenants_)
+            fn(id, *reg);
+    }
+
     MetricsSnapshot snapshot() const;
 
   private:
@@ -80,6 +106,9 @@ class MetricsRegistry
     std::map<std::string, Counter> counters_;
     std::map<std::string, Gauge> gauges_;
     std::map<std::string, sim::Histogram> histograms_;
+    // unique_ptr: child registries must be address-stable across
+    // tenant() insertions because callers cache the references.
+    std::map<TenantId, std::unique_ptr<MetricsRegistry>> tenants_;
 };
 
 } // namespace bpd::obs

@@ -135,6 +135,28 @@ class Replayer
         res.latency = latency_;
         res.counters = curatedCounters(s_);
         res.config = configToMap(cfg_);
+
+        // Issue-time drift, recorded vs replayed, grouped per lane
+        // (ops_ holds the recorded times, out_ the replayed ones, in
+        // the same record order).
+        std::map<Key, LaneDrift> drift;
+        std::map<Key, double> absSum;
+        for (std::size_t i = 0; i < ops_.size(); i++) {
+            const Key k{ops_[i].proc, ops_[i].lane};
+            LaneDrift &d = drift[k];
+            d.proc = ops_[i].proc;
+            d.lane = ops_[i].lane;
+            d.ops++;
+            const Time a = out_[i].issue > ops_[i].issue
+                               ? out_[i].issue - ops_[i].issue
+                               : ops_[i].issue - out_[i].issue;
+            absSum[k] += static_cast<double>(a);
+            d.maxAbsNs = std::max(d.maxAbsNs, a);
+        }
+        for (auto &[k, d] : drift) {
+            d.meanAbsNs = absSum[k] / static_cast<double>(d.ops);
+            res.laneDrift.push_back(d);
+        }
         return true;
     }
 
@@ -718,7 +740,11 @@ loadRecordedTrace(const std::string &path, RecordedTrace &out,
         if (const json::Value *v = pv.find("ops"); v && v->isArray()) {
             p.ops.reserve(v->arr.size());
             for (const json::Value &row : v->arr) {
-                if (!row.isArray() || row.arr.size() != 12) {
+                // 13 cells since the tenant column was added; 12-cell
+                // rows are legacy traces where tenant == proc (a
+                // process is a tenant).
+                if (!row.isArray()
+                    || (row.arr.size() != 12 && row.arr.size() != 13)) {
                     error = "malformed ops row in process \"" + p.name
                             + "\"";
                     return false;
@@ -731,19 +757,22 @@ loadRecordedTrace(const std::string &path, RecordedTrace &out,
                     }
                 }
                 const auto &a = row.arr;
+                const std::size_t t = a.size() == 13 ? 1 : 0;
                 ReplayRec r;
                 r.op = static_cast<std::uint8_t>(a[0].number);
                 r.engine = static_cast<std::uint8_t>(a[1].number);
                 r.lane = static_cast<std::uint16_t>(a[2].number);
                 r.proc = static_cast<std::uint32_t>(a[3].number);
-                r.tid = static_cast<std::uint32_t>(a[4].number);
-                r.file = static_cast<std::uint32_t>(a[5].number);
-                r.offset = static_cast<std::uint64_t>(a[6].number);
-                r.len = static_cast<std::uint64_t>(a[7].number);
-                r.aux = static_cast<std::uint64_t>(a[8].number);
-                r.issue = static_cast<Time>(a[9].number);
-                r.complete = static_cast<Time>(a[10].number);
-                r.result = static_cast<std::int64_t>(a[11].number);
+                r.tenant = t ? static_cast<TenantId>(a[4].number)
+                             : static_cast<TenantId>(r.proc);
+                r.tid = static_cast<std::uint32_t>(a[4 + t].number);
+                r.file = static_cast<std::uint32_t>(a[5 + t].number);
+                r.offset = static_cast<std::uint64_t>(a[6 + t].number);
+                r.len = static_cast<std::uint64_t>(a[7 + t].number);
+                r.aux = static_cast<std::uint64_t>(a[8 + t].number);
+                r.issue = static_cast<Time>(a[9 + t].number);
+                r.complete = static_cast<Time>(a[10 + t].number);
+                r.result = static_cast<std::int64_t>(a[11 + t].number);
                 p.ops.push_back(r);
             }
         }

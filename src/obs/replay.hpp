@@ -215,6 +215,21 @@ struct ReplayOptions
     }
 };
 
+/**
+ * Per-lane issue-time drift between the recorded and the replayed
+ * stream (trace_replay --drift). Zero drift everywhere under an
+ * identical configuration is the round-trip contract; under overrides
+ * the drift shows where the re-driven timeline diverged.
+ */
+struct LaneDrift
+{
+    std::uint32_t proc = 0;
+    std::uint32_t lane = 0; //!< ReplayRec::kMainLane for the main lane
+    std::uint64_t ops = 0;  //!< records on this (proc, lane)
+    double meanAbsNs = 0.0; //!< mean |replayed issue - recorded issue|
+    Time maxAbsNs = 0;      //!< worst single-record issue drift
+};
+
 struct ReplayResult
 {
     std::uint64_t digest = 0; //!< replayDigest of the replayed stream
@@ -225,6 +240,7 @@ struct ReplayResult
     sim::Histogram latency;  //!< per-data-op replay latency
     std::vector<std::pair<std::string, std::uint64_t>> counters;
     std::vector<std::pair<std::string, double>> config; //!< as applied
+    std::vector<LaneDrift> laneDrift; //!< sorted by (proc, lane)
 };
 
 /**

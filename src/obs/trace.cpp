@@ -36,6 +36,7 @@ replayDigest(const std::vector<ReplayRec> &ops)
         mix(r.engine);
         mix(r.lane);
         mix(r.proc);
+        mix(r.tenant);
         mix(r.tid);
         mix(r.file);
         mix(r.offset);
@@ -74,6 +75,16 @@ std::uint16_t Tracer::track(const std::string &name)
     return static_cast<std::uint16_t>(data_.tracks.size() - 1);
 }
 
+void Tracer::emit(SpanRec &rec)
+{
+    rec.tenant = tenantOf(rec.trace);
+    ++spanCount_;
+    if (sink_)
+        sink_->onSpan(rec, data_.tracks);
+    else
+        data_.spans.push_back(rec);
+}
+
 void Tracer::span(std::uint16_t track, const char *name, TraceId trace,
                   Time start, Time end, std::initializer_list<Arg> args)
 {
@@ -89,7 +100,7 @@ void Tracer::span(std::uint16_t track, const char *name, TraceId trace,
             break;
         rec.args[rec.nargs++] = a;
     }
-    data_.spans.push_back(rec);
+    emit(rec);
 }
 
 void Tracer::instant(std::uint16_t track, const char *name, TraceId trace,
@@ -107,7 +118,7 @@ void Tracer::instant(std::uint16_t track, const char *name, TraceId trace,
             break;
         rec.args[rec.nargs++] = a;
     }
-    data_.spans.push_back(rec);
+    emit(rec);
 }
 
 void Tracer::request(std::uint16_t track, const char *name, TraceId trace,

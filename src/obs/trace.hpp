@@ -30,6 +30,7 @@
 #include <array>
 #include <cstdint>
 #include <initializer_list>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,10 @@ struct SpanRec
     std::uint16_t track = 0;
     std::uint8_t nargs = 0;
     char phase = 'X'; ///< 'X' complete span, 'i' instant
+    /** Owning tenant (process PASID); 0 = system/unattributed. Stamped
+     * from the trace id's registration (Tracer::newTrace(TenantId)),
+     * so every span of one request shares the request's tenant. */
+    TenantId tenant = 0;
     std::array<Arg, kMaxArgs> args{};
 };
 
@@ -131,6 +136,10 @@ struct ReplayRec
     std::uint8_t engine = kEngineNone;
     std::uint16_t lane = kMainLane;
     std::uint32_t proc = 0; ///< issuing process PASID
+    /** Owning tenant. 0 means "defaults to proc": replayBegin/
+     * replayMark fill it in, so recording sites only set it when the
+     * tenant differs from the issuing process. */
+    TenantId tenant = 0;
     std::uint32_t tid = 0;  ///< engine thread argument
     std::uint32_t file = kNoFile; ///< index into TraceData::files
     std::uint64_t offset = 0;     ///< byte offset; raw DevAddr for SPDK
@@ -178,6 +187,27 @@ struct RequestBreakdown
     std::uint64_t bytes = 0;
 };
 
+/**
+ * Incremental span consumer. When one is attached to the tracer
+ * (Tracer::setStream), finished spans are handed over in emission
+ * order instead of being retained in TraceData::spans, keeping RSS
+ * flat for long Device-level traces. StreamingTraceWriter
+ * (obs/export.hpp) implements this over a buffered file.
+ */
+class SpanSink
+{
+  public:
+    virtual ~SpanSink() = default;
+
+    /**
+     * One finished span. @p tracks is the tracer's live intern table
+     * (it grows over time; @c rec.track always indexes into it).
+     */
+    virtual void onSpan(const SpanRec &rec,
+                        const std::vector<std::string> &tracks)
+        = 0;
+};
+
 class Tracer
 {
   public:
@@ -201,6 +231,36 @@ class Tracer
 
     /** Allocate a fresh request id (monotonic, never 0). */
     TraceId newTrace() { return ++lastTrace_; }
+
+    /**
+     * Allocate a request id owned by @p tenant. Every span emitted
+     * with the returned id is stamped with the tenant, so the request
+     * envelope sites (UserLib pread/pwrite, sync syscall, libaio,
+     * io_uring, SPDK) are the only places that need to know identity.
+     * Registration allocates (tracing already allocates per span).
+     */
+    TraceId newTrace(TenantId tenant)
+    {
+        TraceId t = ++lastTrace_;
+        if (tenant != kSystemTenant)
+            traceTenants_[t] = tenant;
+        return t;
+    }
+
+    /** Tenant registered for @p trace (0 when unregistered). */
+    TenantId tenantOf(TraceId trace) const
+    {
+        auto it = traceTenants_.find(trace);
+        return it == traceTenants_.end() ? kSystemTenant : it->second;
+    }
+
+    /**
+     * Attach (or detach, with null) a streaming span sink. With a sink
+     * attached, finished spans are forwarded instead of retained; the
+     * replay stream and track table are still kept in data() (both are
+     * small). spanCount() keeps counting streamed spans.
+     */
+    void setStream(SpanSink *sink) { sink_ = sink; }
 
     /** Current virtual time. */
     Time now() const { return eq_.now(); }
@@ -239,6 +299,8 @@ class Tracer
     /** Record an op now; completion arrives later via replayEnd(). */
     std::uint32_t replayBegin(ReplayRec rec)
     {
+        if (rec.tenant == kSystemTenant)
+            rec.tenant = rec.proc;
         rec.issue = eq_.now();
         rec.complete = rec.issue;
         data_.replay.push_back(rec);
@@ -256,6 +318,8 @@ class Tracer
     /** Record an untimed op (setup helpers, CPU occupancy changes). */
     void replayMark(ReplayRec rec, std::int64_t result = 0)
     {
+        if (rec.tenant == kSystemTenant)
+            rec.tenant = rec.proc;
         rec.issue = eq_.now();
         rec.complete = rec.issue;
         rec.result = result;
@@ -268,13 +332,21 @@ class Tracer
     ///@}
 
     const TraceData &data() const { return data_; }
-    std::size_t spanCount() const { return data_.spans.size(); }
+
+    /** Spans emitted so far, including spans already streamed out. */
+    std::size_t spanCount() const { return spanCount_; }
 
   private:
+    /** Stamp the tenant and route to the sink or the retained list. */
+    void emit(SpanRec &rec);
+
     const sim::EventQueue &eq_;
     Level level_;
     TraceId lastTrace_ = 0;
     TraceData data_;
+    std::map<TraceId, TenantId> traceTenants_;
+    SpanSink *sink_ = nullptr;
+    std::size_t spanCount_ = 0;
     sim::Histogram *hTotal_ = nullptr;
     sim::Histogram *hUser_ = nullptr;
     sim::Histogram *hKernel_ = nullptr;

@@ -78,7 +78,7 @@ SpdkDriver::doIo(Tid tid, ssd::Op op, DevAddr addr,
 
     obs::TraceId trace = 0;
     if (obs::Tracer *t = dev_.tracer()) {
-        trace = t->newTrace();
+        trace = t->newTrace(owner_);
         const std::uint16_t track
             = t->track("spdk.t" + std::to_string(tid));
         const char *name

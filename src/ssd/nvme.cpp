@@ -302,7 +302,14 @@ void
 NvmeDevice::process(QueuePair &qp, Command cmd)
 {
     const Time submitTime = eq_.now();
+    // Effective tenant: explicit command tag (kernel shared-queue
+    // traffic issued on a process's behalf) or the queue owner (user
+    // queues, whose PASID is the tenant by construction).
+    const TenantId tenant
+        = cmd.tenant != kSystemTenant ? cmd.tenant : qp.pasid();
     totalOps_++;
+    if (acct_)
+        acct_->of(tenant).ssdOps++;
 
     if (trace_ && trace_->wants(obs::Level::Device) && cmd.enq != 0
         && submitTime > cmd.enq) {
@@ -316,6 +323,8 @@ NvmeDevice::process(QueuePair &qp, Command cmd)
         if (st == Status::TranslationFault || st == Status::PermissionFault
             || st == Status::DevIdFault) {
             translationFaults_++;
+            if (acct_)
+                acct_->of(tenant).ssdTranslationFaults++;
         }
         Completion comp;
         comp.cid = cmd.cid;
@@ -448,6 +457,13 @@ NvmeDevice::process(QueuePair &qp, Command cmd)
         readBytes_ += cmd.len;
     else
         writeBytes_ += cmd.len;
+    if (acct_) {
+        obs::TenantCounters &tc = acct_->of(tenant);
+        if (cmd.op == Op::Read)
+            tc.ssdReadBytes += cmd.len;
+        else
+            tc.ssdWriteBytes += cmd.len;
+    }
     qp.completedBytes_ += cmd.len;
 
     MediaJob job;

@@ -30,6 +30,7 @@
 
 #include "common/types.hpp"
 #include "iommu/iommu.hpp"
+#include "obs/tenant.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "ssd/block_store.hpp"
@@ -91,13 +92,17 @@ struct Command
     std::span<std::uint8_t> hostBuf;
 
     /** @name Observability (no effect on simulated behavior)
-     * Request trace id carried across layers, and the SQ enqueue time
+     * Request trace id carried across layers, the SQ enqueue time
      * stamped by submit() when device tracing is enabled (for the
-     * sq_wait arbitration span).
+     * sq_wait arbitration span), and the tenant the command is
+     * attributed to. Tenant 0 means "owner of the submitting queue"
+     * (qp.pasid()), so user queues need not set it; the kernel sets it
+     * on shared-queue commands it issues on a process's behalf.
      */
     ///@{
     std::uint64_t trace = 0;
     Time enq = 0;
+    TenantId tenant = kSystemTenant;
     ///@}
 };
 
@@ -250,6 +255,14 @@ class NvmeDevice
     void setTracer(obs::Tracer *t) { trace_ = t; }
     obs::Tracer *tracer() const { return trace_; }
 
+    /**
+     * Attach the per-tenant counter table (null = disabled, the
+     * default). Attribution only increments counters at the same
+     * program points as the aggregate stats, so enabling it cannot
+     * change timing and the per-tenant sums equal the totals exactly.
+     */
+    void setTenantAccounting(obs::TenantAccounting *a) { acct_ = a; }
+
     /** @name Aggregate statistics */
     ///@{
     std::uint64_t totalOps() const { return totalOps_; }
@@ -308,6 +321,7 @@ class NvmeDevice
     Pasid claimOwner_ = kNoPasid;
 
     obs::Tracer *trace_ = nullptr;
+    obs::TenantAccounting *acct_ = nullptr;
 
     std::uint64_t totalOps_ = 0;
     std::uint64_t readBytes_ = 0;

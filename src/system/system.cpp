@@ -1,5 +1,7 @@
 #include "system/system.hpp"
 
+#include "sim/logging.hpp"
+
 namespace bpd::sys {
 
 System::System(SystemConfig config)
@@ -51,6 +53,87 @@ System::enableTracing(obs::Level level)
     return *tracer_;
 }
 
+obs::TenantAccounting &
+System::enableTenantAccounting()
+{
+    if (acctEnabled_)
+        return acct_;
+    acctEnabled_ = true;
+    kernel.setTenantAccounting(&acct_);
+    dev.setTenantAccounting(&acct_);
+    iommu.setTenantAccounting(&acct_);
+    module.setTenantAccounting(&acct_);
+    // The kernel names the tenant it is executing filesystem code for;
+    // ext4/journal/page-cache read that slot at their attribution sites.
+    const TenantId *active = kernel.activeTenantPtr();
+    ext4.setTenantAccounting(&acct_, active);
+    kernel.pageCache().setTenantAccounting(&acct_, active);
+    return acct_;
+}
+
+std::string
+System::verifyTenantSums()
+{
+    if (!acctEnabled_)
+        return {};
+    obs::TenantCounters sum;
+    acct_.forEach([&](TenantId, const obs::TenantCounters &tc) {
+        sum.kernSyscalls += tc.kernSyscalls;
+        sum.ssdOps += tc.ssdOps;
+        sum.ssdReadBytes += tc.ssdReadBytes;
+        sum.ssdWriteBytes += tc.ssdWriteBytes;
+        sum.ssdTranslationFaults += tc.ssdTranslationFaults;
+        sum.iommuVbaTranslations += tc.iommuVbaTranslations;
+        sum.iommuVbaFaults += tc.iommuVbaFaults;
+        sum.iommuPageWalkFrames += tc.iommuPageWalkFrames;
+        sum.fsJournalRecords += tc.fsJournalRecords;
+        sum.fsMetadataOps += tc.fsMetadataOps;
+        sum.fsPageCacheHits += tc.fsPageCacheHits;
+        sum.fsPageCacheMisses += tc.fsPageCacheMisses;
+        sum.bypassdColdFmaps += tc.bypassdColdFmaps;
+        sum.bypassdWarmFmaps += tc.bypassdWarmFmaps;
+        sum.bypassdRejectedFmaps += tc.bypassdRejectedFmaps;
+        sum.bypassdRevokedVictims += tc.bypassdRevokedVictims;
+    });
+    const std::pair<const char *, std::pair<std::uint64_t,
+                                            std::uint64_t>>
+        checks[] = {
+            {"kern.syscalls", {sum.kernSyscalls, kernel.syscallCount()}},
+            {"ssd.ops", {sum.ssdOps, dev.totalOps()}},
+            {"ssd.read_bytes", {sum.ssdReadBytes, dev.readBytes()}},
+            {"ssd.write_bytes", {sum.ssdWriteBytes, dev.writeBytes()}},
+            {"ssd.translation_faults",
+             {sum.ssdTranslationFaults, dev.translationFaults()}},
+            {"iommu.vba_translations",
+             {sum.iommuVbaTranslations, iommu.vbaTranslations()}},
+            {"iommu.vba_faults", {sum.iommuVbaFaults, iommu.vbaFaults()}},
+            {"iommu.page_walk_frames",
+             {sum.iommuPageWalkFrames, iommu.framesRead()}},
+            {"fs.journal_records",
+             {sum.fsJournalRecords, ext4.journal().records()}},
+            {"fs.metadata_ops", {sum.fsMetadataOps, ext4.metadataOps()}},
+            {"fs.page_cache_hits",
+             {sum.fsPageCacheHits, kernel.pageCache().hits()}},
+            {"fs.page_cache_misses",
+             {sum.fsPageCacheMisses, kernel.pageCache().misses()}},
+            {"bypassd.cold_fmaps",
+             {sum.bypassdColdFmaps, module.coldFmaps()}},
+            {"bypassd.warm_fmaps",
+             {sum.bypassdWarmFmaps, module.warmFmaps()}},
+            {"bypassd.rejected_fmaps",
+             {sum.bypassdRejectedFmaps, module.rejectedFmaps()}},
+            {"bypassd.revoked_victims",
+             {sum.bypassdRevokedVictims, module.revokedVictims()}},
+        };
+    for (const auto &[name, v] : checks)
+        if (v.first != v.second)
+            return sim::strf("%s: tenant sum %llu != system total %llu",
+                             name,
+                             static_cast<unsigned long long>(v.first),
+                             static_cast<unsigned long long>(v.second));
+    return {};
+}
+
 void
 System::collectMetrics()
 {
@@ -76,9 +159,15 @@ System::collectMetrics()
     metrics.counter("fs", "journal_records")
         .set(ext4.journal().records());
     metrics.counter("fs", "metadata_ops").set(ext4.metadataOps());
+    metrics.counter("fs", "page_cache_hits")
+        .set(kernel.pageCache().hits());
+    metrics.counter("fs", "page_cache_misses")
+        .set(kernel.pageCache().misses());
     metrics.counter("bypassd", "cold_fmaps").set(module.coldFmaps());
     metrics.counter("bypassd", "warm_fmaps").set(module.warmFmaps());
     metrics.counter("bypassd", "revocations").set(module.revocations());
+    metrics.counter("bypassd", "revoked_victims")
+        .set(module.revokedVictims());
     metrics.counter("bypassd", "rejected_fmaps")
         .set(module.rejectedFmaps());
     std::uint64_t directReads = 0, directWrites = 0, fallbacks = 0,
@@ -98,6 +187,51 @@ System::collectMetrics()
     metrics.gauge("ssd", "resident_bytes")
         .set(static_cast<double>(store.residentBytes()));
     metrics.gauge("sim", "now_ns").set(static_cast<double>(eq.now()));
+
+    if (!acctEnabled_)
+        return;
+    // Per-tenant sub-registries. Each key mirrors a system total above
+    // and the attribution sites are co-located with the aggregate
+    // increments, so sum-over-tenants equals the total bit-exactly.
+    acct_.forEach([&](TenantId id, const obs::TenantCounters &tc) {
+        obs::MetricsRegistry &m = metrics.tenant(id);
+        m.counter("kern", "syscalls").set(tc.kernSyscalls);
+        m.counter("ssd", "ops").set(tc.ssdOps);
+        m.counter("ssd", "read_bytes").set(tc.ssdReadBytes);
+        m.counter("ssd", "write_bytes").set(tc.ssdWriteBytes);
+        m.counter("ssd", "translation_faults")
+            .set(tc.ssdTranslationFaults);
+        m.counter("iommu", "vba_translations")
+            .set(tc.iommuVbaTranslations);
+        m.counter("iommu", "vba_faults").set(tc.iommuVbaFaults);
+        m.counter("iommu", "page_walk_frames")
+            .set(tc.iommuPageWalkFrames);
+        m.counter("fs", "journal_records").set(tc.fsJournalRecords);
+        m.counter("fs", "metadata_ops").set(tc.fsMetadataOps);
+        m.counter("fs", "page_cache_hits").set(tc.fsPageCacheHits);
+        m.counter("fs", "page_cache_misses").set(tc.fsPageCacheMisses);
+        m.counter("bypassd", "cold_fmaps").set(tc.bypassdColdFmaps);
+        m.counter("bypassd", "warm_fmaps").set(tc.bypassdWarmFmaps);
+        m.counter("bypassd", "rejected_fmaps")
+            .set(tc.bypassdRejectedFmaps);
+        m.counter("bypassd", "revoked_victims")
+            .set(tc.bypassdRevokedVictims);
+    });
+    // UserLib stats are already tracked per process; a process is a
+    // tenant, so publish them straight into its sub-registry.
+    kernel.forEachProcess([&](kern::Process &p) {
+        if (!p.userLib)
+            return;
+        obs::MetricsRegistry &m = metrics.tenant(p.pasid());
+        m.counter("bypassd", "direct_reads")
+            .set(p.userLib->directReads());
+        m.counter("bypassd", "direct_writes")
+            .set(p.userLib->directWrites());
+        m.counter("bypassd", "kernel_fallback_ops")
+            .set(p.userLib->kernelFallbackOps());
+        m.counter("bypassd", "iommu_faults")
+            .set(p.userLib->iommuFaults());
+    });
 }
 
 bypassd::UserLib &

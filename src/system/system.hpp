@@ -9,6 +9,7 @@
 #define BPD_SYSTEM_SYSTEM_HPP
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bypassd/module.hpp"
@@ -19,6 +20,7 @@
 #include "kern/kernel.hpp"
 #include "mem/frame_allocator.hpp"
 #include "obs/metrics.hpp"
+#include "obs/tenant.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "ssd/block_store.hpp"
@@ -74,10 +76,36 @@ class System
     obs::Tracer *tracer() { return tracer_.get(); }
 
     /**
+     * Turn on per-tenant attribution and wire the counter table into
+     * every layer (kernel, device, IOMMU, BypassD module, ext4 +
+     * journal, page cache). Idempotent. Accounting only observes the
+     * simulation — same-seed digests are bit-identical with it on or
+     * off — and collectMetrics() then publishes one sub-registry per
+     * tenant whose counters sum exactly to the system totals.
+     */
+    obs::TenantAccounting &enableTenantAccounting();
+
+    /** Is per-tenant attribution on? */
+    bool tenantAccountingEnabled() const { return acctEnabled_; }
+
+    /** The per-tenant counter table (rows appear once enabled). */
+    const obs::TenantAccounting &tenantAccounting() const { return acct_; }
+
+    /**
      * Pull current counters out of every component's stat accessors
      * into the metrics registry (cheap; call before snapshotting).
      */
     void collectMetrics();
+
+    /**
+     * Check the attribution invariant: for every accounted counter,
+     * the sum over all tenants equals the matching system total
+     * bit-exactly (attribution sites are co-located with the aggregate
+     * increments, so any divergence is a bug). Returns an empty string
+     * when the invariant holds — or when accounting is off — and a
+     * description of the first violated counter otherwise.
+     */
+    std::string verifyTenantSums();
 
     /**
      * Declared first so they outlive every component that holds a
@@ -86,6 +114,10 @@ class System
     obs::MetricsRegistry metrics;
 
   private:
+    /** Lives next to metrics so it outlives every attributing layer. */
+    obs::TenantAccounting acct_;
+    bool acctEnabled_ = false;
+
     std::unique_ptr<obs::Tracer> tracer_;
 
   public:

@@ -1,6 +1,7 @@
 #include "workloads/fio.hpp"
 
 #include <functional>
+#include <map>
 
 #include "sim/logging.hpp"
 
@@ -319,6 +320,22 @@ FioRunner::run(const FioJob &job)
     res.avgKernelNs = k.mean();
     res.avgDeviceNs = d.mean();
     res.avgTranslateNs = x.mean();
+
+    std::map<TenantId, FioTenantSlice> slices;
+    for (auto &ctx : ctxs) {
+        FioTenantSlice &ts = slices[ctx->proc->pasid()];
+        ts.tenant = ctx->proc->pasid();
+        ts.ops += ctx->ops;
+        ts.bytes += ctx->bytes;
+    }
+    for (auto &[id, ts] : slices) {
+        if (const obs::TenantCounters *tc
+            = s_.tenantAccounting().find(id)) {
+            ts.fmaps = tc->bypassdColdFmaps + tc->bypassdWarmFmaps;
+            ts.revocations = tc->bypassdRevokedVictims;
+        }
+        res.tenants.push_back(ts);
+    }
     return res;
 }
 

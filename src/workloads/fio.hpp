@@ -46,12 +46,28 @@ struct FioJob
     std::string filePrefix = "/fio";
 };
 
+/**
+ * One tenant's slice of a fio run: measured-window ops/bytes from the
+ * jobs that issued as this tenant, plus the fmap/revocation counts
+ * from the system's tenant accounting (zero when accounting is off).
+ * Jobs sharing a process aggregate into one slice.
+ */
+struct FioTenantSlice
+{
+    TenantId tenant = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t fmaps = 0;       //!< cold + warm fmaps
+    std::uint64_t revocations = 0; //!< FTE victims revoked
+};
+
 struct FioResult
 {
     sim::Histogram latency;
     std::uint64_t ops = 0;
     std::uint64_t bytes = 0;
     Time elapsed = 0;
+    std::vector<FioTenantSlice> tenants; //!< sorted by tenant id
 
     double avgUserNs = 0;
     double avgKernelNs = 0;

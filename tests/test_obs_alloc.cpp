@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
+#include "obs/tenant.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 
@@ -110,4 +112,48 @@ TEST(ObsAlloc, EnabledTracerOnlyAllocatesForSpanStorage)
     EXPECT_GT(tracer.spanCount(), 100000u);
     EXPECT_LT(after - before, 100u)
         << "span recording should amortize to ~0 allocations/span";
+}
+
+TEST(ObsAlloc, DisabledTenantAccountingAddsZeroAllocations)
+{
+    // The attribution sites guard on a raw TenantAccounting pointer the
+    // same way tracer sites guard on the Tracer pointer; disabled
+    // accounting must be one branch, no allocations.
+    obs::TenantAccounting *volatile acctSlot = nullptr;
+    std::uint64_t sink = 0;
+
+    const std::uint64_t before = g_allocCount.load();
+    for (int i = 0; i < 100000; i++) {
+        if (obs::TenantAccounting *a = acctSlot) {
+            a->of(101).ssdOps++;
+            a->of(101).ssdReadBytes += 4096;
+        }
+        sink++;
+    }
+    const std::uint64_t after = g_allocCount.load();
+
+    EXPECT_EQ(after - before, 0u)
+        << "disabled-accounting guard allocated on the hot path";
+    EXPECT_EQ(sink, 100000u);
+}
+
+TEST(ObsAlloc, TenantScopedCounterHandlesDoNotAllocateOnIncrement)
+{
+    // Registration (tenant() + counter()) is cold-path and may
+    // allocate; incrementing a cached handle must not, and re-looking
+    // up an existing tenant scope must not either.
+    obs::MetricsRegistry reg;
+    obs::Counter &c = reg.tenant(7).counter("ssd", "ops");
+    c.add(); // touch once so any lazy storage is settled
+
+    const std::uint64_t before = g_allocCount.load();
+    for (int i = 0; i < 100000; i++) {
+        reg.tenant(7);
+        c.add(4096);
+    }
+    const std::uint64_t after = g_allocCount.load();
+
+    EXPECT_EQ(after - before, 0u)
+        << "tenant-scoped counter increments allocated";
+    EXPECT_EQ(c.value(), 1u + 100000u * 4096u);
 }

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Per-tenant attribution (obs/tenant.hpp + the attribution sites in
+ * kern/ssd/iommu/fs/bypassd): the sum invariant — for every exported
+ * counter, sum over tenants == system total, bit-exactly — on all five
+ * engines; survival of the revocation fallback (work keeps landing on
+ * the same tenant after the reader is pushed to the kernel path);
+ * digest neutrality of enabling accounting; and tenant round-tripping
+ * through the metrics snapshot and the replay stream.
+ */
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.hpp"
+#include "obs/replay.hpp"
+#include "sim/logging.hpp"
+#include "system/system.hpp"
+#include "workloads/fio.hpp"
+
+using namespace bpd;
+
+namespace {
+
+wl::FioJob
+smallJob(wl::Engine e, wl::RwMode rw)
+{
+    wl::FioJob job;
+    job.engine = e;
+    job.rw = rw;
+    job.bs = 4096;
+    job.numJobs = 2;
+    job.perProcess = true;
+    job.runtime = 500 * kUs;
+    job.warmup = 50 * kUs;
+    job.fileBytes = 2ull << 20;
+    job.seed = 11;
+    job.filePrefix = "/tenant";
+    return job;
+}
+
+std::unique_ptr<sys::System>
+freshSystem(std::uint64_t seed = 7)
+{
+    sim::setVerbose(false);
+    sys::SystemConfig cfg;
+    cfg.deviceBytes = 1ull << 30;
+    cfg.seed = seed;
+    return std::make_unique<sys::System>(cfg);
+}
+
+} // namespace
+
+TEST(TenantSums, AllEnginesSumToSystemTotals)
+{
+    const wl::Engine engines[] = {wl::Engine::Sync, wl::Engine::Libaio,
+                                  wl::Engine::IoUring, wl::Engine::Spdk,
+                                  wl::Engine::Bypassd};
+    for (wl::Engine e : engines) {
+        auto s = freshSystem();
+        s->enableTenantAccounting();
+        wl::FioRunner runner(*s);
+        runner.run(smallJob(e, wl::RwMode::RandRead));
+
+        EXPECT_EQ(s->verifyTenantSums(), "") << wl::toString(e);
+        EXPECT_FALSE(s->tenantAccounting().empty()) << wl::toString(e);
+
+        std::uint64_t ssdOps = 0;
+        s->tenantAccounting().forEach(
+            [&](TenantId, const obs::TenantCounters &tc) {
+                ssdOps += tc.ssdOps;
+            });
+        EXPECT_EQ(ssdOps, s->dev.totalOps()) << wl::toString(e);
+    }
+}
+
+TEST(TenantSums, WritePathJournalAndCacheAttributed)
+{
+    auto s = freshSystem();
+    s->enableTenantAccounting();
+    wl::FioRunner runner(*s);
+    runner.run(smallJob(wl::Engine::Sync, wl::RwMode::RandWrite));
+
+    // The job runs O_DIRECT; drive the page cache with a buffered
+    // reader of the file the first fio process wrote.
+    kern::Process &p = s->newProcess(4000, 4000);
+    int fd = -1;
+    s->kernel.sysOpen(p, "/tenant0.dat", fs::kOpenRead, 0644,
+                      [&](int f) { fd = f; });
+    s->run();
+    ASSERT_GE(fd, 0);
+    std::vector<std::uint8_t> buf(4096);
+    for (int i = 0; i < 4; i++) {
+        long long got = -1;
+        s->kernel.sysPread(p, fd, buf, (i % 2) * 4096,
+                           [&](long long n, kern::IoTrace) { got = n; });
+        s->run();
+        ASSERT_GT(got, 0);
+    }
+
+    EXPECT_EQ(s->verifyTenantSums(), "");
+    std::uint64_t journal = 0;
+    s->tenantAccounting().forEach(
+        [&](TenantId, const obs::TenantCounters &tc) {
+            journal += tc.fsJournalRecords;
+        });
+    EXPECT_GT(journal, 0u);
+
+    // The buffered reader's hits and misses land on its own row.
+    const obs::TenantCounters *row
+        = s->tenantAccounting().find(p.pasid());
+    ASSERT_NE(row, nullptr);
+    EXPECT_GT(row->fsPageCacheMisses, 0u);
+    EXPECT_GT(row->fsPageCacheHits, 0u);
+}
+
+TEST(TenantSums, SurvivesRevocationFallback)
+{
+    auto s = freshSystem();
+    s->enableTenantAccounting();
+
+    kern::Process &reader = s->newProcess(1000, 1000);
+    const int cfd
+        = s->kernel.setupCreateFile(reader, "/rv.dat", 8ull << 20, 3);
+    ASSERT_GE(cfd, 0);
+    int rc = -1;
+    s->kernel.sysClose(reader, cfd, [&](int r) { rc = r; });
+    s->run();
+
+    bypassd::UserLib &lib = s->userLib(reader);
+    int fd = -1;
+    lib.open("/rv.dat", fs::kOpenRead | fs::kOpenDirect, 0644,
+             [&](int f) { fd = f; });
+    s->run();
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(lib.isDirect(fd));
+    lib.prepareThread(0);
+
+    const Time tEnd = s->now() + 20 * kMs;
+    std::vector<std::uint8_t> buf(4096);
+    sim::Rng rng(5);
+    std::uint64_t opsAfterRevoke = 0;
+    Time revokeAt = 0;
+
+    auto loop = std::make_shared<std::function<void()>>();
+    *loop = [&, loop]() {
+        if (s->now() >= tEnd)
+            return;
+        const std::uint64_t off
+            = rng.nextUint((8ull << 20) / 4096) * 4096;
+        lib.pread(0, fd, buf, off, [&, loop](long long n, kern::IoTrace) {
+            ASSERT_GT(n, 0);
+            if (revokeAt != 0)
+                opsAfterRevoke++;
+            (*loop)();
+        });
+    };
+    (*loop)();
+
+    kern::Process &intruder = s->newProcess(1001, 1001);
+    s->eq.schedule(10 * kMs, [&]() {
+        s->kernel.sysOpen(intruder, "/rv.dat", fs::kOpenRead, 0644,
+                          [&](int f) {
+                              ASSERT_GE(f, 0);
+                              revokeAt = s->now();
+                          });
+    });
+    s->run();
+
+    ASSERT_NE(revokeAt, 0u);
+    EXPECT_GT(opsAfterRevoke, 0u) << "no reads on the fallback path";
+    EXPECT_EQ(s->verifyTenantSums(), "");
+
+    // Revocation is booked to the revoked tenant, and its ops keep
+    // accruing on the same row after the fallback to the kernel path.
+    const obs::TenantCounters *row
+        = s->tenantAccounting().find(reader.pasid());
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(row->bypassdRevokedVictims, 1u);
+    EXPECT_GE(row->ssdOps, opsAfterRevoke);
+    EXPECT_GT(row->kernSyscalls, 0u) << "fallback reads are syscalls";
+}
+
+TEST(TenantSums, DisabledAccountingReportsNothing)
+{
+    auto s = freshSystem();
+    wl::FioRunner runner(*s);
+    runner.run(smallJob(wl::Engine::Sync, wl::RwMode::RandRead));
+    EXPECT_EQ(s->verifyTenantSums(), "");
+    EXPECT_TRUE(s->tenantAccounting().empty());
+}
+
+TEST(TenantNeutrality, AccountingDoesNotChangeDigests)
+{
+    auto run = [&](bool accounting) {
+        auto s = freshSystem(21);
+        s->enableTracing(obs::Level::Requests);
+        if (accounting)
+            s->enableTenantAccounting();
+        wl::FioRunner runner(*s);
+        runner.run(smallJob(wl::Engine::Bypassd, wl::RwMode::RandRead));
+        return std::pair<std::uint64_t, std::uint64_t>{
+            obs::replayDigest(s->tracer()->data().replay),
+            s->eq.executed()};
+    };
+    const auto off = run(false);
+    const auto on = run(true);
+    EXPECT_EQ(off.first, on.first) << "accounting changed the stream";
+    EXPECT_EQ(off.second, on.second) << "accounting scheduled events";
+}
+
+TEST(TenantMetrics, ScopedSnapshotsSumToTotals)
+{
+    auto s = freshSystem();
+    s->enableTenantAccounting();
+    wl::FioRunner runner(*s);
+    runner.run(smallJob(wl::Engine::Bypassd, wl::RwMode::RandRead));
+    s->collectMetrics();
+
+    const obs::MetricsSnapshot snap = s->metrics.snapshot();
+    ASSERT_FALSE(snap.tenants.empty());
+    for (const auto &[key, tenantSum] : [&] {
+             std::map<std::string, std::uint64_t> sums;
+             for (const auto &[id, sub] : snap.tenants)
+                 for (const auto &[k, v] : sub.counters)
+                     sums[k] += v;
+             return sums;
+         }()) {
+        const auto it = snap.counters.find(key);
+        ASSERT_NE(it, snap.counters.end()) << key;
+        EXPECT_EQ(tenantSum, it->second) << key;
+    }
+}
+
+TEST(TenantReplay, StreamCarriesTenantAndRoundTrips)
+{
+    sim::setVerbose(false);
+    sys::SystemConfig cfg;
+    cfg.deviceBytes = 1ull << 30;
+    cfg.seed = 7;
+    sys::System s(cfg);
+    s.enableTracing(obs::Level::Requests);
+    s.enableTenantAccounting();
+    wl::FioRunner runner(s);
+    runner.run(smallJob(wl::Engine::IoUring, wl::RwMode::RandRead));
+
+    obs::TraceData data = s.tracer()->data();
+    obs::ReplayMeta meta;
+    meta.config = obs::configToMap(s.cfg);
+    meta.counters = obs::curatedCounters(s);
+    meta.digest = obs::replayDigest(data.replay);
+    meta.events = s.eq.executed();
+    meta.simNs = s.now();
+
+    ASSERT_FALSE(data.replay.empty());
+    for (const obs::ReplayRec &r : data.replay)
+        EXPECT_EQ(r.tenant, r.proc)
+            << "runner ops attribute to the issuing process";
+
+    const std::string path
+        = ::testing::TempDir() + "bpd_tenant_replay.json";
+    ASSERT_TRUE(obs::writeChromeTraceFile(
+        path, {obs::TraceProcess{"tenant", &data, &meta}}));
+    obs::RecordedTrace trace;
+    std::string err;
+    ASSERT_TRUE(obs::loadRecordedTrace(path, trace, err)) << err;
+    std::remove(path.c_str());
+    ASSERT_EQ(trace.processes.size(), 1u);
+
+    const obs::RecordedProcess &rec = trace.processes[0];
+    ASSERT_EQ(rec.ops.size(), data.replay.size());
+    for (std::size_t i = 0; i < rec.ops.size(); i++)
+        EXPECT_EQ(rec.ops[i].tenant, data.replay[i].tenant);
+
+    obs::ReplayResult res;
+    ASSERT_TRUE(obs::replayRun(rec, {}, res, err)) << err;
+    EXPECT_EQ(res.digest, rec.digest);
+}

@@ -246,39 +246,65 @@ counterCell(const Scenario *s, const char *key)
 }
 
 /**
+ * Non-counter scenario fields: identity, host-side timing, and derived
+ * throughput metrics. Everything else in a scenario object is a
+ * simulated counter and belongs in the diff table.
+ */
+bool
+isCounterKey(const std::string &k)
+{
+    static const char *const kSkip[] = {
+        "name", "digest", "wall_sec", "events_per_sec",
+        "iops", "kops",   "mb_per_s",
+    };
+    for (const char *s : kSkip)
+        if (k == s)
+            return false;
+    return true;
+}
+
+/**
  * Diff the simulated metric counters embedded in the scenario objects.
  * These are outputs of the simulation (not host-side timing), so any
  * base/cur difference on an unchanged workload is a semantic change —
- * the digest gate catches it, this table says *where*.
+ * the digest gate catches it, this table says *where*. Keys present on
+ * only one side are real signal too (a counter appearing or vanishing
+ * is a behavior change), so the table walks the union of both key sets
+ * and annotates one-sided rows as added/removed.
  */
 void
 printCounterDiff(const BenchFile &base, const BenchFile &cur)
 {
-    static const char *const kKeys[] = {
-        "events",          "device_ops",       "syscalls",
-        "vba_translations", "iotlb_hits",      "iotlb_misses",
-        "walk_cache_misses", "page_walk_frames", "journal_commits",
-    };
     bool any = false;
-    for (const Scenario &c : cur.scenarios)
-        for (const char *k : kKeys)
-            any |= hasField(c, k);
-    if (!any)
-        return;
-
-    std::printf("\nsimulated counters (base -> cur):\n");
     for (const Scenario &c : cur.scenarios) {
         const Scenario *b = findScenario(base, c.name);
+        std::map<std::string, int> keys; // 1 = base, 2 = cur, 3 = both
+        if (b)
+            for (const auto &[k, v] : b->fields)
+                if (isCounterKey(k))
+                    keys[k] |= 1;
+        for (const auto &[k, v] : c.fields)
+            if (isCounterKey(k))
+                keys[k] |= 2;
+        if (keys.empty())
+            continue;
+        if (!any)
+            std::printf("\nsimulated counters (base -> cur):\n");
+        any = true;
+
         std::printf("  %s\n", c.name.c_str());
-        for (const char *k : kKeys) {
-            if (!hasField(c, k) && (!b || !hasField(*b, k)))
-                continue;
-            const std::string bs = counterCell(b, k);
-            const std::string cs = counterCell(&c, k);
-            std::printf("    %-20s %14s -> %-14s%s\n", k, bs.c_str(),
-                        cs.c_str(),
-                        (bs != "-" && cs != "-" && bs != cs) ? "  *"
-                                                             : "");
+        for (const auto &[k, side] : keys) {
+            const std::string bs = counterCell(b, k.c_str());
+            const std::string cs = counterCell(&c, k.c_str());
+            const char *note = "";
+            if (side == 2)
+                note = "  (added)";
+            else if (side == 1)
+                note = "  (removed)";
+            else if (bs != cs)
+                note = "  *";
+            std::printf("    %-20s %14s -> %-14s%s\n", k.c_str(),
+                        bs.c_str(), cs.c_str(), note);
         }
         if (hasField(c, "iotlb_hits") && hasField(c, "iotlb_misses")) {
             const double h = numField(c, "iotlb_hits");

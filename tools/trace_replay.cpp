@@ -7,6 +7,8 @@
  *
  *   --list                  show replay streams and exit
  *   --label NAME            replay only the stream named NAME
+ *   --drift                 per-lane issue-time drift report
+ *                           (recorded vs replayed)
  *   --verify                require bit-identical digests/counters vs
  *                           the capture metadata (no overrides allowed)
  *   --out FILE              write replay results as bypassd-bench-v1
@@ -46,7 +48,7 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s TRACE.json [--list] [--label NAME] "
-                 "[--verify]\n"
+                 "[--verify] [--drift]\n"
                  "          [--out FILE] [--emit-capture FILE]\n"
                  "          [--engine sync|libaio|io_uring|bypassd] "
                  "[--lanes N]\n"
@@ -153,7 +155,7 @@ int
 main(int argc, char **argv)
 {
     std::string tracePath, outPath, capturePath, label;
-    bool list = false, verify = false;
+    bool list = false, verify = false, drift = false;
     obs::ReplayOptions opt;
 
     for (int i = 1; i < argc; i++) {
@@ -168,6 +170,8 @@ main(int argc, char **argv)
             list = true;
         } else if (a == "--verify") {
             verify = true;
+        } else if (a == "--drift") {
+            drift = true;
         } else if (a == "--out" && i + 1 < argc) {
             outPath = argv[++i];
         } else if (a == "--emit-capture" && i + 1 < argc) {
@@ -293,6 +297,25 @@ main(int argc, char **argv)
                     " events=%-9" PRIu64 " digest=%016" PRIx64 "\n",
                     p.name.c_str(), res.ops, (std::uint64_t)res.simNs,
                     res.events, res.digest);
+
+        if (drift) {
+            std::printf("  issue-time drift vs capture:\n");
+            std::printf("    %-6s %-6s %-8s %-14s %-14s\n", "proc",
+                        "lane", "ops", "mean_abs_ns", "max_abs_ns");
+            for (const auto &d : res.laneDrift) {
+                char lane[16];
+                if (d.lane == obs::ReplayRec::kMainLane)
+                    std::snprintf(lane, sizeof lane, "main");
+                else
+                    std::snprintf(lane, sizeof lane, "%u", d.lane);
+                std::printf("    %-6u %-6s %-8" PRIu64 " %-14.1f %-14"
+                            PRIu64 "\n",
+                            d.proc, lane, d.ops, d.meanAbsNs,
+                            (std::uint64_t)d.maxAbsNs);
+            }
+            if (res.laneDrift.empty())
+                std::printf("    (no comparable records)\n");
+        }
 
         if (verify) {
             bool ok = res.digest == p.digest;

@@ -6,7 +6,10 @@
  * Request envelopes — the "X" events carrying user_ns/kernel_ns/
  * xlate_ns/device_ns args emitted by obs::Tracer::request() — are
  * grouped by (process, request name) and averaged, regenerating the
- * Table 1 / Fig. 7 per-layer split straight from a trace. A second
+ * Table 1 / Fig. 7 per-layer split straight from a trace. When the
+ * envelopes carry a "tenant" arg (traces captured with per-tenant
+ * accounting on), the same split is additionally printed per tenant,
+ * so one multi-tenant run yields a Table-1 row per tenant. A second
  * section counts every span/instant name per process so the span
  * taxonomy of a run is visible at a glance.
  *
@@ -22,6 +25,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "obs/json.hpp"
@@ -122,6 +126,12 @@ main(int argc, char **argv)
 
     std::map<std::uint64_t, std::string> procNames;
     std::map<std::pair<std::uint64_t, std::string>, LayerAgg> layers;
+    // (pid, tenant, request name) → aggregate; only populated when
+    // envelopes carry a "tenant" arg.
+    std::map<std::tuple<std::uint64_t, std::uint64_t, std::string>,
+             LayerAgg>
+        tenantLayers;
+    bool sawTenant = false;
     std::map<std::pair<std::uint64_t, std::string>, std::uint64_t> spans;
     std::uint64_t nComplete = 0, nInstant = 0, nMeta = 0;
 
@@ -183,14 +193,20 @@ main(int argc, char **argv)
         const bpd::obs::json::Value *args = ev.find("args");
         if (!args || !args->isObject() || !args->find("user_ns"))
             continue; // a layer span, not a request envelope
-        LayerAgg &agg = layers[{p, name->str}];
-        agg.count++;
-        agg.userNs += numArg(*args, "user_ns", 0);
-        agg.kernelNs += numArg(*args, "kernel_ns", 0);
-        agg.xlateNs += numArg(*args, "xlate_ns", 0);
-        agg.deviceNs += numArg(*args, "device_ns", 0);
-        agg.totalNs += dur->number * 1000.0; // us -> ns
-        agg.bytes += numArg(*args, "bytes", 0);
+        const double tenant = numArg(*args, "tenant", 0);
+        sawTenant |= args->find("tenant") != nullptr;
+        for (LayerAgg *agg :
+             {&layers[{p, name->str}],
+              &tenantLayers[{p, static_cast<std::uint64_t>(tenant),
+                             name->str}]}) {
+            agg->count++;
+            agg->userNs += numArg(*args, "user_ns", 0);
+            agg->kernelNs += numArg(*args, "kernel_ns", 0);
+            agg->xlateNs += numArg(*args, "xlate_ns", 0);
+            agg->deviceNs += numArg(*args, "device_ns", 0);
+            agg->totalNs += dur->number * 1000.0; // us -> ns
+            agg->bytes += numArg(*args, "bytes", 0);
+        }
     }
 
     if (nComplete + nInstant == 0) {
@@ -232,6 +248,29 @@ main(int argc, char **argv)
                      "or higher on a traced bench run.\n",
                      path);
         return 1;
+    }
+
+    if (sawTenant) {
+        std::printf("\nPer-tenant request latency breakdown "
+                    "(mean ns/op; tenant 0 = system):\n");
+        std::printf("%-24s %6s %-16s %9s %9s %9s %9s %9s %9s %9s\n",
+                    "process", "tenant", "request", "count", "user",
+                    "kernel", "xlate", "device", "total", "bytes");
+        for (const auto &[key, a] : tenantLayers) {
+            const auto &[p, tenant, name] = key;
+            const auto it = procNames.find(p);
+            const std::string proc
+                = it != procNames.end()
+                      ? it->second
+                      : "pid" + std::to_string(p);
+            const double c = static_cast<double>(a.count);
+            std::printf("%-24s %6llu %-16s %9llu %9.0f %9.0f %9.0f "
+                        "%9.0f %9.0f %9.0f\n",
+                        proc.c_str(), (unsigned long long)tenant,
+                        name.c_str(), (unsigned long long)a.count,
+                        a.userNs / c, a.kernelNs / c, a.xlateNs / c,
+                        a.deviceNs / c, a.totalNs / c, a.bytes / c);
+        }
     }
 
     if (showSpans) {
