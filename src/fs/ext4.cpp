@@ -3,6 +3,7 @@
 #include "fs/ondisk.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -705,12 +706,11 @@ Ext4Fs::recoverFromMedia(ssd::BlockStore &media, sim::EventQueue *eq)
     // Checkpoint image.
     std::vector<std::uint8_t> img(imageBytes);
     media.read(cStart * kBlockBytes, img);
-    if (imageBytes < 16
-        || fnv1a(img.data(), imageBytes - 8)
-               != *reinterpret_cast<const std::uint64_t *>(
-                   img.data() + imageBytes - 8)) {
+    std::uint64_t imgSum = 0;
+    if (imageBytes >= 16)
+        std::memcpy(&imgSum, img.data() + imageBytes - 8, 8);
+    if (imageBytes < 16 || fnv1a(img.data(), imageBytes - 8) != imgSum)
         return nullptr;
-    }
     ByteReader ir(img.data(), img.size());
     if (ir.u64() != kCheckpointMagic)
         return nullptr;

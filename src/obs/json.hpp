@@ -2,14 +2,17 @@
  * @file
  * Minimal recursive-descent JSON parser, header-only. Just enough to
  * round-trip-validate the obs exporters (tools/trace_view,
- * tests/test_obs) without an external dependency. Numbers are parsed
- * as double; no \uXXXX decoding beyond passthrough.
+ * tests/test_obs) without an external dependency. Numbers keep their
+ * raw token alongside the double so 64-bit integers read back exactly
+ * (asU64/asI64); \uXXXX escapes decode to UTF-8, surrogate pairs
+ * included.
  */
 
 #ifndef BPD_OBS_JSON_HPP
 #define BPD_OBS_JSON_HPP
 
 #include <cctype>
+#include <cstdint>
 #include <cstdlib>
 #include <map>
 #include <string>
@@ -24,6 +27,7 @@ struct Value
     Type type = Type::Null;
     bool boolean = false;
     double number = 0.0;
+    std::string raw; //!< number token as it appeared in the input
     std::string str;
     std::vector<Value> arr;
     std::map<std::string, Value> obj;
@@ -32,6 +36,34 @@ struct Value
     bool isArray() const { return type == Type::Array; }
     bool isNumber() const { return type == Type::Number; }
     bool isString() const { return type == Type::String; }
+
+    /** True when the raw token has no fraction/exponent part. */
+    bool isIntegerToken() const
+    {
+        return !raw.empty()
+               && raw.find_first_of(".eE") == std::string::npos;
+    }
+
+    /**
+     * Exact unsigned 64-bit read. A double only holds 53 bits of
+     * mantissa, so values like 2^53+1 or 0xFFFFFFFFFFFFFFFF round
+     * when read via `number`; integer tokens re-parse from the raw
+     * text instead.
+     */
+    std::uint64_t asU64() const
+    {
+        if (isIntegerToken())
+            return std::strtoull(raw.c_str(), nullptr, 10);
+        return static_cast<std::uint64_t>(number);
+    }
+
+    /** Exact signed 64-bit read (see asU64). */
+    std::int64_t asI64() const
+    {
+        if (isIntegerToken())
+            return std::strtoll(raw.c_str(), nullptr, 10);
+        return static_cast<std::int64_t>(number);
+    }
 
     /** Object member lookup; nullptr when absent or not an object. */
     const Value *find(const std::string &key) const
@@ -179,12 +211,32 @@ class Parser
                 case 'r': out += '\r'; break;
                 case 'b': out += '\b'; break;
                 case 'f': out += '\f'; break;
-                case 'u':
-                    // Passthrough: keep the raw escape text.
-                    out += "\\u";
-                    for (int i = 0; i < 4 && p_ + 1 != end_; ++i)
-                        out += *++p_;
+                case 'u': {
+                    unsigned cp;
+                    if (!parseHex4(cp, err))
+                        return false;
+                    if (cp >= 0xD800 && cp <= 0xDBFF
+                        && end_ - p_ >= 7 && p_[1] == '\\'
+                        && p_[2] == 'u') {
+                        // High surrogate followed by another escape:
+                        // combine if it is a low surrogate, otherwise
+                        // rewind and let the loop handle it.
+                        const char *save = p_;
+                        p_ += 2;
+                        unsigned lo;
+                        if (!parseHex4(lo, err))
+                            return false;
+                        if (lo >= 0xDC00 && lo <= 0xDFFF)
+                            cp = 0x10000 + ((cp - 0xD800) << 10)
+                                 + (lo - 0xDC00);
+                        else
+                            p_ = save;
+                    }
+                    if (cp >= 0xD800 && cp <= 0xDFFF)
+                        cp = 0xFFFD; // unpaired surrogate
+                    appendUtf8(out, cp);
                     break;
+                }
                 default: out += *p_;
                 }
                 ++p_;
@@ -224,6 +276,51 @@ class Parser
         return fail(err, "bad literal");
     }
 
+    /**
+     * Read XXXX of a \uXXXX escape. On entry @c p_ points at the 'u';
+     * on success it points at the last hex digit (the loop's trailing
+     * increment then steps past it).
+     */
+    bool parseHex4(unsigned &cp, std::string &err)
+    {
+        if (end_ - p_ < 5)
+            return fail(err, "truncated \\u escape");
+        cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = *++p_;
+            unsigned d;
+            if (c >= '0' && c <= '9')
+                d = static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                d = static_cast<unsigned>(c - 'a') + 10;
+            else if (c >= 'A' && c <= 'F')
+                d = static_cast<unsigned>(c - 'A') + 10;
+            else
+                return fail(err, "bad \\u escape");
+            cp = cp * 16 + d;
+        }
+        return true;
+    }
+
+    static void appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
     bool parseNumber(Value &out, std::string &err)
     {
         char *numEnd = nullptr;
@@ -231,6 +328,7 @@ class Parser
         out.number = std::strtod(p_, &numEnd);
         if (numEnd == p_)
             return fail(err, "bad number");
+        out.raw.assign(p_, static_cast<std::size_t>(numEnd - p_));
         p_ = numEnd;
         return true;
     }

@@ -14,6 +14,7 @@
 #include "obs/json.hpp"
 #include "sim/logging.hpp"
 #include "spdk/spdk.hpp"
+#include "ssd/block_store.hpp"
 
 namespace bpd::obs {
 
@@ -28,48 +29,216 @@ isDataOp(std::uint8_t op)
            || op == ReplayRec::Fsync;
 }
 
+/** Round @p v up to the block store's extent size. */
+std::uint64_t
+alignExtent(std::uint64_t v)
+{
+    constexpr std::uint64_t e = ssd::BlockStore::kExtentBytes;
+    return (v + e - 1) / e * e;
+}
+
+/**
+ * File→raw-region mapping (trace_replay --engine spdk): rewrite a
+ * file-backed capture so it drives the exclusive userspace driver.
+ * Every recorded file becomes a contiguous extent-aligned slab of
+ * raw device bytes, assigned in first-touch order starting past any
+ * raw addresses already in the stream, and data ops are rewritten to
+ * DevAddr = regionBase + offset with engine = Spdk. Ops that depend
+ * on fs semantics with no raw equivalent are refused: data ops
+ * reaching past a file's recorded create size (EOF growth) and
+ * mid-workload kernel file opens (the exclusive claim disables the
+ * kernel queues). Fsync becomes a no-op barrier — the lane chain
+ * already orders it — unless opt.strict asks for a refusal instead.
+ */
+bool
+mapOntoSpdk(const RecordedProcess &rec, const ReplayOptions &opt,
+            std::uint64_t deviceBytes, std::vector<ReplayRec> &ops,
+            std::vector<RegionMapEntry> &map, std::string &error)
+{
+    struct FileInfo
+    {
+        std::uint64_t createdBytes = 0; //!< 0 = no Create record seen
+        std::uint64_t maxEnd = 0;       //!< max(offset + len) over data ops
+    };
+    std::map<std::uint32_t, FileInfo> infos;
+    std::vector<std::uint32_t> firstTouch;
+    std::uint64_t rawEnd = 0;
+    std::set<std::uint32_t> dataProcs;
+
+    auto laneDropped = [&](const ReplayRec &r) {
+        return opt.lanes && r.lane != ReplayRec::kMainLane
+               && r.lane >= opt.lanes;
+    };
+    auto touch = [&](std::uint32_t f) -> FileInfo & {
+        auto [it, fresh] = infos.try_emplace(f);
+        if (fresh)
+            firstTouch.push_back(f);
+        return it->second;
+    };
+    auto path = [&](std::uint32_t f) {
+        return f < rec.files.size()
+                   ? rec.files[f]
+                   : "<file " + std::to_string(f) + ">";
+    };
+
+    for (const ReplayRec &r : rec.ops) {
+        if (laneDropped(r))
+            continue;
+        const bool hasFile = r.file != ReplayRec::kNoFile;
+        if (r.op == ReplayRec::Create && hasFile) {
+            // Create records carry the file size in the offset cell.
+            FileInfo &fi = touch(r.file);
+            fi.createdBytes = std::max(fi.createdBytes, r.offset);
+        } else if (r.op == ReplayRec::Fsync) {
+            if (opt.strict) {
+                error = "--strict: fsync on \"" + path(r.file)
+                        + "\" has no raw equivalent on the spdk path";
+                return false;
+            }
+            dataProcs.insert(r.proc);
+        } else if (isDataOp(r.op)) {
+            dataProcs.insert(r.proc);
+            if (hasFile)
+                touch(r.file).maxEnd
+                    = std::max(touch(r.file).maxEnd, r.offset + r.len);
+            else
+                rawEnd = std::max(rawEnd, r.offset + r.len);
+        } else if ((r.op == ReplayRec::Open || r.op == ReplayRec::Close)
+                   && r.lane != ReplayRec::kMainLane
+                   && static_cast<wl::Engine>(r.engine)
+                          != wl::Engine::Spdk) {
+            // e.g. fig12's intruder open: a kernel file op in the
+            // middle of the stream needs the fs and the kernel
+            // queues, both disabled under an exclusive spdk claim.
+            error = "stream performs a kernel file "
+                    + std::string(r.op == ReplayRec::Open ? "open"
+                                                          : "close")
+                    + " of \"" + path(r.file)
+                    + "\" mid-workload; no raw equivalent under an "
+                      "exclusive spdk claim";
+            return false;
+        }
+    }
+    for (const auto &[f, fi] : infos) {
+        if (fi.createdBytes && fi.maxEnd > fi.createdBytes) {
+            error = sim::strf(
+                "data ops on \"%s\" reach byte %llu past its recorded "
+                "create size %llu; EOF/growth semantics have no raw "
+                "equivalent",
+                path(f).c_str(), (unsigned long long)fi.maxEnd,
+                (unsigned long long)fi.createdBytes);
+            return false;
+        }
+    }
+    if (dataProcs.size() > 1) {
+        error = sim::strf("stream issues data ops from %zu processes; "
+                          "the spdk claim is exclusive to one",
+                          dataProcs.size());
+        return false;
+    }
+
+    // Deterministic first-touch layout, extent-aligned, past the raw
+    // addresses the capture already uses.
+    std::uint64_t cursor = alignExtent(rawEnd);
+    std::map<std::uint32_t, std::size_t> slotOf;
+    for (std::uint32_t f : firstTouch) {
+        const FileInfo &fi = infos[f];
+        RegionMapEntry e;
+        e.file = f;
+        e.path = path(f);
+        e.base = cursor;
+        e.bytes = alignExtent(std::max<std::uint64_t>(
+            std::max(fi.createdBytes, fi.maxEnd), 1));
+        cursor += e.bytes;
+        slotOf[f] = map.size();
+        map.push_back(std::move(e));
+    }
+    if (deviceBytes && cursor > deviceBytes) {
+        error = sim::strf("mapped regions need %llu bytes but the "
+                          "recorded device has %llu",
+                          (unsigned long long)cursor,
+                          (unsigned long long)deviceBytes);
+        return false;
+    }
+
+    for (ReplayRec r : rec.ops) {
+        if (laneDropped(r))
+            continue;
+        if (opt.lanes
+            && (r.op == ReplayRec::CpuAcquire
+                || r.op == ReplayRec::CpuRelease))
+            r.offset = std::min<std::uint64_t>(r.offset, opt.lanes);
+        switch (static_cast<Op>(r.op)) {
+          case ReplayRec::Create:
+          case ReplayRec::Open:
+          case ReplayRec::PrepThread:
+          case ReplayRec::Close:
+            // Engine and fs setup: there is no file system on the raw
+            // path and the replayer claims the spdk driver lazily.
+            break;
+          case ReplayRec::Read:
+          case ReplayRec::Write:
+          case ReplayRec::Fsync:
+            if (r.op != ReplayRec::Fsync
+                && r.file != ReplayRec::kNoFile) {
+                RegionMapEntry &e = map[slotOf.at(r.file)];
+                r.offset += e.base;
+                e.ops++;
+            }
+            r.engine = static_cast<std::uint8_t>(wl::Engine::Spdk);
+            ops.push_back(r);
+            break;
+          default: ops.push_back(r);
+        }
+    }
+    return true;
+}
+
 /**
  * Apply lane capping and engine-override rewriting to the recorded
  * stream. Under an override, main-lane Open/PrepThread/Close records
  * are engine-specific setup and are dropped (the replayer resolves
  * handles for the target engine lazily); lane-scoped ones (e.g. the
  * fig12 intruder's buffered open) are semantic workload steps and
- * survive untouched.
+ * survive untouched. SPDK as the target engine goes through
+ * mapOntoSpdk instead, which lays files out as raw device regions.
  */
 bool
 transformOps(const RecordedProcess &rec, const ReplayOptions &opt,
-             std::vector<ReplayRec> &ops, std::string &error)
+             std::uint64_t deviceBytes, std::vector<ReplayRec> &ops,
+             std::vector<RegionMapEntry> &map, std::string &error)
 {
     const bool override_ = opt.engine >= 0;
     if (override_
         && opt.engine == static_cast<int>(wl::Engine::Spdk)) {
-        error = "spdk cannot be a replay target: raw device addresses "
-                "are not derivable from file-relative records";
-        return false;
-    }
-    for (ReplayRec r : rec.ops) {
-        if (opt.lanes && r.lane != ReplayRec::kMainLane
-            && r.lane >= opt.lanes)
-            continue;
-        if (opt.lanes
-            && (r.op == ReplayRec::CpuAcquire
-                || r.op == ReplayRec::CpuRelease))
-            r.offset = std::min<std::uint64_t>(r.offset, opt.lanes);
-        if (override_) {
-            if ((r.op == ReplayRec::Open || r.op == ReplayRec::PrepThread
-                 || r.op == ReplayRec::Close)
-                && r.lane == ReplayRec::kMainLane)
+        if (!mapOntoSpdk(rec, opt, deviceBytes, ops, map, error))
+            return false;
+    } else {
+        for (ReplayRec r : rec.ops) {
+            if (opt.lanes && r.lane != ReplayRec::kMainLane
+                && r.lane >= opt.lanes)
                 continue;
-            if (isDataOp(r.op)) {
-                if (r.file == ReplayRec::kNoFile) {
-                    error = "raw-address (spdk) records cannot be "
-                            "replayed under an engine override";
-                    return false;
+            if (opt.lanes
+                && (r.op == ReplayRec::CpuAcquire
+                    || r.op == ReplayRec::CpuRelease))
+                r.offset = std::min<std::uint64_t>(r.offset, opt.lanes);
+            if (override_) {
+                if ((r.op == ReplayRec::Open
+                     || r.op == ReplayRec::PrepThread
+                     || r.op == ReplayRec::Close)
+                    && r.lane == ReplayRec::kMainLane)
+                    continue;
+                if (isDataOp(r.op)) {
+                    if (r.file == ReplayRec::kNoFile) {
+                        error = "raw-address (spdk) records cannot be "
+                                "replayed under a file-engine override";
+                        return false;
+                    }
+                    r.engine = static_cast<std::uint8_t>(opt.engine);
                 }
-                r.engine = static_cast<std::uint8_t>(opt.engine);
             }
+            ops.push_back(r);
         }
-        ops.push_back(r);
     }
     if (ops.empty()) {
         error = "no replayable records after filtering";
@@ -601,12 +770,27 @@ class Replayer
             break;
           }
           case wl::Engine::Spdk: {
+            if (r.op == ReplayRec::Fsync) {
+                if (opt_.engine == static_cast<int>(wl::Engine::Spdk))
+                    // Mapped fsync: the lane chain already orders it
+                    // and raw spdk has no durability command, so the
+                    // barrier completes immediately.
+                    finish(i, 0);
+                else
+                    fail("replay: fsync has no spdk equivalent");
+                break;
+            }
             auto it = spdks_.find(r.proc);
-            if (it == spdks_.end())
-                return fail("replay: spdk record without a recorded "
-                            "driver claim");
-            if (r.op == ReplayRec::Fsync)
-                return fail("replay: fsync has no spdk equivalent");
+            if (it == spdks_.end()) {
+                // Lazily claim for streams mapped from file engines
+                // (their recorded setup opens were dropped).
+                auto drv = std::make_unique<spdk::SpdkDriver>(
+                    s_.eq, s_.dev, s_.kernel.cpu(), p->pasid());
+                if (!drv->init())
+                    return fail("replay: spdk exclusive claim failed "
+                                "(device already owned)");
+                it = spdks_.emplace(r.proc, std::move(drv)).first;
+            }
             if (isWrite)
                 it->second->write(r.tid, r.offset, b, cb);
             else
@@ -723,15 +907,14 @@ loadRecordedTrace(const std::string &path, RecordedTrace &out,
             v && v->isObject()) {
             for (const auto &[k, val] : v->obj)
                 if (val.isNumber())
-                    p.counters.emplace_back(
-                        k, static_cast<std::uint64_t>(val.number));
+                    p.counters.emplace_back(k, val.asU64());
         }
         if (const json::Value *v = pv.find("digest"); v && v->isString())
             p.digest = std::strtoull(v->str.c_str(), nullptr, 16);
         if (const json::Value *v = pv.find("events"); v && v->isNumber())
-            p.events = static_cast<std::uint64_t>(v->number);
+            p.events = v->asU64();
         if (const json::Value *v = pv.find("sim_ns"); v && v->isNumber())
-            p.simNs = static_cast<Time>(v->number);
+            p.simNs = static_cast<Time>(v->asU64());
         if (const json::Value *v = pv.find("files"); v && v->isArray()) {
             for (const json::Value &fv : v->arr)
                 if (fv.isString())
@@ -758,21 +941,24 @@ loadRecordedTrace(const std::string &path, RecordedTrace &out,
                 }
                 const auto &a = row.arr;
                 const std::size_t t = a.size() == 13 ? 1 : 0;
+                // Exact integer reads: the exporter writes these cells
+                // with %PRIu64/%PRId64, and offset/aux/len above 2^53
+                // would silently round through the parser's double.
                 ReplayRec r;
-                r.op = static_cast<std::uint8_t>(a[0].number);
-                r.engine = static_cast<std::uint8_t>(a[1].number);
-                r.lane = static_cast<std::uint16_t>(a[2].number);
-                r.proc = static_cast<std::uint32_t>(a[3].number);
-                r.tenant = t ? static_cast<TenantId>(a[4].number)
+                r.op = static_cast<std::uint8_t>(a[0].asU64());
+                r.engine = static_cast<std::uint8_t>(a[1].asU64());
+                r.lane = static_cast<std::uint16_t>(a[2].asU64());
+                r.proc = static_cast<std::uint32_t>(a[3].asU64());
+                r.tenant = t ? static_cast<TenantId>(a[4].asU64())
                              : static_cast<TenantId>(r.proc);
-                r.tid = static_cast<std::uint32_t>(a[4 + t].number);
-                r.file = static_cast<std::uint32_t>(a[5 + t].number);
-                r.offset = static_cast<std::uint64_t>(a[6 + t].number);
-                r.len = static_cast<std::uint64_t>(a[7 + t].number);
-                r.aux = static_cast<std::uint64_t>(a[8 + t].number);
-                r.issue = static_cast<Time>(a[9 + t].number);
-                r.complete = static_cast<Time>(a[10 + t].number);
-                r.result = static_cast<std::int64_t>(a[11 + t].number);
+                r.tid = static_cast<std::uint32_t>(a[4 + t].asU64());
+                r.file = static_cast<std::uint32_t>(a[5 + t].asU64());
+                r.offset = a[6 + t].asU64();
+                r.len = a[7 + t].asU64();
+                r.aux = a[8 + t].asU64();
+                r.issue = static_cast<Time>(a[9 + t].asU64());
+                r.complete = static_cast<Time>(a[10 + t].asU64());
+                r.result = a[11 + t].asI64();
                 p.ops.push_back(r);
             }
         }
@@ -798,10 +984,6 @@ replayRun(const RecordedProcess &rec, const ReplayOptions &opt,
         return false;
     }
 
-    std::vector<ReplayRec> ops;
-    if (!transformOps(rec, opt, ops, error))
-        return false;
-
     sys::SystemConfig cfg
         = rec.hasMeta ? configFromMap(rec.config) : sys::SystemConfig{};
     if (opt.iotlbEntries >= 0)
@@ -816,6 +998,12 @@ replayRun(const RecordedProcess &rec, const ReplayOptions &opt,
         cfg.ssd.readBaseNs = static_cast<Time>(opt.ssdReadNs);
     if (opt.ssdWriteNs >= 0)
         cfg.ssd.writeBaseNs = static_cast<Time>(opt.ssdWriteNs);
+
+    std::vector<ReplayRec> ops;
+    std::vector<RegionMapEntry> regions;
+    if (!transformOps(rec, opt, cfg.deviceBytes, ops, regions, error))
+        return false;
+    out.regionMap = std::move(regions);
 
     sim::setVerbose(false);
     Replayer rp(rec, opt, cfg, std::move(ops));

@@ -205,6 +205,12 @@ struct ReplayOptions
     std::int64_t walkCacheEntries = -1;
     std::int64_t ssdReadNs = -1;  //!< SSD read base latency override
     std::int64_t ssdWriteNs = -1; //!< SSD write base latency override
+    /**
+     * Refuse instead of approximate when mapping a file capture onto
+     * the raw SPDK path: fsync records (normally replayed as a no-op
+     * barrier) become a hard error.
+     */
+    bool strict = false;
 
     bool
     overridesConfig() const
@@ -230,6 +236,24 @@ struct LaneDrift
     Time maxAbsNs = 0;      //!< worst single-record issue drift
 };
 
+/**
+ * One recorded file laid out as a contiguous raw device region for
+ * SPDK-target replay (trace_replay --engine spdk). Regions are
+ * assigned by a deterministic first-touch allocator: files get
+ * extent-aligned (ssd::BlockStore::kExtentBytes) slabs in the order
+ * the stream first references them, starting past any raw addresses
+ * already present in the capture. Two loads of the same trace always
+ * produce the same table.
+ */
+struct RegionMapEntry
+{
+    std::uint32_t file = 0;  //!< index into RecordedProcess::files
+    std::string path;        //!< recorded file name
+    DevAddr base = 0;        //!< region start (device byte address)
+    std::uint64_t bytes = 0; //!< extent-aligned region size
+    std::uint64_t ops = 0;   //!< data ops rewritten into this region
+};
+
 struct ReplayResult
 {
     std::uint64_t digest = 0; //!< replayDigest of the replayed stream
@@ -241,13 +265,16 @@ struct ReplayResult
     std::vector<std::pair<std::string, std::uint64_t>> counters;
     std::vector<std::pair<std::string, double>> config; //!< as applied
     std::vector<LaneDrift> laneDrift; //!< sorted by (proc, lane)
+    std::vector<RegionMapEntry> regionMap; //!< SPDK target only
 };
 
 /**
  * Re-drive one recorded process stream on a fresh System. Returns
  * false (with @p error set) for unreplayable inputs: partial traces,
- * empty streams, SPDK as an override target, or raw-address records
- * under an engine override.
+ * empty streams, raw-address records under a non-SPDK engine
+ * override, or file streams whose ops depend on fs semantics with no
+ * raw equivalent when SPDK is the target (see DESIGN.md §10,
+ * "Raw-region mapping").
  */
 bool replayRun(const RecordedProcess &rec, const ReplayOptions &opt,
                ReplayResult &out, std::string &error);

@@ -12,7 +12,8 @@ SpdkDriver::SpdkDriver(sim::EventQueue &eq, ssd::NvmeDevice &dev,
 
 SpdkDriver::~SpdkDriver()
 {
-    shutdown();
+    *alive_ = false; // queued drain polls must not touch freed state
+    teardown();
 }
 
 bool
@@ -31,12 +32,47 @@ SpdkDriver::shutdown()
 {
     if (!initialized_)
         return;
+    if (pendingIos_ > 0) {
+        // Completions are still in flight. Destroying queue pairs and
+        // dispatchers now would let device callbacks fire into freed
+        // state, and releasing the claim would re-enable other users
+        // while our DMA is outstanding. Drain first.
+        if (!draining_) {
+            draining_ = true;
+            scheduleDrainPoll();
+        }
+        return;
+    }
+    teardown();
+}
+
+void
+SpdkDriver::scheduleDrainPoll()
+{
+    eq_.after(kUs, [this, alive = alive_] {
+        if (!*alive)
+            return;
+        if (pendingIos_ > 0) {
+            scheduleDrainPoll();
+            return;
+        }
+        teardown();
+    });
+}
+
+void
+SpdkDriver::teardown()
+{
+    if (!initialized_)
+        return;
+    sim::panicIf(pendingIos_ > 0, "SPDK teardown with I/O in flight");
     for (auto &[tid, tc] : threads_) {
         if (tc.qp)
             dev_.destroyQueuePair(tc.qp->qid());
     }
     threads_.clear();
     dev_.releaseExclusive(owner_);
+    draining_ = false;
     initialized_ = false;
 }
 
@@ -74,6 +110,8 @@ SpdkDriver::doIo(Tid tid, ssd::Op op, DevAddr addr,
                  std::span<std::uint8_t> buf, kern::IoCb cb)
 {
     sim::panicIf(!initialized_, "SPDK I/O before init()");
+    sim::panicIf(draining_, "SPDK I/O submitted during shutdown drain");
+    pendingIos_++;
     const Time start = eq_.now();
 
     obs::TraceId trace = 0;
@@ -118,6 +156,7 @@ SpdkDriver::doIo(Tid tid, ssd::Op op, DevAddr addr,
                     const Time total = eq_.now() - start;
                     tr.deviceNs = comp.completeTime - tSubmit;
                     tr.userNs = total - tr.deviceNs;
+                    pendingIos_--;
                     cb(comp.status == ssd::Status::Success
                            ? static_cast<long long>(buf.size())
                            : kern::errOf(fs::FsStatus::Inval),

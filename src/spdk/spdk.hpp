@@ -47,10 +47,20 @@ class SpdkDriver
      */
     bool init();
 
-    /** Release the claim and re-enable other users. */
+    /**
+     * Release the claim and re-enable other users. With I/O still in
+     * flight the release is deferred: queue pairs and dispatchers
+     * must outlive their completions, and the exclusive claim must
+     * hold while DMA is outstanding, so teardown polls until the last
+     * completion reaps and only then destroys queues and releases the
+     * device. initialized() stays true until that happens.
+     */
     void shutdown();
 
     bool initialized() const { return initialized_; }
+
+    /** I/Os submitted but not yet reaped. */
+    std::uint64_t pendingIos() const { return pendingIos_; }
 
     /** Raw read of @p buf.size() bytes at device byte address @p addr. */
     void read(Tid tid, DevAddr addr, std::span<std::uint8_t> buf,
@@ -70,6 +80,8 @@ class SpdkDriver
     ThreadCtx &ctx(Tid tid);
     void doIo(Tid tid, ssd::Op op, DevAddr addr,
               std::span<std::uint8_t> buf, kern::IoCb cb);
+    void scheduleDrainPoll();
+    void teardown();
 
     sim::EventQueue &eq_;
     ssd::NvmeDevice &dev_;
@@ -77,6 +89,10 @@ class SpdkDriver
     Pasid owner_;
     SpdkCosts costs_;
     bool initialized_ = false;
+    bool draining_ = false;        //!< shutdown requested, I/O pending
+    std::uint64_t pendingIos_ = 0; //!< submitted, not yet reaped
+    /** Cancels queued drain polls if the driver is destroyed first. */
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
     std::map<Tid, ThreadCtx> threads_;
 };
 

@@ -17,6 +17,16 @@ System::System(SystemConfig config)
 {
 }
 
+System::~System()
+{
+    // Members destroy in reverse declaration order, so `module` is
+    // gone by the time `kernel` drops its processes — and with them
+    // any UserLib whose destructor unwinds user queues through the
+    // module. Detach the shims here while every layer is still alive.
+    kernel.forEachProcess(
+        [](kern::Process &p) { p.userLibOwner.reset(); });
+}
+
 kern::Process &
 System::newProcess(std::uint32_t uid, std::uint32_t gid)
 {

@@ -45,6 +45,7 @@ class System
 {
   public:
     explicit System(SystemConfig cfg = {});
+    ~System();
     System(const System &) = delete;
     System &operator=(const System &) = delete;
 

@@ -58,6 +58,47 @@ TEST(Spdk, ExclusiveClaimBlocksKernelAndOthers)
     EXPECT_EQ(kPread(s, p, fd, buf2, 0).n, 4096);
 }
 
+TEST(Spdk, ShutdownWithQueuedIoDrainsFirst)
+{
+    sim::setVerbose(false);
+    sys::System s(smallConfig());
+    kern::Process &p = s.newProcess();
+
+    spdk::SpdkDriver drv(s.eq, s.dev, s.kernel.cpu(), p.pasid());
+    ASSERT_TRUE(drv.init());
+
+    // Queue I/O and call shutdown() before any of it completes.
+    // Queue pairs and dispatchers must survive until the completions
+    // reap, and the exclusive claim must hold while DMA is in flight.
+    constexpr int kIos = 8;
+    int completions = 0;
+    std::vector<std::uint8_t> buf(4096);
+    for (int i = 0; i < kIos; i++)
+        drv.read(0, (256ull + i) << 20, buf,
+                 [&](long long n, kern::IoTrace) {
+                     EXPECT_EQ(n, 4096);
+                     completions++;
+                 });
+    EXPECT_EQ(drv.pendingIos(), (std::uint64_t)kIos);
+
+    drv.shutdown();
+    // Deferred: the claim is still ours until the queue drains.
+    EXPECT_TRUE(drv.initialized());
+    EXPECT_EQ(completions, 0);
+
+    s.run();
+    // Every callback fired exactly once, then the release happened.
+    EXPECT_EQ(completions, kIos);
+    EXPECT_EQ(drv.pendingIos(), 0u);
+    EXPECT_FALSE(drv.initialized());
+
+    // The device is free again for another claimant.
+    kern::Process &p2 = s.newProcess();
+    spdk::SpdkDriver drv2(s.eq, s.dev, s.kernel.cpu(), p2.pasid());
+    EXPECT_TRUE(drv2.init());
+    drv2.shutdown();
+}
+
 // --- XRP ---
 
 TEST(Xrp, ChainedLookupCheaperThanSyncChain)

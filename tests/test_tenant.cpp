@@ -148,20 +148,19 @@ TEST(TenantSums, SurvivesRevocationFallback)
     std::uint64_t opsAfterRevoke = 0;
     Time revokeAt = 0;
 
-    auto loop = std::make_shared<std::function<void()>>();
-    *loop = [&, loop]() {
+    std::function<void()> loop = [&]() {
         if (s->now() >= tEnd)
             return;
         const std::uint64_t off
             = rng.nextUint((8ull << 20) / 4096) * 4096;
-        lib.pread(0, fd, buf, off, [&, loop](long long n, kern::IoTrace) {
+        lib.pread(0, fd, buf, off, [&](long long n, kern::IoTrace) {
             ASSERT_GT(n, 0);
             if (revokeAt != 0)
                 opsAfterRevoke++;
-            (*loop)();
+            loop();
         });
     };
-    (*loop)();
+    loop();
 
     kern::Process &intruder = s->newProcess(1001, 1001);
     s->eq.schedule(10 * kMs, [&]() {

@@ -16,7 +16,12 @@
  *   --emit-capture FILE     write the *recorded* metadata in the same
  *                           schema, for diffing capture vs replay
  *   --engine E              re-drive under engine E (sync, libaio,
- *                           io_uring, bypassd)
+ *                           io_uring, spdk, bypassd); spdk lays the
+ *                           recorded files out as raw device regions
+ *                           (DESIGN.md §10, "Raw-region mapping")
+ *   --strict                with --engine spdk, refuse fsync records
+ *                           instead of replaying them as no-op
+ *                           barriers
  *   --lanes N               replay only the first N lanes
  *   --iotlb-entries N       IOTLB capacity override
  *   --iotlb-ways N          IOTLB associativity override
@@ -50,8 +55,9 @@ usage(const char *argv0)
                  "usage: %s TRACE.json [--list] [--label NAME] "
                  "[--verify] [--drift]\n"
                  "          [--out FILE] [--emit-capture FILE]\n"
-                 "          [--engine sync|libaio|io_uring|bypassd] "
-                 "[--lanes N]\n"
+                 "          [--engine sync|libaio|io_uring|spdk|bypassd]"
+                 " [--strict]\n"
+                 "          [--lanes N]\n"
                  "          [--iotlb-entries N] [--iotlb-ways N] "
                  "[--walk-cache-entries N]\n"
                  "          [--ssd-read-ns N] [--ssd-write-ns N]\n",
@@ -172,6 +178,8 @@ main(int argc, char **argv)
             verify = true;
         } else if (a == "--drift") {
             drift = true;
+        } else if (a == "--strict") {
+            opt.strict = true;
         } else if (a == "--out" && i + 1 < argc) {
             outPath = argv[++i];
         } else if (a == "--emit-capture" && i + 1 < argc) {
@@ -291,12 +299,57 @@ main(int argc, char **argv)
         rr.metric = static_cast<double>(res.ops);
         rr.counters = res.counters;
         rr.digest = res.digest;
+
+        // Mapping table and per-lane drift ride along as flat counter
+        // keys: perf_report's union-of-keys diff annotates them as
+        // (added) against the capture without failing, so a BypassD
+        // capture diffs directly against its SPDK lower-bound replay.
+        if (!res.regionMap.empty()) {
+            std::uint64_t totalBytes = 0;
+            for (const auto &e : res.regionMap)
+                totalBytes += e.bytes;
+            rr.counters.emplace_back("map.regions",
+                                     res.regionMap.size());
+            rr.counters.emplace_back("map.bytes", totalBytes);
+            for (std::size_t j = 0; j < res.regionMap.size(); j++) {
+                const auto &e = res.regionMap[j];
+                const std::string pre
+                    = "map.r" + std::to_string(j) + ".";
+                rr.counters.emplace_back(pre + "base", e.base);
+                rr.counters.emplace_back(pre + "bytes", e.bytes);
+                rr.counters.emplace_back(pre + "ops", e.ops);
+            }
+        }
+        for (const auto &d : res.laneDrift) {
+            const std::string lane
+                = d.lane == obs::ReplayRec::kMainLane
+                      ? std::string("main")
+                      : "l" + std::to_string(d.lane);
+            const std::string pre = "drift.p" + std::to_string(d.proc)
+                                    + "." + lane + ".";
+            rr.counters.emplace_back(
+                pre + "mean_ns",
+                static_cast<std::uint64_t>(d.meanAbsNs + 0.5));
+            rr.counters.emplace_back(pre + "max_ns",
+                                     (std::uint64_t)d.maxAbsNs);
+        }
         replayRows.push_back(std::move(rr));
 
         std::printf("%-28s ops=%-8" PRIu64 " sim_ns=%-12" PRIu64
                     " events=%-9" PRIu64 " digest=%016" PRIx64 "\n",
                     p.name.c_str(), res.ops, (std::uint64_t)res.simNs,
                     res.events, res.digest);
+
+        if (!res.regionMap.empty()) {
+            std::printf("  raw-region map (file -> device bytes):\n");
+            std::printf("    %-12s %-12s %-8s %s\n", "base", "bytes",
+                        "ops", "path");
+            for (const auto &e : res.regionMap)
+                std::printf("    %-12" PRIu64 " %-12" PRIu64 " %-8"
+                            PRIu64 " %s\n",
+                            (std::uint64_t)e.base, e.bytes, e.ops,
+                            e.path.c_str());
+        }
 
         if (drift) {
             std::printf("  issue-time drift vs capture:\n");
