@@ -24,14 +24,26 @@
  * journal commits, ...) are embedded flat in each scenario object so
  * perf_report can diff them between runs.
  *
- * Usage: perf_harness [--quick] [--label NAME] [--out FILE]
+ * --shards N runs every scenario under the conservative-window sharded
+ * executor (src/sim/sim_executor.hpp). The three single-machine
+ * scenarios are one domain each — same event order, so their digests
+ * are bit-identical at any shard count (CI asserts this); the fleet
+ * scenario spreads its machines across the shards and is where the
+ * wall-clock speedup comes from. --shards 1 is the plain
+ * single-threaded path, byte-for-byte.
+ *
+ * Usage: perf_harness [--quick] [--shards N] [--label NAME] [--out FILE]
  *                     [--trace FILE] [--metrics FILE] [--trace-level N]
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <sys/resource.h>
@@ -39,6 +51,8 @@
 #include "apps/wiredtiger.hpp"
 #include "bench/common.hpp"
 #include "bench/recording.hpp"
+#include "sim/sim_executor.hpp"
+#include "system/fleet.hpp"
 #include "workloads/fio.hpp"
 
 using namespace bpd;
@@ -102,6 +116,16 @@ struct ScenarioResult
         std::uint64_t deviceOps = 0;
     } counters;
 
+    /** Sharded-executor stats (present when run under an executor). */
+    unsigned shards = 1;
+    bool sharded = false;
+    std::uint64_t domains = 0;
+    Time lookaheadNs = 0; //!< 0 encodes "unbounded" (no channels)
+    std::uint64_t windows = 0;
+    std::uint64_t messages = 0;
+    double barrierStallSec = 0;
+    std::vector<std::uint64_t> shardEvents;
+
     double
     eventsPerSec() const
     {
@@ -109,17 +133,52 @@ struct ScenarioResult
     }
 };
 
+/** Accumulate @p s's counters into @p r (fleets sum their machines). */
 void
 fillCounters(ScenarioResult &r, sys::System &s)
 {
-    r.counters.iotlbHits = s.iommu.iotlb().hits();
-    r.counters.iotlbMisses = s.iommu.iotlb().misses();
-    r.counters.walkCacheMisses = s.iommu.walkCache().misses();
-    r.counters.pageWalkFrames = s.iommu.framesRead();
-    r.counters.journalCommits = s.ext4.journal().committedTxns();
-    r.counters.syscalls = s.kernel.syscallCount();
-    r.counters.vbaTranslations = s.iommu.vbaTranslations();
-    r.counters.deviceOps = s.dev.totalOps();
+    r.counters.iotlbHits += s.iommu.iotlb().hits();
+    r.counters.iotlbMisses += s.iommu.iotlb().misses();
+    r.counters.walkCacheMisses += s.iommu.walkCache().misses();
+    r.counters.pageWalkFrames += s.iommu.framesRead();
+    r.counters.journalCommits += s.ext4.journal().committedTxns();
+    r.counters.syscalls += s.kernel.syscallCount();
+    r.counters.vbaTranslations += s.iommu.vbaTranslations();
+    r.counters.deviceOps += s.dev.totalOps();
+}
+
+void
+fillShardStats(ScenarioResult &r, const sim::SimExecutor &ex)
+{
+    r.sharded = true;
+    r.shards = ex.shardCount();
+    r.domains = ex.domainCount();
+    r.lookaheadNs = ex.lookahead() == sim::kNever ? 0 : ex.lookahead();
+    r.windows = ex.windows();
+    r.messages = ex.delivered();
+    r.barrierStallSec = 0;
+    r.shardEvents.clear();
+    for (unsigned s = 0; s < ex.shardCount(); s++) {
+        r.barrierStallSec += ex.shardStallSec(s);
+        r.shardEvents.push_back(ex.shardEvents(s));
+    }
+}
+
+/**
+ * Route a single-machine scenario through the executor when --shards
+ * asks for one: the machine is one domain, so execution is the plain
+ * event loop with barrier bookkeeping around it — digests must not
+ * move. Returns null at --shards 1, keeping the exact baseline path.
+ */
+std::unique_ptr<sim::SimExecutor>
+bindSingle(sys::System &s, unsigned shards, const std::string &label)
+{
+    if (shards <= 1)
+        return nullptr;
+    auto ex = std::make_unique<sim::SimExecutor>(shards);
+    const std::uint32_t dom = ex->addDomain(s.eq, 0, label);
+    s.bindExecutor(ex.get(), dom);
+    return ex;
 }
 
 double
@@ -132,7 +191,7 @@ wallNow()
 
 /** Fig. 9 cell: 24 threads of 4 KiB BypassD random reads. */
 ScenarioResult
-runFig9Randread(bool quick, bench::ObsCapture &obs)
+runFig9Randread(bool quick, unsigned shards, bench::ObsCapture &obs)
 {
     ScenarioResult r;
     r.name = "fig9_randread_24t";
@@ -143,6 +202,7 @@ runFig9Randread(bool quick, bench::ObsCapture &obs)
     cfg.deviceBytes = 16ull << 30;
     sys::System s(cfg);
     obs.attach(s, r.name);
+    auto ex = bindSingle(s, shards, r.name);
 
     wl::FioJob job;
     job.engine = wl::Engine::Bypassd;
@@ -171,6 +231,8 @@ runFig9Randread(bool quick, bench::ObsCapture &obs)
     h = fnv(h, s.eq.executed());
     r.digest = h;
     fillCounters(r, s);
+    if (ex)
+        fillShardStats(r, *ex);
     bench::checkTenantSums(s);
     obs.capture(r.name, s);
     return r;
@@ -178,7 +240,7 @@ runFig9Randread(bool quick, bench::ObsCapture &obs)
 
 /** Fig. 13 cell: WiredTiger YCSB-A, 16 threads, BypassD engine. */
 ScenarioResult
-runFig13WiredTiger(bool quick, bench::ObsCapture &obs)
+runFig13WiredTiger(bool quick, unsigned shards, bench::ObsCapture &obs)
 {
     ScenarioResult r;
     r.name = "fig13_wiredtiger_ycsba";
@@ -186,6 +248,7 @@ runFig13WiredTiger(bool quick, bench::ObsCapture &obs)
 
     auto s = bench::makeSystem(16ull << 30);
     obs.attach(*s, r.name);
+    auto ex = bindSingle(*s, shards, r.name);
     apps::WiredTigerConfig cfg;
     cfg.records = 4'000'000;
     cfg.cacheBytes = 28ull << 20;
@@ -213,6 +276,8 @@ runFig13WiredTiger(bool quick, bench::ObsCapture &obs)
     h = fnv(h, s->eq.executed());
     r.digest = h;
     fillCounters(r, *s);
+    if (ex)
+        fillShardStats(r, *ex);
     bench::checkTenantSums(*s);
     obs.capture(r.name, *s);
     return r;
@@ -220,7 +285,7 @@ runFig13WiredTiger(bool quick, bench::ObsCapture &obs)
 
 /** Fig. 12: BypassD reader with kernel revocation mid-run. */
 ScenarioResult
-runFig12Revocation(bool quick, bench::ObsCapture &obs)
+runFig12Revocation(bool quick, unsigned shards, bench::ObsCapture &obs)
 {
     ScenarioResult r;
     r.name = "fig12_revocation";
@@ -228,6 +293,7 @@ runFig12Revocation(bool quick, bench::ObsCapture &obs)
 
     auto s = bench::makeSystem(16ull << 30);
     obs.attach(*s, r.name);
+    auto ex = bindSingle(*s, shards, r.name);
     bench::Recorder rec(*s);
     kern::Process &reader = s->newProcess(1000, 1000);
     const std::uint32_t sharedDb = rec.file("/shared.db");
@@ -306,8 +372,93 @@ runFig12Revocation(bool quick, bench::ObsCapture &obs)
     r.metric = total / 1e6
                / (static_cast<double>(horizon) / kSec); // MB/s
     fillCounters(r, *s);
+    if (ex)
+        fillShardStats(r, *ex);
     bench::checkTenantSums(*s);
     obs.capture(r.name, *s);
+    return r;
+}
+
+/**
+ * Fleet scenario: four machines, six BypassD random-read jobs each,
+ * coupled to a controller by 25 us fabric beacons. This is the
+ * scenario the sharded executor exists for — the machines are
+ * independent between control-plane messages, so the conservative
+ * window is tens of microseconds of virtual time and the shards run
+ * thousands of events per barrier.
+ *
+ * Runs untraced even under --trace: a beacon-entangled multi-machine
+ * capture is not replayable as independent single-machine streams
+ * (the replay would miss the controller's events), and the streaming
+ * writer is single-threaded. See DESIGN.md §12.
+ */
+ScenarioResult
+runFleetFio(bool quick, unsigned shards)
+{
+    ScenarioResult r;
+    r.name = "fleet_fio_4x6";
+    r.metricName = "iops";
+    sim::setVerbose(false);
+
+    sys::FleetConfig fc;
+    fc.systems = 4;
+    fc.shards = shards;
+    fc.deviceBytes = 8ull << 30;
+    fc.seed = 42;
+    sys::Fleet fleet(fc);
+
+    wl::FioJob job;
+    job.engine = wl::Engine::Bypassd;
+    job.rw = wl::RwMode::RandRead;
+    job.bs = 4096;
+    job.numJobs = 6;
+    job.runtime = (quick ? 15 : 400) * kMs;
+    job.warmup = 1 * kMs;
+    job.fileBytes = 256ull << 20;
+
+    const double t0 = wallNow();
+    std::vector<std::unique_ptr<wl::FioRunner>> runners;
+    std::vector<wl::FioPending> pending;
+    Time horizon = 0;
+    for (unsigned i = 0; i < fleet.size(); i++) {
+        wl::FioJob j = job;
+        j.seed = 1 + i;
+        j.filePrefix = sim::strf("/fleet%u_f", i);
+        runners.push_back(
+            std::make_unique<wl::FioRunner>(fleet.system(i)));
+        pending.push_back(runners.back()->arm(j));
+        horizon = std::max(horizon, fleet.system(i).now() + j.warmup
+                                        + j.runtime);
+    }
+    fleet.start(horizon);
+    fleet.run();
+    r.wallSec = wallNow() - t0;
+
+    std::uint64_t h = kFnvSeed;
+    double iops = 0;
+    Time maxNow = 0;
+    for (unsigned i = 0; i < fleet.size(); i++) {
+        const wl::FioResult res
+            = runners[i]->collect(std::move(pending[i]));
+        sys::System &s = fleet.system(i);
+        h = fnv(h, res.ops);
+        h = fnv(h, res.bytes);
+        h = fnv(h, res.elapsed);
+        h = hashHistogram(h, res.latency);
+        h = fnv(h, s.now());
+        h = fnv(h, s.eq.executed());
+        iops += res.iops();
+        maxNow = std::max(maxNow, s.now());
+        fillCounters(r, s);
+        bench::checkTenantSums(s);
+    }
+    h = fnv(h, fleet.controllerDigest());
+    h = fnv(h, fleet.beacons());
+    r.digest = h;
+    r.events = fleet.totalEvents();
+    r.simNs = maxNow;
+    r.metric = iops;
+    fillShardStats(r, fleet.executor());
     return r;
 }
 
@@ -325,6 +476,7 @@ int
 main(int argc, char **argv)
 {
     bool quick = false;
+    unsigned shards = 1;
     std::string label = "local";
     std::string out;
     bench::ObsCapture obs;
@@ -332,6 +484,14 @@ main(int argc, char **argv)
         const std::string a = argv[i];
         if (a == "--quick") {
             quick = true;
+        } else if (a == "--shards" && i + 1 < argc) {
+            const int v = std::atoi(argv[++i]);
+            if (v < 1) {
+                std::fprintf(stderr, "perf_harness: --shards must be "
+                                     ">= 1\n");
+                return 2;
+            }
+            shards = static_cast<unsigned>(v);
         } else if (a == "--label" && i + 1 < argc) {
             label = argv[++i];
         } else if (a == "--out" && i + 1 < argc) {
@@ -340,7 +500,8 @@ main(int argc, char **argv)
             i += used - 1;
         } else {
             std::fprintf(stderr,
-                         "usage: perf_harness [--quick] [--label NAME] "
+                         "usage: perf_harness [--quick] [--shards N] "
+                         "[--label NAME] "
                          "[--out FILE] [--trace FILE] [--metrics FILE] "
                          "[--trace-level N]\n");
             return 2;
@@ -352,9 +513,10 @@ main(int argc, char **argv)
                         : "simulator wall-clock scenarios");
 
     std::vector<ScenarioResult> results;
-    results.push_back(runFig9Randread(quick, obs));
-    results.push_back(runFig13WiredTiger(quick, obs));
-    results.push_back(runFig12Revocation(quick, obs));
+    results.push_back(runFig9Randread(quick, shards, obs));
+    results.push_back(runFig13WiredTiger(quick, shards, obs));
+    results.push_back(runFig12Revocation(quick, shards, obs));
+    results.push_back(runFleetFio(quick, shards));
 
     std::printf("%-24s %12s %10s %14s %12s  %s\n", "scenario", "events",
                 "wall(s)", "events/sec", "metric", "digest");
@@ -367,6 +529,15 @@ main(int argc, char **argv)
     }
     std::printf("peak RSS: %.1f MB\n",
                 static_cast<double>(peakRssBytes()) / (1 << 20));
+    std::printf("shards: %u\n", shards);
+    for (const auto &r : results) {
+        if (!r.sharded)
+            continue;
+        std::printf("%-24s windows %llu, messages %llu, barrier stall "
+                    "%.3fs\n",
+                    r.name.c_str(), (unsigned long long)r.windows,
+                    (unsigned long long)r.messages, r.barrierStallSec);
+    }
 
     if (!out.empty()) {
         std::FILE *f = std::fopen(out.c_str(), "w");
@@ -380,6 +551,10 @@ main(int argc, char **argv)
         std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
         std::fprintf(f, "  \"peak_rss_bytes\": %llu,\n",
                      (unsigned long long)peakRssBytes());
+        // Shard speedup is bounded by physical parallelism; record the
+        // host's so scaling tables stay interpretable across machines.
+        std::fprintf(f, "  \"host_cpus\": %u,\n",
+                     std::thread::hardware_concurrency());
         std::fprintf(f, "  \"scenarios\": [\n");
         for (std::size_t i = 0; i < results.size(); i++) {
             const auto &r = results[i];
@@ -410,6 +585,25 @@ main(int argc, char **argv)
                          (unsigned long long)r.counters.vbaTranslations);
             std::fprintf(f, "      \"device_ops\": %llu,\n",
                          (unsigned long long)r.counters.deviceOps);
+            std::fprintf(f, "      \"shards\": %u,\n", r.shards);
+            if (r.sharded) {
+                std::fprintf(f, "      \"domains\": %llu,\n",
+                             (unsigned long long)r.domains);
+                std::fprintf(f, "      \"lookahead_ns\": %llu,\n",
+                             (unsigned long long)r.lookaheadNs);
+                std::fprintf(f, "      \"windows\": %llu,\n",
+                             (unsigned long long)r.windows);
+                std::fprintf(f, "      \"messages\": %llu,\n",
+                             (unsigned long long)r.messages);
+                std::fprintf(f, "      \"barrier_stall_sec\": %.6f,\n",
+                             r.barrierStallSec);
+                for (std::size_t si = 0; si < r.shardEvents.size();
+                     si++)
+                    std::fprintf(f, "      \"shard_%zu_events\": "
+                                    "%llu,\n",
+                                 si,
+                                 (unsigned long long)r.shardEvents[si]);
+            }
             std::fprintf(f, "      \"digest\": \"%016llx\"\n",
                          (unsigned long long)r.digest);
             std::fprintf(f, "    }%s\n",

@@ -176,4 +176,26 @@ EventQueue::runUntil(Time t)
     return n;
 }
 
+Time
+EventQueue::nextEventTime()
+{
+    while (!heap_.empty() && !slots_[heap_[0].slot].armed)
+        releaseSlot(heapPop().slot);
+    return heap_.empty() ? kNever : heap_[0].when;
+}
+
+std::size_t
+EventQueue::runWindow(Time endExclusive)
+{
+    std::size_t n = 0;
+    for (;;) {
+        const Time head = nextEventTime();
+        if (head == kNever || head >= endExclusive)
+            break;
+        if (popAndRun())
+            ++n;
+    }
+    return n;
+}
+
 } // namespace bpd::sim

@@ -39,6 +39,9 @@ using EventId = std::uint64_t;
 /** Sentinel for "no event". */
 constexpr EventId kNoEvent = 0;
 
+/** Sentinel time: "no pending event" / "unbounded window". */
+constexpr Time kNever = ~static_cast<Time>(0);
+
 /** Inline storage for event callbacks; larger captures go to the heap. */
 constexpr std::size_t kEventCallbackInlineBytes = 48;
 
@@ -87,6 +90,23 @@ class EventQueue
      * @return Number of events executed.
      */
     std::size_t runUntil(Time t);
+
+    /**
+     * Timestamp of the earliest pending event, or kNever when none.
+     * Discards cancelled heads, so the answer names a live event.
+     */
+    Time nextEventTime();
+
+    /**
+     * Run all events with time < @p endExclusive. Unlike runUntil()
+     * the clock is NOT advanced past the last executed event: the
+     * sharded executor calls this per conservative window, and a
+     * cross-shard message may still be delivered anywhere inside
+     * [now(), endExclusive) afterwards. runWindow(kNever) drains the
+     * queue.
+     * @return Number of events executed.
+     */
+    std::size_t runWindow(Time endExclusive);
 
     /** Pending (non-cancelled) event count. */
     std::size_t pending() const { return live_; }

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Cross-domain message staging for the sharded executor.
+ *
+ * Every simulation domain (one EventQueue) owns a row of staging lanes,
+ * one per destination domain. During a window a domain appends envelopes
+ * only to its own row; at the next barrier each domain drains its own
+ * column. Rows and columns are therefore single-writer/single-reader,
+ * and the two accesses are separated by a barrier, so no lane is ever
+ * touched concurrently.
+ *
+ * Delivery order is the determinism linchpin: drainFor() sorts the
+ * merged column by (when, source domain, source sequence). That key is
+ * a pure function of the virtual-time communication pattern — it does
+ * not depend on which shard ran which domain, or on how wall-clock
+ * time interleaved the windows — so the schedule() order seen by the
+ * destination queue is identical for every shard count.
+ */
+
+#ifndef BPD_SIM_MAILBOX_HPP
+#define BPD_SIM_MAILBOX_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace bpd::sim {
+
+/** One cross-domain message: run @p fn on the destination at @p when. */
+struct Envelope
+{
+    Time when = 0;
+    std::uint32_t src = 0; //!< sending domain id
+    std::uint64_t seq = 0; //!< per-source send order (FIFO tie-break)
+    EventQueue::Callback fn;
+};
+
+/**
+ * n x n matrix of (source, destination) staging lanes. post() is called
+ * only by the shard that owns the source domain; drainFor() only by the
+ * shard that owns the destination, in the barrier-separated delivery
+ * phase.
+ */
+class MailboxMatrix
+{
+  public:
+    /** Size the matrix for @p domains domains; drops any staged mail. */
+    void
+    resize(std::size_t domains)
+    {
+        n_ = domains;
+        lanes_.clear();
+        lanes_.resize(n_ * n_);
+    }
+
+    /** Stage one envelope on the (src, dst) lane. */
+    void
+    post(std::uint32_t src, std::uint32_t dst, Time when,
+         std::uint64_t seq, EventQueue::Callback fn)
+    {
+        lanes_[src * n_ + dst].push_back(
+            Envelope{when, src, seq, std::move(fn)});
+    }
+
+    /**
+     * Move out every envelope addressed to @p dst, sorted by
+     * (when, src, seq).
+     */
+    std::vector<Envelope>
+    drainFor(std::uint32_t dst)
+    {
+        std::vector<Envelope> out;
+        for (std::uint32_t src = 0; src < n_; src++) {
+            std::vector<Envelope> &lane = lanes_[src * n_ + dst];
+            out.insert(out.end(),
+                       std::make_move_iterator(lane.begin()),
+                       std::make_move_iterator(lane.end()));
+            lane.clear();
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const Envelope &a, const Envelope &b) {
+                      if (a.when != b.when)
+                          return a.when < b.when;
+                      if (a.src != b.src)
+                          return a.src < b.src;
+                      return a.seq < b.seq;
+                  });
+        return out;
+    }
+
+    std::size_t domains() const { return n_; }
+
+  private:
+    std::size_t n_ = 0;
+    std::vector<std::vector<Envelope>> lanes_; //!< row-major [src][dst]
+};
+
+} // namespace bpd::sim
+
+#endif // BPD_SIM_MAILBOX_HPP

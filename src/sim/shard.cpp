@@ -1,0 +1,30 @@
+#include "sim/shard.hpp"
+
+namespace bpd::sim {
+
+Time
+Shard::deliverAndMin(MailboxMatrix &mb)
+{
+    Time min = kNever;
+    for (SimDomain *d : domains) {
+        std::vector<Envelope> batch = mb.drainFor(d->id);
+        for (Envelope &e : batch)
+            d->eq->schedule(e.when, std::move(e.fn));
+        delivered += batch.size();
+        const Time t = d->eq->nextEventTime();
+        if (t < min)
+            min = t;
+    }
+    return min;
+}
+
+std::size_t
+Shard::runWindow(Time endExclusive)
+{
+    std::size_t n = 0;
+    for (SimDomain *d : domains)
+        n += d->eq->runWindow(endExclusive);
+    return n;
+}
+
+} // namespace bpd::sim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * One shard of the parallel simulation: a set of domains (each a whole
+ * EventQueue) executed by one thread, plus that thread's delivery and
+ * stall accounting. Shards never touch each other's domains — the only
+ * coupling is the MailboxMatrix, accessed in barrier-separated phases.
+ */
+
+#ifndef BPD_SIM_SHARD_HPP
+#define BPD_SIM_SHARD_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/mailbox.hpp"
+
+namespace bpd::sim {
+
+/**
+ * A simulation domain: one EventQueue with a private sequence space,
+ * placed on exactly one shard. Cross-domain sends are numbered per
+ * source (postSeq) so the destination can order same-time messages
+ * FIFO per sender, independent of shard placement.
+ */
+struct SimDomain
+{
+    EventQueue *eq = nullptr;
+    std::uint32_t id = 0;
+    std::uint32_t shard = 0;
+    std::string label;
+    std::uint64_t postSeq = 0; //!< send-order stamp for this source
+};
+
+/** Per-thread shard state and stats. */
+class Shard
+{
+  public:
+    /**
+     * Delivery phase: drain each owned domain's mailbox column into its
+     * queue, then report the shard-local minimum next-event time
+     * (kNever when every owned domain is idle).
+     */
+    Time deliverAndMin(MailboxMatrix &mb);
+
+    /** Run every owned domain up to (excluding) @p endExclusive. */
+    std::size_t runWindow(Time endExclusive);
+
+    std::vector<SimDomain *> domains;
+
+    std::uint64_t events = 0;    //!< events executed in windows
+    std::uint64_t windows = 0;   //!< windows this shard participated in
+    std::uint64_t delivered = 0; //!< cross-domain envelopes received
+    double stallSec = 0;         //!< wall time blocked on barriers
+};
+
+} // namespace bpd::sim
+
+#endif // BPD_SIM_SHARD_HPP

@@ -1,0 +1,194 @@
+#include "sim/sim_executor.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include "sim/logging.hpp"
+
+namespace bpd::sim {
+
+namespace {
+
+double
+wallNow()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+pinToCpu(unsigned cpu)
+{
+#ifdef __linux__
+    const unsigned n = std::thread::hardware_concurrency();
+    if (n == 0)
+        return;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu % n, &set);
+    // Best effort: a restricted affinity mask just leaves us unpinned.
+    pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+    (void)cpu;
+#endif
+}
+
+} // namespace
+
+SimExecutor::SimExecutor(Config cfg) : cfg_(cfg), nShards_(cfg.shards)
+{
+    panicIf(nShards_ == 0, "executor: shards must be >= 1");
+    shards_.resize(nShards_);
+}
+
+std::uint32_t
+SimExecutor::addDomain(EventQueue &eq, unsigned shard, std::string label)
+{
+    panicIf(shard >= nShards_, "executor: shard out of range");
+    panicIf(!channelNs_.empty(),
+            "executor: add every domain before the first connect()");
+    const auto id = static_cast<std::uint32_t>(domains_.size());
+    auto d = std::make_unique<SimDomain>();
+    d->eq = &eq;
+    d->id = id;
+    d->shard = shard;
+    d->label = std::move(label);
+    shards_[shard].domains.push_back(d.get());
+    domains_.push_back(std::move(d));
+    return id;
+}
+
+void
+SimExecutor::connect(std::uint32_t src, std::uint32_t dst,
+                     Time minLatencyNs)
+{
+    const std::size_t n = domains_.size();
+    panicIf(src >= n || dst >= n, "executor: connect id out of range");
+    panicIf(minLatencyNs == 0,
+            "executor: zero-latency channels break the conservative "
+            "window; shard-local interactions belong in one domain");
+    if (channelNs_.empty()) {
+        channelNs_.assign(n * n, kNever);
+        mb_.resize(n);
+    }
+    Time &lat = channelNs_[src * n + dst];
+    if (minLatencyNs < lat)
+        lat = minLatencyNs;
+    if (minLatencyNs < lookahead_)
+        lookahead_ = minLatencyNs;
+}
+
+void
+SimExecutor::post(std::uint32_t src, std::uint32_t dst, Time when,
+                  EventQueue::Callback fn)
+{
+    const std::size_t n = domains_.size();
+    panicIf(src >= n || dst >= n, "executor: post id out of range");
+    const Time lat
+        = channelNs_.empty() ? kNever : channelNs_[src * n + dst];
+    panicIf(lat == kNever, "executor: post on an unconnected channel");
+    SimDomain &s = *domains_[src];
+    const Time now = s.eq->now();
+    if (when < now || when - now < lat) [[unlikely]]
+        panic(strf("executor: post below channel latency floor: "
+                   "when %llu < now %llu + %llu",
+                   (unsigned long long)when, (unsigned long long)now,
+                   (unsigned long long)lat));
+    mb_.post(src, dst, when, s.postSeq++, std::move(fn));
+}
+
+void
+SimExecutor::run()
+{
+    if (domains_.empty())
+        return;
+    barrier_.emplace(static_cast<std::ptrdiff_t>(nShards_));
+    shardMin_.assign(nShards_, kNever);
+    std::vector<std::thread> workers;
+    workers.reserve(nShards_ - 1);
+    for (unsigned s = 1; s < nShards_; s++)
+        workers.emplace_back(&SimExecutor::shardLoop, this, s);
+    shardLoop(0);
+    for (std::thread &w : workers)
+        w.join();
+    barrier_.reset();
+}
+
+void
+SimExecutor::shardLoop(unsigned si)
+{
+    if (cfg_.pinThreads)
+        pinToCpu(si);
+    Shard &sh = shards_[si];
+    const bool mail = !channelNs_.empty();
+    for (;;) {
+        // P1: drain inboxes (sorted merge), publish local minimum.
+        shardMin_[si] = mail ? sh.deliverAndMin(mb_) : [&sh] {
+            Time min = kNever;
+            for (SimDomain *d : sh.domains)
+                min = std::min(min, d->eq->nextEventTime());
+            return min;
+        }();
+        double t0 = wallNow();
+        barrier_->arrive_and_wait();
+        sh.stallSec += wallNow() - t0;
+
+        // Every shard computes the same horizon from the published
+        // minima, so they all agree on the window — and on termination,
+        // keeping barrier phases aligned without a third barrier.
+        Time h = kNever;
+        for (Time t : shardMin_)
+            h = std::min(h, t);
+        if (h == kNever)
+            break;
+        const Time end = (lookahead_ == kNever || h >= kNever - lookahead_)
+                             ? kNever
+                             : h + lookahead_;
+
+        // P2: run the window; sends stage mail for the next P1.
+        sh.events += sh.runWindow(end);
+        sh.windows++;
+        t0 = wallNow();
+        barrier_->arrive_and_wait();
+        sh.stallSec += wallNow() - t0;
+    }
+}
+
+std::uint64_t
+SimExecutor::windows() const
+{
+    std::uint64_t w = 0;
+    for (const Shard &s : shards_)
+        w = std::max(w, s.windows);
+    return w;
+}
+
+std::uint64_t
+SimExecutor::delivered() const
+{
+    std::uint64_t n = 0;
+    for (const Shard &s : shards_)
+        n += s.delivered;
+    return n;
+}
+
+std::uint64_t
+SimExecutor::shardEvents(unsigned shard) const
+{
+    return shards_.at(shard).events;
+}
+
+double
+SimExecutor::shardStallSec(unsigned shard) const
+{
+    return shards_.at(shard).stallSec;
+}
+
+} // namespace bpd::sim

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Conservative-window parallel executor for multi-domain simulations.
+ *
+ * Domains (each a private EventQueue — a whole simulated machine or a
+ * bare controller queue) are placed on N shards, each bound to a real
+ * thread, SPDK-reactor style: shared-nothing state per shard, message
+ * passing instead of shared locks. Execution alternates two
+ * barrier-separated phases per round:
+ *
+ *   P1 delivery: each shard drains the mailbox column of every domain
+ *      it owns — sorted by (when, source domain, source sequence) —
+ *      into that domain's queue, then publishes its local minimum
+ *      next-event time.
+ *   P2 window: every shard independently computes the global horizon
+ *      H = min over shards, and runs its domains up to the exclusive
+ *      bound H + lookahead, where lookahead is the minimum declared
+ *      cross-domain channel latency. Sends stage envelopes in the
+ *      sender's own mailbox row for the next round's P1.
+ *
+ * Any event a window executes at time t < H + lookahead can only be
+ * influenced by messages sent at or after H, which arrive at
+ * >= H + lookahead — outside the window. So each domain's execution is
+ * a pure function of (its own state, its sorted inbox), neither of
+ * which depends on shard placement or wall-clock interleaving: digests
+ * are bit-identical for every shard count, including 1.
+ *
+ * With no channels declared, lookahead is unbounded and a run is a
+ * single window per domain — exactly EventQueue::run().
+ */
+
+#ifndef BPD_SIM_SIM_EXECUTOR_HPP
+#define BPD_SIM_SIM_EXECUTOR_HPP
+
+#include <barrier>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/shard.hpp"
+
+namespace bpd::sim {
+
+class SimExecutor
+{
+  public:
+    struct Config
+    {
+        unsigned shards = 1;
+        /** Pin shard threads to CPUs (shard i -> cpu i mod ncpu). */
+        bool pinThreads = false;
+    };
+
+    explicit SimExecutor(Config cfg);
+    explicit SimExecutor(unsigned shards)
+        : SimExecutor(Config{shards, false})
+    {
+    }
+    SimExecutor(const SimExecutor &) = delete;
+    SimExecutor &operator=(const SimExecutor &) = delete;
+
+    /**
+     * Register @p eq as a domain on @p shard. Must happen before run().
+     * @return The domain id, used by connect()/post().
+     */
+    std::uint32_t addDomain(EventQueue &eq, unsigned shard,
+                            std::string label = {});
+
+    /**
+     * Declare a one-way channel with a minimum message latency: every
+     * post(src, dst, when, ..) must satisfy when >= src.now() +
+     * @p minLatencyNs. The executor's lookahead is the minimum latency
+     * over all channels.
+     */
+    void connect(std::uint32_t src, std::uint32_t dst, Time minLatencyNs);
+
+    /**
+     * Send a message: run @p fn on domain @p dst at virtual time
+     * @p when. Callable from setup code or from events executing on
+     * the shard that owns @p src. Panics when the (src, dst) channel
+     * is undeclared or @p when violates its latency floor — the
+     * conservative window is only sound with the floor honoured.
+     */
+    void post(std::uint32_t src, std::uint32_t dst, Time when,
+              EventQueue::Callback fn);
+
+    /**
+     * Run every domain to global quiescence (no pending events, no
+     * staged mail). Spawns shards-1 worker threads for the duration of
+     * the call; the calling thread drives shard 0.
+     */
+    void run();
+
+    unsigned shardCount() const { return nShards_; }
+    std::size_t domainCount() const { return domains_.size(); }
+    Time lookahead() const { return lookahead_; }
+
+    /** Window rounds completed by the last run()s (cumulative). */
+    std::uint64_t windows() const;
+    /** Cross-domain envelopes delivered (cumulative, all shards). */
+    std::uint64_t delivered() const;
+    /** Events executed inside windows by @p shard. */
+    std::uint64_t shardEvents(unsigned shard) const;
+    /** Wall seconds @p shard spent blocked on barriers. */
+    double shardStallSec(unsigned shard) const;
+
+  private:
+    void shardLoop(unsigned shard);
+
+    Config cfg_;
+    unsigned nShards_ = 1;
+    std::vector<std::unique_ptr<SimDomain>> domains_;
+    std::vector<Shard> shards_;
+    MailboxMatrix mb_;
+    std::vector<Time> channelNs_; //!< [src*n+dst] latency, kNever=none
+    Time lookahead_ = kNever;
+
+    /** Per-round published minima; written pre-barrier, read post. */
+    std::vector<Time> shardMin_;
+    std::optional<std::barrier<>> barrier_;
+};
+
+} // namespace bpd::sim
+
+#endif // BPD_SIM_SIM_EXECUTOR_HPP

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A fleet of simulated machines coupled through a fabric-latency
+ * control plane, executed in parallel by the sharded executor.
+ *
+ * Each System is one executor domain (see placement.hpp for why the
+ * machine is the placement unit); a lightweight fleet controller is
+ * one more domain. Every machine sends the controller a periodic
+ * health beacon carrying its device-op and event counters; the
+ * controller folds each receipt — in delivered order — into a running
+ * digest and acks, and the ack schedules the machine's next beacon.
+ * The beacon round-trips make the fleet digest depend on the executor
+ * merge order, so the 1-vs-N-shard digest gates exercise real
+ * cross-shard traffic rather than N independent runs.
+ *
+ * Workloads are armed by the caller on each system (e.g.
+ * FioRunner::arm) before run(); the fleet only owns the machines, the
+ * controller and the clock coupling.
+ */
+
+#ifndef BPD_SYSTEM_FLEET_HPP
+#define BPD_SYSTEM_FLEET_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "system/placement.hpp"
+#include "system/system.hpp"
+
+namespace bpd::sys {
+
+struct FleetConfig
+{
+    unsigned systems = 4;
+    unsigned shards = 1;
+    bool pinThreads = false;
+    std::uint64_t deviceBytes = 8ull << 30;
+    std::uint64_t seed = 42; //!< system i runs with seed + i
+    /** One-way control-plane message latency = executor lookahead. */
+    Time fabricLatencyNs = 25 * kUs;
+    /** Beacon cadence per machine (ack-clocked, so the effective
+     *  period is this plus one round trip). */
+    Time beaconPeriodNs = 250 * kUs;
+    SystemConfig base; //!< template for every member system
+};
+
+class Fleet
+{
+  public:
+    explicit Fleet(FleetConfig cfg);
+
+    unsigned size() const { return static_cast<unsigned>(systems_.size()); }
+    System &system(unsigned i) { return *systems_.at(i); }
+    sim::SimExecutor &executor() { return exec_; }
+
+    /**
+     * Bind every system to the executor and start each machine's
+     * beacon loop, which self-reschedules until the machine's clock
+     * passes @p tEnd. Call after workloads are armed: arming drives
+     * run() internally, which must still mean "this machine only".
+     */
+    void start(Time tEnd);
+
+    /** Run the whole fleet to quiescence (parallel across shards). */
+    void run() { exec_.run(); }
+
+    /** Controller receipts (beacons heard across all machines). */
+    std::uint64_t beacons() const { return beacons_; }
+
+    /**
+     * Order-sensitive FNV fold of every beacon receipt; bit-identical
+     * across shard counts by the executor's merge-order guarantee.
+     */
+    std::uint64_t controllerDigest() const { return ctrlHash_; }
+
+    /** Events executed fleet-wide, controller included. */
+    std::uint64_t totalEvents() const;
+
+  private:
+    void beacon(unsigned i, Time tEnd);
+
+    FleetConfig cfg_;
+    ShardPlacement place_;
+    std::vector<std::unique_ptr<System>> systems_;
+    std::vector<std::uint32_t> domainOf_;
+    sim::EventQueue ctrlEq_;
+    std::uint32_t ctrlDomain_ = 0;
+    std::uint64_t ctrlHash_ = 0xcbf29ce484222325ull;
+    std::uint64_t beacons_ = 0;
+    sim::SimExecutor exec_;
+};
+
+} // namespace bpd::sys
+
+#endif // BPD_SYSTEM_FLEET_HPP

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Component-to-shard placement for fleet simulations. A whole System
+ * (host + IOMMU + device + fs + kernel) is the placement unit: inside
+ * one machine the completion path is zero-latency (the poller sees the
+ * CQ doorbell instantly), so any finer split would drive the executor
+ * lookahead to zero and degenerate the conservative window — see
+ * DESIGN.md §12. Across machines the fabric latency is the honest
+ * lookahead.
+ */
+
+#ifndef BPD_SYSTEM_PLACEMENT_HPP
+#define BPD_SYSTEM_PLACEMENT_HPP
+
+#include <cstdint>
+
+namespace bpd::sys {
+
+/**
+ * Deterministic round-robin placement of fleet domains onto shards.
+ * The controller rides on shard 0 with the first system: it executes a
+ * handful of events per beacon, so dedicating a shard to it would only
+ * waste a barrier participant.
+ */
+struct ShardPlacement
+{
+    unsigned shards = 1;
+
+    unsigned
+    systemShard(unsigned systemIdx) const
+    {
+        return systemIdx % shards;
+    }
+
+    unsigned controllerShard() const { return 0; }
+};
+
+} // namespace bpd::sys
+
+#endif // BPD_SYSTEM_PLACEMENT_HPP

@@ -23,6 +23,8 @@
 #include "obs/tenant.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/logging.hpp"
+#include "sim/sim_executor.hpp"
 #include "ssd/block_store.hpp"
 #include "ssd/nvme.hpp"
 
@@ -56,11 +58,44 @@ class System
     /** Attach (or fetch) the BypassD shim for a process. */
     bypassd::UserLib &userLib(kern::Process &p);
 
-    /** Run the simulation to quiescence. */
-    void run() { eq.run(); }
+    /**
+     * Run the simulation to quiescence. When the system is bound to a
+     * sharded executor the whole executor runs — this system's queue
+     * plus every peer domain — so closed-loop drivers written against
+     * run() work unchanged under an executor.
+     */
+    void
+    run()
+    {
+        if (exec_)
+            exec_->run();
+        else
+            eq.run();
+    }
 
     /** Run until virtual time @p t. */
-    void runUntil(Time t) { eq.runUntil(t); }
+    void
+    runUntil(Time t)
+    {
+        sim::panicIf(exec_ != nullptr,
+                     "runUntil on an executor-bound system");
+        eq.runUntil(t);
+    }
+
+    /**
+     * Route run() through @p exec, which must own this system's queue
+     * as domain @p domainId. Bind only after setup: arming workloads
+     * calls run() internally, and an executor run drives every domain.
+     */
+    void
+    bindExecutor(sim::SimExecutor *exec, std::uint32_t domainId)
+    {
+        exec_ = exec;
+        execDomain_ = domainId;
+    }
+
+    /** Domain id under the bound executor (meaningful when bound). */
+    std::uint32_t executorDomain() const { return execDomain_; }
 
     Time now() const { return eq.now(); }
 
@@ -120,6 +155,9 @@ class System
     bool acctEnabled_ = false;
 
     std::unique_ptr<obs::Tracer> tracer_;
+
+    sim::SimExecutor *exec_ = nullptr; //!< not owned; see bindExecutor
+    std::uint32_t execDomain_ = 0;
 
   public:
     SystemConfig cfg;

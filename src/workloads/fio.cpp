@@ -20,7 +20,7 @@ toString(Engine e)
     return "?";
 }
 
-namespace {
+namespace detail {
 
 struct JobCtx
 {
@@ -43,26 +43,42 @@ struct JobCtx
     bool stopped = false;
 };
 
-} // namespace
-
-FioResult
-FioRunner::run(const FioJob &job)
+/**
+ * Heap-allocated state of one armed job, so in-flight I/O completions
+ * (which capture `this` plus a JobCtx pointer — inside the inline
+ * callback budget) stay valid while the caller drives the simulation
+ * between arm() and collect().
+ */
+struct FioRunState
 {
-    sim::panicIf(job.numJobs == 0, "fio: numJobs must be > 0");
-    sim::panicIf(job.bs == 0 || job.bs % kSectorBytes != 0,
-                 "fio: bs must be a sector multiple");
+    sys::System &s;
+    const FioJob job;
+    obs::Tracer *t;
+    std::uint8_t eng;
+    bool write, random;
 
-    auto ctxs = std::vector<std::unique_ptr<JobCtx>>();
+    std::vector<std::unique_ptr<JobCtx>> ctxs;
     std::unique_ptr<spdk::SpdkDriver> spdkDrv;
+    Time measureStart = 0;
+    Time tEnd = 0;
+    std::uint64_t blocks = 0;
+    unsigned running = 0;
+
+    FioRunState(sys::System &sys, const FioJob &j)
+        : s(sys), job(j), t(sys.tracer()),
+          eng(static_cast<std::uint8_t>(j.engine)),
+          write(j.rw == RwMode::RandWrite || j.rw == RwMode::SeqWrite),
+          random(j.rw == RwMode::RandRead || j.rw == RwMode::RandWrite)
+    {
+    }
 
     // Replay-stream recording (obs/trace.hpp): every workload-level op
     // the runner issues is recorded with its lane (job index) so
     // tools/trace_replay can re-drive the exact request stream.
-    obs::Tracer *t = s_.tracer();
-    const auto eng = static_cast<std::uint8_t>(job.engine);
-    auto mark = [&](obs::ReplayRec::Op op, JobCtx &ctx,
-                    std::uint64_t offset = 0, std::uint64_t aux = 0,
-                    std::int64_t result = 0) {
+    void
+    mark(obs::ReplayRec::Op op, JobCtx &ctx, std::uint64_t offset = 0,
+         std::uint64_t aux = 0, std::int64_t result = 0)
+    {
         if (!t)
             return;
         obs::ReplayRec r;
@@ -74,13 +90,21 @@ FioRunner::run(const FioJob &job)
         r.offset = offset;
         r.aux = aux;
         t->replayMark(r, result);
-    };
+    }
+
+    void arm();
+    void issue(JobCtx &ctx);
+    FioResult collect();
+};
+
+void
+FioRunState::arm()
+{
+    sim::panicIf(job.numJobs == 0, "fio: numJobs must be > 0");
+    sim::panicIf(job.bs == 0 || job.bs % kSectorBytes != 0,
+                 "fio: bs must be a sector multiple");
 
     kern::Process *shared = nullptr;
-    const bool write
-        = job.rw == RwMode::RandWrite || job.rw == RwMode::SeqWrite;
-    const bool random
-        = job.rw == RwMode::RandRead || job.rw == RwMode::RandWrite;
 
     // ---- setup (simulated time passes, excluded from measurement) ----
     for (unsigned i = 0; i < job.numJobs; i++) {
@@ -92,7 +116,7 @@ FioRunner::run(const FioJob &job)
             b = static_cast<std::uint8_t>(ctx->rng.next());
 
         if (job.perProcess || i == 0) {
-            ctx->proc = &s_.newProcess(1000 + i, 1000);
+            ctx->proc = &s.newProcess(1000 + i, 1000);
             if (!job.perProcess)
                 shared = ctx->proc;
         } else {
@@ -104,17 +128,17 @@ FioRunner::run(const FioJob &job)
         switch (job.engine) {
           case Engine::Spdk:
             // Raw regions in the upper half of the device.
-            ctx->rawBase = s_.cfg.deviceBytes / 2
+            ctx->rawBase = s.cfg.deviceBytes / 2
                            + static_cast<DevAddr>(i) * job.fileBytes;
             sim::panicIf(ctx->rawBase + job.fileBytes
-                             > s_.cfg.deviceBytes,
+                             > s.cfg.deviceBytes,
                          "fio: spdk regions exceed device");
             break;
           case Engine::Bypassd: {
             if (t)
                 ctx->fileId = t->replayFile(path);
-            const int cfd = s_.kernel.setupCreateFile(*ctx->proc, path,
-                                                      job.fileBytes, 0);
+            const int cfd = s.kernel.setupCreateFile(*ctx->proc, path,
+                                                     job.fileBytes, 0);
             sim::panicIf(cfd < 0, "fio: file setup failed");
             mark(obs::ReplayRec::Create, *ctx, job.fileBytes, 0, cfd);
             int rc = -1;
@@ -128,13 +152,14 @@ FioRunner::run(const FioJob &job)
                 r.file = ctx->fileId;
                 ri = t->replayBegin(r);
             }
-            s_.kernel.sysClose(*ctx->proc, cfd, [&rc, t, ri](int r) {
+            obs::Tracer *tr = t;
+            s.kernel.sysClose(*ctx->proc, cfd, [&rc, tr, ri](int r) {
                 rc = r;
-                if (t)
-                    t->replayEnd(ri, r);
+                if (tr)
+                    tr->replayEnd(ri, r);
             });
-            s_.run();
-            ctx->lib = &s_.userLib(*ctx->proc);
+            s.eq.run();
+            ctx->lib = &s.userLib(*ctx->proc);
             int fd = -1;
             const std::uint32_t oflags
                 = fs::kOpenRead | fs::kOpenWrite | fs::kOpenDirect;
@@ -148,12 +173,12 @@ FioRunner::run(const FioJob &job)
                 r.aux = oflags;
                 ri = t->replayBegin(r);
             }
-            ctx->lib->open(path, oflags, 0644, [&fd, t, ri](int f) {
+            ctx->lib->open(path, oflags, 0644, [&fd, tr, ri](int f) {
                 fd = f;
-                if (t)
-                    t->replayEnd(ri, f);
+                if (tr)
+                    tr->replayEnd(ri, f);
             });
-            s_.run();
+            s.eq.run();
             sim::panicIf(fd < 0, "fio: bypassd open failed");
             sim::panicIf(!ctx->lib->isDirect(fd),
                          "fio: bypassd fd not direct");
@@ -165,13 +190,13 @@ FioRunner::run(const FioJob &job)
           default: {
             if (t)
                 ctx->fileId = t->replayFile(path);
-            const int fd = s_.kernel.setupCreateFile(*ctx->proc, path,
-                                                     job.fileBytes, 0);
+            const int fd = s.kernel.setupCreateFile(*ctx->proc, path,
+                                                    job.fileBytes, 0);
             sim::panicIf(fd < 0, "fio: file setup failed");
             mark(obs::ReplayRec::Create, *ctx, job.fileBytes, 0, fd);
             ctx->fd = fd;
             if (job.engine == Engine::IoUring) {
-                ctx->ring = std::make_unique<kern::IoUring>(s_.kernel,
+                ctx->ring = std::make_unique<kern::IoUring>(s.kernel,
                                                             *ctx->proc);
                 mark(obs::ReplayRec::Open, *ctx);
             }
@@ -183,118 +208,126 @@ FioRunner::run(const FioJob &job)
 
     if (job.engine == Engine::Spdk) {
         spdkDrv = std::make_unique<spdk::SpdkDriver>(
-            s_.eq, s_.dev, s_.kernel.cpu(),
+            s.eq, s.dev, s.kernel.cpu(),
             ctxs[0]->proc->pasid());
         sim::panicIf(!spdkDrv->init(), "fio: spdk claim failed");
         mark(obs::ReplayRec::Open, *ctxs[0]);
     }
 
     // Application threads occupy CPUs while the job runs.
-    s_.kernel.cpu().acquire(job.numJobs);
+    s.kernel.cpu().acquire(job.numJobs);
     mark(obs::ReplayRec::CpuAcquire, *ctxs[0], job.numJobs);
 
-    const Time measureStart = s_.now() + job.warmup;
-    const Time tEnd = measureStart + job.runtime;
-    const std::uint64_t blocks = job.fileBytes / job.bs;
+    measureStart = s.now() + job.warmup;
+    tEnd = measureStart + job.runtime;
+    blocks = job.fileBytes / job.bs;
     sim::panicIf(blocks == 0, "fio: file smaller than block size");
 
-    unsigned running = job.numJobs * job.iodepth;
-
-    // Closed-loop issue function per in-flight slot.
-    std::function<void(JobCtx &)> issue = [&](JobCtx &ctx) {
-        if (s_.now() >= tEnd) {
-            running--;
-            return;
-        }
-        std::uint64_t blkIdx;
-        if (random) {
-            blkIdx = ctx.rng.nextUint(blocks);
-        } else {
-            blkIdx = ctx.cursor++ % blocks;
-        }
-        const std::uint64_t off
-            = blkIdx * static_cast<std::uint64_t>(job.bs);
-        const Time start = s_.now();
-        std::uint32_t ri = 0;
-        if (t) {
-            obs::ReplayRec r;
-            r.op = write ? obs::ReplayRec::Write : obs::ReplayRec::Read;
-            r.engine = eng;
-            r.lane = static_cast<std::uint16_t>(ctx.idx);
-            r.proc = ctx.proc->pasid();
-            r.tid = ctx.idx;
-            r.file = ctx.fileId;
-            r.offset = job.engine == Engine::Spdk ? ctx.rawBase + off
-                                                  : off;
-            r.len = job.bs;
-            ri = t->replayBegin(r);
-        }
-        auto done = [&, start, ri](long long n, kern::IoTrace tr) {
-            if (t)
-                t->replayEnd(ri, n);
-            sim::panicIf(n < 0, "fio: I/O failed");
-            const Time now = s_.now();
-            if (start >= measureStart && now <= tEnd) {
-                ctx.lat.record(now - start);
-                ctx.ops++;
-                ctx.bytes += static_cast<std::uint64_t>(n);
-                ctx.user.add(static_cast<double>(tr.userNs));
-                ctx.kern.add(static_cast<double>(tr.kernelNs));
-                ctx.dev.add(static_cast<double>(tr.deviceNs));
-                ctx.xlat.add(static_cast<double>(tr.translateNs));
-            }
-            issue(ctx);
-        };
-
-        switch (job.engine) {
-          case Engine::Sync:
-            if (write) {
-                s_.kernel.sysPwrite(*ctx.proc, ctx.fd, ctx.buf, off,
-                                    done);
-            } else {
-                s_.kernel.sysPread(*ctx.proc, ctx.fd, ctx.buf, off,
-                                   done);
-            }
-            break;
-          case Engine::Libaio:
-            if (write)
-                s_.aio.pwrite(*ctx.proc, ctx.fd, ctx.buf, off, done);
-            else
-                s_.aio.pread(*ctx.proc, ctx.fd, ctx.buf, off, done);
-            break;
-          case Engine::IoUring:
-            if (write)
-                ctx.ring->pwrite(ctx.fd, ctx.buf, off, done);
-            else
-                ctx.ring->pread(ctx.fd, ctx.buf, off, done);
-            break;
-          case Engine::Spdk:
-            if (write) {
-                spdkDrv->write(ctx.idx, ctx.rawBase + off, ctx.buf,
-                               done);
-            } else {
-                spdkDrv->read(ctx.idx, ctx.rawBase + off, ctx.buf,
-                              done);
-            }
-            break;
-          case Engine::Bypassd:
-            if (write) {
-                ctx.lib->pwrite(ctx.idx, ctx.fd, ctx.buf, off, done);
-            } else {
-                ctx.lib->pread(ctx.idx, ctx.fd, ctx.buf, off, done);
-            }
-            break;
-        }
-    };
+    running = job.numJobs * job.iodepth;
 
     for (auto &ctx : ctxs) {
         for (std::uint32_t d = 0; d < job.iodepth; d++)
             issue(*ctx);
     }
-    s_.run();
+}
+
+/** Closed-loop issue function per in-flight slot. */
+void
+FioRunState::issue(JobCtx &ctx)
+{
+    if (s.now() >= tEnd) {
+        running--;
+        return;
+    }
+    std::uint64_t blkIdx;
+    if (random) {
+        blkIdx = ctx.rng.nextUint(blocks);
+    } else {
+        blkIdx = ctx.cursor++ % blocks;
+    }
+    const std::uint64_t off
+        = blkIdx * static_cast<std::uint64_t>(job.bs);
+    const Time start = s.now();
+    std::uint32_t ri = 0;
+    if (t) {
+        obs::ReplayRec r;
+        r.op = write ? obs::ReplayRec::Write : obs::ReplayRec::Read;
+        r.engine = eng;
+        r.lane = static_cast<std::uint16_t>(ctx.idx);
+        r.proc = ctx.proc->pasid();
+        r.tid = ctx.idx;
+        r.file = ctx.fileId;
+        r.offset = job.engine == Engine::Spdk ? ctx.rawBase + off
+                                              : off;
+        r.len = job.bs;
+        ri = t->replayBegin(r);
+    }
+    // `this` is heap-pinned until collect(); &ctx likewise. The whole
+    // capture is 28 bytes — comfortably inside the inline budget.
+    auto done = [this, &ctx, start, ri](long long n, kern::IoTrace tr) {
+        if (t)
+            t->replayEnd(ri, n);
+        sim::panicIf(n < 0, "fio: I/O failed");
+        const Time now = s.now();
+        if (start >= measureStart && now <= tEnd) {
+            ctx.lat.record(now - start);
+            ctx.ops++;
+            ctx.bytes += static_cast<std::uint64_t>(n);
+            ctx.user.add(static_cast<double>(tr.userNs));
+            ctx.kern.add(static_cast<double>(tr.kernelNs));
+            ctx.dev.add(static_cast<double>(tr.deviceNs));
+            ctx.xlat.add(static_cast<double>(tr.translateNs));
+        }
+        issue(ctx);
+    };
+
+    switch (job.engine) {
+      case Engine::Sync:
+        if (write) {
+            s.kernel.sysPwrite(*ctx.proc, ctx.fd, ctx.buf, off,
+                               done);
+        } else {
+            s.kernel.sysPread(*ctx.proc, ctx.fd, ctx.buf, off,
+                              done);
+        }
+        break;
+      case Engine::Libaio:
+        if (write)
+            s.aio.pwrite(*ctx.proc, ctx.fd, ctx.buf, off, done);
+        else
+            s.aio.pread(*ctx.proc, ctx.fd, ctx.buf, off, done);
+        break;
+      case Engine::IoUring:
+        if (write)
+            ctx.ring->pwrite(ctx.fd, ctx.buf, off, done);
+        else
+            ctx.ring->pread(ctx.fd, ctx.buf, off, done);
+        break;
+      case Engine::Spdk:
+        if (write) {
+            spdkDrv->write(ctx.idx, ctx.rawBase + off, ctx.buf,
+                           done);
+        } else {
+            spdkDrv->read(ctx.idx, ctx.rawBase + off, ctx.buf,
+                          done);
+        }
+        break;
+      case Engine::Bypassd:
+        if (write) {
+            ctx.lib->pwrite(ctx.idx, ctx.fd, ctx.buf, off, done);
+        } else {
+            ctx.lib->pread(ctx.idx, ctx.fd, ctx.buf, off, done);
+        }
+        break;
+    }
+}
+
+FioResult
+FioRunState::collect()
+{
     sim::panicIf(running != 0, "fio: jobs still running after drain");
 
-    s_.kernel.cpu().release(job.numJobs);
+    s.kernel.cpu().release(job.numJobs);
     mark(obs::ReplayRec::CpuRelease, *ctxs[0], job.numJobs);
     if (spdkDrv) {
         mark(obs::ReplayRec::Close, *ctxs[0]);
@@ -330,13 +363,44 @@ FioRunner::run(const FioJob &job)
     }
     for (auto &[id, ts] : slices) {
         if (const obs::TenantCounters *tc
-            = s_.tenantAccounting().find(id)) {
+            = s.tenantAccounting().find(id)) {
             ts.fmaps = tc->bypassdColdFmaps + tc->bypassdWarmFmaps;
             ts.revocations = tc->bypassdRevokedVictims;
         }
         res.tenants.push_back(ts);
     }
     return res;
+}
+
+} // namespace detail
+
+FioPending::FioPending() = default;
+FioPending::~FioPending() = default;
+FioPending::FioPending(FioPending &&) noexcept = default;
+FioPending &FioPending::operator=(FioPending &&) noexcept = default;
+
+FioPending
+FioRunner::arm(const FioJob &job)
+{
+    FioPending p;
+    p.st_ = std::make_unique<detail::FioRunState>(s_, job);
+    p.st_->arm();
+    return p;
+}
+
+FioResult
+FioRunner::collect(FioPending p)
+{
+    sim::panicIf(!p.st_, "fio: collect on an empty pending job");
+    return p.st_->collect();
+}
+
+FioResult
+FioRunner::run(const FioJob &job)
+{
+    FioPending p = arm(job);
+    s_.run();
+    return collect(std::move(p));
 }
 
 } // namespace bpd::wl

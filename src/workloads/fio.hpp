@@ -91,10 +91,38 @@ struct FioResult
     }
 };
 
+namespace detail {
+struct FioRunState;
+}
+
+/**
+ * An armed fio job: files created, engines opened, closed loops
+ * primed, CPUs acquired — everything up to (but excluding) draining
+ * the event queue. Drive the simulation (System::run, or a sharded
+ * executor run covering this system's domain) and then pass the
+ * pending job to FioRunner::collect().
+ */
+class FioPending
+{
+  public:
+    ~FioPending();
+    FioPending(FioPending &&) noexcept;
+    FioPending &operator=(FioPending &&) noexcept;
+
+  private:
+    friend class FioRunner;
+    FioPending();
+    std::unique_ptr<detail::FioRunState> st_;
+};
+
 /**
  * Runs one FioJob on a System. The system is expected to be fresh (the
  * runner creates processes/files); several jobs can be run sequentially
  * on the same system when files do not collide.
+ *
+ * run() is arm() + System::run() + collect(); the split form exists so
+ * several systems' jobs can be armed first and then driven together by
+ * one parallel executor run.
  */
 class FioRunner
 {
@@ -102,6 +130,12 @@ class FioRunner
     explicit FioRunner(sys::System &s) : s_(s) {}
 
     FioResult run(const FioJob &job);
+
+    /** Set up and prime the job without draining the event queue. */
+    FioPending arm(const FioJob &job);
+
+    /** Check the drain, release resources, aggregate the stats. */
+    FioResult collect(FioPending p);
 
   private:
     sys::System &s_;

@@ -13,12 +13,16 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
+#include "sim/sim_executor.hpp"
+#include "system/fleet.hpp"
 #include "system/system.hpp"
 #include "workloads/fio.hpp"
 
@@ -55,9 +59,12 @@ digestFio(std::uint64_t h, const wl::FioResult &r)
  * One kernel-interface job and one BypassD job on a single system.
  * traceLevel 0 runs untraced; 1..3 enable the obs tracer at that
  * verbosity — the digest must not depend on it (tracing transparency).
+ * shards > 1 binds the system to a sharded executor as its only
+ * domain — the digest must not depend on that either.
  */
 std::uint64_t
-runMixedWorkload(std::uint64_t seed, int traceLevel = 0)
+runMixedWorkload(std::uint64_t seed, int traceLevel = 0,
+                 unsigned shards = 1)
 {
     sim::setVerbose(false);
     sys::SystemConfig cfg;
@@ -66,6 +73,11 @@ runMixedWorkload(std::uint64_t seed, int traceLevel = 0)
     sys::System s(cfg);
     if (traceLevel > 0)
         s.enableTracing(static_cast<obs::Level>(traceLevel));
+    std::optional<sim::SimExecutor> ex;
+    if (shards > 1) {
+        ex.emplace(shards);
+        s.bindExecutor(&*ex, ex->addDomain(s.eq, 0, "sys"));
+    }
     wl::FioRunner runner(s);
 
     std::uint64_t h = 0xcbf29ce484222325ull;
@@ -91,6 +103,62 @@ runMixedWorkload(std::uint64_t seed, int traceLevel = 0)
     h = fnv(h, s.now());
     h = fnv(h, s.eq.executed());
     h = fnv(h, s.store.residentBytes());
+    return h;
+}
+
+/**
+ * Scaled-down fleet_fio scenario: three machines, two BypassD jobs
+ * each, beacon-coupled to the controller. Digest folds every
+ * machine's fio stats plus the controller's delivery-order hash, so
+ * any cross-shard reordering — not just dropped work — flips it.
+ */
+std::uint64_t
+runMiniFleet(unsigned shards)
+{
+    sim::setVerbose(false);
+    sys::FleetConfig fc;
+    fc.systems = 3;
+    fc.shards = shards;
+    fc.deviceBytes = 1ull << 30;
+    fc.seed = 11;
+    fc.fabricLatencyNs = 10 * kUs;
+    fc.beaconPeriodNs = 50 * kUs;
+    sys::Fleet fleet(fc);
+
+    wl::FioJob job;
+    job.engine = wl::Engine::Bypassd;
+    job.rw = wl::RwMode::RandRead;
+    job.bs = 4096;
+    job.numJobs = 2;
+    job.runtime = 3 * kMs;
+    job.warmup = 300 * kUs;
+    job.fileBytes = 8ull << 20;
+
+    std::vector<std::unique_ptr<wl::FioRunner>> runners;
+    std::vector<wl::FioPending> pending;
+    Time horizon = 0;
+    for (unsigned i = 0; i < fleet.size(); i++) {
+        wl::FioJob j = job;
+        j.seed = 1 + i;
+        j.filePrefix = sim::strf("/mini%u_f", i);
+        runners.push_back(
+            std::make_unique<wl::FioRunner>(fleet.system(i)));
+        pending.push_back(runners.back()->arm(j));
+        horizon = std::max(horizon,
+                           fleet.system(i).now() + j.warmup + j.runtime);
+    }
+    fleet.start(horizon);
+    fleet.run();
+
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned i = 0; i < fleet.size(); i++) {
+        h = digestFio(h, runners[i]->collect(std::move(pending[i])));
+        h = fnv(h, fleet.system(i).now());
+        h = fnv(h, fleet.system(i).eq.executed());
+    }
+    h = fnv(h, fleet.controllerDigest());
+    h = fnv(h, fleet.beacons());
+    EXPECT_GT(fleet.beacons(), 0u);
     return h;
 }
 
@@ -190,4 +258,27 @@ TEST(Determinism, CancelFromCallbackPreventsSameTimeEvent)
     eq.run();
     EXPECT_FALSE(bRan);
     EXPECT_EQ(eq.pending(), 0u);
+}
+
+/**
+ * Binding a system to a sharded executor as its only domain must be
+ * byte-for-byte invisible: same windows of execution, same digest.
+ */
+TEST(ShardDeterminism, BoundSingleSystemMatchesPlainDigest)
+{
+    const std::uint64_t plain = runMixedWorkload(7);
+    EXPECT_EQ(plain, runMixedWorkload(7, 0, 2));
+    EXPECT_EQ(plain, runMixedWorkload(7, 0, 4));
+}
+
+/**
+ * The beacon-coupled mini fleet exchanges real cross-domain messages;
+ * its digest (fio stats + controller delivery-order hash) must be
+ * identical at 1, 2, and 4 shards (4 clamps to the 3 machines).
+ */
+TEST(ShardDeterminism, FleetDigestInvariantAcrossShardCounts)
+{
+    const std::uint64_t one = runMiniFleet(1);
+    EXPECT_EQ(one, runMiniFleet(2));
+    EXPECT_EQ(one, runMiniFleet(4));
 }

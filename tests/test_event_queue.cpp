@@ -303,3 +303,48 @@ TEST(Coro, ResolverAdapter)
     eq.run();
     EXPECT_EQ(got, 99);
 }
+
+/**
+ * Window execution, the building block of the sharded executor: run
+ * strictly below a bound, leave the rest pending, and do not advance
+ * the clock past the last executed event (the next window, or a
+ * cross-shard delivery, decides what time it is).
+ */
+TEST(EventQueue, RunWindowStopsBelowBound)
+{
+    EventQueue eq;
+    std::vector<int> got;
+    for (int i : {10, 20, 30})
+        eq.schedule(i, [&got, i]() { got.push_back(i); });
+
+    EXPECT_EQ(eq.runWindow(20), 1u); // 20 itself is excluded
+    EXPECT_EQ(got, (std::vector<int>{10}));
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_EQ(eq.pending(), 2u);
+
+    EXPECT_EQ(eq.runWindow(31), 2u);
+    EXPECT_EQ(got, (std::vector<int>{10, 20, 30}));
+    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.runWindow(kNever), 0u); // idle drain is a no-op
+}
+
+TEST(EventQueue, NextEventTimeSkipsCancelledHead)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.nextEventTime(), kNever);
+    const EventId a = eq.schedule(5, []() {});
+    eq.schedule(9, []() {});
+    EXPECT_EQ(eq.nextEventTime(), 5u);
+    EXPECT_TRUE(eq.cancel(a));
+    EXPECT_EQ(eq.nextEventTime(), 9u);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueueDeath, ScheduleIntoPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, []() {});
+    eq.run();
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_DEATH(eq.schedule(5, []() {}), "scheduling into the past");
+}

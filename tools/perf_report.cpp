@@ -7,6 +7,15 @@
  *
  * Usage:
  *   perf_report <baseline.json> <current.json> [--out BENCH_PR.json]
+ *               [--max-rss-growth PCT]
+ *
+ * --max-rss-growth makes peak-RSS regressions gating: the report exits
+ * non-zero when the current run's peak RSS exceeds the baseline's by
+ * more than PCT percent (skipped when either side lacks RSS data).
+ *
+ * When both sides carry shard data ("shards" in a scenario object) a
+ * shard-scaling table is printed: events/sec at each shard count and
+ * the parallel efficiency of the current run relative to the baseline.
  *
  * Also diffs the per-scenario simulated metric counters (events
  * executed, IOTLB hit rate, page walks, journal commits, ...) that
@@ -256,11 +265,59 @@ isCounterKey(const std::string &k)
     static const char *const kSkip[] = {
         "name", "digest", "wall_sec", "events_per_sec",
         "iops", "kops",   "mb_per_s",
+        // Sharding config and host-side scheduling artifacts. Note that
+        // "windows" and "messages" are NOT skipped: the round count and
+        // cross-domain traffic are virtual-time quantities, identical
+        // for every shard count, so they belong in the semantic diff.
+        "shards", "domains", "lookahead_ns", "barrier_stall_sec",
     };
     for (const char *s : kSkip)
         if (k == s)
             return false;
+    // Per-shard event counts depend on placement, not simulation.
+    if (k.rfind("shard_", 0) == 0)
+        return false;
     return true;
+}
+
+/**
+ * Shard-scaling table: for every scenario carrying shard data on both
+ * sides, relate events/sec to shard count. Parallel efficiency is the
+ * speedup divided by the shard-count ratio — 100% means the extra
+ * shards were fully converted into throughput.
+ */
+void
+printShardScaling(const BenchFile &base, const BenchFile &cur)
+{
+    bool any = false;
+    for (const Scenario &c : cur.scenarios) {
+        const Scenario *b = findScenario(base, c.name);
+        if (!b || !hasField(*b, "shards") || !hasField(c, "shards"))
+            continue;
+        const double bs = numField(*b, "shards");
+        const double cs = numField(c, "shards");
+        const double be = numField(*b, "events_per_sec");
+        const double ce = numField(c, "events_per_sec");
+        if (bs <= 0 || cs <= 0 || be <= 0)
+            continue;
+        if (!any) {
+            std::printf("\nshard scaling (events/sec vs shards):\n");
+            std::printf("  %-26s %6s %6s %12s %12s %8s %6s\n",
+                        "scenario", "shards", "shards", "base ev/s",
+                        "cur ev/s", "speedup", "eff%");
+        }
+        any = true;
+        const double speedup = ce / be;
+        const double eff = 100.0 * speedup / (cs / bs);
+        std::printf("  %-26s %6.0f %6.0f %12.0f %12.0f %7.2fx %5.1f%%\n",
+                    c.name.c_str(), bs, cs, be, ce, speedup, eff);
+    }
+    if (any && cur.fields.count("host_cpus")) {
+        const double cpus = std::atof(cur.fields.at("host_cpus").c_str());
+        std::printf("  (current host has %.0f cpu%s — speedup is "
+                    "bounded by physical cores)\n",
+                    cpus, cpus == 1 ? "" : "s");
+    }
 }
 
 /**
@@ -346,21 +403,26 @@ int
 main(int argc, char **argv)
 {
     std::string outPath;
+    std::optional<double> maxRssGrowthPct;
     std::vector<std::string> inputs;
     for (int i = 1; i < argc; i++) {
         const std::string a = argv[i];
         if (a == "--out" && i + 1 < argc)
             outPath = argv[++i];
+        else if (a == "--max-rss-growth" && i + 1 < argc)
+            maxRssGrowthPct = std::atof(argv[++i]);
         else if (a == "--help" || a == "-h") {
             std::printf("usage: perf_report <baseline.json> "
-                        "<current.json> [--out BENCH_PR.json]\n");
+                        "<current.json> [--out BENCH_PR.json] "
+                        "[--max-rss-growth PCT]\n");
             return 0;
         } else
             inputs.push_back(a);
     }
     if (inputs.size() != 2) {
         std::fprintf(stderr, "usage: perf_report <baseline.json> "
-                             "<current.json> [--out BENCH_PR.json]\n");
+                             "<current.json> [--out BENCH_PR.json] "
+                             "[--max-rss-growth PCT]\n");
         return 2;
     }
 
@@ -404,10 +466,22 @@ main(int argc, char **argv)
             : "0");
     std::printf("peak RSS: %.1f MiB -> %.1f MiB\n",
                 baseRss / (1 << 20), curRss / (1 << 20));
+    bool rssViolation = false;
+    if (maxRssGrowthPct && baseRss > 0 && curRss > 0) {
+        const double growth = 100.0 * (curRss - baseRss) / baseRss;
+        rssViolation = growth > *maxRssGrowthPct;
+        std::printf("peak RSS growth: %+.1f%% (budget %.1f%%) %s\n",
+                    growth, *maxRssGrowthPct,
+                    rssViolation ? "EXCEEDED" : "ok");
+    }
+    printShardScaling(base, cur);
     printCounterDiff(base, cur);
     if (digestMismatch)
         std::fprintf(stderr, "perf_report: DIGEST MISMATCH — simulated "
                              "results differ from baseline\n");
+    if (rssViolation)
+        std::fprintf(stderr, "perf_report: RSS BUDGET EXCEEDED — peak "
+                             "RSS grew past --max-rss-growth\n");
 
     if (!outPath.empty()) {
         std::FILE *f = std::fopen(outPath.c_str(), "w");
@@ -448,5 +522,5 @@ main(int argc, char **argv)
         std::fclose(f);
         std::printf("wrote %s\n", outPath.c_str());
     }
-    return digestMismatch ? 1 : 0;
+    return (digestMismatch || rssViolation) ? 1 : 0;
 }
