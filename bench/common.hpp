@@ -260,8 +260,16 @@ struct BenchJson
         sc.fields.emplace_back(k, sim::strf("%.3f", v));
     }
 
+    /** Quoted string field (e.g. a digest printed as hex). */
+    static void
+    fieldS(Scenario &sc, const std::string &k, const std::string &v)
+    {
+        sc.fields.emplace_back(k, "\"" + v + "\"");
+    }
+
     bool
-    write(const std::string &path, const std::string &label) const
+    write(const std::string &path, const std::string &label,
+          bool quick = true, unsigned hostCpus = 0) const
     {
         std::FILE *f = std::fopen(path.c_str(), "w");
         if (!f) {
@@ -270,7 +278,9 @@ struct BenchJson
         }
         std::fprintf(f, "{\n  \"schema\": \"bypassd-bench-v1\",\n");
         std::fprintf(f, "  \"label\": \"%s\",\n", label.c_str());
-        std::fprintf(f, "  \"quick\": true,\n");
+        std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+        if (hostCpus)
+            std::fprintf(f, "  \"host_cpus\": %u,\n", hostCpus);
         std::fprintf(f, "  \"peak_rss_bytes\": 0,\n");
         std::fprintf(f, "  \"scenarios\": [\n");
         for (std::size_t i = 0; i < scenarios.size(); i++) {

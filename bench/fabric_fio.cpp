@@ -1,0 +1,594 @@
+/**
+ * @file
+ * fabric_fio: NVMe-oF-style fabric benchmarks — many client machines
+ * driving one simulated storage target over the executor's fabric
+ * channels (src/fabric). Three scenarios:
+ *
+ *  - fabric_fio_8x1: eight client machines x one target, three fio
+ *    jobs per client mixing 4 KiB reads, 4 KiB in-capsule writes and
+ *    16 KiB RDMA-read writes. Reports per-connection and per-tenant
+ *    stats; the digest folds every client's fio results, the target's
+ *    per-connection counters and the fleet controller hash, so CI can
+ *    assert bit-identical results at 1/2/4 shards.
+ *  - fabric_storm: twelve clients connecting in a 10 us-staggered
+ *    storm, then issuing read bursts. Reports connect-latency
+ *    percentiles and checks the target's single admin queue actually
+ *    serialized the grants.
+ *  - fabric_vs_local: the same 4 KiB qd-1 random-read job on local
+ *    sync / BypassD / SPDK engines and on a remote fabric client.
+ *    Enforces the latency model's stated bound: remote mean = local
+ *    SPDK mean + FabricProfile::modeledOverheadNs within
+ *    max(1 us, 5%). Exit 1 on violation.
+ *
+ * Output: bypassd-bench-v1 JSON (--out), perf_report-diffable. The
+ * fleet scenarios capture traces per system in retained mode;
+ * --trace-stream is refused (the streaming writer is single-threaded,
+ * DESIGN.md §12).
+ *
+ * Usage: fabric_fio [--quick] [--shards N] [--label NAME] [--out FILE]
+ *                   [--trace FILE] [--metrics FILE] [--trace-level N]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "fabric/initiator.hpp"
+#include "fabric/target.hpp"
+#include "sim/sim_executor.hpp"
+#include "system/fleet.hpp"
+#include "workloads/fio.hpp"
+
+using namespace bpd;
+
+namespace {
+
+std::uint64_t
+fnv(std::uint64_t h, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; i++) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+constexpr std::uint64_t kFnvSeed = 0xcbf29ce484222325ull;
+
+std::uint64_t
+hashHistogram(std::uint64_t h, const sim::Histogram &hist)
+{
+    h = fnv(h, hist.count());
+    h = fnv(h, hist.min());
+    h = fnv(h, hist.max());
+    h = fnv(h, hist.p50());
+    h = fnv(h, hist.p99());
+    h = fnv(h, hist.p999());
+    return h;
+}
+
+double
+wallNow()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Shared executor/bookkeeping fields every scenario emits. */
+void
+execFields(bench::BenchJson::Scenario &sc, sys::Fleet &fleet,
+           std::uint64_t digest, double wallSec)
+{
+    const sim::SimExecutor &ex = fleet.executor();
+    const std::uint64_t events = fleet.totalEvents();
+    bench::BenchJson::field(sc, "events", events);
+    bench::BenchJson::fieldF(sc, "wall_sec", wallSec);
+    bench::BenchJson::fieldF(sc, "events_per_sec",
+                             wallSec > 0
+                                 ? static_cast<double>(events) / wallSec
+                                 : 0.0);
+    bench::BenchJson::field(sc, "shards", ex.shardCount());
+    bench::BenchJson::field(sc, "domains", ex.domainCount());
+    bench::BenchJson::field(sc, "lookahead_ns",
+                            ex.lookahead() == sim::kNever
+                                ? 0
+                                : ex.lookahead());
+    bench::BenchJson::field(sc, "windows", ex.windows());
+    bench::BenchJson::field(sc, "messages", ex.delivered());
+    double stall = 0;
+    for (unsigned s = 0; s < ex.shardCount(); s++)
+        stall += ex.shardStallSec(s);
+    bench::BenchJson::fieldF(sc, "barrier_stall_sec", stall);
+    bench::BenchJson::field(sc, "beacons", fleet.beacons());
+    bench::BenchJson::field(sc, "device_ops",
+                            fleet.target().dev.totalOps());
+    bench::BenchJson::fieldS(sc, "digest", sim::strf("%016llx",
+                             static_cast<unsigned long long>(digest)));
+}
+
+/** Per-connection JSON fields from the target's connection table. */
+void
+connFields(bench::BenchJson::Scenario &sc, const fab::FabricTarget &tgt)
+{
+    for (const auto &[id, info] : tgt.connections()) {
+        const std::string p = sim::strf("conn.%u.", id);
+        bench::BenchJson::field(sc, p + "tenant", info.tenant);
+        bench::BenchJson::field(sc, p + "pasid", info.remotePasid);
+        bench::BenchJson::field(sc, p + "ops", info.ops);
+        bench::BenchJson::field(sc, p + "read_bytes", info.readBytes);
+        bench::BenchJson::field(sc, p + "write_bytes", info.writeBytes);
+        bench::BenchJson::field(sc, p + "in_capsule_writes",
+                                info.inCapsuleWrites);
+        bench::BenchJson::field(sc, p + "rdma_writes", info.rdmaWrites);
+    }
+}
+
+std::uint64_t
+hashConnections(std::uint64_t h, const fab::FabricTarget &tgt)
+{
+    for (const auto &[id, info] : tgt.connections()) {
+        h = fnv(h, id);
+        h = fnv(h, info.tenant);
+        h = fnv(h, info.remotePasid);
+        h = fnv(h, info.ops);
+        h = fnv(h, info.readBytes);
+        h = fnv(h, info.writeBytes);
+        h = fnv(h, info.inCapsuleWrites);
+        h = fnv(h, info.rdmaWrites);
+    }
+    return h;
+}
+
+std::uint64_t
+hashFleetClocks(std::uint64_t h, sys::Fleet &fleet)
+{
+    for (unsigned i = 0; i < fleet.size(); i++) {
+        h = fnv(h, fleet.system(i).now());
+        h = fnv(h, fleet.system(i).eq.executed());
+    }
+    h = fnv(h, fleet.controllerDigest());
+    h = fnv(h, fleet.beacons());
+    return h;
+}
+
+/**
+ * fabric_fio_8x1: 8 clients x 3 jobs against one target. Clients cycle
+ * through three shapes so one run covers every data path: 4 KiB random
+ * reads, 4 KiB random writes (in-capsule) and 16 KiB random writes
+ * (two-phase RDMA read).
+ */
+std::uint64_t
+runFabricFio(bool quick, unsigned shards, bench::BenchJson &json,
+             bench::ObsCapture &obs)
+{
+    const char *name = "fabric_fio_8x1";
+    constexpr unsigned kClients = 8;
+    constexpr unsigned kJobs = 3;
+    constexpr std::uint64_t kFileBytes = 64ull << 20;
+    sim::setVerbose(false);
+
+    sys::FleetConfig fc;
+    fc.systems = kClients + 1;
+    fc.shards = shards;
+    fc.topology = sys::FleetTopology::FabricClientsTarget;
+    fc.deviceBytes = 8ull << 30;
+    fc.seed = 42;
+    sys::Fleet fleet(fc);
+
+    sys::System &target = fleet.target();
+    target.enableTenantAccounting();
+    obs.attach(target, std::string(name) + "/target");
+
+    fab::FabricProfile prof;
+    fab::FabricTarget tgt(target, prof);
+    tgt.bind(fleet.executor(), fleet.domainOf(0));
+    sim::panicIf(!tgt.serve(), "fabric target could not claim device");
+
+    const double t0 = wallNow();
+    std::vector<std::unique_ptr<fab::FabricInitiator>> inis;
+    std::vector<std::unique_ptr<wl::FioRunner>> runners;
+    std::vector<wl::FioPending> pending;
+    Time horizon = 0;
+    const Time runtime = (quick ? 10 : 80) * kMs;
+    for (unsigned c = 1; c <= kClients; c++) {
+        sys::System &client = fleet.system(c);
+        obs.attach(client, sim::strf("%s/client%u", name, c));
+        inis.push_back(
+            std::make_unique<fab::FabricInitiator>(client, tgt));
+        inis.back()->bind(fleet.executor(), fleet.domainOf(c));
+
+        wl::FioJob j;
+        j.engine = wl::Engine::Fabric;
+        j.fabric = inis.back().get();
+        j.numJobs = kJobs;
+        j.fileBytes = kFileBytes;
+        j.bs = c % 3 == 0 ? 16384 : 4096;
+        j.rw = c % 3 == 1 ? wl::RwMode::RandRead : wl::RwMode::RandWrite;
+        j.runtime = runtime;
+        j.warmup = 1 * kMs;
+        j.seed = 100 + c;
+        j.filePrefix = sim::strf("/fab%u", c);
+        j.fabricBase = fc.deviceBytes / 2
+                       + static_cast<DevAddr>(c - 1) * kJobs * kFileBytes;
+        runners.push_back(std::make_unique<wl::FioRunner>(client));
+        pending.push_back(runners.back()->arm(j));
+        horizon = std::max(horizon,
+                           client.now() + j.warmup + j.runtime);
+    }
+    fleet.start(horizon);
+    fleet.run();
+    const double wallSec = wallNow() - t0;
+
+    std::uint64_t h = kFnvSeed;
+    double iops = 0;
+    std::uint64_t ops = 0, bytes = 0;
+    sim::Histogram all;
+    for (unsigned c = 1; c <= kClients; c++) {
+        const wl::FioResult res
+            = runners[c - 1]->collect(std::move(pending[c - 1]));
+        h = fnv(h, res.ops);
+        h = fnv(h, res.bytes);
+        h = fnv(h, res.elapsed);
+        h = hashHistogram(h, res.latency);
+        const auto &st = inis[c - 1]->stats();
+        h = fnv(h, st.reads);
+        h = fnv(h, st.writes);
+        h = fnv(h, st.inCapsuleWrites);
+        h = fnv(h, st.rdmaWrites);
+        h = fnv(h, st.readBytes);
+        h = fnv(h, st.writeBytes);
+        iops += res.iops();
+        ops += res.ops;
+        bytes += res.bytes;
+        all.merge(res.latency);
+    }
+    h = hashConnections(h, tgt);
+    h = fnv(h, target.dev.totalOps());
+    h = hashFleetClocks(h, fleet);
+
+    bench::checkTenantSums(target);
+    for (unsigned i = 0; i < fleet.size(); i++)
+        obs.capture(sim::strf("%s/%s", name,
+                              i == 0 ? "target"
+                                     : sim::strf("client%u", i).c_str()),
+                    fleet.system(i));
+
+    bench::BenchJson::Scenario &sc = json.add(name);
+    bench::BenchJson::field(sc, "clients", kClients);
+    bench::BenchJson::field(sc, "ops", ops);
+    bench::BenchJson::field(sc, "bytes", bytes);
+    bench::BenchJson::fieldF(sc, "iops", iops);
+    bench::BenchJson::field(sc, "lat_p50_ns", all.p50());
+    bench::BenchJson::field(sc, "lat_p99_ns", all.p99());
+    bench::BenchJson::field(sc, "rdma_transfers", tgt.rdmaTransfers());
+    bench::BenchJson::field(sc, "capsules", tgt.capsules());
+    connFields(sc, tgt);
+    bench::tenantFields(sc, target,
+                        static_cast<double>(runtime) / kSec);
+    execFields(sc, fleet, h, wallSec);
+
+    std::printf("%-18s %8llu ops %10.0f iops p50 %llu ns p99 %llu ns "
+                "digest %016llx\n",
+                name, static_cast<unsigned long long>(ops), iops,
+                static_cast<unsigned long long>(all.p50()),
+                static_cast<unsigned long long>(all.p99()),
+                static_cast<unsigned long long>(h));
+    return h;
+}
+
+/**
+ * fabric_storm: clients connect in a staggered storm; the single admin
+ * queue must serialize the grants (>= adminProcessNs apart) while read
+ * bursts from already-connected clients keep the I/O reactor busy.
+ */
+std::uint64_t
+runFabricStorm(bool quick, unsigned shards, bench::BenchJson &json)
+{
+    const char *name = "fabric_storm";
+    constexpr unsigned kClients = 12;
+    const unsigned burst = quick ? 64 : 256;
+    sim::setVerbose(false);
+
+    sys::FleetConfig fc;
+    fc.systems = kClients + 1;
+    fc.shards = shards;
+    fc.topology = sys::FleetTopology::FabricClientsTarget;
+    fc.deviceBytes = 4ull << 30;
+    fc.seed = 7;
+    sys::Fleet fleet(fc);
+
+    sys::System &target = fleet.target();
+    fab::FabricProfile prof;
+    fab::FabricTarget tgt(target, prof);
+    tgt.bind(fleet.executor(), fleet.domainOf(0));
+    sim::panicIf(!tgt.serve(), "fabric target could not claim device");
+
+    const double t0 = wallNow();
+    std::vector<std::unique_ptr<fab::FabricInitiator>> inis;
+    std::vector<Time> ackAt(kClients, 0);
+    std::vector<std::uint64_t> done(kClients, 0);
+    std::vector<std::vector<std::uint8_t>> bufs(
+        kClients, std::vector<std::uint8_t>(4096));
+    // One closed read loop per client, started by its connect ack.
+    std::vector<std::shared_ptr<std::function<void()>>> loops(kClients);
+    for (unsigned c = 0; c < kClients; c++) {
+        sys::System &client = fleet.system(c + 1);
+        inis.push_back(
+            std::make_unique<fab::FabricInitiator>(client, tgt));
+        inis.back()->bind(fleet.executor(), fleet.domainOf(c + 1));
+        fab::FabricInitiator *ini = inis.back().get();
+        const DevAddr base = fc.deviceBytes / 2
+                             + static_cast<DevAddr>(c) * (1ull << 20);
+        loops[c] = std::make_shared<std::function<void()>>();
+        *loops[c] = [c, ini, base, burst, &done, &bufs, &loops] {
+            if (done[c] >= burst)
+                return;
+            ini->read(0, base + (done[c] % 256) * 4096, bufs[c],
+                      [c, &done, &loops](long long n, kern::IoTrace) {
+                          sim::panicIf(n < 0, "storm read failed");
+                          done[c]++;
+                          (*loops[c])();
+                      });
+        };
+        client.eq.schedule(
+            client.now() + static_cast<Time>(c) * 10 * kUs,
+            [c, ini, &ackAt, &loops, &client] {
+                ini->connect(static_cast<Pasid>(200 + c),
+                             [c, &ackAt, &loops, &client](bool ok) {
+                                 sim::panicIf(!ok,
+                                              "storm connect refused");
+                                 ackAt[c] = client.now();
+                                 (*loops[c])();
+                             });
+            });
+    }
+    fleet.start((quick ? 4 : 8) * kMs);
+    fleet.run();
+    const double wallSec = wallNow() - t0;
+
+    sim::Histogram connectLat;
+    std::uint64_t totalReads = 0;
+    std::uint64_t h = kFnvSeed;
+    for (unsigned c = 0; c < kClients; c++) {
+        connectLat.record(inis[c]->stats().connectLatencyNs);
+        totalReads += done[c];
+        h = fnv(h, ackAt[c]);
+        h = fnv(h, done[c]);
+        h = fnv(h, inis[c]->stats().connectLatencyNs);
+        h = hashHistogram(h, inis[c]->stats().latency);
+    }
+    // The serialization invariant: one admin queue, grants spaced by at
+    // least its per-capsule cost even under a simultaneous-arrival
+    // storm (staggering narrower than adminProcessNs still queues).
+    std::vector<Time> sorted = ackAt;
+    std::sort(sorted.begin(), sorted.end());
+    Time minSpacing = sim::kNever;
+    for (std::size_t i = 1; i < sorted.size(); i++)
+        minSpacing = std::min(minSpacing, sorted[i] - sorted[i - 1]);
+    h = fnv(h, minSpacing);
+    h = hashConnections(h, tgt);
+    h = fnv(h, target.dev.totalOps());
+    h = hashFleetClocks(h, fleet);
+
+    bench::BenchJson::Scenario &sc = json.add(name);
+    bench::BenchJson::field(sc, "clients", kClients);
+    bench::BenchJson::field(sc, "accepts", tgt.accepts());
+    bench::BenchJson::field(sc, "reads", totalReads);
+    bench::BenchJson::field(sc, "connect_p50_ns", connectLat.p50());
+    bench::BenchJson::field(sc, "connect_p99_ns", connectLat.p99());
+    bench::BenchJson::field(sc, "connect_max_ns", connectLat.max());
+    bench::BenchJson::field(sc, "min_ack_spacing_ns", minSpacing);
+    execFields(sc, fleet, h, wallSec);
+
+    std::printf("%-18s %8llu reads, connect p50 %llu ns p99 %llu ns, "
+                "min ack spacing %llu ns, digest %016llx\n",
+                name, static_cast<unsigned long long>(totalReads),
+                static_cast<unsigned long long>(connectLat.p50()),
+                static_cast<unsigned long long>(connectLat.p99()),
+                static_cast<unsigned long long>(minSpacing),
+                static_cast<unsigned long long>(h));
+    sim::panicIf(tgt.accepts() != kClients, "storm lost connections");
+    sim::panicIf(minSpacing < prof.adminProcessNs,
+                 "admin queue failed to serialize the connect storm");
+    return h;
+}
+
+/**
+ * fabric_vs_local: one 4 KiB qd-1 random-read job per engine. Returns
+ * false when the fabric latency model's stated bound fails.
+ */
+bool
+runFabricVsLocal(bool quick, unsigned shards, bench::BenchJson &json,
+                 std::uint64_t *digestOut)
+{
+    const char *name = "fabric_vs_local";
+    sim::setVerbose(false);
+
+    wl::FioJob job;
+    job.rw = wl::RwMode::RandRead;
+    job.bs = 4096;
+    job.numJobs = 1;
+    job.fileBytes = 64ull << 20;
+    job.runtime = (quick ? 20 : 120) * kMs;
+    job.warmup = 2 * kMs;
+    job.seed = 5;
+
+    sys::SystemConfig cfg;
+    cfg.deviceBytes = 4ull << 30;
+    cfg.seed = 7;
+
+    struct Cell
+    {
+        std::string label;
+        wl::FioResult res;
+    };
+    std::vector<Cell> cells;
+    std::uint64_t h = kFnvSeed;
+
+    const std::pair<wl::Engine, const char *> kEngines[] = {
+        {wl::Engine::Sync, "sync"},
+        {wl::Engine::Bypassd, "bypassd"},
+        {wl::Engine::Spdk, "spdk"},
+    };
+    for (const auto &[eng, label] : kEngines) {
+        wl::FioJob j = job;
+        j.engine = eng;
+        j.filePrefix = sim::strf("/vs_%s", label);
+        cells.push_back(Cell{label, bench::runFio(j, cfg)});
+        h = fnv(h, cells.back().res.ops);
+        h = hashHistogram(h, cells.back().res.latency);
+    }
+
+    // Remote cell: one client machine, one target, same job over the
+    // fabric initiator.
+    sys::FleetConfig fc;
+    fc.systems = 2;
+    fc.shards = shards;
+    fc.topology = sys::FleetTopology::FabricClientsTarget;
+    fc.deviceBytes = cfg.deviceBytes;
+    fc.seed = cfg.seed;
+    sys::Fleet fleet(fc);
+    fab::FabricProfile prof;
+    fab::FabricTarget tgt(fleet.target(), prof);
+    tgt.bind(fleet.executor(), fleet.domainOf(0));
+    sim::panicIf(!tgt.serve(), "fabric target could not claim device");
+    fab::FabricInitiator ini(fleet.system(1), tgt);
+    ini.bind(fleet.executor(), fleet.domainOf(1));
+
+    wl::FioJob j = job;
+    j.engine = wl::Engine::Fabric;
+    j.fabric = &ini;
+    j.fabricBase = fc.deviceBytes / 2;
+    wl::FioRunner runner(fleet.system(1));
+    wl::FioPending p = runner.arm(j);
+    fleet.start(fleet.system(1).now() + j.warmup + j.runtime);
+    fleet.run();
+    cells.push_back(Cell{"fabric", runner.collect(std::move(p))});
+    h = fnv(h, cells.back().res.ops);
+    h = hashHistogram(h, cells.back().res.latency);
+    h = hashFleetClocks(h, fleet);
+    *digestOut = h;
+
+    const double spdkMean = cells[2].res.latency.mean();
+    const double remoteMean = cells[3].res.latency.mean();
+    const double overhead = static_cast<double>(
+        prof.modeledOverheadNs(job.bs, /*isWrite=*/false));
+    const double expected = spdkMean + overhead;
+    const double residual = remoteMean - expected;
+    const double bound = std::max(1000.0, 0.05 * remoteMean);
+    const bool ok = residual >= -bound && residual <= bound;
+
+    bench::banner(name, "local engines vs remote fabric (4 KiB qd-1 "
+                        "randread)");
+    bench::row("engine", {"mean ns", "p50 ns", "p99 ns", "iops"});
+    for (const Cell &c : cells)
+        bench::row(c.label,
+                   {bench::fmt("%.0f", c.res.latency.mean()),
+                    bench::fmt("%.0f",
+                               static_cast<double>(c.res.latency.p50())),
+                    bench::fmt("%.0f",
+                               static_cast<double>(c.res.latency.p99())),
+                    bench::fmt("%.0f", c.res.iops())});
+    std::printf("modeled fabric overhead: %.0f ns; expected remote mean "
+                "%.0f ns; measured %.0f ns; residual %+.0f ns "
+                "(bound %.0f ns) %s\n",
+                overhead, expected, remoteMean, residual, bound,
+                ok ? "ok" : "VIOLATED");
+
+    bench::BenchJson::Scenario &sc = json.add(name);
+    for (const Cell &c : cells) {
+        bench::BenchJson::fieldF(sc, c.label + "_mean_ns",
+                                 c.res.latency.mean());
+        bench::BenchJson::field(sc, c.label + "_p50_ns",
+                                c.res.latency.p50());
+        bench::BenchJson::field(sc, c.label + "_p99_ns",
+                                c.res.latency.p99());
+        bench::BenchJson::field(sc, c.label + "_ops", c.res.ops);
+    }
+    bench::BenchJson::fieldF(sc, "modeled_overhead_ns", overhead);
+    bench::BenchJson::fieldF(sc, "residual_ns", residual);
+    bench::BenchJson::fieldF(sc, "residual_bound_ns", bound);
+    bench::BenchJson::field(sc, "model_ok", ok ? 1 : 0);
+    execFields(sc, fleet, h, 0);
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    unsigned shards = 1;
+    std::string label = "local";
+    std::string out;
+    bench::ObsCapture obs;
+    for (int i = 1; i < argc; i++) {
+        const std::string a = argv[i];
+        if (a == "--quick") {
+            quick = true;
+        } else if (a == "--shards" && i + 1 < argc) {
+            const int v = std::atoi(argv[++i]);
+            if (v < 1) {
+                std::fprintf(stderr,
+                             "fabric_fio: --shards must be >= 1\n");
+                return 2;
+            }
+            shards = static_cast<unsigned>(v);
+        } else if (a == "--label" && i + 1 < argc) {
+            label = argv[++i];
+        } else if (a == "--out" && i + 1 < argc) {
+            out = argv[++i];
+        } else if (int used = obs.parseArg(argc, argv, i)) {
+            i += used - 1;
+        } else {
+            std::fprintf(stderr,
+                         "usage: fabric_fio [--quick] [--shards N] "
+                         "[--label NAME] [--out FILE] [--trace FILE] "
+                         "[--metrics FILE] [--trace-level N]\n");
+            return 2;
+        }
+    }
+    if (!obs.streamPath.empty()) {
+        std::fprintf(stderr,
+                     "fabric_fio: --trace-stream is not supported: the "
+                     "streaming writer is single-threaded and fabric "
+                     "scenarios trace several machines in parallel. Use "
+                     "--trace (retained per-system capture) instead.\n");
+        return 2;
+    }
+
+    bench::banner("fabric_fio",
+                  quick ? "NVMe-oF fabric target scenarios (quick)"
+                        : "NVMe-oF fabric target scenarios");
+
+    bench::BenchJson json;
+    runFabricFio(quick, shards, json, obs);
+    runFabricStorm(quick, shards, json);
+    std::uint64_t vsDigest = 0;
+    const bool modelOk = runFabricVsLocal(quick, shards, json, &vsDigest);
+
+    if (!out.empty()
+        && !json.write(out, label, quick,
+                       std::thread::hardware_concurrency()))
+        return 1;
+    if (!obs.write())
+        return 1;
+    if (!modelOk) {
+        std::fprintf(stderr,
+                     "fabric_fio: latency model bound violated — remote "
+                     "mean is not local SPDK + modeled overhead within "
+                     "max(1 us, 5%%)\n");
+        return 1;
+    }
+    return 0;
+}

@@ -387,13 +387,17 @@ runFig12Revocation(bool quick, unsigned shards, bench::ObsCapture &obs)
  * window is tens of microseconds of virtual time and the shards run
  * thousands of events per barrier.
  *
- * Runs untraced even under --trace: a beacon-entangled multi-machine
- * capture is not replayable as independent single-machine streams
- * (the replay would miss the controller's events), and the streaming
- * writer is single-threaded. See DESIGN.md §12.
+ * Under --trace each machine is captured as its own retained-mode
+ * Perfetto process (fleet_fio_4x6/sys<i>), merged deterministically by
+ * ObsCapture::write. The streams are marked replay-unsupported: a
+ * beacon-entangled multi-machine capture is not replayable as
+ * independent single-machine streams — the replay would miss the
+ * controller's events. --trace-stream is refused in main(): the
+ * streaming writer is single-threaded and fleet spans are produced by
+ * several shard threads. See DESIGN.md §12.
  */
 ScenarioResult
-runFleetFio(bool quick, unsigned shards)
+runFleetFio(bool quick, unsigned shards, bench::ObsCapture &obs)
 {
     ScenarioResult r;
     r.name = "fleet_fio_4x6";
@@ -415,6 +419,14 @@ runFleetFio(bool quick, unsigned shards)
     job.runtime = (quick ? 15 : 400) * kMs;
     job.warmup = 1 * kMs;
     job.fileBytes = 256ull << 20;
+
+    for (unsigned i = 0; i < fleet.size(); i++) {
+        sys::System &s = fleet.system(i);
+        obs.attach(s, sim::strf("%s/sys%u", r.name.c_str(), i));
+        if (s.tracer())
+            s.tracer()->replayUnsupported(
+                "fleet: beacon-entangled multi-machine capture");
+    }
 
     const double t0 = wallNow();
     std::vector<std::unique_ptr<wl::FioRunner>> runners;
@@ -451,6 +463,7 @@ runFleetFio(bool quick, unsigned shards)
         maxNow = std::max(maxNow, s.now());
         fillCounters(r, s);
         bench::checkTenantSums(s);
+        obs.capture(sim::strf("%s/sys%u", r.name.c_str(), i), s);
     }
     h = fnv(h, fleet.controllerDigest());
     h = fnv(h, fleet.beacons());
@@ -508,6 +521,16 @@ main(int argc, char **argv)
         }
     }
 
+    if (!obs.streamPath.empty()) {
+        std::fprintf(stderr,
+                     "perf_harness: --trace-stream is not supported: "
+                     "the fleet scenario traces several machines whose "
+                     "spans are produced by parallel shard threads, and "
+                     "the streaming writer is single-threaded. Use "
+                     "--trace (retained per-system capture) instead.\n");
+        return 2;
+    }
+
     bench::banner("perf_harness",
                   quick ? "simulator wall-clock scenarios (quick)"
                         : "simulator wall-clock scenarios");
@@ -516,7 +539,7 @@ main(int argc, char **argv)
     results.push_back(runFig9Randread(quick, shards, obs));
     results.push_back(runFig13WiredTiger(quick, shards, obs));
     results.push_back(runFig12Revocation(quick, shards, obs));
-    results.push_back(runFleetFio(quick, shards));
+    results.push_back(runFleetFio(quick, shards, obs));
 
     std::printf("%-24s %12s %10s %14s %12s  %s\n", "scenario", "events",
                 "wall(s)", "events/sec", "metric", "digest");

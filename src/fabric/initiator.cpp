@@ -1,0 +1,359 @@
+#include "fabric/initiator.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "fabric/target.hpp"
+#include "sim/logging.hpp"
+
+namespace bpd::fab {
+
+FabricInitiator::FabricInitiator(sys::System &host, FabricTarget &target)
+    : host_(host), target_(target), prof_(target.profile())
+{
+}
+
+FabricInitiator::~FabricInitiator()
+{
+    *alive_ = false; // queued submit/drain events must not fire
+}
+
+void
+FabricInitiator::bind(sim::SimExecutor &exec, std::uint32_t domain)
+{
+    exec_ = &exec;
+    domain_ = domain;
+}
+
+void
+FabricInitiator::connect(Pasid clientPasid, ConnectCb cb)
+{
+    sim::panicIf(exec_ == nullptr, "fabric initiator not bound");
+    sim::panicIf(state_ != ConnState::Idle,
+                 "fabric connect from non-idle state");
+    state_ = ConnState::Connecting;
+    pasid_ = clientPasid;
+    connectCb_ = std::move(cb);
+    connectSentAt_ = host_.eq.now();
+    FabricTarget *tgt = &target_;
+    FabricInitiator *self = this;
+    const std::uint32_t gen = gen_;
+    const std::uint32_t dom = domain_;
+    exec_->post(domain_, target_.domain(),
+                host_.eq.now() + prof_.wireNs(0),
+                [tgt, self, gen, clientPasid, dom] {
+                    tgt->rpcConnect(self, gen, clientPasid, dom);
+                });
+}
+
+void
+FabricInitiator::disconnect(std::function<void()> cb)
+{
+    sim::panicIf(state_ != ConnState::Connected,
+                 "fabric disconnect from non-connected state");
+    state_ = ConnState::Draining;
+    disconnectCb_ = std::move(cb);
+    scheduleDrainPoll();
+}
+
+void
+FabricInitiator::scheduleDrainPoll()
+{
+    host_.eq.after(kUs, [this, gen = gen_, alive = alive_] {
+        if (!*alive || gen != gen_ || state_ != ConnState::Draining)
+            return; // a reset raced the drain and already tore down
+        if (!pending_.empty()) {
+            scheduleDrainPoll();
+            return;
+        }
+        FabricTarget *tgt = &target_;
+        const std::uint32_t connId = connId_;
+        exec_->post(domain_, target_.domain(),
+                    host_.eq.now() + prof_.wireNs(0),
+                    [tgt, connId, gen] { tgt->rpcDisconnect(connId, gen); });
+        state_ = ConnState::Idle;
+        connId_ = 0;
+        tenant_ = kSystemTenant;
+        if (disconnectCb_) {
+            auto cb = std::move(disconnectCb_);
+            disconnectCb_ = {};
+            cb();
+        }
+    });
+}
+
+void
+FabricInitiator::reset()
+{
+    const bool hadConn = state_ == ConnState::Connected
+                         || state_ == ConnState::Draining;
+    const std::uint32_t oldGen = gen_;
+    const std::uint32_t oldConn = connId_;
+    if (state_ == ConnState::Idle && pending_.empty())
+        return;
+    stats_.resets++;
+    gen_++; // fences every capsule and response still on the wire
+    state_ = ConnState::Idle;
+    connId_ = 0;
+    tenant_ = kSystemTenant;
+    preConnectQueue_.clear();
+    std::vector<std::uint64_t> cids;
+    cids.reserve(pending_.size());
+    for (const auto &[cid, p] : pending_)
+        cids.push_back(cid);
+    for (std::uint64_t cid : cids)
+        failIo(cid, host_.eq.now());
+    if (connectCb_) {
+        auto cb = std::move(connectCb_);
+        connectCb_ = {};
+        cb(false);
+    }
+    disconnectCb_ = {};
+    if (hadConn) {
+        FabricTarget *tgt = &target_;
+        exec_->post(domain_, target_.domain(),
+                    host_.eq.now() + prof_.wireNs(0),
+                    [tgt, oldConn, oldGen] {
+                        tgt->rpcAbort(oldConn, oldGen);
+                    });
+    }
+    // While Connecting the connect capsule is still in flight: the ack
+    // will arrive carrying the old generation and onConnectAck posts
+    // the abort for whatever connection the target granted.
+}
+
+void
+FabricInitiator::read(Tid tid, DevAddr addr, std::span<std::uint8_t> buf,
+                      kern::IoCb cb)
+{
+    doIo(tid, ssd::Op::Read, addr, buf, std::move(cb));
+}
+
+void
+FabricInitiator::write(Tid tid, DevAddr addr,
+                       std::span<const std::uint8_t> buf, kern::IoCb cb)
+{
+    doIo(tid, ssd::Op::Write, addr,
+         std::span<std::uint8_t>(const_cast<std::uint8_t *>(buf.data()),
+                                 buf.size()),
+         std::move(cb));
+}
+
+void
+FabricInitiator::doIo(Tid tid, ssd::Op op, DevAddr addr,
+                      std::span<std::uint8_t> buf, kern::IoCb cb)
+{
+    if (state_ == ConnState::Idle || state_ == ConnState::Draining) {
+        stats_.rejected++;
+        host_.eq.after(0, [cb = std::move(cb)] {
+            cb(kern::errOf(fs::FsStatus::Inval), kern::IoTrace{});
+        });
+        return;
+    }
+    const std::uint64_t cid = nextCid_++;
+    PendingIo &p = pending_[cid];
+    p.op = op;
+    p.addr = addr;
+    p.buf = buf;
+    p.cb = std::move(cb);
+    p.start = host_.eq.now();
+    p.tid = tid;
+    p.inCapsule = op != ssd::Op::Write
+                  || prof_.inCapsule(static_cast<std::uint32_t>(buf.size()));
+    if (obs::Tracer *t = host_.tracer())
+        p.trace = t->newTrace(pasid_);
+    if (state_ == ConnState::Connecting) {
+        stats_.queuedBeforeConnect++;
+        preConnectQueue_.push_back(cid);
+        return;
+    }
+    sendCapsule(cid);
+}
+
+void
+FabricInitiator::sendCapsule(std::uint64_t cid)
+{
+    const Time submitCost
+        = host_.kernel.cpu().scaled(prof_.initiatorSubmitNs);
+    host_.eq.after(submitCost, [this, cid, gen = gen_, alive = alive_] {
+        if (!*alive || gen != gen_)
+            return; // reset raced the submit cost; I/O already failed
+        auto it = pending_.find(cid);
+        if (it == pending_.end())
+            return;
+        PendingIo &p = it->second;
+        std::shared_ptr<std::vector<std::uint8_t>> payload;
+        std::uint64_t wireBytes = 0;
+        if (p.op == ssd::Op::Write && p.inCapsule) {
+            payload = std::make_shared<std::vector<std::uint8_t>>(
+                p.buf.begin(), p.buf.end());
+            wireBytes = p.buf.size();
+        }
+        FabricTarget *tgt = &target_;
+        const std::uint32_t connId = connId_;
+        const ssd::Op op = p.op;
+        const DevAddr addr = p.addr;
+        const auto len = static_cast<std::uint32_t>(p.buf.size());
+        exec_->post(domain_, target_.domain(),
+                    host_.eq.now() + prof_.wireNs(wireBytes),
+                    [tgt, connId, gen, cid, op, addr, len,
+                     payload = std::move(payload)] {
+                        tgt->rpcIo(connId, gen, cid, op, addr, len,
+                                   payload);
+                    });
+    });
+}
+
+void
+FabricInitiator::onConnectAck(std::uint32_t gen, bool ok,
+                              std::uint32_t connId, TenantId tenant)
+{
+    if (gen != gen_) {
+        // This ack answers a connect that was reset away. The target
+        // granted (or refused) a connection nobody will use; abort it.
+        if (ok) {
+            FabricTarget *tgt = &target_;
+            exec_->post(domain_, target_.domain(),
+                        host_.eq.now() + prof_.wireNs(0),
+                        [tgt, connId, gen] { tgt->rpcAbort(connId, gen); });
+        }
+        return;
+    }
+    sim::panicIf(state_ != ConnState::Connecting,
+                 "fabric connect ack in unexpected state");
+    if (!ok) {
+        state_ = ConnState::Idle;
+        auto q = std::move(preConnectQueue_);
+        preConnectQueue_.clear();
+        for (std::uint64_t cid : q)
+            failIo(cid, host_.eq.now());
+        if (connectCb_) {
+            auto cb = std::move(connectCb_);
+            connectCb_ = {};
+            cb(false);
+        }
+        return;
+    }
+    state_ = ConnState::Connected;
+    connId_ = connId;
+    tenant_ = tenant;
+    stats_.connectLatencyNs = host_.eq.now() - connectSentAt_;
+    if (connectCb_) {
+        auto cb = std::move(connectCb_);
+        connectCb_ = {};
+        cb(true);
+    }
+    auto q = std::move(preConnectQueue_);
+    preConnectQueue_.clear();
+    for (std::uint64_t cid : q)
+        if (pending_.count(cid))
+            sendCapsule(cid);
+}
+
+void
+FabricInitiator::onRdmaRead(std::uint32_t gen, std::uint64_t cid)
+{
+    if (gen != gen_) {
+        stats_.staleDrops++;
+        return; // target's parked transfer dies with the abort
+    }
+    auto it = pending_.find(cid);
+    if (it == pending_.end())
+        return;
+    PendingIo &p = it->second;
+    auto payload = std::make_shared<std::vector<std::uint8_t>>(
+        p.buf.begin(), p.buf.end());
+    FabricTarget *tgt = &target_;
+    const std::uint32_t connId = connId_;
+    // The NIC serves the RDMA read without client CPU involvement: no
+    // cpu cost, just wire time for the raw data.
+    exec_->post(domain_, target_.domain(),
+                host_.eq.now() + prof_.rdmaDataNs(p.buf.size()),
+                [tgt, connId, gen, cid, payload = std::move(payload)] {
+                    tgt->rpcRdmaData(connId, gen, cid, payload);
+                });
+}
+
+void
+FabricInitiator::onResponse(std::uint32_t gen, std::uint64_t cid, bool ok,
+                            Time deviceNs,
+                            std::shared_ptr<std::vector<std::uint8_t>> data)
+{
+    if (gen != gen_) {
+        stats_.staleDrops++;
+        return;
+    }
+    const Time completeCost
+        = host_.kernel.cpu().scaled(prof_.initiatorCompleteNs);
+    host_.eq.after(completeCost, [this, gen, cid, ok, deviceNs,
+                                  data = std::move(data),
+                                  alive = alive_] {
+        if (!*alive || gen != gen_)
+            return;
+        finishIo(cid, ok, deviceNs, data);
+    });
+}
+
+void
+FabricInitiator::finishIo(
+    std::uint64_t cid, bool ok, Time deviceNs,
+    const std::shared_ptr<std::vector<std::uint8_t>> &data)
+{
+    auto it = pending_.find(cid);
+    if (it == pending_.end())
+        return;
+    PendingIo p = std::move(it->second);
+    pending_.erase(it);
+    const Time now = host_.eq.now();
+    const Time total = now - p.start;
+    if (ok && p.op == ssd::Op::Read && data) {
+        const std::size_t n = std::min(p.buf.size(), data->size());
+        std::copy_n(data->begin(), n, p.buf.begin());
+    }
+    if (p.op == ssd::Op::Read) {
+        stats_.reads++;
+        stats_.readBytes += p.buf.size();
+    } else {
+        stats_.writes++;
+        stats_.writeBytes += p.buf.size();
+        if (p.inCapsule)
+            stats_.inCapsuleWrites++;
+        else
+            stats_.rdmaWrites++;
+    }
+    stats_.latency.record(total);
+    if (obs::Tracer *t = host_.tracer()) {
+        const std::uint16_t track
+            = t->track("fabric.c" + std::to_string(connId_));
+        t->span(track, "fabric.capsule", p.trace, p.start, now,
+                {{"conn", static_cast<std::int64_t>(connId_)},
+                 {"in_capsule", p.inCapsule ? 1 : 0},
+                 {"bytes", static_cast<std::int64_t>(p.buf.size())}});
+        obs::RequestBreakdown b;
+        b.deviceNs = deviceNs;
+        b.userNs = total - deviceNs;
+        b.bytes = ok ? p.buf.size() : 0;
+        const char *name
+            = p.op == ssd::Op::Write ? "fabric.write" : "fabric.read";
+        t->request(track, name, p.trace, p.start, now, b);
+    }
+    kern::IoTrace tr;
+    tr.deviceNs = deviceNs;
+    tr.userNs = total - deviceNs;
+    p.cb(ok ? static_cast<long long>(p.buf.size())
+            : kern::errOf(fs::FsStatus::Inval),
+         tr);
+}
+
+void
+FabricInitiator::failIo(std::uint64_t cid, Time)
+{
+    auto it = pending_.find(cid);
+    if (it == pending_.end())
+        return;
+    PendingIo p = std::move(it->second);
+    pending_.erase(it);
+    p.cb(kern::errOf(fs::FsStatus::Inval), kern::IoTrace{});
+}
+
+} // namespace bpd::fab

@@ -1,0 +1,373 @@
+#include "fabric/target.hpp"
+
+#include <algorithm>
+
+#include "fabric/initiator.hpp"
+#include "sim/logging.hpp"
+
+namespace bpd::fab {
+
+const char *
+toString(ConnState s)
+{
+    switch (s) {
+    case ConnState::Idle:
+        return "idle";
+    case ConnState::Connecting:
+        return "connecting";
+    case ConnState::Connected:
+        return "connected";
+    case ConnState::Draining:
+        return "draining";
+    }
+    return "?";
+}
+
+FabricTarget::FabricTarget(sys::System &target, FabricProfile profile,
+                           spdk::SpdkCosts costs)
+    : sys_(target), prof_(profile), costs_(costs)
+{
+}
+
+FabricTarget::~FabricTarget()
+{
+    *alive_ = false; // queued polls/reactor events must not fire
+    if (!serving_)
+        return;
+    sim::panicIf(pendingIos_ > 0,
+                 "fabric target destroyed with I/O in flight");
+    for (auto &[id, c] : conns_) {
+        if (c->qp)
+            sys_.dev.destroyQueuePair(c->qp->qid());
+    }
+    conns_.clear();
+    sys_.dev.releaseExclusive(kFabricOwnerPasid);
+    sys_.kernel.cpu().release(1);
+    serving_ = false;
+}
+
+void
+FabricTarget::bind(sim::SimExecutor &exec, std::uint32_t domain)
+{
+    exec_ = &exec;
+    domain_ = domain;
+}
+
+bool
+FabricTarget::serve()
+{
+    if (serving_)
+        return true;
+    if (!sys_.dev.claimExclusive(kFabricOwnerPasid))
+        return false;
+    sys_.kernel.cpu().acquire(1); // the polling reactor core
+    serving_ = true;
+    // The target's own trace stream carries device spans for I/O whose
+    // issuing loops live on remote machines, so it cannot be replayed
+    // as a standalone workload.
+    if (obs::Tracer *t = sys_.tracer())
+        t->replayUnsupported("fabric target serves remote initiators");
+    return true;
+}
+
+FabricTarget::Conn *
+FabricTarget::conn(std::uint32_t connId, std::uint32_t gen)
+{
+    auto it = conns_.find(connId);
+    if (it == conns_.end() || !it->second->open || it->second->gen != gen)
+        return nullptr;
+    return it->second.get();
+}
+
+void
+FabricTarget::rpcConnect(FabricInitiator *ini, std::uint32_t gen,
+                         Pasid clientPasid, std::uint32_t clientDomain)
+{
+    sim::panicIf(!serving_, "fabric connect to a target not serving");
+    const Time capsuleAt = sys_.eq.now();
+    const Time startT = std::max(capsuleAt, adminFreeAt_);
+    adminFreeAt_ = startT + sys_.kernel.cpu().scaled(prof_.adminProcessNs);
+    sys_.eq.schedule(adminFreeAt_, [this, ini, gen, clientPasid,
+                                    clientDomain, capsuleAt,
+                                    alive = alive_] {
+        if (!*alive)
+            return;
+        finishConnect(ini, gen, clientPasid, clientDomain, capsuleAt);
+    });
+}
+
+void
+FabricTarget::finishConnect(FabricInitiator *ini, std::uint32_t gen,
+                            Pasid clientPasid, std::uint32_t clientDomain,
+                            Time capsuleAt)
+{
+    const std::uint32_t id = nextConnId_++;
+    auto c = std::make_unique<Conn>();
+    c->id = id;
+    c->gen = gen;
+    c->ini = ini;
+    c->clientDomain = clientDomain;
+    c->qp = sys_.dev.createQueuePair(kFabricOwnerPasid, prof_.queueDepth,
+                                     /*vbaMode=*/false);
+    const bool ok = c->qp != nullptr;
+    const TenantId tenant = kConnTenantBase + id;
+    if (ok) {
+        c->disp = std::make_unique<ssd::CommandDispatcher>(*c->qp);
+        c->open = true;
+        accepts_++;
+        ConnInfo info;
+        info.remotePasid = clientPasid;
+        info.tenant = tenant;
+        info.connectedAt = sys_.eq.now();
+        info.open = true;
+        info_[id] = info;
+        conns_[id] = std::move(c);
+    }
+    if (obs::Tracer *t = sys_.tracer())
+        t->span(t->track("fabric.target"), "fabric.connect", 0, capsuleAt,
+                sys_.eq.now(),
+                {{"conn", static_cast<std::int64_t>(id)},
+                 {"pasid", static_cast<std::int64_t>(clientPasid)},
+                 {"ok", ok ? 1 : 0}});
+    exec_->post(domain_, clientDomain,
+                sys_.eq.now() + prof_.wireNs(0),
+                [ini, gen, ok, id, tenant] {
+                    ini->onConnectAck(gen, ok, id, tenant);
+                });
+}
+
+void
+FabricTarget::rpcDisconnect(std::uint32_t connId, std::uint32_t gen)
+{
+    Conn *c = conn(connId, gen);
+    if (!c) {
+        staleCapsules_++;
+        return;
+    }
+    disconnects_++;
+    const Time startT = std::max(sys_.eq.now(), adminFreeAt_);
+    adminFreeAt_ = startT + sys_.kernel.cpu().scaled(prof_.adminProcessNs);
+    sys_.eq.schedule(adminFreeAt_, [this, connId, alive = alive_] {
+        if (*alive)
+            beginTeardown(connId);
+    });
+}
+
+void
+FabricTarget::rpcAbort(std::uint32_t connId, std::uint32_t gen)
+{
+    Conn *c = conn(connId, gen);
+    if (!c) {
+        staleCapsules_++;
+        return;
+    }
+    aborts_++;
+    // The client already failed every in-flight I/O; parked RDMA pulls
+    // will never see their data capsule, so drop them now or the drain
+    // below would wait forever.
+    c->xfers.clear();
+    const Time startT = std::max(sys_.eq.now(), adminFreeAt_);
+    adminFreeAt_ = startT + sys_.kernel.cpu().scaled(prof_.adminProcessNs);
+    sys_.eq.schedule(adminFreeAt_, [this, connId, alive = alive_] {
+        if (*alive)
+            beginTeardown(connId);
+    });
+}
+
+void
+FabricTarget::rpcIo(std::uint32_t connId, std::uint32_t gen,
+                    std::uint64_t cid, ssd::Op op, DevAddr addr,
+                    std::uint32_t len,
+                    std::shared_ptr<std::vector<std::uint8_t>> payload)
+{
+    capsules_++;
+    Conn *c = conn(connId, gen);
+    if (!c) {
+        staleCapsules_++;
+        return;
+    }
+    const Time capsuleAt = sys_.eq.now();
+    const Time startT = std::max(capsuleAt, ioFreeAt_);
+    if (op == ssd::Op::Write && !prof_.inCapsule(len)) {
+        // Two-phase transfer: the reactor parses the header-only
+        // capsule, builds an RDMA-read work request and pulls the
+        // payload from the client; the I/O resumes in rpcRdmaData.
+        info_[connId].rdmaWrites++;
+        ioFreeAt_ = startT
+                    + sys_.kernel.cpu().scaled(prof_.targetProcessNs
+                                               + prof_.rdmaSetupNs);
+        c->xfers[cid] = PendingXfer{addr, len, capsuleAt};
+        FabricInitiator *ini = c->ini;
+        const std::uint32_t clientDom = c->clientDomain;
+        sys_.eq.schedule(ioFreeAt_, [this, ini, clientDom, gen, cid,
+                                     alive = alive_] {
+            if (!*alive)
+                return;
+            exec_->post(domain_, clientDom,
+                        sys_.eq.now() + prof_.wireNs(0),
+                        [ini, gen, cid] { ini->onRdmaRead(gen, cid); });
+        });
+        return;
+    }
+    if (op == ssd::Op::Write)
+        info_[connId].inCapsuleWrites++;
+    ioFreeAt_ = startT + sys_.kernel.cpu().scaled(prof_.targetProcessNs);
+    sys_.eq.schedule(ioFreeAt_, [this, connId, cid, op, addr, len,
+                                 payload, capsuleAt, alive = alive_] {
+        if (*alive)
+            execIo(connId, cid, op, addr, len, payload, capsuleAt);
+    });
+}
+
+void
+FabricTarget::rpcRdmaData(std::uint32_t connId, std::uint32_t gen,
+                          std::uint64_t cid,
+                          std::shared_ptr<std::vector<std::uint8_t>> payload)
+{
+    Conn *c = conn(connId, gen);
+    if (!c) {
+        staleCapsules_++;
+        return;
+    }
+    auto it = c->xfers.find(cid);
+    if (it == c->xfers.end())
+        return;
+    const PendingXfer x = it->second;
+    c->xfers.erase(it);
+    rdmaTransfers_++;
+    if (obs::Tracer *t = sys_.tracer())
+        t->span(t->track("fabric.target"), "fabric.rdma", 0, x.capsuleAt,
+                sys_.eq.now(),
+                {{"conn", static_cast<std::int64_t>(connId)},
+                 {"bytes", static_cast<std::int64_t>(x.len)}});
+    // The reactor cost for this command was paid when the capsule was
+    // parsed (rpcIo); the pulled payload goes straight to submission.
+    execIo(connId, cid, ssd::Op::Write, x.addr, x.len, std::move(payload),
+           x.capsuleAt);
+}
+
+void
+FabricTarget::execIo(std::uint32_t connId, std::uint64_t cid, ssd::Op op,
+                     DevAddr addr, std::uint32_t len,
+                     std::shared_ptr<std::vector<std::uint8_t>> payload,
+                     Time capsuleAt)
+{
+    auto it = conns_.find(connId);
+    if (it == conns_.end() || !it->second->open) {
+        staleCapsules_++; // raced an abort between capsule and reactor
+        return;
+    }
+    Conn *cp = it->second.get();
+    const TenantId tenant = info_[connId].tenant;
+    obs::TraceId trace = 0;
+    if (obs::Tracer *t = sys_.tracer())
+        trace = t->newTrace(tenant);
+    // inflight > 0 pins the Conn in conns_ (teardown drains first), so
+    // the submit/reap closures below may hold the raw pointer.
+    cp->inflight++;
+    pendingIos_++;
+    const Time submitCost = sys_.kernel.cpu().scaled(costs_.submitNs);
+    sys_.eq.after(submitCost, [this, cp, cid, op, addr, len, payload,
+                               capsuleAt, trace, tenant,
+                               alive = alive_]() mutable {
+        if (!*alive)
+            return;
+        std::shared_ptr<std::vector<std::uint8_t>> buf
+            = std::move(payload);
+        if (op == ssd::Op::Read)
+            buf = std::make_shared<std::vector<std::uint8_t>>(len);
+        sim::panicIf(!buf || buf->size() < len,
+                     "fabric write capsule without payload");
+        ssd::Command cmd;
+        cmd.op = op;
+        cmd.addr = addr;
+        cmd.addrIsVba = false;
+        cmd.len = len;
+        cmd.hostBuf = std::span<std::uint8_t>(buf->data(), len);
+        cmd.trace = trace;
+        cmd.tenant = tenant; // remote attribution, not the owner PASID
+        const Time tSubmit = sys_.eq.now();
+        const bool ok = cp->disp->submit(
+            cmd, [this, cp, cid, op, len, buf, capsuleAt, trace, tSubmit,
+                  alive = alive_](const ssd::Completion &comp) {
+                const Time reap = sys_.kernel.cpu().scaled(costs_.reapNs);
+                sys_.eq.after(reap, [this, cp, cid, op, len, buf,
+                                     capsuleAt, trace, tSubmit, comp,
+                                     alive]() {
+                    if (!*alive)
+                        return;
+                    const Time now = sys_.eq.now();
+                    const Time deviceNs = comp.completeTime - tSubmit;
+                    cp->inflight--;
+                    pendingIos_--;
+                    ConnInfo &info = info_[cp->id];
+                    info.ops++;
+                    if (op == ssd::Op::Read)
+                        info.readBytes += len;
+                    else
+                        info.writeBytes += len;
+                    if (obs::Tracer *t = sys_.tracer())
+                        t->span(
+                            t->track("fabric.target"), "fabric.sq",
+                            trace, capsuleAt, now,
+                            {{"conn",
+                              static_cast<std::int64_t>(cp->id)},
+                             {"bytes", static_cast<std::int64_t>(len)},
+                             {"device_ns",
+                              static_cast<std::int64_t>(deviceNs)}});
+                    const bool success
+                        = comp.status == ssd::Status::Success;
+                    std::shared_ptr<std::vector<std::uint8_t>> data;
+                    if (success && op == ssd::Op::Read)
+                        data = buf;
+                    FabricInitiator *ini = cp->ini;
+                    const std::uint32_t gen = cp->gen;
+                    exec_->post(
+                        domain_, cp->clientDomain,
+                        now
+                            + prof_.wireNs(op == ssd::Op::Read ? len
+                                                               : 0),
+                        [ini, gen, cid, success, deviceNs, data] {
+                            ini->onResponse(gen, cid, success, deviceNs,
+                                            data);
+                        });
+                });
+            });
+        sim::panicIf(!ok, "fabric target queue overflow");
+    });
+}
+
+void
+FabricTarget::beginTeardown(std::uint32_t connId)
+{
+    auto it = conns_.find(connId);
+    if (it == conns_.end() || !it->second->open)
+        return;
+    it->second->open = false;
+    info_[connId].open = false;
+    teardownPoll(connId);
+}
+
+void
+FabricTarget::teardownPoll(std::uint32_t connId)
+{
+    auto it = conns_.find(connId);
+    if (it == conns_.end())
+        return;
+    Conn &c = *it->second;
+    if (c.inflight > 0 || !c.xfers.empty()
+        || (c.disp && c.disp->outstanding() > 0)) {
+        // Queue pairs and dispatchers must outlive their completions;
+        // poll until the last one reaps (mirrors SpdkDriver teardown).
+        sys_.eq.after(kUs, [this, connId, alive = alive_] {
+            if (*alive)
+                teardownPoll(connId);
+        });
+        return;
+    }
+    if (c.qp)
+        sys_.dev.destroyQueuePair(c.qp->qid());
+    conns_.erase(it);
+}
+
+} // namespace bpd::fab

@@ -127,7 +127,9 @@ struct ReplayRec
     };
 
     /** Engine codes mirror wl::Engine by value (obs cannot include it):
-     *  0 sync, 1 libaio, 2 io_uring, 3 spdk, 4 bypassd. */
+     *  0 sync, 1 libaio, 2 io_uring, 3 spdk, 4 bypassd, 5 fabric
+     *  (recorded for inspection only — fabric streams are marked
+     *  unsupported, there is no remote-target replay path). */
     static constexpr std::uint8_t kEngineNone = 0xff;
     static constexpr std::uint16_t kMainLane = 0xffff;
     static constexpr std::uint32_t kNoFile = 0xffffffffu;

@@ -34,6 +34,10 @@ execConfig(const FleetConfig &cfg)
 Fleet::Fleet(FleetConfig cfg) : cfg_(cfg), exec_(execConfig(cfg))
 {
     sim::panicIf(cfg_.systems == 0, "fleet: needs at least one system");
+    const bool fabric
+        = cfg_.topology == FleetTopology::FabricClientsTarget;
+    sim::panicIf(fabric && cfg_.systems < 2,
+                 "fabric fleet: needs a target and at least one client");
     place_.shards = exec_.shardCount();
     for (unsigned i = 0; i < cfg_.systems; i++) {
         SystemConfig sc = cfg_.base;
@@ -41,15 +45,25 @@ Fleet::Fleet(FleetConfig cfg) : cfg_(cfg), exec_(execConfig(cfg))
         sc.seed = cfg_.seed + i;
         sc.devId = static_cast<DevId>(i + 1);
         systems_.push_back(std::make_unique<System>(sc));
-        domainOf_.push_back(exec_.addDomain(
-            systems_.back()->eq, place_.systemShard(i),
-            sim::strf("sys%u", i)));
+        const unsigned shard = fabric ? place_.fabricShard(i)
+                                      : place_.systemShard(i);
+        domainOf_.push_back(exec_.addDomain(systems_.back()->eq, shard,
+                                            sim::strf("sys%u", i)));
     }
     ctrlDomain_ = exec_.addDomain(ctrlEq_, place_.controllerShard(),
                                   "controller");
     for (unsigned i = 0; i < cfg_.systems; i++) {
         exec_.connect(domainOf_[i], ctrlDomain_, cfg_.fabricLatencyNs);
         exec_.connect(ctrlDomain_, domainOf_[i], cfg_.fabricLatencyNs);
+    }
+    if (fabric) {
+        // I/O-plane channels: every client machine to/from the target.
+        for (unsigned i = 1; i < cfg_.systems; i++) {
+            exec_.connect(domainOf_[i], domainOf_[0],
+                          cfg_.fabricIoLatencyNs);
+            exec_.connect(domainOf_[0], domainOf_[i],
+                          cfg_.fabricIoLatencyNs);
+        }
     }
 }
 

@@ -30,6 +30,19 @@
 
 namespace bpd::sys {
 
+/** How the member machines are wired together. */
+enum class FleetTopology : std::uint8_t {
+    /** Beacon-coupled peers: every machine talks to the controller
+     *  only (the PR-6 fleet_fio shape). */
+    ControlPlane,
+    /** NVMe-oF shape: system 0 is the storage target and systems 1..N-1
+     *  are client machines, each wired to the target both ways at
+     *  fabricIoLatencyNs (the I/O-plane channels the fabric initiator/
+     *  target pair posts capsules over). The control plane above stays
+     *  wired too, so the fleet digest still sees beacon traffic. */
+    FabricClientsTarget,
+};
+
 struct FleetConfig
 {
     unsigned systems = 4;
@@ -42,6 +55,14 @@ struct FleetConfig
     /** Beacon cadence per machine (ack-clocked, so the effective
      *  period is this plus one round trip). */
     Time beaconPeriodNs = 250 * kUs;
+    FleetTopology topology = FleetTopology::ControlPlane;
+    /**
+     * One-way I/O-plane latency for FabricClientsTarget channels. Must
+     * not exceed the FabricProfile::oneWayNs used by the initiators:
+     * the channel floor is what the executor checks posts against, and
+     * capsules travel at wireNs() >= oneWayNs.
+     */
+    Time fabricIoLatencyNs = 5 * kUs;
     SystemConfig base; //!< template for every member system
 };
 
@@ -53,6 +74,12 @@ class Fleet
     unsigned size() const { return static_cast<unsigned>(systems_.size()); }
     System &system(unsigned i) { return *systems_.at(i); }
     sim::SimExecutor &executor() { return exec_; }
+
+    /** Executor domain id of system @p i (for fabric bind()s). */
+    std::uint32_t domainOf(unsigned i) const { return domainOf_.at(i); }
+
+    /** The storage target machine under FabricClientsTarget. */
+    System &target() { return *systems_.at(0); }
 
     /**
      * Bind every system to the executor and start each machine's

@@ -32,6 +32,20 @@ struct ShardPlacement
         return systemIdx % shards;
     }
 
+    /**
+     * Placement for the fabric clients-around-a-target topology: the
+     * target (system 0) executes every remote I/O's device work, so it
+     * gets shard 0 to itself when shards permit and the client machines
+     * round-robin over the remaining shards.
+     */
+    unsigned
+    fabricShard(unsigned systemIdx) const
+    {
+        if (shards <= 1 || systemIdx == 0)
+            return 0;
+        return 1 + (systemIdx - 1) % (shards - 1);
+    }
+
     unsigned controllerShard() const { return 0; }
 };
 

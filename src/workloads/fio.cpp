@@ -3,6 +3,8 @@
 #include <functional>
 #include <map>
 
+#include "fabric/initiator.hpp"
+#include "fabric/target.hpp"
 #include "sim/logging.hpp"
 
 namespace bpd::wl {
@@ -16,6 +18,7 @@ toString(Engine e)
       case Engine::IoUring: return "io_uring";
       case Engine::Spdk: return "spdk";
       case Engine::Bypassd: return "bypassd";
+      case Engine::Fabric: return "fabric";
     }
     return "?";
 }
@@ -134,6 +137,21 @@ FioRunState::arm()
                              > s.cfg.deviceBytes,
                          "fio: spdk regions exceed device");
             break;
+          case Engine::Fabric: {
+            sim::panicIf(job.fabric == nullptr,
+                         "fio: fabric engine without an initiator");
+            // Raw regions of the REMOTE device, carved by the caller.
+            ctx->rawBase = job.fabricBase
+                           + static_cast<DevAddr>(i) * job.fileBytes;
+            const std::uint64_t remoteBytes
+                = job.fabric->target().system().cfg.deviceBytes;
+            sim::panicIf(ctx->rawBase + job.fileBytes > remoteBytes,
+                         "fio: fabric regions exceed remote device");
+            if (t)
+                t->replayUnsupported(
+                    "fabric remote I/O (no replay engine)");
+            break;
+          }
           case Engine::Bypassd: {
             if (t)
                 ctx->fileId = t->replayFile(path);
@@ -214,6 +232,14 @@ FioRunState::arm()
         mark(obs::ReplayRec::Open, *ctxs[0]);
     }
 
+    if (job.engine == Engine::Fabric
+        && job.fabric->state() == fab::ConnState::Idle) {
+        // Async connect: the closed loops below may start issuing
+        // while the capsule is in flight; the initiator queues them
+        // and flushes in order on the ack.
+        job.fabric->connect(ctxs[0]->proc->pasid());
+    }
+
     // Application threads occupy CPUs while the job runs.
     s.kernel.cpu().acquire(job.numJobs);
     mark(obs::ReplayRec::CpuAcquire, *ctxs[0], job.numJobs);
@@ -257,8 +283,10 @@ FioRunState::issue(JobCtx &ctx)
         r.proc = ctx.proc->pasid();
         r.tid = ctx.idx;
         r.file = ctx.fileId;
-        r.offset = job.engine == Engine::Spdk ? ctx.rawBase + off
-                                              : off;
+        r.offset = job.engine == Engine::Spdk
+                           || job.engine == Engine::Fabric
+                       ? ctx.rawBase + off
+                       : off;
         r.len = job.bs;
         ri = t->replayBegin(r);
     }
@@ -317,6 +345,15 @@ FioRunState::issue(JobCtx &ctx)
             ctx.lib->pwrite(ctx.idx, ctx.fd, ctx.buf, off, done);
         } else {
             ctx.lib->pread(ctx.idx, ctx.fd, ctx.buf, off, done);
+        }
+        break;
+      case Engine::Fabric:
+        if (write) {
+            job.fabric->write(ctx.idx, ctx.rawBase + off, ctx.buf,
+                              done);
+        } else {
+            job.fabric->read(ctx.idx, ctx.rawBase + off, ctx.buf,
+                             done);
         }
         break;
     }

@@ -18,9 +18,13 @@
 #include "spdk/spdk.hpp"
 #include "system/system.hpp"
 
+namespace bpd::fab {
+class FabricInitiator;
+}
+
 namespace bpd::wl {
 
-enum class Engine { Sync, Libaio, IoUring, Spdk, Bypassd };
+enum class Engine { Sync, Libaio, IoUring, Spdk, Bypassd, Fabric };
 
 const char *toString(Engine e);
 
@@ -44,6 +48,18 @@ struct FioJob
     bool perProcess = false;
     /** Prefix for per-job files. */
     std::string filePrefix = "/fio";
+
+    /** @name Engine::Fabric (remote target over an NVMe-oF initiator)
+     * The runner's host System is the client machine; I/O goes through
+     * @p fabric (bound and owned by the caller) against raw regions of
+     * the REMOTE device starting at @p fabricBase. The runner connects
+     * the initiator during arm() if it is still idle; disconnect stays
+     * with the caller, so several jobs can share a connection.
+     */
+    ///@{
+    fab::FabricInitiator *fabric = nullptr;
+    DevAddr fabricBase = 0;
+    ///@}
 };
 
 /**

@@ -1,0 +1,611 @@
+/**
+ * @file
+ * Fabric target/initiator tests: queue-pair connection state machine
+ * (connect/disconnect/reset mid-I/O), in-capsule vs RDMA-read path
+ * behavior on the payload boundary, remote-tenant attribution folding
+ * bit-exactly into the target's tenant sums, shard-count digest
+ * invariance of a fabric fleet, and trace digest neutrality.
+ *
+ * No death tests here on purpose: this suite runs under TSan in CI,
+ * and death tests fork.
+ */
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fabric/initiator.hpp"
+#include "fabric/target.hpp"
+#include "helpers.hpp"
+#include "sim/logging.hpp"
+#include "system/fleet.hpp"
+#include "workloads/fio.hpp"
+
+namespace bpd {
+namespace {
+
+std::uint64_t
+fnv(std::uint64_t h, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; i++) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+sys::SystemConfig
+smallSystem(std::uint64_t seed)
+{
+    sys::SystemConfig sc;
+    sc.deviceBytes = 1ull << 30;
+    sc.seed = seed;
+    return sc;
+}
+
+/**
+ * One target machine and N client machines on a sharded executor,
+ * with I/O-plane channels at the profile's one-way latency and one
+ * initiator per client. The shape every test below starts from.
+ */
+struct Net
+{
+    fab::FabricProfile prof;
+    sys::System target;
+    std::vector<std::unique_ptr<sys::System>> clients;
+    sim::SimExecutor exec;
+    std::uint32_t tDom = 0;
+    std::vector<std::uint32_t> cDoms;
+    fab::FabricTarget tgt;
+    std::vector<std::unique_ptr<fab::FabricInitiator>> inis;
+
+    explicit Net(unsigned nClients = 1, fab::FabricProfile p = {},
+                 unsigned shards = 2, std::uint64_t seed = 42)
+        : prof(p), target(smallSystem(seed)),
+          exec(std::min(shards, nClients + 1)), tgt(target, prof)
+    {
+        sim::setVerbose(false);
+        tDom = exec.addDomain(target.eq, 0, "target");
+        for (unsigned i = 0; i < nClients; i++) {
+            clients.push_back(
+                std::make_unique<sys::System>(smallSystem(seed + 1 + i)));
+            const unsigned shard
+                = exec.shardCount() > 1
+                      ? 1 + i % (exec.shardCount() - 1)
+                      : 0;
+            cDoms.push_back(exec.addDomain(clients[i]->eq, shard,
+                                           sim::strf("client%u", i)));
+        }
+        for (unsigned i = 0; i < nClients; i++) {
+            exec.connect(cDoms[i], tDom, prof.oneWayNs);
+            exec.connect(tDom, cDoms[i], prof.oneWayNs);
+        }
+        tgt.bind(exec, tDom);
+        EXPECT_TRUE(tgt.serve());
+        for (unsigned i = 0; i < nClients; i++) {
+            inis.push_back(std::make_unique<fab::FabricInitiator>(
+                *clients[i], tgt));
+            inis[i]->bind(exec, cDoms[i]);
+        }
+    }
+
+    sys::System &client(unsigned i = 0) { return *clients.at(i); }
+    fab::FabricInitiator &ini(unsigned i = 0) { return *inis.at(i); }
+
+    /**
+     * Align every machine's clock to the fleet-wide max. Domains are
+     * only causally coupled inside a run; after one, a machine that
+     * kept polling (e.g. target teardown) sits ahead of an idle peer,
+     * and new work posted from lagging setup code would arrive in its
+     * past. Tests that issue a second batch from setup call this first.
+     */
+    void
+    settle()
+    {
+        Time t = target.now();
+        for (auto &c : clients)
+            t = std::max(t, c->now());
+        target.eq.schedule(t, [] {});
+        for (auto &c : clients)
+            c->eq.schedule(t, [] {});
+        exec.run();
+    }
+
+    bool
+    connectAll()
+    {
+        unsigned acked = 0;
+        bool allOk = true;
+        for (unsigned i = 0; i < inis.size(); i++)
+            inis[i]->connect(static_cast<Pasid>(100 + i),
+                             [&](bool ok) {
+                                 acked++;
+                                 allOk = allOk && ok;
+                             });
+        exec.run();
+        return acked == inis.size() && allOk;
+    }
+};
+
+} // namespace
+
+TEST(Fabric, ConnectReadWriteRoundTrip)
+{
+    Net net;
+    ASSERT_TRUE(net.connectAll());
+    EXPECT_TRUE(net.ini().connected());
+    EXPECT_EQ(net.ini().remoteTenant(), fab::kConnTenantBase + 1);
+    EXPECT_GT(net.ini().stats().connectLatencyNs, 2 * net.prof.oneWayNs);
+
+    const auto data = test::pattern(4096, 5);
+    std::vector<std::uint8_t> wbuf = data;
+    long long wn = -1;
+    net.ini().write(0, 0, wbuf,
+                    [&](long long n, kern::IoTrace) { wn = n; });
+    net.exec.run();
+    EXPECT_EQ(wn, 4096);
+
+    std::vector<std::uint8_t> rbuf(4096, 0);
+    long long rn = -1;
+    kern::IoTrace rtr;
+    net.ini().read(0, 0, rbuf, [&](long long n, kern::IoTrace tr) {
+        rn = n;
+        rtr = tr;
+    });
+    net.exec.run();
+    EXPECT_EQ(rn, 4096);
+    EXPECT_EQ(rbuf, data);
+
+    // A remote I/O pays at least two fabric traversals on top of the
+    // device; its total is user+device, with the wire time in userNs.
+    EXPECT_GT(net.ini().stats().latency.min(), 2 * net.prof.oneWayNs);
+    EXPECT_GT(rtr.deviceNs, 0u);
+    EXPECT_GT(rtr.userNs, 2 * net.prof.oneWayNs);
+
+    EXPECT_EQ(net.ini().stats().reads, 1u);
+    EXPECT_EQ(net.ini().stats().writes, 1u);
+    EXPECT_EQ(net.ini().stats().inCapsuleWrites, 1u);
+    EXPECT_EQ(net.tgt.capsules(), 2u);
+    const auto &conns = net.tgt.connections();
+    ASSERT_EQ(conns.size(), 1u);
+    EXPECT_EQ(conns.at(1).ops, 2u);
+    EXPECT_EQ(conns.at(1).remotePasid, 100u);
+    EXPECT_EQ(net.target.dev.totalOps(), 2u);
+}
+
+TEST(Fabric, IoQueuedWhileConnectingFlushesOnAck)
+{
+    Net net;
+    std::vector<std::uint8_t> buf(4096);
+    unsigned done = 0;
+    net.ini().connect(7);
+    // Issued while the connect capsule is still crossing the wire.
+    for (int i = 0; i < 3; i++)
+        net.ini().read(0, static_cast<DevAddr>(i) * 4096, buf,
+                       [&](long long n, kern::IoTrace) {
+                           EXPECT_EQ(n, 4096);
+                           done++;
+                       });
+    EXPECT_EQ(net.ini().state(), fab::ConnState::Connecting);
+    net.exec.run();
+    EXPECT_EQ(done, 3u);
+    EXPECT_EQ(net.ini().stats().queuedBeforeConnect, 3u);
+    EXPECT_EQ(net.ini().stats().reads, 3u);
+}
+
+TEST(Fabric, IoWhileIdleFails)
+{
+    Net net;
+    std::vector<std::uint8_t> buf(4096);
+    long long rn = 0;
+    net.ini().read(0, 0, buf,
+                   [&](long long n, kern::IoTrace) { rn = n; });
+    net.exec.run();
+    EXPECT_LT(rn, 0);
+    EXPECT_EQ(net.ini().stats().rejected, 1u);
+    EXPECT_EQ(net.tgt.capsules(), 0u);
+}
+
+TEST(Fabric, DisconnectDrainsInFlightThenReconnects)
+{
+    Net net;
+    ASSERT_TRUE(net.connectAll());
+    std::vector<std::uint8_t> buf(4096);
+    unsigned done = 0;
+    for (int i = 0; i < 4; i++)
+        net.ini().read(0, static_cast<DevAddr>(i) * 4096, buf,
+                       [&](long long n, kern::IoTrace) {
+                           EXPECT_EQ(n, 4096);
+                           done++;
+                       });
+    bool disconnected = false;
+    net.ini().disconnect([&] { disconnected = true; });
+    EXPECT_EQ(net.ini().state(), fab::ConnState::Draining);
+    // New I/O is refused while draining.
+    long long rejected = 0;
+    net.ini().read(0, 0, buf,
+                   [&](long long n, kern::IoTrace) { rejected = n; });
+    net.exec.run();
+    EXPECT_EQ(done, 4u);
+    EXPECT_LT(rejected, 0);
+    EXPECT_TRUE(disconnected);
+    EXPECT_EQ(net.ini().state(), fab::ConnState::Idle);
+    EXPECT_EQ(net.tgt.disconnects(), 1u);
+    EXPECT_FALSE(net.tgt.connections().at(1).open);
+
+    // The state machine permits a fresh connect after teardown.
+    net.settle();
+    bool ok = false;
+    net.ini().connect(7, [&](bool o) { ok = o; });
+    net.exec.run();
+    EXPECT_TRUE(ok);
+    long long rn = -1;
+    net.ini().read(0, 0, buf,
+                   [&](long long n, kern::IoTrace) { rn = n; });
+    net.exec.run();
+    EXPECT_EQ(rn, 4096);
+    EXPECT_EQ(net.tgt.accepts(), 2u);
+    EXPECT_TRUE(net.tgt.connections().at(2).open);
+}
+
+TEST(Fabric, ResetMidIoFailsFastAndFencesStaleResponses)
+{
+    Net net;
+    ASSERT_TRUE(net.connectAll());
+    std::vector<std::uint8_t> buf(4096);
+    unsigned failed = 0;
+    for (int i = 0; i < 3; i++)
+        net.ini().read(0, static_cast<DevAddr>(i) * 4096, buf,
+                       [&](long long n, kern::IoTrace) {
+                           EXPECT_LT(n, 0);
+                           failed++;
+                       });
+    // Fire the reset while the capsules are at the target but before
+    // any response can have crossed back (responses need two one-way
+    // hops plus device time; 12 us is inside that window).
+    net.client().eq.schedule(net.client().now() + 12 * kUs,
+                             [&] { net.ini().reset(); });
+    net.exec.run();
+    EXPECT_EQ(failed, 3u);
+    EXPECT_EQ(net.ini().state(), fab::ConnState::Idle);
+    EXPECT_EQ(net.ini().stats().resets, 1u);
+    // The device still executed the I/Os; their responses arrived with
+    // a stale generation and were dropped, and the abort tore the
+    // connection down at the target.
+    EXPECT_EQ(net.ini().stats().staleDrops, 3u);
+    EXPECT_EQ(net.target.dev.totalOps(), 3u);
+    EXPECT_EQ(net.tgt.aborts(), 1u);
+    EXPECT_FALSE(net.tgt.connections().at(1).open);
+    EXPECT_EQ(net.tgt.pendingIos(), 0u);
+
+    // Reconnect over the same initiator works (new generation).
+    net.settle();
+    bool ok = false;
+    net.ini().connect(7, [&](bool o) { ok = o; });
+    net.exec.run();
+    EXPECT_TRUE(ok);
+    long long rn = -1;
+    net.ini().read(0, 0, buf,
+                   [&](long long n, kern::IoTrace) { rn = n; });
+    net.exec.run();
+    EXPECT_EQ(rn, 4096);
+    EXPECT_EQ(net.ini().stats().staleDrops, 3u);
+}
+
+TEST(Fabric, InCapsuleVsRdmaReadOnPayloadBoundary)
+{
+    // Default profile: 8 KiB rides in the capsule, 8.5 KiB goes
+    // two-phase. Data must round-trip identically on both paths.
+    Net net;
+    ASSERT_TRUE(net.connectAll());
+    const auto small = test::pattern(8192, 21);
+    const auto big = test::pattern(8704, 22);
+    std::vector<std::uint8_t> wbuf = small;
+    long long n1 = -1, n2 = -1;
+    net.ini().write(0, 0, wbuf, [&](long long n, kern::IoTrace) {
+        n1 = n;
+    });
+    net.exec.run();
+    std::vector<std::uint8_t> wbuf2 = big;
+    net.ini().write(0, 65536, wbuf2, [&](long long n, kern::IoTrace) {
+        n2 = n;
+    });
+    net.exec.run();
+    EXPECT_EQ(n1, 8192);
+    EXPECT_EQ(n2, 8704);
+    EXPECT_EQ(net.ini().stats().inCapsuleWrites, 1u);
+    EXPECT_EQ(net.ini().stats().rdmaWrites, 1u);
+    EXPECT_EQ(net.tgt.rdmaTransfers(), 1u);
+    ASSERT_EQ(net.tgt.connections().size(), 1u);
+    EXPECT_EQ(net.tgt.connections().at(1).inCapsuleWrites, 1u);
+    EXPECT_EQ(net.tgt.connections().at(1).rdmaWrites, 1u);
+
+    std::vector<std::uint8_t> r1(8192), r2(8704);
+    net.ini().read(0, 0, r1, [](long long n, kern::IoTrace) {
+        EXPECT_EQ(n, 8192);
+    });
+    net.exec.run();
+    net.ini().read(0, 65536, r2, [](long long n, kern::IoTrace) {
+        EXPECT_EQ(n, 8704);
+    });
+    net.exec.run();
+    EXPECT_EQ(r1, small);
+    EXPECT_EQ(r2, big);
+}
+
+TEST(Fabric, RdmaPathIsStrictlySlowerThanInCapsule)
+{
+    // The same 8 KiB write under a 4 KiB in-capsule threshold takes
+    // the two-phase path: one extra round trip plus WR setup. Same
+    // seeds on both nets → identical media jitter draws, so the gap is
+    // purely the modeled transport difference.
+    auto timedWrite = [](Net &net) {
+        EXPECT_TRUE(net.connectAll());
+        std::vector<std::uint8_t> buf(8192, 0xab);
+        const Time start = net.client().now();
+        Time done = 0;
+        net.ini().write(0, 0, buf, [&](long long n, kern::IoTrace) {
+            EXPECT_EQ(n, 8192);
+            done = net.client().now();
+        });
+        net.exec.run();
+        return done - start;
+    };
+    Net inCap;
+    fab::FabricProfile lowThresh;
+    lowThresh.inCapsuleBytes = 4096;
+    Net rdma(1, lowThresh);
+    const Time tIn = timedWrite(inCap);
+    const Time tRdma = timedWrite(rdma);
+    EXPECT_EQ(inCap.ini().stats().inCapsuleWrites, 1u);
+    EXPECT_EQ(rdma.ini().stats().rdmaWrites, 1u);
+    EXPECT_GT(tRdma, tIn);
+    // The extra cost is at least the added round trip + WR setup.
+    EXPECT_GE(tRdma - tIn, 2 * lowThresh.oneWayNs);
+}
+
+TEST(Fabric, RemoteTenantSumsFoldBitExactly)
+{
+    Net net(2);
+    net.target.enableTenantAccounting();
+    ASSERT_TRUE(net.connectAll());
+    std::vector<std::uint8_t> buf(4096);
+    unsigned done = 0;
+    for (int i = 0; i < 5; i++)
+        net.ini(0).read(0, static_cast<DevAddr>(i) * 4096, buf,
+                        [&](long long, kern::IoTrace) { done++; });
+    for (int i = 0; i < 3; i++)
+        net.ini(1).write(0, 65536 + static_cast<DevAddr>(i) * 4096, buf,
+                         [&](long long, kern::IoTrace) { done++; });
+    net.exec.run();
+    EXPECT_EQ(done, 8u);
+
+    // The attribution invariant holds on the target with remote-only
+    // traffic: per-tenant sums equal system totals bit-exactly.
+    EXPECT_EQ(net.target.verifyTenantSums(), "");
+    const auto &acct = net.target.tenantAccounting();
+    const obs::TenantCounters *t1 = acct.find(fab::kConnTenantBase + 1);
+    const obs::TenantCounters *t2 = acct.find(fab::kConnTenantBase + 2);
+    ASSERT_NE(t1, nullptr);
+    ASSERT_NE(t2, nullptr);
+    EXPECT_EQ(t1->ssdOps, 5u);
+    EXPECT_EQ(t2->ssdOps, 3u);
+    EXPECT_EQ(t1->ssdReadBytes, 5u * 4096);
+    EXPECT_EQ(t2->ssdWriteBytes, 3u * 4096);
+    EXPECT_EQ(t1->ssdOps + t2->ssdOps, net.target.dev.totalOps());
+    // Nothing was attributed to the fabric owner PASID: the queue-pair
+    // owner is bookkeeping, the connection tenant is identity.
+    EXPECT_EQ(acct.find(fab::kFabricOwnerPasid), nullptr);
+}
+
+TEST(Fabric, ConnectionStormSerializesOnAdminQueue)
+{
+    Net net(4);
+    std::vector<Time> ackAt;
+    for (unsigned i = 0; i < 4; i++)
+        net.ini(i).connect(static_cast<Pasid>(10 + i), [&net, i,
+                                                        &ackAt](bool ok) {
+            EXPECT_TRUE(ok);
+            ackAt.push_back(net.client(i).now());
+        });
+    net.exec.run();
+    ASSERT_EQ(ackAt.size(), 4u);
+    std::sort(ackAt.begin(), ackAt.end());
+    // Simultaneous connects queue behind one admin queue: grant times
+    // are spaced by at least the admin processing cost.
+    for (std::size_t i = 1; i < ackAt.size(); i++)
+        EXPECT_GE(ackAt[i] - ackAt[i - 1], net.prof.adminProcessNs);
+    EXPECT_EQ(net.tgt.accepts(), 4u);
+}
+
+namespace {
+
+/** Small all-paths workload over one Net; digest of what happened. */
+std::uint64_t
+runTracedOrNot(bool traced, std::vector<std::string> *spanNames)
+{
+    Net net;
+    if (traced) {
+        net.target.enableTracing(obs::Level::Device);
+        net.client().enableTracing(obs::Level::Device);
+        net.target.enableTenantAccounting();
+    }
+    EXPECT_TRUE(net.connectAll());
+    std::vector<std::uint8_t> buf(4096);
+    std::vector<std::uint8_t> bigBuf(16384);
+    std::function<void(int)> kick = [&](int remaining) {
+        if (remaining == 0)
+            return;
+        auto next = [&kick, remaining](long long n, kern::IoTrace) {
+            EXPECT_GT(n, 0);
+            kick(remaining - 1);
+        };
+        const DevAddr addr
+            = static_cast<DevAddr>(remaining % 8) * 16384;
+        if (remaining % 3 == 0)
+            net.ini().write(0, addr, bigBuf, next); // RDMA path
+        else if (remaining % 3 == 1)
+            net.ini().write(0, addr, buf, next); // in-capsule path
+        else
+            net.ini().read(0, addr, buf, next);
+    };
+    kick(24);
+    net.exec.run();
+
+    const auto &st = net.ini().stats();
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = fnv(h, st.reads);
+    h = fnv(h, st.writes);
+    h = fnv(h, st.inCapsuleWrites);
+    h = fnv(h, st.rdmaWrites);
+    h = fnv(h, st.readBytes);
+    h = fnv(h, st.writeBytes);
+    h = fnv(h, st.latency.count());
+    h = fnv(h, st.latency.min());
+    h = fnv(h, st.latency.max());
+    h = fnv(h, st.latency.p50());
+    h = fnv(h, net.target.dev.totalOps());
+    h = fnv(h, net.target.eq.executed());
+    h = fnv(h, net.client().eq.executed());
+    h = fnv(h, net.target.now());
+    h = fnv(h, net.client().now());
+    if (traced && spanNames) {
+        for (const auto &rec : net.target.tracer()->data().spans)
+            spanNames->push_back(rec.name);
+        for (const auto &rec : net.client().tracer()->data().spans)
+            spanNames->push_back(rec.name);
+    }
+    return h;
+}
+
+} // namespace
+
+TEST(Fabric, TracingAndAccountingAreDigestNeutral)
+{
+    std::vector<std::string> names;
+    const std::uint64_t plain = runTracedOrNot(false, nullptr);
+    const std::uint64_t traced = runTracedOrNot(true, &names);
+    EXPECT_EQ(plain, traced);
+    auto has = [&](const char *n) {
+        return std::find(names.begin(), names.end(), n) != names.end();
+    };
+    EXPECT_TRUE(has("fabric.connect"));
+    EXPECT_TRUE(has("fabric.sq"));
+    EXPECT_TRUE(has("fabric.rdma"));
+    EXPECT_TRUE(has("fabric.capsule"));
+    EXPECT_TRUE(has("fabric.read"));
+    EXPECT_TRUE(has("fabric.write"));
+}
+
+namespace {
+
+std::uint64_t
+digestFio(std::uint64_t h, const wl::FioResult &r)
+{
+    h = fnv(h, r.ops);
+    h = fnv(h, r.bytes);
+    h = fnv(h, r.latency.count());
+    h = fnv(h, r.latency.min());
+    h = fnv(h, r.latency.max());
+    h = fnv(h, r.latency.p50());
+    h = fnv(h, r.latency.p99());
+    return h;
+}
+
+/** A 3-client fabric fleet driving FioRunner over initiators. */
+std::uint64_t
+runMiniFabricFleet(unsigned shards)
+{
+    sim::setVerbose(false);
+    sys::FleetConfig fc;
+    fc.systems = 4; // target + 3 clients
+    fc.shards = shards;
+    fc.topology = sys::FleetTopology::FabricClientsTarget;
+    fc.deviceBytes = 1ull << 30;
+    fc.seed = 17;
+    fc.fabricLatencyNs = 25 * kUs;
+    fc.beaconPeriodNs = 100 * kUs;
+    sys::Fleet fleet(fc);
+
+    fab::FabricProfile prof;
+    fab::FabricTarget tgt(fleet.target(), prof);
+    tgt.bind(fleet.executor(), fleet.domainOf(0));
+    EXPECT_TRUE(tgt.serve());
+
+    std::vector<std::unique_ptr<fab::FabricInitiator>> inis;
+    std::vector<std::unique_ptr<wl::FioRunner>> runners;
+    std::vector<wl::FioPending> pending;
+    Time horizon = 0;
+    for (unsigned c = 1; c < fleet.size(); c++) {
+        inis.push_back(std::make_unique<fab::FabricInitiator>(
+            fleet.system(c), tgt));
+        inis.back()->bind(fleet.executor(), fleet.domainOf(c));
+
+        wl::FioJob j;
+        j.engine = wl::Engine::Fabric;
+        j.fabric = inis.back().get();
+        j.numJobs = 2;
+        j.fileBytes = 8ull << 20;
+        j.bs = c == 3 ? 16384 : 4096; // client 3 exercises RDMA writes
+        j.rw = c == 1 ? wl::RwMode::RandRead : wl::RwMode::RandWrite;
+        j.runtime = 2 * kMs;
+        j.warmup = 200 * kUs;
+        j.seed = 3 + c;
+        j.fabricBase = fc.deviceBytes / 2
+                       + static_cast<DevAddr>(c - 1) * j.numJobs
+                             * j.fileBytes;
+        runners.push_back(
+            std::make_unique<wl::FioRunner>(fleet.system(c)));
+        pending.push_back(runners.back()->arm(j));
+        horizon = std::max(horizon, fleet.system(c).now() + j.warmup
+                                        + j.runtime);
+    }
+    fleet.start(horizon);
+    fleet.run();
+
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < runners.size(); i++) {
+        h = digestFio(h, runners[i]->collect(std::move(pending[i])));
+        h = fnv(h, inis[i]->stats().reads);
+        h = fnv(h, inis[i]->stats().writes);
+        h = fnv(h, inis[i]->stats().rdmaWrites);
+    }
+    for (const auto &[id, info] : tgt.connections()) {
+        h = fnv(h, id);
+        h = fnv(h, info.tenant);
+        h = fnv(h, info.ops);
+        h = fnv(h, info.readBytes);
+        h = fnv(h, info.writeBytes);
+    }
+    h = fnv(h, fleet.target().dev.totalOps());
+    h = fnv(h, fleet.controllerDigest());
+    h = fnv(h, fleet.beacons());
+    for (unsigned i = 0; i < fleet.size(); i++) {
+        h = fnv(h, fleet.system(i).now());
+        h = fnv(h, fleet.system(i).eq.executed());
+    }
+    EXPECT_GT(fleet.beacons(), 0u);
+    EXPECT_GT(fleet.target().dev.totalOps(), 0u);
+    return h;
+}
+
+} // namespace
+
+/**
+ * The fabric fleet's digest — fio stats, per-connection target stats,
+ * controller beacon fold — must be bit-identical at 1, 2, and 4
+ * shards: remote capsules ride the same deterministic mailbox merge as
+ * every other cross-domain message.
+ */
+TEST(Fabric, FleetDigestInvariantAcrossShardCounts)
+{
+    const std::uint64_t one = runMiniFabricFleet(1);
+    EXPECT_EQ(one, runMiniFabricFleet(2));
+    EXPECT_EQ(one, runMiniFabricFleet(4));
+}
+
+} // namespace bpd

@@ -289,7 +289,15 @@ isCounterKey(const std::string &k)
 void
 printShardScaling(const BenchFile &base, const BenchFile &cur)
 {
+    // Efficiency is only meaningful when the host can actually run the
+    // shards in parallel: with more shards than cores the threads
+    // time-slice one another and eff% measures the scheduler, not the
+    // executor. Flag those rows instead of printing a misleading number.
+    double cpus = 0;
+    if (cur.fields.count("host_cpus"))
+        cpus = std::atof(cur.fields.at("host_cpus").c_str());
     bool any = false;
+    bool anyCoreLimited = false;
     for (const Scenario &c : cur.scenarios) {
         const Scenario *b = findScenario(base, c.name);
         if (!b || !hasField(*b, "shards") || !hasField(c, "shards"))
@@ -302,21 +310,32 @@ printShardScaling(const BenchFile &base, const BenchFile &cur)
             continue;
         if (!any) {
             std::printf("\nshard scaling (events/sec vs shards):\n");
-            std::printf("  %-26s %6s %6s %12s %12s %8s %6s\n",
+            std::printf("  %-26s %6s %6s %12s %12s %8s %8s\n",
                         "scenario", "shards", "shards", "base ev/s",
                         "cur ev/s", "speedup", "eff%");
         }
         any = true;
         const double speedup = ce / be;
-        const double eff = 100.0 * speedup / (cs / bs);
-        std::printf("  %-26s %6.0f %6.0f %12.0f %12.0f %7.2fx %5.1f%%\n",
-                    c.name.c_str(), bs, cs, be, ce, speedup, eff);
+        const bool coreLimited = cpus > 0 && cs > cpus;
+        anyCoreLimited |= coreLimited;
+        if (coreLimited) {
+            std::printf("  %-26s %6.0f %6.0f %12.0f %12.0f %7.2fx %8s\n",
+                        c.name.c_str(), bs, cs, be, ce, speedup,
+                        "core-ltd");
+        } else {
+            const double eff = 100.0 * speedup / (cs / bs);
+            std::printf("  %-26s %6.0f %6.0f %12.0f %12.0f %7.2fx %7.1f%%\n",
+                        c.name.c_str(), bs, cs, be, ce, speedup, eff);
+        }
     }
-    if (any && cur.fields.count("host_cpus")) {
-        const double cpus = std::atof(cur.fields.at("host_cpus").c_str());
+    if (any && cpus > 0) {
         std::printf("  (current host has %.0f cpu%s — speedup is "
                     "bounded by physical cores)\n",
                     cpus, cpus == 1 ? "" : "s");
+        if (anyCoreLimited)
+            std::printf("  (core-ltd: more shards than host cpus; "
+                        "threads time-slice, so parallel efficiency "
+                        "is not measurable)\n");
     }
 }
 

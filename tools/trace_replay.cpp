@@ -31,7 +31,11 @@
  *
  * Exit status: 0 success; 1 verify mismatch or unreplayable trace
  * (partial stream, no replay section, bad override target); 2 usage,
- * I/O, or parse errors.
+ * I/O, or parse errors. Without --label, partial streams are skipped
+ * with a notice instead of failing the file (multi-stream traces can
+ * mix replayable single-machine runs with replay-unsupported fleet
+ * captures); exit 1 only when nothing was replayable. An explicit
+ * --label naming a partial stream still errors.
  */
 
 #include <chrono>
@@ -248,9 +252,25 @@ main(int argc, char **argv)
 
     std::vector<Row> captureRows, replayRows;
     bool anyRun = false, mismatch = false;
+    unsigned skippedPartial = 0;
     for (const auto &p : trace.processes) {
         if (!label.empty() && p.name != label)
             continue;
+        // Without an explicit --label, a partial stream (e.g. a fleet
+        // capture marked replay-unsupported) is skipped rather than
+        // failing the whole file; naming it with --label still errors,
+        // because then the user asked for exactly that stream.
+        if (p.partial && label.empty()) {
+            std::string why;
+            for (const auto &m : p.missing)
+                why += (why.empty() ? "" : ", ") + m;
+            std::fprintf(stderr,
+                         "trace_replay: skipping \"%s\": partial "
+                         "stream (unreplayable ops: %s)\n",
+                         p.name.c_str(), why.c_str());
+            skippedPartial++;
+            continue;
+        }
         anyRun = true;
 
         if (p.hasMeta) {
@@ -394,9 +414,16 @@ main(int argc, char **argv)
     }
 
     if (!anyRun) {
-        std::fprintf(stderr,
-                     "trace_replay: no replay stream named \"%s\"\n",
-                     label.c_str());
+        if (label.empty())
+            std::fprintf(stderr,
+                         "trace_replay: all %u stream%s in %s are "
+                         "partial — nothing replayable\n",
+                         skippedPartial, skippedPartial == 1 ? "" : "s",
+                         tracePath.c_str());
+        else
+            std::fprintf(stderr,
+                         "trace_replay: no replay stream named \"%s\"\n",
+                         label.c_str());
         return 1;
     }
     if (!capturePath.empty()) {

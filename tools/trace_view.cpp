@@ -9,9 +9,11 @@
  * Table 1 / Fig. 7 per-layer split straight from a trace. When the
  * envelopes carry a "tenant" arg (traces captured with per-tenant
  * accounting on), the same split is additionally printed per tenant,
- * so one multi-tenant run yields a Table-1 row per tenant. A second
- * section counts every span/instant name per process so the span
- * taxonomy of a run is visible at a glance.
+ * so one multi-tenant run yields a Table-1 row per tenant. "X" events
+ * carrying a "conn" arg (src/fabric spans) are additionally grouped by
+ * (process, connection, span name), breaking a fabric run down per
+ * remote connection. A second section counts every span/instant name
+ * per process so the span taxonomy of a run is visible at a glance.
  *
  * Also serves as the CI validator for exporter output: it re-parses
  * the full JSON and checks the trace-event invariants (exit 2 on JSON
@@ -133,6 +135,11 @@ main(int argc, char **argv)
         tenantLayers;
     bool sawTenant = false;
     std::map<std::pair<std::uint64_t, std::string>, std::uint64_t> spans;
+    // (pid, connection id, span name) → aggregate for fabric spans —
+    // the "X" events carrying a "conn" arg (src/fabric tracing).
+    std::map<std::tuple<std::uint64_t, std::uint64_t, std::string>,
+             LayerAgg>
+        fabricConns;
     std::uint64_t nComplete = 0, nInstant = 0, nMeta = 0;
 
     for (const auto &ev : events->arr) {
@@ -191,6 +198,14 @@ main(int argc, char **argv)
         spans[{p, name->str}]++;
 
         const bpd::obs::json::Value *args = ev.find("args");
+        if (args && args->isObject() && args->find("conn")) {
+            LayerAgg &agg = fabricConns[{
+                p, static_cast<std::uint64_t>(numArg(*args, "conn", 0)),
+                name->str}];
+            agg.count++;
+            agg.totalNs += dur->number * 1000.0; // us -> ns
+            agg.bytes += numArg(*args, "bytes", 0);
+        }
         if (!args || !args->isObject() || !args->find("user_ns"))
             continue; // a layer span, not a request envelope
         const double tenant = numArg(*args, "tenant", 0);
@@ -270,6 +285,26 @@ main(int argc, char **argv)
                         name.c_str(), (unsigned long long)a.count,
                         a.userNs / c, a.kernelNs / c, a.xlateNs / c,
                         a.deviceNs / c, a.totalNs / c, a.bytes / c);
+        }
+    }
+
+    if (!fabricConns.empty()) {
+        std::printf("\nPer-connection fabric breakdown "
+                    "(mean ns/span):\n");
+        std::printf("%-24s %6s %-16s %9s %9s %11s\n", "process", "conn",
+                    "span", "count", "mean ns", "bytes");
+        for (const auto &[key, a] : fabricConns) {
+            const auto &[p, conn, name] = key;
+            const auto it = procNames.find(p);
+            const std::string proc
+                = it != procNames.end()
+                      ? it->second
+                      : "pid" + std::to_string(p);
+            const double c = static_cast<double>(a.count);
+            std::printf("%-24s %6llu %-16s %9llu %9.0f %11.0f\n",
+                        proc.c_str(), (unsigned long long)conn,
+                        name.c_str(), (unsigned long long)a.count,
+                        a.totalNs / c, a.bytes);
         }
     }
 
