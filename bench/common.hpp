@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include <sys/resource.h>
+
 #include "obs/export.hpp"
 #include "obs/replay.hpp"
 #include "sim/logging.hpp"
@@ -281,7 +283,16 @@ struct BenchJson
         std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
         if (hostCpus)
             std::fprintf(f, "  \"host_cpus\": %u,\n", hostCpus);
-        std::fprintf(f, "  \"peak_rss_bytes\": 0,\n");
+        // Real peak RSS so perf_report's --max-rss-growth budget bites
+        // on the figure benches, not just on perf_harness.
+        std::uint64_t peakRss = 0;
+        struct rusage ru
+        {
+        };
+        if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0)
+            peakRss = static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+        std::fprintf(f, "  \"peak_rss_bytes\": %llu,\n",
+                     static_cast<unsigned long long>(peakRss));
         std::fprintf(f, "  \"scenarios\": [\n");
         for (std::size_t i = 0; i < scenarios.size(); i++) {
             const Scenario &sc = scenarios[i];

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "bench/fabric_common.hpp"
 #include "fabric/initiator.hpp"
 #include "fabric/target.hpp"
 #include "sim/sim_executor.hpp"
@@ -48,117 +49,9 @@
 #include "workloads/fio.hpp"
 
 using namespace bpd;
+using namespace bpd::bench;
 
 namespace {
-
-std::uint64_t
-fnv(std::uint64_t h, std::uint64_t v)
-{
-    for (unsigned i = 0; i < 8; i++) {
-        h ^= (v >> (8 * i)) & 0xff;
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
-constexpr std::uint64_t kFnvSeed = 0xcbf29ce484222325ull;
-
-std::uint64_t
-hashHistogram(std::uint64_t h, const sim::Histogram &hist)
-{
-    h = fnv(h, hist.count());
-    h = fnv(h, hist.min());
-    h = fnv(h, hist.max());
-    h = fnv(h, hist.p50());
-    h = fnv(h, hist.p99());
-    h = fnv(h, hist.p999());
-    return h;
-}
-
-double
-wallNow()
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
-}
-
-/** Shared executor/bookkeeping fields every scenario emits. */
-void
-execFields(bench::BenchJson::Scenario &sc, sys::Fleet &fleet,
-           std::uint64_t digest, double wallSec)
-{
-    const sim::SimExecutor &ex = fleet.executor();
-    const std::uint64_t events = fleet.totalEvents();
-    bench::BenchJson::field(sc, "events", events);
-    bench::BenchJson::fieldF(sc, "wall_sec", wallSec);
-    bench::BenchJson::fieldF(sc, "events_per_sec",
-                             wallSec > 0
-                                 ? static_cast<double>(events) / wallSec
-                                 : 0.0);
-    bench::BenchJson::field(sc, "shards", ex.shardCount());
-    bench::BenchJson::field(sc, "domains", ex.domainCount());
-    bench::BenchJson::field(sc, "lookahead_ns",
-                            ex.lookahead() == sim::kNever
-                                ? 0
-                                : ex.lookahead());
-    bench::BenchJson::field(sc, "windows", ex.windows());
-    bench::BenchJson::field(sc, "messages", ex.delivered());
-    double stall = 0;
-    for (unsigned s = 0; s < ex.shardCount(); s++)
-        stall += ex.shardStallSec(s);
-    bench::BenchJson::fieldF(sc, "barrier_stall_sec", stall);
-    bench::BenchJson::field(sc, "beacons", fleet.beacons());
-    bench::BenchJson::field(sc, "device_ops",
-                            fleet.target().dev.totalOps());
-    bench::BenchJson::fieldS(sc, "digest", sim::strf("%016llx",
-                             static_cast<unsigned long long>(digest)));
-}
-
-/** Per-connection JSON fields from the target's connection table. */
-void
-connFields(bench::BenchJson::Scenario &sc, const fab::FabricTarget &tgt)
-{
-    for (const auto &[id, info] : tgt.connections()) {
-        const std::string p = sim::strf("conn.%u.", id);
-        bench::BenchJson::field(sc, p + "tenant", info.tenant);
-        bench::BenchJson::field(sc, p + "pasid", info.remotePasid);
-        bench::BenchJson::field(sc, p + "ops", info.ops);
-        bench::BenchJson::field(sc, p + "read_bytes", info.readBytes);
-        bench::BenchJson::field(sc, p + "write_bytes", info.writeBytes);
-        bench::BenchJson::field(sc, p + "in_capsule_writes",
-                                info.inCapsuleWrites);
-        bench::BenchJson::field(sc, p + "rdma_writes", info.rdmaWrites);
-    }
-}
-
-std::uint64_t
-hashConnections(std::uint64_t h, const fab::FabricTarget &tgt)
-{
-    for (const auto &[id, info] : tgt.connections()) {
-        h = fnv(h, id);
-        h = fnv(h, info.tenant);
-        h = fnv(h, info.remotePasid);
-        h = fnv(h, info.ops);
-        h = fnv(h, info.readBytes);
-        h = fnv(h, info.writeBytes);
-        h = fnv(h, info.inCapsuleWrites);
-        h = fnv(h, info.rdmaWrites);
-    }
-    return h;
-}
-
-std::uint64_t
-hashFleetClocks(std::uint64_t h, sys::Fleet &fleet)
-{
-    for (unsigned i = 0; i < fleet.size(); i++) {
-        h = fnv(h, fleet.system(i).now());
-        h = fnv(h, fleet.system(i).eq.executed());
-    }
-    h = fnv(h, fleet.controllerDigest());
-    h = fnv(h, fleet.beacons());
-    return h;
-}
 
 /**
  * fabric_fio_8x1: 8 clients x 3 jobs against one target. Clients cycle
@@ -252,6 +145,7 @@ runFabricFio(bool quick, unsigned shards, bench::BenchJson &json,
         all.merge(res.latency);
     }
     h = hashConnections(h, tgt);
+    h = hashReactors(h, tgt);
     h = fnv(h, target.dev.totalOps());
     h = hashFleetClocks(h, fleet);
 
@@ -272,6 +166,7 @@ runFabricFio(bool quick, unsigned shards, bench::BenchJson &json,
     bench::BenchJson::field(sc, "rdma_transfers", tgt.rdmaTransfers());
     bench::BenchJson::field(sc, "capsules", tgt.capsules());
     connFields(sc, tgt);
+    reactorFields(sc, tgt);
     bench::tenantFields(sc, target,
                         static_cast<double>(runtime) / kSec);
     execFields(sc, fleet, h, wallSec);
@@ -403,8 +298,13 @@ runFabricStorm(bool quick, unsigned shards, bench::BenchJson &json)
 }
 
 /**
- * fabric_vs_local: one 4 KiB qd-1 random-read job per engine. Returns
- * false when the fabric latency model's stated bound fails.
+ * fabric_vs_local: 4 KiB qd-1 random reads and in-capsule writes,
+ * local engines vs the same job over the fabric. The local baselines
+ * are hoisted: each engine x shape runs exactly once up front, and
+ * every fabric cell below checks its residual against the hoisted SPDK
+ * mean — adding fabric cells no longer reruns the local sweep, so the
+ * bench's wall time grows with the fabric cells alone. Returns false
+ * when any cell violates the latency model's stated bound.
  */
 bool
 runFabricVsLocal(bool quick, unsigned shards, bench::BenchJson &json,
@@ -434,11 +334,15 @@ runFabricVsLocal(bool quick, unsigned shards, bench::BenchJson &json,
     std::vector<Cell> cells;
     std::uint64_t h = kFnvSeed;
 
+    // Hoisted local baselines, one run per engine x shape. The full
+    // three-engine table only makes sense for the read shape; the
+    // write shape needs just the SPDK mean the bound compares against.
     const std::pair<wl::Engine, const char *> kEngines[] = {
         {wl::Engine::Sync, "sync"},
         {wl::Engine::Bypassd, "bypassd"},
         {wl::Engine::Spdk, "spdk"},
     };
+    double spdkReadMean = 0;
     for (const auto &[eng, label] : kEngines) {
         wl::FioJob j = job;
         j.engine = eng;
@@ -446,10 +350,24 @@ runFabricVsLocal(bool quick, unsigned shards, bench::BenchJson &json,
         cells.push_back(Cell{label, bench::runFio(j, cfg)});
         h = fnv(h, cells.back().res.ops);
         h = hashHistogram(h, cells.back().res.latency);
+        if (eng == wl::Engine::Spdk)
+            spdkReadMean = cells.back().res.latency.mean();
+    }
+    double spdkWriteMean = 0;
+    {
+        wl::FioJob j = job;
+        j.engine = wl::Engine::Spdk;
+        j.rw = wl::RwMode::RandWrite;
+        j.filePrefix = "/vs_spdk_w";
+        cells.push_back(Cell{"spdk_write", bench::runFio(j, cfg)});
+        h = fnv(h, cells.back().res.ops);
+        h = hashHistogram(h, cells.back().res.latency);
+        spdkWriteMean = cells.back().res.latency.mean();
     }
 
-    // Remote cell: one client machine, one target, same job over the
-    // fabric initiator.
+    // Remote cells: ONE fleet, ONE connected initiator, reused across
+    // shapes with a settle() between cells so the sequence stays
+    // deterministic at any shard count.
     sys::FleetConfig fc;
     fc.systems = 2;
     fc.shards = shards;
@@ -464,31 +382,50 @@ runFabricVsLocal(bool quick, unsigned shards, bench::BenchJson &json,
     fab::FabricInitiator ini(fleet.system(1), tgt);
     ini.bind(fleet.executor(), fleet.domainOf(1));
 
-    wl::FioJob j = job;
-    j.engine = wl::Engine::Fabric;
-    j.fabric = &ini;
-    j.fabricBase = fc.deviceBytes / 2;
-    wl::FioRunner runner(fleet.system(1));
-    wl::FioPending p = runner.arm(j);
-    fleet.start(fleet.system(1).now() + j.warmup + j.runtime);
-    fleet.run();
-    cells.push_back(Cell{"fabric", runner.collect(std::move(p))});
-    h = fnv(h, cells.back().res.ops);
-    h = hashHistogram(h, cells.back().res.latency);
+    struct FabCell
+    {
+        const char *label;
+        wl::RwMode rw;
+        bool isWrite;
+        double spdkMean;
+        double residual = 0;
+        double bound = 0;
+        double overhead = 0;
+        bool ok = false;
+    };
+    FabCell fabCells[] = {
+        {"fabric", wl::RwMode::RandRead, false, spdkReadMean},
+        {"fabric_write", wl::RwMode::RandWrite, true, spdkWriteMean},
+    };
+    for (FabCell &fcell : fabCells) {
+        wl::FioJob j = job;
+        j.engine = wl::Engine::Fabric;
+        j.rw = fcell.rw;
+        j.fabric = &ini;
+        j.fabricBase = fc.deviceBytes / 2;
+        wl::FioRunner runner(fleet.system(1));
+        wl::FioPending p = runner.arm(j);
+        fleet.start(fleet.system(1).now() + j.warmup + j.runtime);
+        fleet.run();
+        cells.push_back(Cell{fcell.label, runner.collect(std::move(p))});
+        h = fnv(h, cells.back().res.ops);
+        h = hashHistogram(h, cells.back().res.latency);
+        fleet.settle();
+
+        const double remoteMean = cells.back().res.latency.mean();
+        fcell.overhead = static_cast<double>(
+            prof.modeledOverheadNs(job.bs, fcell.isWrite));
+        const double expected = fcell.spdkMean + fcell.overhead;
+        fcell.residual = remoteMean - expected;
+        fcell.bound = std::max(1000.0, 0.05 * remoteMean);
+        fcell.ok = fcell.residual >= -fcell.bound
+                   && fcell.residual <= fcell.bound;
+    }
     h = hashFleetClocks(h, fleet);
     *digestOut = h;
+    const bool ok = fabCells[0].ok && fabCells[1].ok;
 
-    const double spdkMean = cells[2].res.latency.mean();
-    const double remoteMean = cells[3].res.latency.mean();
-    const double overhead = static_cast<double>(
-        prof.modeledOverheadNs(job.bs, /*isWrite=*/false));
-    const double expected = spdkMean + overhead;
-    const double residual = remoteMean - expected;
-    const double bound = std::max(1000.0, 0.05 * remoteMean);
-    const bool ok = residual >= -bound && residual <= bound;
-
-    bench::banner(name, "local engines vs remote fabric (4 KiB qd-1 "
-                        "randread)");
+    bench::banner(name, "local engines vs remote fabric (4 KiB qd-1)");
     bench::row("engine", {"mean ns", "p50 ns", "p99 ns", "iops"});
     for (const Cell &c : cells)
         bench::row(c.label,
@@ -498,11 +435,11 @@ runFabricVsLocal(bool quick, unsigned shards, bench::BenchJson &json,
                     bench::fmt("%.0f",
                                static_cast<double>(c.res.latency.p99())),
                     bench::fmt("%.0f", c.res.iops())});
-    std::printf("modeled fabric overhead: %.0f ns; expected remote mean "
-                "%.0f ns; measured %.0f ns; residual %+.0f ns "
-                "(bound %.0f ns) %s\n",
-                overhead, expected, remoteMean, residual, bound,
-                ok ? "ok" : "VIOLATED");
+    for (const FabCell &fcell : fabCells)
+        std::printf("%s: modeled overhead %.0f ns; residual %+.0f ns "
+                    "(bound %.0f ns) %s\n",
+                    fcell.label, fcell.overhead, fcell.residual,
+                    fcell.bound, fcell.ok ? "ok" : "VIOLATED");
 
     bench::BenchJson::Scenario &sc = json.add(name);
     for (const Cell &c : cells) {
@@ -514,9 +451,14 @@ runFabricVsLocal(bool quick, unsigned shards, bench::BenchJson &json,
                                 c.res.latency.p99());
         bench::BenchJson::field(sc, c.label + "_ops", c.res.ops);
     }
-    bench::BenchJson::fieldF(sc, "modeled_overhead_ns", overhead);
-    bench::BenchJson::fieldF(sc, "residual_ns", residual);
-    bench::BenchJson::fieldF(sc, "residual_bound_ns", bound);
+    for (const FabCell &fcell : fabCells) {
+        const std::string p = std::string(fcell.label) + "_";
+        bench::BenchJson::fieldF(sc, p + "modeled_overhead_ns",
+                                 fcell.overhead);
+        bench::BenchJson::fieldF(sc, p + "residual_ns", fcell.residual);
+        bench::BenchJson::fieldF(sc, p + "residual_bound_ns",
+                                 fcell.bound);
+    }
     bench::BenchJson::field(sc, "model_ok", ok ? 1 : 0);
     execFields(sc, fleet, h, 0);
     return ok;

@@ -97,12 +97,14 @@ FabricInitiator::reset()
     connId_ = 0;
     tenant_ = kSystemTenant;
     preConnectQueue_.clear();
+    depthQueue_.clear(); // queued-over-depth I/O fails with the rest
     std::vector<std::uint64_t> cids;
     cids.reserve(pending_.size());
     for (const auto &[cid, p] : pending_)
         cids.push_back(cid);
     for (std::uint64_t cid : cids)
         failIo(cid, host_.eq.now());
+    sim::panicIf(inflight_ != 0, "fabric reset leaked a depth slot");
     if (connectCb_) {
         auto cb = std::move(connectCb_);
         connectCb_ = {};
@@ -167,7 +169,40 @@ FabricInitiator::doIo(Tid tid, ssd::Op op, DevAddr addr,
         preConnectQueue_.push_back(cid);
         return;
     }
+    admit(cid);
+}
+
+void
+FabricInitiator::admit(std::uint64_t cid)
+{
+    if (prof_.enforceDepth && inflight_ >= prof_.queueDepth) {
+        stats_.queuedOnDepth++;
+        depthQueue_.push_back(cid);
+        return;
+    }
+    auto it = pending_.find(cid);
+    if (it == pending_.end())
+        return;
+    it->second.admitted = true;
+    inflight_++;
+    stats_.maxInflight = std::max(stats_.maxInflight, inflight_);
     sendCapsule(cid);
+}
+
+void
+FabricInitiator::drainDepthQueue()
+{
+    // Admission frees one slot per completion, so at most one queued
+    // cid can start here — but tolerate stale entries whose PendingIo
+    // was already failed away.
+    while (!depthQueue_.empty()
+           && (!prof_.enforceDepth || inflight_ < prof_.queueDepth)) {
+        const std::uint64_t cid = depthQueue_.front();
+        depthQueue_.pop_front();
+        if (!pending_.count(cid))
+            continue;
+        admit(cid);
+    }
 }
 
 void
@@ -247,7 +282,7 @@ FabricInitiator::onConnectAck(std::uint32_t gen, bool ok,
     preConnectQueue_.clear();
     for (std::uint64_t cid : q)
         if (pending_.count(cid))
-            sendCapsule(cid);
+            admit(cid); // depth admission applies to the flushed queue
 }
 
 void
@@ -304,6 +339,15 @@ FabricInitiator::finishIo(
         return;
     PendingIo p = std::move(it->second);
     pending_.erase(it);
+    if (p.admitted) {
+        inflight_--;
+        // Draining still drains the depth queue: disconnect() promises
+        // every accepted I/O completes, including queued-over-depth
+        // ones that have never touched the wire yet.
+        if (state_ == ConnState::Connected
+            || state_ == ConnState::Draining)
+            drainDepthQueue();
+    }
     const Time now = host_.eq.now();
     const Time total = now - p.start;
     if (ok && p.op == ssd::Op::Read && data) {
@@ -353,6 +397,11 @@ FabricInitiator::failIo(std::uint64_t cid, Time)
         return;
     PendingIo p = std::move(it->second);
     pending_.erase(it);
+    if (p.admitted)
+        inflight_--;
+    // Non-admitted cids may still sit in depthQueue_; drainDepthQueue
+    // skips them once their PendingIo is gone, and reset() clears the
+    // queue wholesale before failing, so no eager erase is needed.
     p.cb(kern::errOf(fs::FsStatus::Inval), kern::IoTrace{});
 }
 

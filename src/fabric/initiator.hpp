@@ -14,6 +14,13 @@
  * stale capsules still crossing the wire (both directions), and the
  * target aborts the old connection when the abort capsule lands.
  *
+ * Queue-depth admission (FabricProfile::enforceDepth): at most
+ * queueDepth I/Os per connection are on the wire or at the target at
+ * once. Excess submissions park in a FIFO here and are admitted as
+ * completions free slots — never silently dropped, and never reordered
+ * against each other. Draining still admits queued I/O (disconnect
+ * completes everything); reset fails queued and in-flight I/O alike.
+ *
  * Threading discipline mirrors FabricTarget: all methods run on the
  * client's domain; the target reaches back only via exec.post() onto
  * onConnectAck/onRdmaRead/onResponse.
@@ -23,6 +30,7 @@
 #define BPD_FABRIC_INITIATOR_HPP
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -95,6 +103,10 @@ class FabricInitiator
     TenantId remoteTenant() const { return tenant_; }
     /** I/Os submitted but not yet completed or failed. */
     std::uint64_t pendingIos() const { return pending_.size(); }
+    /** Admitted I/Os currently holding depth slots (≤ queueDepth). */
+    std::uint32_t inflight() const { return inflight_; }
+    /** Submissions waiting initiator-side for a depth slot. */
+    std::uint64_t depthQueued() const { return depthQueue_.size(); }
     const FabricProfile &profile() const { return prof_; }
 
     /** Client-side connection statistics. */
@@ -107,6 +119,8 @@ class FabricInitiator
         std::uint64_t readBytes = 0;
         std::uint64_t writeBytes = 0;
         std::uint64_t queuedBeforeConnect = 0;
+        std::uint64_t queuedOnDepth = 0; //!< held back by admission
+        std::uint32_t maxInflight = 0;   //!< peak admitted, ≤ queueDepth
         std::uint64_t rejected = 0;   //!< I/O refused while Idle/Draining
         std::uint64_t resets = 0;
         std::uint64_t staleDrops = 0; //!< responses fenced by a reset
@@ -138,10 +152,13 @@ class FabricInitiator
         Tid tid = 0;
         obs::TraceId trace = 0;
         bool inCapsule = false;
+        bool admitted = false; //!< holds one of the queueDepth slots
     };
 
     void doIo(Tid tid, ssd::Op op, DevAddr addr,
               std::span<std::uint8_t> buf, kern::IoCb cb);
+    void admit(std::uint64_t cid);
+    void drainDepthQueue();
     void sendCapsule(std::uint64_t cid);
     void failIo(std::uint64_t cid, Time when);
     void finishIo(std::uint64_t cid, bool ok, Time deviceNs,
@@ -165,6 +182,9 @@ class FabricInitiator
     std::uint64_t nextCid_ = 1;
     std::map<std::uint64_t, PendingIo> pending_;
     std::vector<std::uint64_t> preConnectQueue_; //!< cids, issue order
+    /** Submissions over queueDepth, FIFO; admitted as slots free up. */
+    std::deque<std::uint64_t> depthQueue_;
+    std::uint32_t inflight_ = 0; //!< admitted I/Os holding depth slots
     Stats stats_;
 
     /** Cancels queued drain polls if the initiator dies first. */

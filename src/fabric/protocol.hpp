@@ -73,6 +73,24 @@ struct FabricProfile
     Time initiatorCompleteNs = 100;
     /** Per-connection I/O queue depth granted at connect. */
     std::uint32_t queueDepth = 256;
+    /**
+     * Enforce @ref queueDepth per connection at capsule admission:
+     * submissions beyond the depth queue initiator-side (FIFO) and
+     * drain as completions free slots — never silently dropped. Off
+     * only for the bench self-check (fabric_incast --no-admission),
+     * which demonstrates the victim-tail collapse admission prevents;
+     * the target then parks device-queue overflow instead of failing.
+     */
+    bool enforceDepth = true;
+    /**
+     * Data-path reactors on the target (SPDK runs one reactor per
+     * core). Connections map onto reactors deterministically
+     * (sys::connReactor in placement.hpp); the admin queue stays
+     * single so connection ids — and therefore tenant ids and the
+     * conn→reactor mapping — are granted in one serial order
+     * regardless of reactor count. 0 is treated as 1.
+     */
+    std::uint32_t reactors = 1;
 
     /** Fabric traversal time for a capsule carrying @p payloadBytes. */
     Time

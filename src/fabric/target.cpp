@@ -27,6 +27,8 @@ FabricTarget::FabricTarget(sys::System &target, FabricProfile profile,
                            spdk::SpdkCosts costs)
     : sys_(target), prof_(profile), costs_(costs)
 {
+    ioFreeAt_.assign(reactorCount(), 0);
+    reactorStats_.assign(reactorCount(), ReactorStats{});
 }
 
 FabricTarget::~FabricTarget()
@@ -42,7 +44,7 @@ FabricTarget::~FabricTarget()
     }
     conns_.clear();
     sys_.dev.releaseExclusive(kFabricOwnerPasid);
-    sys_.kernel.cpu().release(1);
+    sys_.kernel.cpu().release(reactorCount());
     serving_ = false;
 }
 
@@ -60,7 +62,7 @@ FabricTarget::serve()
         return true;
     if (!sys_.dev.claimExclusive(kFabricOwnerPasid))
         return false;
-    sys_.kernel.cpu().acquire(1); // the polling reactor core
+    sys_.kernel.cpu().acquire(reactorCount()); // one core per reactor
     serving_ = true;
     // The target's own trace stream carries device spans for I/O whose
     // issuing loops live on remote machines, so it cannot be replayed
@@ -107,6 +109,7 @@ FabricTarget::finishConnect(FabricInitiator *ini, std::uint32_t gen,
     c->gen = gen;
     c->ini = ini;
     c->clientDomain = clientDomain;
+    c->reactor = sys::connReactor(id, reactorCount());
     c->qp = sys_.dev.createQueuePair(kFabricOwnerPasid, prof_.queueDepth,
                                      /*vbaMode=*/false);
     const bool ok = c->qp != nullptr;
@@ -118,6 +121,7 @@ FabricTarget::finishConnect(FabricInitiator *ini, std::uint32_t gen,
         ConnInfo info;
         info.remotePasid = clientPasid;
         info.tenant = tenant;
+        info.reactor = c->reactor;
         info.connectedAt = sys_.eq.now();
         info.open = true;
         info_[id] = info;
@@ -164,8 +168,14 @@ FabricTarget::rpcAbort(std::uint32_t connId, std::uint32_t gen)
     aborts_++;
     // The client already failed every in-flight I/O; parked RDMA pulls
     // will never see their data capsule, so drop them now or the drain
-    // below would wait forever.
+    // below would wait forever. Overflow-parked commands likewise die
+    // here — nothing will reap to retry them once in-flight I/O drains.
     c->xfers.clear();
+    for (std::size_t i = 0; i < c->parked.size(); ++i) {
+        c->inflight--;
+        pendingIos_--;
+    }
+    c->parked.clear();
     const Time startT = std::max(sys_.eq.now(), adminFreeAt_);
     adminFreeAt_ = startT + sys_.kernel.cpu().scaled(prof_.adminProcessNs);
     sys_.eq.schedule(adminFreeAt_, [this, connId, alive = alive_] {
@@ -187,20 +197,27 @@ FabricTarget::rpcIo(std::uint32_t connId, std::uint32_t gen,
         return;
     }
     const Time capsuleAt = sys_.eq.now();
-    const Time startT = std::max(capsuleAt, ioFreeAt_);
+    // Each reactor is its own busy clock: capsules from connections on
+    // different lanes overlap, capsules on one lane serialize.
+    const std::uint32_t lane = c->reactor;
+    ReactorStats &rs = reactorStats_[lane];
+    rs.capsules++;
+    const Time startT = std::max(capsuleAt, ioFreeAt_[lane]);
     if (op == ssd::Op::Write && !prof_.inCapsule(len)) {
         // Two-phase transfer: the reactor parses the header-only
         // capsule, builds an RDMA-read work request and pulls the
         // payload from the client; the I/O resumes in rpcRdmaData.
         info_[connId].rdmaWrites++;
-        ioFreeAt_ = startT
-                    + sys_.kernel.cpu().scaled(prof_.targetProcessNs
-                                               + prof_.rdmaSetupNs);
+        rs.rdmaSetups++;
+        ioFreeAt_[lane] = startT
+                          + sys_.kernel.cpu().scaled(prof_.targetProcessNs
+                                                     + prof_.rdmaSetupNs);
+        rs.busyNs += ioFreeAt_[lane] - startT;
         c->xfers[cid] = PendingXfer{addr, len, capsuleAt};
         FabricInitiator *ini = c->ini;
         const std::uint32_t clientDom = c->clientDomain;
-        sys_.eq.schedule(ioFreeAt_, [this, ini, clientDom, gen, cid,
-                                     alive = alive_] {
+        sys_.eq.schedule(ioFreeAt_[lane], [this, ini, clientDom, gen, cid,
+                                           alive = alive_] {
             if (!*alive)
                 return;
             exec_->post(domain_, clientDom,
@@ -211,9 +228,12 @@ FabricTarget::rpcIo(std::uint32_t connId, std::uint32_t gen,
     }
     if (op == ssd::Op::Write)
         info_[connId].inCapsuleWrites++;
-    ioFreeAt_ = startT + sys_.kernel.cpu().scaled(prof_.targetProcessNs);
-    sys_.eq.schedule(ioFreeAt_, [this, connId, cid, op, addr, len,
-                                 payload, capsuleAt, alive = alive_] {
+    ioFreeAt_[lane]
+        = startT + sys_.kernel.cpu().scaled(prof_.targetProcessNs);
+    rs.busyNs += ioFreeAt_[lane] - startT;
+    sys_.eq.schedule(ioFreeAt_[lane], [this, connId, cid, op, addr, len,
+                                       payload, capsuleAt,
+                                       alive = alive_] {
         if (*alive)
             execIo(connId, cid, op, addr, len, payload, capsuleAt);
     });
@@ -263,12 +283,13 @@ FabricTarget::execIo(std::uint32_t connId, std::uint64_t cid, ssd::Op op,
     if (obs::Tracer *t = sys_.tracer())
         trace = t->newTrace(tenant);
     // inflight > 0 pins the Conn in conns_ (teardown drains first), so
-    // the submit/reap closures below may hold the raw pointer.
+    // the submit/reap closures below may hold the raw pointer. Parked
+    // overflow keeps its increment until it reaps or an abort drops it.
     cp->inflight++;
     pendingIos_++;
     const Time submitCost = sys_.kernel.cpu().scaled(costs_.submitNs);
     sys_.eq.after(submitCost, [this, cp, cid, op, addr, len, payload,
-                               capsuleAt, trace, tenant,
+                               capsuleAt, trace,
                                alive = alive_]() mutable {
         if (!*alive)
             return;
@@ -278,63 +299,124 @@ FabricTarget::execIo(std::uint32_t connId, std::uint64_t cid, ssd::Op op,
             buf = std::make_shared<std::vector<std::uint8_t>>(len);
         sim::panicIf(!buf || buf->size() < len,
                      "fabric write capsule without payload");
-        ssd::Command cmd;
-        cmd.op = op;
-        cmd.addr = addr;
-        cmd.addrIsVba = false;
-        cmd.len = len;
-        cmd.hostBuf = std::span<std::uint8_t>(buf->data(), len);
-        cmd.trace = trace;
-        cmd.tenant = tenant; // remote attribution, not the owner PASID
-        const Time tSubmit = sys_.eq.now();
-        const bool ok = cp->disp->submit(
-            cmd, [this, cp, cid, op, len, buf, capsuleAt, trace, tSubmit,
-                  alive = alive_](const ssd::Completion &comp) {
-                const Time reap = sys_.kernel.cpu().scaled(costs_.reapNs);
-                sys_.eq.after(reap, [this, cp, cid, op, len, buf,
-                                     capsuleAt, trace, tSubmit, comp,
-                                     alive]() {
-                    if (!*alive)
-                        return;
-                    const Time now = sys_.eq.now();
-                    const Time deviceNs = comp.completeTime - tSubmit;
-                    cp->inflight--;
-                    pendingIos_--;
-                    ConnInfo &info = info_[cp->id];
-                    info.ops++;
-                    if (op == ssd::Op::Read)
-                        info.readBytes += len;
-                    else
-                        info.writeBytes += len;
-                    if (obs::Tracer *t = sys_.tracer())
-                        t->span(
-                            t->track("fabric.target"), "fabric.sq",
-                            trace, capsuleAt, now,
-                            {{"conn",
-                              static_cast<std::int64_t>(cp->id)},
-                             {"bytes", static_cast<std::int64_t>(len)},
-                             {"device_ns",
-                              static_cast<std::int64_t>(deviceNs)}});
-                    const bool success
-                        = comp.status == ssd::Status::Success;
-                    std::shared_ptr<std::vector<std::uint8_t>> data;
-                    if (success && op == ssd::Op::Read)
-                        data = buf;
-                    FabricInitiator *ini = cp->ini;
-                    const std::uint32_t gen = cp->gen;
-                    exec_->post(
-                        domain_, cp->clientDomain,
-                        now
-                            + prof_.wireNs(op == ssd::Op::Read ? len
-                                                               : 0),
-                        [ini, gen, cid, success, deviceNs, data] {
-                            ini->onResponse(gen, cid, success, deviceNs,
-                                            data);
-                        });
-                });
-            });
-        sim::panicIf(!ok, "fabric target queue overflow");
+        ParkedIo io;
+        io.cid = cid;
+        io.op = op;
+        io.addr = addr;
+        io.len = len;
+        io.buf = std::move(buf);
+        io.capsuleAt = capsuleAt;
+        io.trace = trace;
+        // FIFO behind earlier parked commands: device order per
+        // connection must stay admission order even while the SQ is
+        // full, or the disabled-admission path would reorder.
+        if (!cp->parked.empty() || !submitIo(cp, io)) {
+            overflowParks_++;
+            cp->parked.push_back(std::move(io));
+        }
     });
+}
+
+bool
+FabricTarget::submitIo(Conn *cp, ParkedIo io)
+{
+    ssd::Command cmd;
+    cmd.op = io.op;
+    cmd.addr = io.addr;
+    cmd.addrIsVba = false;
+    cmd.len = io.len;
+    cmd.hostBuf = std::span<std::uint8_t>(io.buf->data(), io.len);
+    cmd.trace = io.trace;
+    // Remote attribution, not the owner PASID.
+    cmd.tenant = info_[cp->id].tenant;
+    const Time tSubmit = sys_.eq.now();
+    const std::uint64_t cid = io.cid;
+    const ssd::Op op = io.op;
+    const std::uint32_t len = io.len;
+    const Time capsuleAt = io.capsuleAt;
+    const obs::TraceId trace = io.trace;
+    auto buf = io.buf;
+    const bool submitted = cp->disp->submit(
+        cmd, [this, cp, cid, op, len, buf, capsuleAt, trace, tSubmit,
+              alive = alive_](const ssd::Completion &comp) {
+            const Time reap = sys_.kernel.cpu().scaled(costs_.reapNs);
+            sys_.eq.after(reap, [this, cp, cid, op, len, buf,
+                                 capsuleAt, trace, tSubmit, comp,
+                                 alive]() {
+                if (!*alive)
+                    return;
+                const Time now = sys_.eq.now();
+                const Time deviceNs = comp.completeTime - tSubmit;
+                cp->inflight--;
+                cp->devInflight--;
+                pendingIos_--;
+                ConnInfo &info = info_[cp->id];
+                info.ops++;
+                if (op == ssd::Op::Read)
+                    info.readBytes += len;
+                else
+                    info.writeBytes += len;
+                if (obs::Tracer *t = sys_.tracer())
+                    t->span(
+                        t->track("fabric.target"), "fabric.sq",
+                        trace, capsuleAt, now,
+                        {{"conn",
+                          static_cast<std::int64_t>(cp->id)},
+                         {"reactor",
+                          static_cast<std::int64_t>(cp->reactor)},
+                         {"bytes", static_cast<std::int64_t>(len)},
+                         {"device_ns",
+                          static_cast<std::int64_t>(deviceNs)}});
+                const bool success
+                    = comp.status == ssd::Status::Success;
+                std::shared_ptr<std::vector<std::uint8_t>> data;
+                if (success && op == ssd::Op::Read)
+                    data = buf;
+                FabricInitiator *ini = cp->ini;
+                const std::uint32_t gen = cp->gen;
+                exec_->post(
+                    domain_, cp->clientDomain,
+                    now
+                        + prof_.wireNs(op == ssd::Op::Read ? len
+                                                           : 0),
+                    [ini, gen, cid, success, deviceNs, data] {
+                        ini->onResponse(gen, cid, success, deviceNs,
+                                        data);
+                    });
+                // The reap freed one SQ slot; the front parked
+                // command (if any) takes it immediately.
+                retryParked(cp);
+            });
+        });
+    if (submitted) {
+        cp->devInflight++;
+        ConnInfo &info = info_[cp->id];
+        info.peakInflight
+            = std::max(info.peakInflight, cp->devInflight);
+    }
+    return submitted;
+}
+
+void
+FabricTarget::retryParked(Conn *cp)
+{
+    while (!cp->parked.empty()) {
+        ParkedIo io = std::move(cp->parked.front());
+        cp->parked.pop_front();
+        if (!submitIo(cp, io)) {
+            cp->parked.push_front(std::move(io));
+            return;
+        }
+        // Re-arming a parked command is reactor work just like parsing
+        // a fresh capsule — without this charge an over-depth flood
+        // rides the SQ for free after its arrival burst, and admission
+        // would look *worse* than parking in the victim-tail study.
+        const std::uint32_t lane = cp->reactor;
+        const Time start = std::max(sys_.eq.now(), ioFreeAt_[lane]);
+        ioFreeAt_[lane]
+            = start + sys_.kernel.cpu().scaled(prof_.targetProcessNs);
+        reactorStats_[lane].busyNs += ioFreeAt_[lane] - start;
+    }
 }
 
 void

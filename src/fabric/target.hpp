@@ -14,10 +14,17 @@
  * remote-only traffic).
  *
  * A single admin queue serializes connect/disconnect processing
- * (connection storms queue behind adminProcessNs each), and a single
- * polling reactor serializes I/O capsule parsing (targetProcessNs),
- * mirroring one SPDK reactor core. Device submit/reap costs reuse
- * SpdkCosts so a remote I/O is structurally "local SPDK plus fabric".
+ * (connection storms queue behind adminProcessNs each); the data path
+ * runs FabricProfile::reactors polling reactors, each a virtual-time
+ * busy-clock lane inside this one executor domain, mirroring SPDK's
+ * reactor-per-core target. Connections map onto reactors by
+ * sys::connReactor(connId, reactors) — deterministic because the
+ * single admin queue grants connection ids in one serial order.
+ * Device submit/reap costs reuse SpdkCosts so a remote I/O is
+ * structurally "local SPDK plus fabric". When a connection's device
+ * queue fills (possible only with admission disabled), the overflow
+ * parks per connection and retries as reaps free slots — never a
+ * panic, never a drop.
  *
  * Threading discipline: every method below other than the accessors
  * runs on the target's executor domain — initiators reach them only
@@ -30,6 +37,7 @@
 #define BPD_FABRIC_TARGET_HPP
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <vector>
@@ -37,6 +45,7 @@
 #include "fabric/protocol.hpp"
 #include "spdk/spdk.hpp"
 #include "ssd/dispatcher.hpp"
+#include "system/placement.hpp"
 #include "system/system.hpp"
 
 namespace bpd::fab {
@@ -56,8 +65,8 @@ class FabricTarget
     void bind(sim::SimExecutor &exec, std::uint32_t domain);
 
     /**
-     * Claim the device and start the polling reactor (occupies one
-     * CPU on the target machine).
+     * Claim the device and start the polling reactors (occupies
+     * reactorCount() CPUs on the target machine).
      * @retval false when another owner already claimed the device.
      */
     bool serve();
@@ -72,6 +81,7 @@ class FabricTarget
     {
         Pasid remotePasid = 0;  //!< client-local PASID from connect
         TenantId tenant = 0;    //!< kConnTenantBase + connection id
+        std::uint32_t reactor = 0; //!< sys::connReactor(id, reactors)
         Time connectedAt = 0;
         bool open = false;
         std::uint64_t ops = 0;
@@ -79,6 +89,15 @@ class FabricTarget
         std::uint64_t writeBytes = 0;
         std::uint64_t inCapsuleWrites = 0;
         std::uint64_t rdmaWrites = 0;
+        std::uint32_t peakInflight = 0; //!< max device I/Os at once
+    };
+
+    /** Per-reactor data-path accounting (virtual-time lanes). */
+    struct ReactorStats
+    {
+        std::uint64_t capsules = 0;   //!< I/O capsules parsed here
+        std::uint64_t rdmaSetups = 0; //!< RDMA-read WRs built here
+        Time busyNs = 0;              //!< lane busy time accumulated
     };
 
     /** Connections by id, in accept order (stats survive teardown). */
@@ -96,7 +115,22 @@ class FabricTarget
     std::uint64_t rdmaTransfers() const { return rdmaTransfers_; }
     std::uint64_t staleCapsules() const { return staleCapsules_; }
     std::uint64_t pendingIos() const { return pendingIos_; }
+    /** Device-queue overflows parked (nonzero only with admission
+     *  disabled — the bench self-check exercises this path). */
+    std::uint64_t overflowParks() const { return overflowParks_; }
     ///@}
+
+    /** Data-path reactor count (profile, with 0 treated as 1). */
+    std::uint32_t reactorCount() const
+    {
+        return prof_.reactors ? prof_.reactors : 1;
+    }
+
+    /** Per-reactor accounting, indexed by reactor id. */
+    const std::vector<ReactorStats> &reactorStats() const
+    {
+        return reactorStats_;
+    }
 
     /** @name Fabric RPCs (target-domain entry points)
      * Invoked by initiator-posted lambdas; never call directly from
@@ -127,17 +161,33 @@ class FabricTarget
         Time capsuleAt = 0; //!< capsule arrival (span start)
     };
 
+    /** A ready-to-submit command parked on device-queue overflow. */
+    struct ParkedIo
+    {
+        std::uint64_t cid = 0;
+        ssd::Op op = ssd::Op::Read;
+        DevAddr addr = 0;
+        std::uint32_t len = 0;
+        std::shared_ptr<std::vector<std::uint8_t>> buf;
+        Time capsuleAt = 0;
+        obs::TraceId trace = 0;
+    };
+
     struct Conn
     {
         std::uint32_t id = 0;
         std::uint32_t gen = 0; //!< initiator generation at connect
         FabricInitiator *ini = nullptr;
         std::uint32_t clientDomain = 0;
+        std::uint32_t reactor = 0; //!< data-path lane, fixed at accept
         bool open = false;
         ssd::QueuePair *qp = nullptr;
         std::unique_ptr<ssd::CommandDispatcher> disp;
         std::map<std::uint64_t, PendingXfer> xfers;
-        std::uint32_t inflight = 0; //!< device I/Os not yet reaped
+        std::uint32_t inflight = 0; //!< pending at target (incl. parked)
+        std::uint32_t devInflight = 0; //!< on the device, not yet reaped
+        /** Overflow FIFO; each reap retries the front (see execIo). */
+        std::deque<ParkedIo> parked;
     };
 
     Conn *conn(std::uint32_t connId, std::uint32_t gen);
@@ -148,6 +198,8 @@ class FabricTarget
                 DevAddr addr, std::uint32_t len,
                 std::shared_ptr<std::vector<std::uint8_t>> payload,
                 Time capsuleAt);
+    bool submitIo(Conn *cp, ParkedIo io);
+    void retryParked(Conn *cp);
     void beginTeardown(std::uint32_t connId);
     void teardownPoll(std::uint32_t connId);
 
@@ -158,7 +210,9 @@ class FabricTarget
     std::uint32_t domain_ = 0;
     bool serving_ = false;
     Time adminFreeAt_ = 0; //!< admin queue busy until
-    Time ioFreeAt_ = 0;    //!< reactor busy until
+    /** Per-reactor busy-until clocks, indexed by reactor id. */
+    std::vector<Time> ioFreeAt_;
+    std::vector<ReactorStats> reactorStats_;
     std::uint32_t nextConnId_ = 1;
     std::map<std::uint32_t, std::unique_ptr<Conn>> conns_;
     std::map<std::uint32_t, ConnInfo> info_;
@@ -170,6 +224,7 @@ class FabricTarget
     std::uint64_t rdmaTransfers_ = 0;
     std::uint64_t staleCapsules_ = 0;
     std::uint64_t pendingIos_ = 0;
+    std::uint64_t overflowParks_ = 0;
 
     /** Cancels queued teardown polls if the target dies first. */
     std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

@@ -1,5 +1,9 @@
 #include "sim/event_queue.hpp"
 
+#ifdef BPD_DEBUG_PAST_SCHEDULE
+#include <execinfo.h>
+#endif
+
 #include <utility>
 
 #include "sim/logging.hpp"
@@ -84,10 +88,18 @@ EventQueue::heapPop()
 EventId
 EventQueue::schedule(Time when, Callback cb)
 {
-    if (when < now_) [[unlikely]]
+    if (when < now_) [[unlikely]] {
+#ifdef BPD_DEBUG_PAST_SCHEDULE
+        {
+            void *frames[32];
+            const int n = backtrace(frames, 32);
+            backtrace_symbols_fd(frames, n, 2);
+        }
+#endif
         panic(strf("scheduling into the past: %llu < %llu",
                    (unsigned long long)when,
                    (unsigned long long)now_));
+    }
     const std::uint32_t slot = allocSlot();
     Slot &s = slots_[slot];
     s.cb = std::move(cb);

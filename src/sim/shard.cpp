@@ -1,4 +1,7 @@
 #include "sim/shard.hpp"
+#ifdef BPD_DEBUG_PAST_SCHEDULE
+#include <cstdio>
+#endif
 
 namespace bpd::sim {
 
@@ -8,8 +11,17 @@ Shard::deliverAndMin(MailboxMatrix &mb)
     Time min = kNever;
     for (SimDomain *d : domains) {
         std::vector<Envelope> batch = mb.drainFor(d->id);
-        for (Envelope &e : batch)
+        for (Envelope &e : batch) {
+#ifdef BPD_DEBUG_PAST_SCHEDULE
+            if (e.when < d->eq->now())
+                std::fprintf(stderr,
+                             "late delivery: dst=%s when=%llu now=%llu\n",
+                             d->label.c_str(),
+                             (unsigned long long)e.when,
+                             (unsigned long long)d->eq->now());
+#endif
             d->eq->schedule(e.when, std::move(e.fn));
+        }
         delivered += batch.size();
         const Time t = d->eq->nextEventTime();
         if (t < min)

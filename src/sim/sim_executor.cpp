@@ -1,5 +1,9 @@
 #include "sim/sim_executor.hpp"
 
+#ifdef BPD_DEBUG_PAST_SCHEDULE
+#include <cstdio>
+#endif
+
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -148,6 +152,23 @@ SimExecutor::shardLoop(unsigned si)
             h = std::min(h, t);
         if (h == kNever)
             break;
+#ifdef BPD_DEBUG_PAST_SCHEDULE
+        {
+            static thread_local Time lastH = 0;
+            if (h < lastH) {
+                std::fprintf(stderr,
+                             "horizon went backward: h=%llu lastH=%llu\n",
+                             (unsigned long long)h,
+                             (unsigned long long)lastH);
+                for (SimDomain *d : sh.domains)
+                    std::fprintf(stderr, "  dom %s next=%llu now=%llu\n",
+                                 d->label.c_str(),
+                                 (unsigned long long)d->eq->nextEventTime(),
+                                 (unsigned long long)d->eq->now());
+            }
+            lastH = h;
+        }
+#endif
         const Time end = (lookahead_ == kNever || h >= kNever - lookahead_)
                              ? kNever
                              : h + lookahead_;

@@ -113,6 +113,18 @@ Fleet::beacon(unsigned i, Time tEnd)
         });
 }
 
+void
+Fleet::settle()
+{
+    Time tMax = ctrlEq_.now();
+    for (const auto &s : systems_)
+        tMax = std::max(tMax, s->eq.now());
+    for (const auto &s : systems_)
+        s->eq.schedule(tMax, [] {});
+    ctrlEq_.schedule(tMax, [] {});
+    exec_.run();
+}
+
 std::uint64_t
 Fleet::totalEvents() const
 {

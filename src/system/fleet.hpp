@@ -92,6 +92,17 @@ class Fleet
     /** Run the whole fleet to quiescence (parallel across shards). */
     void run() { exec_.run(); }
 
+    /**
+     * Align every machine clock (controller included) to the fleet-wide
+     * maximum by scheduling a no-op there and running to quiescence.
+     * Lets one fleet host several bench cells back to back: after
+     * settle() all domains share a start time, so the next cell's
+     * schedule is a pure function of the cell sequence, not of which
+     * machine happened to finish the previous cell last. Digests stay
+     * bit-identical at any shard count across the whole sequence.
+     */
+    void settle();
+
     /** Controller receipts (beacons heard across all machines). */
     std::uint64_t beacons() const { return beacons_; }
 

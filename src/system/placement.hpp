@@ -49,6 +49,24 @@ struct ShardPlacement
     unsigned controllerShard() const { return 0; }
 };
 
+/**
+ * Deterministic conn→reactor mapping for the fabric target's sharded
+ * data path. Connection ids are granted in one serial order by the
+ * single admin queue (1, 2, 3, ... in accept order), so round-robin
+ * over that id gives every reactor count the same assignment on every
+ * run — no load feedback, no hash seed, nothing that could differ
+ * across executor shard counts. Reactors are virtual-time lanes inside
+ * the target's one domain (DESIGN.md §13), so this mapping is a pure
+ * function of the admission order, never of wall-clock arrival.
+ */
+constexpr unsigned
+connReactor(std::uint32_t connId, std::uint32_t reactors)
+{
+    if (reactors <= 1 || connId == 0)
+        return 0;
+    return (connId - 1) % reactors;
+}
+
 } // namespace bpd::sys
 
 #endif // BPD_SYSTEM_PLACEMENT_HPP

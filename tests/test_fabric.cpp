@@ -23,6 +23,7 @@
 #include "helpers.hpp"
 #include "sim/logging.hpp"
 #include "system/fleet.hpp"
+#include "system/placement.hpp"
 #include "workloads/fio.hpp"
 
 namespace bpd {
@@ -606,6 +607,315 @@ TEST(Fabric, FleetDigestInvariantAcrossShardCounts)
     const std::uint64_t one = runMiniFabricFleet(1);
     EXPECT_EQ(one, runMiniFabricFleet(2));
     EXPECT_EQ(one, runMiniFabricFleet(4));
+}
+
+namespace {
+
+fab::FabricProfile
+depthProfile(std::uint32_t depth, bool enforce = true,
+             std::uint32_t reactors = 1)
+{
+    fab::FabricProfile p;
+    p.queueDepth = depth;
+    p.enforceDepth = enforce;
+    p.reactors = reactors;
+    return p;
+}
+
+} // namespace
+
+TEST(FabricAdmission, DepthOneCompletesInSubmissionOrder)
+{
+    Net net(1, depthProfile(1));
+    ASSERT_TRUE(net.connectAll());
+    std::vector<std::uint8_t> buf(4096);
+    std::vector<unsigned> order;
+    for (unsigned i = 0; i < 6; i++)
+        net.ini().read(0, static_cast<DevAddr>(i) * 4096, buf,
+                       [&order, i](long long n, kern::IoTrace) {
+                           EXPECT_EQ(n, 4096);
+                           order.push_back(i);
+                       });
+    // Five of the six are held back by admission, not rejected.
+    EXPECT_EQ(net.ini().depthQueued(), 5u);
+    net.exec.run();
+    ASSERT_EQ(order.size(), 6u);
+    for (unsigned i = 0; i < 6; i++)
+        EXPECT_EQ(order[i], i);
+    EXPECT_EQ(net.ini().stats().queuedOnDepth, 5u);
+    EXPECT_EQ(net.ini().stats().maxInflight, 1u);
+    EXPECT_EQ(net.ini().depthQueued(), 0u);
+    EXPECT_EQ(net.tgt.overflowParks(), 0u);
+}
+
+TEST(FabricAdmission, DepthKWithExcessCompletesAllWithinDepth)
+{
+    constexpr std::uint32_t k = 4;
+    constexpr unsigned m = 6;
+    Net net(1, depthProfile(k));
+    ASSERT_TRUE(net.connectAll());
+    std::vector<std::uint8_t> buf(4096);
+    unsigned done = 0;
+    for (unsigned i = 0; i < k + m; i++)
+        net.ini().read(0, static_cast<DevAddr>(i) * 4096, buf,
+                       [&done](long long n, kern::IoTrace) {
+                           EXPECT_EQ(n, 4096);
+                           done++;
+                       });
+    EXPECT_EQ(net.ini().depthQueued(), m);
+    net.exec.run();
+    EXPECT_EQ(done, k + m);
+    EXPECT_EQ(net.ini().stats().queuedOnDepth, m);
+    // Admission capped the connection at its depth end to end; the
+    // target saw the same ceiling on its queue pair.
+    EXPECT_EQ(net.ini().stats().maxInflight, k);
+    EXPECT_EQ(net.tgt.connections().at(1).peakInflight, k);
+    EXPECT_EQ(net.tgt.overflowParks(), 0u);
+}
+
+TEST(FabricAdmission, VictimStaysOrderedAndBoundedUnderAggressor)
+{
+    constexpr std::uint32_t k = 4;
+    Net net(2, depthProfile(k));
+    ASSERT_TRUE(net.connectAll());
+    std::vector<std::uint8_t> abuf(4096);
+    std::vector<std::uint8_t> vbuf(4096);
+    unsigned aggDone = 0;
+    Time aggLastAt = 0;
+    for (unsigned i = 0; i < 40; i++)
+        net.ini(0).read(0, static_cast<DevAddr>(i) * 4096, abuf,
+                        [&](long long n, kern::IoTrace) {
+                            EXPECT_EQ(n, 4096);
+                            aggDone++;
+                            aggLastAt = net.client(0).now();
+                        });
+    std::vector<unsigned> victimOrder;
+    Time victimLastAt = 0;
+    for (unsigned i = 0; i < 5; i++)
+        net.ini(1).read(0, (64 + static_cast<DevAddr>(i)) * 4096, vbuf,
+                        [&, i](long long n, kern::IoTrace) {
+                            EXPECT_EQ(n, 4096);
+                            victimOrder.push_back(i);
+                            victimLastAt = net.client(1).now();
+                        });
+    net.exec.run();
+    EXPECT_EQ(aggDone, 40u);
+    ASSERT_EQ(victimOrder.size(), 5u);
+    // The aggressor's backlog cannot reorder the victim's stream: the
+    // victim's own queue pair preserves admission order.
+    for (unsigned i = 0; i < 5; i++)
+        EXPECT_EQ(victimOrder[i], i);
+    // Per-connection depth caps the aggressor's in-flight share, so
+    // the victim's short stream finishes well before the flood does.
+    EXPECT_LT(victimLastAt, aggLastAt);
+    EXPECT_LE(net.ini(0).stats().maxInflight, k);
+    EXPECT_LE(net.ini(1).stats().maxInflight, k);
+}
+
+TEST(FabricAdmission, ResetWithQueuedOverDepthDrainsDeterministically)
+{
+    Net net(1, depthProfile(2));
+    ASSERT_TRUE(net.connectAll());
+    std::vector<std::uint8_t> buf(4096);
+    unsigned failed = 0;
+    for (unsigned i = 0; i < 8; i++)
+        net.ini().read(0, static_cast<DevAddr>(i) * 4096, buf,
+                       [&failed](long long n, kern::IoTrace) {
+                           EXPECT_LT(n, 0);
+                           failed++;
+                       });
+    EXPECT_EQ(net.ini().depthQueued(), 6u);
+    // Reset while two are on the wire and six wait in the admission
+    // queue: every callback must fail fast, and nothing may leak.
+    net.client().eq.schedule(net.client().now() + 12 * kUs,
+                             [&] { net.ini().reset(); });
+    net.exec.run();
+    EXPECT_EQ(failed, 8u);
+    EXPECT_EQ(net.ini().depthQueued(), 0u);
+    EXPECT_EQ(net.ini().inflight(), 0u);
+    EXPECT_EQ(net.ini().state(), fab::ConnState::Idle);
+    EXPECT_EQ(net.tgt.pendingIos(), 0u);
+
+    // The connection is reusable and admission still enforces.
+    net.settle();
+    ASSERT_TRUE(net.connectAll());
+    unsigned done = 0;
+    for (unsigned i = 0; i < 4; i++)
+        net.ini().read(0, static_cast<DevAddr>(i) * 4096, buf,
+                       [&done](long long n, kern::IoTrace) {
+                           EXPECT_EQ(n, 4096);
+                           done++;
+                       });
+    net.exec.run();
+    EXPECT_EQ(done, 4u);
+    EXPECT_EQ(net.ini().stats().maxInflight, 2u);
+}
+
+TEST(FabricAdmission, DisabledEnforcementParksOverflowAtTarget)
+{
+    Net net(1, depthProfile(2, /*enforce=*/false));
+    ASSERT_TRUE(net.connectAll());
+    std::vector<std::uint8_t> buf(4096);
+    unsigned done = 0;
+    for (unsigned i = 0; i < 10; i++)
+        net.ini().read(0, static_cast<DevAddr>(i) * 4096, buf,
+                       [&done](long long n, kern::IoTrace) {
+                           EXPECT_EQ(n, 4096);
+                           done++;
+                       });
+    // Nothing queues at the initiator with enforcement off...
+    EXPECT_EQ(net.ini().depthQueued(), 0u);
+    net.exec.run();
+    EXPECT_EQ(done, 10u);
+    EXPECT_EQ(net.ini().stats().queuedOnDepth, 0u);
+    // ...so the overflow lands in the target's per-connection park
+    // queue instead, and the device still never sees more than depth.
+    EXPECT_GT(net.tgt.overflowParks(), 0u);
+    EXPECT_EQ(net.tgt.connections().at(1).peakInflight, 2u);
+}
+
+TEST(FabricIncast, ConnReactorMappingIsDeterministic)
+{
+    // The admin queue is reactor 0 territory and connId 0 is invalid;
+    // data connections stripe round-robin from reactor 0.
+    EXPECT_EQ(sys::connReactor(1, 1), 0u);
+    EXPECT_EQ(sys::connReactor(1, 4), 0u);
+    EXPECT_EQ(sys::connReactor(2, 4), 1u);
+    EXPECT_EQ(sys::connReactor(5, 4), 0u);
+    EXPECT_EQ(sys::connReactor(6, 4), 1u);
+
+    Net net(4, depthProfile(8, true, /*reactors=*/2));
+    ASSERT_TRUE(net.connectAll());
+    for (const auto &[id, info] : net.tgt.connections())
+        EXPECT_EQ(info.reactor, sys::connReactor(id, 2));
+}
+
+TEST(FabricIncast, AdminStaysSerialWithManyReactors)
+{
+    Net net(4, depthProfile(8, true, /*reactors=*/4));
+    std::vector<Time> ackAt;
+    for (unsigned i = 0; i < 4; i++)
+        net.ini(i).connect(static_cast<Pasid>(20 + i),
+                           [&net, i, &ackAt](bool ok) {
+                               EXPECT_TRUE(ok);
+                               ackAt.push_back(net.client(i).now());
+                           });
+    net.exec.run();
+    ASSERT_EQ(ackAt.size(), 4u);
+    std::sort(ackAt.begin(), ackAt.end());
+    // Reactor count must not parallelize the admin queue: grants stay
+    // spaced by the admin cost so connection ids (and with them tenant
+    // ids and reactor placement) are handed out in one serial order.
+    for (std::size_t i = 1; i < ackAt.size(); i++)
+        EXPECT_GE(ackAt[i] - ackAt[i - 1], net.prof.adminProcessNs);
+    EXPECT_EQ(net.tgt.accepts(), 4u);
+}
+
+namespace {
+
+/** Incast burst over a Net; returns (digest, max latency). */
+std::pair<std::uint64_t, Time>
+runIncastBurst(unsigned shards, std::uint32_t reactors)
+{
+    Net net(4, depthProfile(8, true, reactors), shards);
+    EXPECT_TRUE(net.connectAll());
+    std::vector<std::vector<std::uint8_t>> bufs(
+        4, std::vector<std::uint8_t>(4096));
+    unsigned done = 0;
+    for (unsigned c = 0; c < 4; c++)
+        for (unsigned i = 0; i < 32; i++)
+            net.ini(c).read(0,
+                            (static_cast<DevAddr>(c) * 64 + i) * 4096,
+                            bufs[c],
+                            [&done](long long n, kern::IoTrace) {
+                                EXPECT_EQ(n, 4096);
+                                done++;
+                            });
+    net.exec.run();
+    EXPECT_EQ(done, 4u * 32u);
+
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    Time maxLat = 0;
+    for (unsigned c = 0; c < 4; c++) {
+        const auto &st = net.ini(c).stats();
+        h = fnv(h, st.reads);
+        h = fnv(h, st.queuedOnDepth);
+        h = fnv(h, st.maxInflight);
+        h = fnv(h, st.latency.p50());
+        h = fnv(h, st.latency.max());
+        maxLat = std::max(maxLat, st.latency.max());
+    }
+    for (const auto &rs : net.tgt.reactorStats()) {
+        h = fnv(h, rs.capsules);
+        h = fnv(h, rs.busyNs);
+    }
+    h = fnv(h, net.target.now());
+    h = fnv(h, net.target.eq.executed());
+    return {h, maxLat};
+}
+
+} // namespace
+
+TEST(FabricIncast, BurstDigestInvariantAcrossShardCounts)
+{
+    for (std::uint32_t r : {1u, 2u, 4u}) {
+        const auto one = runIncastBurst(1, r);
+        EXPECT_EQ(one.first, runIncastBurst(2, r).first);
+        EXPECT_EQ(one.first, runIncastBurst(4, r).first);
+    }
+}
+
+TEST(FabricIncast, MoreReactorsNeverSlower)
+{
+    // Same burst, more lanes: the capsule serialization point thins
+    // out, so the worst command can only get faster (or stay equal).
+    const Time one = runIncastBurst(2, 1).second;
+    const Time two = runIncastBurst(2, 2).second;
+    const Time four = runIncastBurst(2, 4).second;
+    EXPECT_LE(two, one);
+    EXPECT_LE(four, two);
+}
+
+TEST(FabricIncast, ResetRacesRdmaPullOnAnotherReactor)
+{
+    Net net(2, depthProfile(8, true, /*reactors=*/2));
+    ASSERT_TRUE(net.connectAll());
+    // conn 1 → reactor 0, conn 2 → reactor 1.
+    ASSERT_EQ(net.tgt.connections().at(2).reactor, 1u);
+
+    // A 16 KiB write from conn 2 takes the two-phase path: the target
+    // posts an RDMA read and waits for the payload.
+    std::vector<std::uint8_t> big = test::pattern(16384, 9);
+    long long wn = 0;
+    net.ini(1).write(0, 0, big,
+                     [&wn](long long n, kern::IoTrace) { wn = n; });
+    // Reset conn 2 while its payload pull is in flight (the pull
+    // request needs a round trip; 12 us is inside it). The generation
+    // fence must discard the stale pull on the target and the stale
+    // data on the wire without touching conn 1's reactor.
+    net.client(1).eq.schedule(net.client(1).now() + 12 * kUs,
+                              [&] { net.ini(1).reset(); });
+    std::vector<std::uint8_t> buf(4096);
+    long long rn = -1;
+    net.ini(0).read(0, 4096, buf,
+                    [&rn](long long n, kern::IoTrace) { rn = n; });
+    net.exec.run();
+    EXPECT_LT(wn, 0);
+    EXPECT_EQ(rn, 4096);
+    EXPECT_EQ(net.ini(1).state(), fab::ConnState::Idle);
+    EXPECT_EQ(net.tgt.aborts(), 1u);
+    EXPECT_EQ(net.tgt.pendingIos(), 0u);
+    EXPECT_FALSE(net.tgt.connections().at(2).open);
+    EXPECT_TRUE(net.tgt.connections().at(1).open);
+
+    // The fenced connection reconnects cleanly onto its reactor.
+    net.settle();
+    bool ok = false;
+    net.ini(1).connect(9, [&ok](bool o) { ok = o; });
+    net.exec.run();
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(net.tgt.connections().at(3).reactor,
+              sys::connReactor(3, 2));
 }
 
 } // namespace bpd

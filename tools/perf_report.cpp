@@ -30,6 +30,7 @@
  * "scenarios" array of flat objects) — it is not a general JSON parser.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -340,6 +341,49 @@ printShardScaling(const BenchFile &base, const BenchFile &cur)
 }
 
 /**
+ * Per-reactor breakdown: scenarios that carry the fabric target's lane
+ * accounting ("reactors" + "reactor.N.*") get a per-lane table with a
+ * busy-imbalance summary. The conn→reactor striping is deterministic,
+ * so a skewed lane here means the connection population is skewed —
+ * not that the run raced.
+ */
+void
+printReactorBreakdown(const BenchFile &cur)
+{
+    bool any = false;
+    for (const Scenario &c : cur.scenarios) {
+        if (!hasField(c, "reactors"))
+            continue;
+        const unsigned n = static_cast<unsigned>(numField(c, "reactors"));
+        if (n == 0 || !hasField(c, "reactor.0.capsules"))
+            continue;
+        if (!any)
+            std::printf("\nper-reactor breakdown (current):\n");
+        any = true;
+        std::printf("  %s\n", c.name.c_str());
+        std::printf("    %7s %10s %12s %14s\n", "reactor", "capsules",
+                    "rdma_setups", "busy_ns");
+        double busyMin = 0, busyMax = 0;
+        for (unsigned r = 0; r < n; r++) {
+            char key[48];
+            std::snprintf(key, sizeof(key), "reactor.%u.capsules", r);
+            const double caps = numField(c, key);
+            std::snprintf(key, sizeof(key), "reactor.%u.rdma_setups", r);
+            const double rdma = numField(c, key);
+            std::snprintf(key, sizeof(key), "reactor.%u.busy_ns", r);
+            const double busy = numField(c, key);
+            std::printf("    %7u %10.0f %12.0f %14.0f\n", r, caps, rdma,
+                        busy);
+            busyMin = r == 0 ? busy : std::min(busyMin, busy);
+            busyMax = std::max(busyMax, busy);
+        }
+        if (n > 1 && busyMin > 0)
+            std::printf("    busy imbalance (max/min): %.2fx\n",
+                        busyMax / busyMin);
+    }
+}
+
+/**
  * Diff the simulated metric counters embedded in the scenario objects.
  * These are outputs of the simulation (not host-side timing), so any
  * base/cur difference on an unchanged workload is a semantic change —
@@ -494,6 +538,7 @@ main(int argc, char **argv)
                     rssViolation ? "EXCEEDED" : "ok");
     }
     printShardScaling(base, cur);
+    printReactorBreakdown(cur);
     printCounterDiff(base, cur);
     if (digestMismatch)
         std::fprintf(stderr, "perf_report: DIGEST MISMATCH — simulated "

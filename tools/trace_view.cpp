@@ -140,6 +140,12 @@ main(int argc, char **argv)
     std::map<std::tuple<std::uint64_t, std::uint64_t, std::string>,
              LayerAgg>
         fabricConns;
+    // (pid, reactor lane, span name) → aggregate for spans carrying a
+    // "reactor" arg (fabric.sq): the target-side view of how the
+    // sharded data path spread its work.
+    std::map<std::tuple<std::uint64_t, std::uint64_t, std::string>,
+             LayerAgg>
+        reactorLanes;
     std::uint64_t nComplete = 0, nInstant = 0, nMeta = 0;
 
     for (const auto &ev : events->arr) {
@@ -206,6 +212,16 @@ main(int argc, char **argv)
             agg.totalNs += dur->number * 1000.0; // us -> ns
             agg.bytes += numArg(*args, "bytes", 0);
         }
+        if (args && args->isObject() && args->find("reactor")) {
+            LayerAgg &agg = reactorLanes[{
+                p,
+                static_cast<std::uint64_t>(numArg(*args, "reactor", 0)),
+                name->str}];
+            agg.count++;
+            agg.totalNs += dur->number * 1000.0; // us -> ns
+            agg.deviceNs += numArg(*args, "device_ns", 0);
+            agg.bytes += numArg(*args, "bytes", 0);
+        }
         if (!args || !args->isObject() || !args->find("user_ns"))
             continue; // a layer span, not a request envelope
         const double tenant = numArg(*args, "tenant", 0);
@@ -255,7 +271,10 @@ main(int argc, char **argv)
                 a.userNs / c, a.kernelNs / c, a.xlateNs / c,
                 a.deviceNs / c, a.totalNs / c, a.bytes / c);
         }
-    } else {
+    } else if (fabricConns.empty() && reactorLanes.empty()) {
+        // Fabric target-side traces legitimately carry only layer
+        // spans (the request envelopes live at the initiators); only a
+        // trace with neither is too coarse to say anything about.
         std::fprintf(stderr,
                      "%s: no request envelopes in this trace — it is "
                      "too coarse for the latency breakdown (and for "
@@ -305,6 +324,27 @@ main(int argc, char **argv)
                         proc.c_str(), (unsigned long long)conn,
                         name.c_str(), (unsigned long long)a.count,
                         a.totalNs / c, a.bytes);
+        }
+    }
+
+    if (!reactorLanes.empty()) {
+        std::printf("\nPer-reactor fabric breakdown "
+                    "(mean ns/span):\n");
+        std::printf("%-24s %7s %-16s %9s %9s %9s %11s\n", "process",
+                    "reactor", "span", "count", "mean ns", "device",
+                    "bytes");
+        for (const auto &[key, a] : reactorLanes) {
+            const auto &[p, lane, name] = key;
+            const auto it = procNames.find(p);
+            const std::string proc
+                = it != procNames.end()
+                      ? it->second
+                      : "pid" + std::to_string(p);
+            const double c = static_cast<double>(a.count);
+            std::printf("%-24s %7llu %-16s %9llu %9.0f %9.0f %11.0f\n",
+                        proc.c_str(), (unsigned long long)lane,
+                        name.c_str(), (unsigned long long)a.count,
+                        a.totalNs / c, a.deviceNs / c, a.bytes);
         }
     }
 
