@@ -238,8 +238,9 @@ runFabricStorm(bool quick, unsigned shards, bench::BenchJson &json)
             client.now() + static_cast<Time>(c) * 10 * kUs,
             [c, ini, &ackAt, &loops, &client] {
                 ini->connect(static_cast<Pasid>(200 + c),
-                             [c, &ackAt, &loops, &client](bool ok) {
-                                 sim::panicIf(!ok,
+                             [c, &ackAt, &loops,
+                              &client](fab::ConnectStatus st) {
+                                 sim::panicIf(st != fab::ConnectStatus::Ok,
                                               "storm connect refused");
                                  ackAt[c] = client.now();
                                  (*loops[c])();

@@ -96,9 +96,11 @@ connectAll(sys::Fleet &fleet, fab::FabricTarget &tgt,
         inis.back()->bind(fleet.executor(), fleet.domainOf(c + 1));
         fab::FabricInitiator *ini = inis.back().get();
         client.eq.schedule(client.now(), [ini, c] {
-            ini->connect(static_cast<Pasid>(300 + c), [](bool ok) {
-                sim::panicIf(!ok, "incast connect refused");
-            });
+            ini->connect(static_cast<Pasid>(300 + c),
+                         [](fab::ConnectStatus st) {
+                             sim::panicIf(st != fab::ConnectStatus::Ok,
+                                          "incast connect refused");
+                         });
         });
     }
     fleet.settle();

@@ -4,8 +4,9 @@
 
 namespace bpd::bypassd {
 
-FileTableCache::FileTableCache(mem::FrameAllocator &fa, DevId dev)
-    : fa_(fa), dev_(dev)
+FileTableCache::FileTableCache(mem::FrameAllocator &fa, DevId dev,
+                               BlockNo pblkBias)
+    : fa_(fa), dev_(dev), bias_(pblkBias)
 {
 }
 
@@ -32,10 +33,12 @@ FileTableCache::setFte(std::uint64_t blockIdx, BlockNo pblk,
 {
     const std::uint64_t leaf = blockIdx / kBlocksPerLeaf;
     const std::uint64_t slot = blockIdx % kBlocksPerLeaf;
+    sim::panicIf(pblk < bias_, "extent pblk below home-slot base");
     // Shared FTEs carry maximum rights; the per-open permission lives in
-    // the private attaching entries (Section 4.1).
+    // the private attaching entries (Section 4.1). The stored block
+    // address is slot-local (volume pblk minus the home slot's base).
     fa_.table(leaves_[leaf])[slot]
-        = mem::makeFte(pblk, dev_, /*writable=*/true);
+        = mem::makeFte(pblk - bias_, dev_, /*writable=*/true);
     if (stats)
         stats->ftesWritten++;
 }

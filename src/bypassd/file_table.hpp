@@ -37,7 +37,17 @@ class FileTableCache
         std::uint64_t leavesAllocated = 0;
     };
 
-    FileTableCache(mem::FrameAllocator &fa, DevId dev);
+    /**
+     * @param dev The home device's DevID, stamped into every FTE; the
+     *     IOMMU rejects translations from any other device.
+     * @param pblkBias Block number of the home device slot's base within
+     *     the volume. FTEs store slot-local block addresses (the device
+     *     only knows its own address space), so volume-absolute extent
+     *     pblks are rebased by subtracting this. 0 on single-device
+     *     volumes.
+     */
+    FileTableCache(mem::FrameAllocator &fa, DevId dev,
+                   BlockNo pblkBias = 0);
     ~FileTableCache();
     FileTableCache(const FileTableCache &) = delete;
     FileTableCache &operator=(const FileTableCache &) = delete;
@@ -52,6 +62,7 @@ class FileTableCache
     void shrinkTo(std::uint64_t blocks);
 
     DevId devId() const { return dev_; }
+    BlockNo pblkBias() const { return bias_; }
     std::uint64_t mappedBlocks() const { return mappedBlocks_; }
 
     /** Shared leaf frames in file order. */
@@ -84,6 +95,7 @@ class FileTableCache
 
     mem::FrameAllocator &fa_;
     DevId dev_;
+    BlockNo bias_;
     std::vector<mem::Frame> leaves_;
     std::uint64_t mappedBlocks_ = 0;
 };

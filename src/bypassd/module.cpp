@@ -41,16 +41,41 @@ BypassdModule::cacheOf(fs::Inode &ino)
     return static_cast<FileTableCache *>(ino.fileTable.get());
 }
 
+iommu::Iommu &
+BypassdModule::homeIommu(InodeNum ino)
+{
+    auto it = cacheHome_.find(ino);
+    return kernel_.slotIommu(it == cacheHome_.end() ? 0 : it->second);
+}
+
+std::size_t
+BypassdModule::homeSlotOf(const fs::Inode &ino) const
+{
+    if (homeSlot_)
+        return homeSlot_(ino);
+    // Default: derive from the first extent's physical block. Placement
+    // guarantees every extent of an inode lives on one slot, so the
+    // first is representative; extentless files go to slot 0.
+    const auto &exts = ino.extents.extents();
+    if (exts.empty())
+        return 0;
+    return kernel_.slotOf(exts.front().pblk * kBlockBytes);
+}
+
 FileTableCache *
 BypassdModule::ensureCache(fs::Inode &ino, FmapResult *res)
 {
     if (!ino.fileTable) {
         // Cold fmap: build the shared file tables from the extent tree
-        // (Section 4.1). Cost: per-FTE writes plus extent walks.
+        // (Section 4.1). Cost: per-FTE writes plus extent walks. FTEs
+        // carry the home device's DevID and slot-local block addresses.
+        const std::size_t slot = homeSlotOf(ino);
         auto cache = std::make_shared<FileTableCache>(
-            kernel_.frames(), kernel_.device().devId());
+            kernel_.frames(), kernel_.slotDevice(slot).devId(),
+            kernel_.slotBase(slot) / kBlockBytes);
         FileTableCache::BuildStats stats
             = cache->buildFrom(ino.extents);
+        cacheHome_[ino.ino] = slot;
         const kern::CostModel &c = kernel_.costs();
         res->cost += stats.ftesWritten * c.fmapBuildPerFteNs
                      + stats.extentsWalked * c.fmapExtentLookupNs;
@@ -125,7 +150,25 @@ BypassdModule::fmap(kern::Process &p, InodeNum inoNum, bool writable)
         return res;
     }
 
+    // Multi-device fleet: a file homed on an unattached or evicted
+    // device gets no VBA — the caller falls back to the kernel
+    // interface, where I/O to the dead device fails with ENODEV.
+    const std::size_t home = homeSlotOf(*ino);
+    if (home >= kernel_.slotCount()
+        || kernel_.slotDevice(home).evicted()) {
+        rejectedFmaps_++;
+        if (acct_)
+            acct_->of(p.pasid()).bypassdRejectedFmaps++;
+        if (trace_ && trace_->wants(obs::Level::Layers))
+            trace_->instant(obsTrack_, "bypassd.fmap_rejected", 0,
+                            {{"ino", static_cast<std::int64_t>(inoNum)},
+                             {"slot", static_cast<std::int64_t>(home)}});
+        return res;
+    }
+
     FileTableCache *cache = ensureCache(*ino, &res);
+    res.slot = home;
+    res.dev = cache->devId();
     // ensureCache bumped exactly one of coldFmaps_/warmFmaps_; it has
     // no Process, so the per-tenant twin lands here.
     if (acct_) {
@@ -211,7 +254,8 @@ BypassdModule::detachOne(kern::Process &p, fs::Inode &ino,
     const FileTableCache::Attachment &att = it->second;
     for (std::uint64_t i = 0; i < att.attachedLeaves; i++)
         p.aspace().pageTable().detachTable(att.vba + i * mem::kPmdSpan, 1);
-    kernel_.iommu().invalidateRange(p.pasid(), att.vba, att.regionBytes);
+    homeIommu(ino.ino).invalidateRange(p.pasid(), att.vba,
+                                       att.regionBytes);
     if (quarantineVa) {
         quarantined_[{p.pid(), ino.ino}]
             = QuarantinedRegion{att.vba, att.regionBytes};
@@ -279,6 +323,27 @@ BypassdModule::revoke(fs::Inode &ino)
         }
     }
     revoked_.insert(ino.ino);
+}
+
+std::size_t
+BypassdModule::revokeSlot(std::size_t slot)
+{
+    std::size_t n = 0;
+    // std::map order => deterministic revocation sequence for digests.
+    for (const auto &[inoNum, home] : cacheHome_) {
+        if (home != slot)
+            continue;
+        fs::Inode *ino = kernel_.vfs().fs().inode(inoNum);
+        if (!ino || !ino->fileTable)
+            continue;
+        revoke(*ino);
+        n++;
+    }
+    if (trace_ && trace_->wants(obs::Level::Requests))
+        trace_->instant(obsTrack_, "bypassd.slot_revoked", 0,
+                        {{"slot", static_cast<std::int64_t>(slot)},
+                         {"inodes", static_cast<std::int64_t>(n)}});
+    return n;
 }
 
 void
@@ -353,25 +418,28 @@ BypassdModule::onTruncated(fs::Inode &ino)
                 att.vba + i * mem::kPmdSpan, 1);
         }
         att.attachedLeaves = std::min(att.attachedLeaves, keepLeaves);
-        kernel_.iommu().invalidateRange(p->pasid(), att.vba,
-                                        att.regionBytes);
+        homeIommu(ino.ino).invalidateRange(p->pasid(), att.vba,
+                                           att.regionBytes);
     }
     cache->shrinkTo(newBlocks);
 }
 
 std::unique_ptr<UserQueues>
 BypassdModule::createUserQueues(kern::Process &p, std::uint32_t depth,
-                                std::uint64_t dmaBytes)
+                                std::uint64_t dmaBytes, std::size_t slot)
 {
     auto uq = std::make_unique<UserQueues>();
-    uq->qp = kernel_.device().createQueuePair(p.pasid(), depth,
-                                              /*vbaMode=*/true);
+    uq->slot = slot;
+    uq->qp = kernel_.slotDevice(slot).createQueuePair(p.pasid(), depth,
+                                                      /*vbaMode=*/true);
     if (!uq->qp)
         return nullptr;
     uq->dispatcher = std::make_unique<ssd::CommandDispatcher>(*uq->qp);
     uq->dmaBuf.assign(dmaBytes, 0);
     uq->dmaIova = p.aspace().reserve(dmaBytes, kBlockBytes);
-    kernel_.iommu().mapDma(
+    // The DMA buffer is registered with the home device's IOMMU context;
+    // that device resolves (pasid, iova) through it.
+    kernel_.slotIommu(slot).mapDma(
         p.pasid(), uq->dmaIova,
         std::span<std::uint8_t>(uq->dmaBuf.data(), uq->dmaBuf.size()),
         /*writable=*/true);
@@ -386,9 +454,9 @@ BypassdModule::destroyUserQueues(kern::Process &p, UserQueues &uq)
 {
     if (!uq.qp)
         return;
-    kernel_.iommu().unmapDma(p.pasid(), uq.dmaIova);
+    kernel_.slotIommu(uq.slot).unmapDma(p.pasid(), uq.dmaIova);
     p.aspace().release(uq.dmaIova, uq.dmaBuf.size());
-    kernel_.device().destroyQueuePair(uq.qp->qid());
+    kernel_.slotDevice(uq.slot).destroyQueuePair(uq.qp->qid());
     uq.qp = nullptr;
 }
 

@@ -26,6 +26,8 @@ struct FmapResult
     std::uint64_t mappedBytes = 0;
     Time cost = 0;        //!< modeled syscall latency (Table 5)
     bool cold = false;    //!< file tables had to be built
+    std::size_t slot = 0; //!< home device slot; route I/O to its queues
+    DevId dev = 0;        //!< home device's DevID (0 when vba == 0)
 };
 
 /** A user-mapped queue pair plus its pinned DMA buffer. */
@@ -36,6 +38,7 @@ struct UserQueues
     std::vector<std::uint8_t> dmaBuf;
     std::uint64_t dmaIova = 0;
     Time setupCost = 0;
+    std::size_t slot = 0; //!< device slot the queue pair lives on
 };
 
 class BypassdModule : public kern::BypassdHooks
@@ -62,10 +65,36 @@ class BypassdModule : public kern::BypassdHooks
      */
     void revoke(fs::Inode &ino);
 
-    /** Create a VBA-capable queue pair + pinned DMA buffer for @p p. */
+    /**
+     * Device eviction (multi-device fleet): revoke every file-table
+     * cache homed on device slot @p slot, in deterministic inode-number
+     * order. Victims fault on their next direct I/O, re-fmap(), get
+     * VBA 0 (the home device is evicted) and fall back to the kernel
+     * interface, where I/O to the dead device fails with ENODEV.
+     * @return Number of inodes whose caches were revoked.
+     */
+    std::size_t revokeSlot(std::size_t slot);
+
+    /**
+     * Multi-device placement hook: returns the home device slot for an
+     * inode. Must agree with the file system's block placement (System
+     * wires both from the same DeviceMap). Null (default) derives the
+     * slot from the first extent's physical block — correct for
+     * single-device volumes (always 0).
+     */
+    using HomeSlotFn = std::function<std::size_t(const fs::Inode &)>;
+    void setHomeSlot(HomeSlotFn fn) { homeSlot_ = std::move(fn); }
+
+    /** Home device slot of @p ino (see setHomeSlot). */
+    std::size_t homeSlotOf(const fs::Inode &ino) const;
+
+    /**
+     * Create a VBA-capable queue pair + pinned DMA buffer for @p p on
+     * device slot @p slot.
+     */
     std::unique_ptr<UserQueues>
     createUserQueues(kern::Process &p, std::uint32_t depth,
-                     std::uint64_t dmaBytes);
+                     std::uint64_t dmaBytes, std::size_t slot = 0);
 
     void destroyUserQueues(kern::Process &p, UserQueues &uq);
 
@@ -109,6 +138,8 @@ class BypassdModule : public kern::BypassdHooks
   private:
     FileTableCache *cacheOf(fs::Inode &ino);
     FileTableCache *ensureCache(fs::Inode &ino, FmapResult *res);
+    /** IOMMU context of the slot @p ino's cache was built on (0 if none). */
+    iommu::Iommu &homeIommu(InodeNum ino);
     /**
      * Detach @p p's attachment. With @p quarantineVa the VBA region is
      * NOT returned to the VA allocator yet: a revoked process still
@@ -139,6 +170,15 @@ class BypassdModule : public kern::BypassdHooks
     obs::TenantAccounting *acct_ = nullptr;
 
     std::set<InodeNum> revoked_;
+
+    HomeSlotFn homeSlot_;
+    /**
+     * Inodes with a built file-table cache, keyed to their home slot at
+     * build time. std::map keeps revokeSlot()'s walk in deterministic
+     * inode order. Entries persist for the cache's lifetime (caches die
+     * with the inode); revoke() tolerates empty-attachment caches.
+     */
+    std::map<InodeNum, std::size_t> cacheHome_;
 
     struct QuarantinedRegion
     {

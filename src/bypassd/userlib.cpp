@@ -21,6 +21,15 @@ alignUp(std::uint64_t x, std::uint64_t a)
     return (x + a - 1) & ~(a - 1);
 }
 
+/** Map a device completion status to the errno handed to callers. */
+int
+devErrno(ssd::Status st)
+{
+    return kern::errOf(st == ssd::Status::DeviceEvicted
+                           ? fs::FsStatus::NoDev
+                           : fs::FsStatus::Inval);
+}
+
 } // namespace
 
 UserLib::UserLib(kern::Kernel &kernel, BypassdModule &module,
@@ -33,29 +42,32 @@ UserLib::UserLib(kern::Kernel &kernel, BypassdModule &module,
 UserLib::~UserLib()
 {
     for (auto &[tid, tc] : threads_) {
-        if (tc.uq)
-            module_.destroyUserQueues(proc_, *tc.uq);
+        for (auto &[slot, q] : tc.uq) {
+            if (q)
+                module_.destroyUserQueues(proc_, *q);
+        }
     }
     proc_.userLib = nullptr;
 }
 
-UserLib::ThreadCtx &
-UserLib::ctx(Tid tid)
+UserQueues &
+UserLib::uq(Tid tid, std::size_t slot)
 {
     ThreadCtx &tc = threads_[tid];
-    if (!tc.uq) {
-        tc.uq = module_.createUserQueues(proc_, cfg_.queueDepth,
-                                         cfg_.dmaBufBytes);
-        sim::panicIf(tc.uq == nullptr,
+    std::unique_ptr<UserQueues> &q = tc.uq[slot];
+    if (!q) {
+        q = module_.createUserQueues(proc_, cfg_.queueDepth,
+                                     cfg_.dmaBufBytes, slot);
+        sim::panicIf(q == nullptr,
                      "user queue creation failed (device claimed?)");
     }
-    return tc;
+    return *q;
 }
 
 void
-UserLib::prepareThread(Tid tid)
+UserLib::prepareThread(Tid tid, std::size_t slot)
 {
-    ctx(tid);
+    uq(tid, slot);
 }
 
 UserLib::FileInfo *
@@ -112,6 +124,7 @@ UserLib::open(const std::string &path, std::uint32_t flags,
                     = kernel_.vfs().fs().inode(of->ino);
                 fi.size = node ? node->size : 0;
                 fi.vba = res.vba;
+                fi.slot = res.slot;
                 fi.direct = res.vba != 0;
                 fi.preallocEnd = fi.size;
                 files_[fd] = std::move(fi);
@@ -386,8 +399,9 @@ UserLib::nonBlockingWrite(Tid tid, int fd,
         cmd.hostBuf = std::span<std::uint8_t>(pw->data.data(),
                                               pw->data.size());
         cmd.trace = trace;
-        submitWithRetry(tid, cmd, [this, fd, trace, issue, complete](
-                                      const ssd::Completion &comp) {
+        submitWithRetry(tid, fi2->slot, cmd,
+                        [this, fd, trace, issue, complete](
+                            const ssd::Completion &comp) {
             if (comp.status != ssd::Status::Success) {
                 handleFault(fd, [issue]() { (*issue)(); },
                             [issue]() { (*issue)(); }, trace);
@@ -469,15 +483,15 @@ UserLib::drainPendingWrites(int fd, std::function<void()> done)
 }
 
 void
-UserLib::submitWithRetry(Tid tid, ssd::Command cmd,
+UserLib::submitWithRetry(Tid tid, std::size_t slot, ssd::Command cmd,
                          ssd::CommandDispatcher::CompletionFn fn)
 {
-    ThreadCtx &tc = ctx(tid);
-    if (tc.uq->dispatcher->submit(cmd, fn))
+    UserQueues &q = uq(tid, slot);
+    if (q.dispatcher->submit(cmd, fn))
         return;
     // SQ full: poll and retry shortly.
-    kernel_.eq().after(500, [this, tid, cmd, fn = std::move(fn)]() {
-        submitWithRetry(tid, cmd, fn);
+    kernel_.eq().after(500, [this, tid, slot, cmd, fn = std::move(fn)]() {
+        submitWithRetry(tid, slot, cmd, fn);
     });
 }
 
@@ -509,6 +523,7 @@ UserLib::handleFault(int fd, std::function<void()> retryDirect,
         }
         if (res.vba != 0) {
             fi->vba = res.vba;
+            fi->slot = res.slot;
             fi->direct = true;
             retryDirect();
         } else {
@@ -564,14 +579,14 @@ UserLib::directRead(Tid tid, int fd, std::span<std::uint8_t> buf,
     const std::uint64_t aStart = alignDown(off, kSectorBytes);
     const std::uint64_t aEnd = alignUp(off + n, kSectorBytes);
     const std::uint32_t len = static_cast<std::uint32_t>(aEnd - aStart);
-    ThreadCtx &tc = ctx(tid);
-    sim::panicIf(len > tc.uq->dmaBuf.size(),
+    const std::size_t slot = fi->slot;
+    sim::panicIf(len > uq(tid, slot).dmaBuf.size(),
                  "request exceeds DMA buffer");
 
     directReads_++;
     const Time submitCost = kernel_.cpu().scaled(c.userlibSubmitNs);
     kernel_.eq().after(submitCost, [this, tid, fd, buf, off, n, aStart,
-                                    len, start, trace,
+                                    len, slot, start, trace,
                                     cb = std::move(cb)]() {
         FileInfo *fi = info(fd);
         if (!fi) {
@@ -583,15 +598,14 @@ UserLib::directRead(Tid tid, int fd, std::span<std::uint8_t> buf,
         cmd.addr = fi->vba + aStart;
         cmd.addrIsVba = true;
         cmd.len = len;
-        ThreadCtx &tc = ctx(tid);
-        cmd.dmaIova = tc.uq->dmaIova;
+        cmd.dmaIova = uq(tid, slot).dmaIova;
         cmd.useIova = true;
         cmd.trace = trace;
         const Time tSubmit = kernel_.eq().now();
-        submitWithRetry(tid, cmd, [this, tid, fd, buf, off, n, aStart,
-                                   start, tSubmit, trace,
-                                   cb = std::move(cb)](
-                                      const ssd::Completion &comp) {
+        submitWithRetry(tid, slot, cmd,
+                        [this, tid, fd, buf, off, n, aStart, slot,
+                         start, tSubmit, trace, cb = std::move(cb)](
+                            const ssd::Completion &comp) {
             if (comp.status != ssd::Status::Success) {
                 handleFault(
                     fd,
@@ -609,9 +623,8 @@ UserLib::directRead(Tid tid, int fd, std::span<std::uint8_t> buf,
             const kern::CostModel &c = kernel_.costs();
             const Time post = kernel_.cpu().scaled(c.userlibCompleteNs
                                                    + c.copyCost(n));
-            ThreadCtx &tc = ctx(tid);
             std::memcpy(buf.data(),
-                        tc.uq->dmaBuf.data() + (off - aStart), n);
+                        uq(tid, slot).dmaBuf.data() + (off - aStart), n);
             kernel_.eq().after(post, [this, fd, n, start, tSubmit, comp,
                                       cb = std::move(cb)]() {
                 FileInfo *fi2 = info(fd);
@@ -638,20 +651,20 @@ UserLib::directOverwrite(Tid tid, int fd,
                          obs::TraceId trace)
 {
     FileInfo *fi = info(fd);
-    (void)fi;
     const Time start = kernel_.eq().now();
     const std::uint64_t n = buf.size();
     const kern::CostModel &c = kernel_.costs();
-    ThreadCtx &tc = ctx(tid);
-    sim::panicIf(n > tc.uq->dmaBuf.size(), "request exceeds DMA buffer");
+    const std::size_t slot = fi->slot;
+    UserQueues &q = uq(tid, slot);
+    sim::panicIf(n > q.dmaBuf.size(), "request exceeds DMA buffer");
 
     directWrites_++;
     // Copy user data into the pinned DMA buffer, then submit.
     const Time submitCost
         = kernel_.cpu().scaled(c.userlibSubmitNs + c.copyCost(n));
-    std::memcpy(tc.uq->dmaBuf.data(), buf.data(), n);
-    kernel_.eq().after(submitCost, [this, tid, fd, buf, off, n, start,
-                                    trace, cb = std::move(cb)]() {
+    std::memcpy(q.dmaBuf.data(), buf.data(), n);
+    kernel_.eq().after(submitCost, [this, tid, fd, buf, off, n, slot,
+                                    start, trace, cb = std::move(cb)]() {
         FileInfo *fi = info(fd);
         if (!fi) {
             cb(kern::errOf(fs::FsStatus::Inval), kern::IoTrace{});
@@ -662,14 +675,14 @@ UserLib::directOverwrite(Tid tid, int fd,
         cmd.addr = fi->vba + off;
         cmd.addrIsVba = true;
         cmd.len = static_cast<std::uint32_t>(n);
-        ThreadCtx &tc = ctx(tid);
-        cmd.dmaIova = tc.uq->dmaIova;
+        cmd.dmaIova = uq(tid, slot).dmaIova;
         cmd.useIova = true;
         cmd.trace = trace;
         const Time tSubmit = kernel_.eq().now();
-        submitWithRetry(tid, cmd, [this, tid, fd, buf, off, n, start,
-                                   tSubmit, trace, cb = std::move(cb)](
-                                      const ssd::Completion &comp) {
+        submitWithRetry(tid, slot, cmd,
+                        [this, tid, fd, buf, off, n, start, tSubmit,
+                         trace, cb = std::move(cb)](
+                            const ssd::Completion &comp) {
             if (comp.status != ssd::Status::Success) {
                 handleFault(
                     fd,
@@ -728,8 +741,9 @@ UserLib::partialWrite(Tid tid, int fd, std::span<const std::uint8_t> buf,
     const std::uint64_t aStart = firstSec * kSectorBytes;
     const std::uint64_t aEnd = (lastSec + 1) * kSectorBytes;
     const std::uint32_t len = static_cast<std::uint32_t>(aEnd - aStart);
-    ThreadCtx &tc = ctx(tid);
-    sim::panicIf(len > tc.uq->dmaBuf.size(), "RMW exceeds DMA buffer");
+    const std::size_t slot = fi->slot;
+    sim::panicIf(len > uq(tid, slot).dmaBuf.size(),
+                 "RMW exceeds DMA buffer");
 
     auto data = std::make_shared<std::vector<std::uint8_t>>(buf.begin(),
                                                             buf.end());
@@ -751,7 +765,7 @@ UserLib::partialWrite(Tid tid, int fd, std::span<const std::uint8_t> buf,
         = kernel_.cpu().scaled(kernel_.costs().userlibSubmitNs);
     directWrites_++;
     kernel_.eq().after(submitCost, [this, tid, fd, data, off, aStart, len,
-                                    start, trace, finish]() {
+                                    slot, start, trace, finish]() {
         FileInfo *fi2 = info(fd);
         if (!fi2 || !fi2->direct) {
             // Revoked meanwhile: fall back through the kernel.
@@ -761,30 +775,25 @@ UserLib::partialWrite(Tid tid, int fd, std::span<const std::uint8_t> buf,
                 off, finish, trace);
             return;
         }
-        ThreadCtx &tc = ctx(tid);
         ssd::Command rd;
         rd.op = ssd::Op::Read;
         rd.addr = fi2->vba + aStart;
         rd.addrIsVba = true;
         rd.len = len;
-        rd.dmaIova = tc.uq->dmaIova;
+        rd.dmaIova = uq(tid, slot).dmaIova;
         rd.useIova = true;
         rd.trace = trace;
-        submitWithRetry(tid, rd, [this, tid, fd, data, off, aStart, len,
-                                  start, trace,
-                                  finish](const ssd::Completion &comp) {
+        submitWithRetry(tid, slot, rd,
+                        [this, tid, fd, data, off, aStart, len, slot,
+                         start, trace,
+                         finish](const ssd::Completion &comp) {
             if (comp.status != ssd::Status::Success) {
                 handleFault(
                     fd,
-                    [this, tid, fd, data, off, start, trace, finish]() {
-                        // Retry whole RMW from scratch via the public
+                    [this, fd, data, off, start, trace, finish]() {
+                        // Retry whole RMW from scratch via the kernel
                         // path so serialization state stays sound.
                         (void)start;
-                        FileInfo *f = info(fd);
-                        if (f) {
-                            ThreadCtx &tc2 = ctx(tid);
-                            (void)tc2;
-                        }
                         kernel_.sysPwrite(
                             proc_, fd,
                             std::span<const std::uint8_t>(data->data(),
@@ -807,36 +816,36 @@ UserLib::partialWrite(Tid tid, int fd, std::span<const std::uint8_t> buf,
                 return;
             }
             // Modify the staged sectors with the user bytes.
-            ThreadCtx &tc2 = ctx(tid);
-            std::memcpy(tc2.uq->dmaBuf.data() + (off - aStart),
+            std::memcpy(uq(tid, slot).dmaBuf.data() + (off - aStart),
                         data->data(), data->size());
             const Time modCost = kernel_.cpu().scaled(
                 kernel_.costs().copyCost(data->size()));
             kernel_.eq().after(modCost, [this, tid, fd, data, off, aStart,
-                                         len, start, trace, finish]() {
+                                         len, slot, start, trace,
+                                         finish]() {
                 FileInfo *fi4 = info(fd);
                 if (!fi4) {
                     finish(kern::errOf(fs::FsStatus::Inval),
                            kern::IoTrace{});
                     return;
                 }
-                ThreadCtx &tc3 = ctx(tid);
                 ssd::Command wr;
                 wr.op = ssd::Op::Write;
                 wr.addr = fi4->vba + aStart;
                 wr.addrIsVba = true;
                 wr.len = len;
-                wr.dmaIova = tc3.uq->dmaIova;
+                wr.dmaIova = uq(tid, slot).dmaIova;
                 wr.useIova = true;
                 wr.trace = trace;
-                submitWithRetry(tid, wr, [this, data, start, finish](
-                                             const ssd::Completion &c2) {
+                submitWithRetry(tid, slot, wr,
+                                [this, data, start, finish](
+                                    const ssd::Completion &c2) {
                     kern::IoTrace tr;
                     tr.userNs = kernel_.costs().userlibCompleteNs;
                     tr.deviceNs = kernel_.eq().now() - start;
                     finish(c2.status == ssd::Status::Success
                                ? static_cast<long long>(data->size())
-                               : kern::errOf(fs::FsStatus::Inval),
+                               : devErrno(c2.status),
                            tr);
                 });
             });
@@ -957,11 +966,13 @@ UserLib::fsync(Tid tid, int fd, kern::IntCb cb)
     // Drain non-blocking writes, flush this thread's queue (NVMe
     // flush), then forward to the kernel for the metadata flush
     // (Table 3 / Section 5.1).
-    drainPendingWrites(fd, [this, tid, fd, cb = std::move(cb)]() {
+    const std::size_t slot = fi->slot;
+    drainPendingWrites(fd, [this, tid, fd, slot, cb = std::move(cb)]() {
         ssd::Command cmd;
         cmd.op = ssd::Op::Flush;
         cmd.addrIsVba = false;
-        submitWithRetry(tid, cmd, [this, fd, cb](const ssd::Completion &) {
+        submitWithRetry(tid, slot, cmd,
+                        [this, fd, cb](const ssd::Completion &) {
             kernel_.sysFsync(proc_, fd, cb);
         });
     });

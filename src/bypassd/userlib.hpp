@@ -73,10 +73,11 @@ class UserLib
     ///@}
 
     /**
-     * Pre-create the queue pair + DMA buffer for a thread (init-time;
-     * untimed, like SPDK's hugepage setup).
+     * Pre-create the queue pair + DMA buffer for a thread on device
+     * slot @p slot (init-time; untimed, like SPDK's hugepage setup).
+     * Queues for other slots a thread touches are created lazily.
      */
-    void prepareThread(Tid tid);
+    void prepareThread(Tid tid, std::size_t slot = 0);
 
     /** Locally tracked size of an open file. */
     std::uint64_t fileSize(int fd) const;
@@ -106,6 +107,7 @@ class UserLib
         std::uint64_t size = 0;   //!< tracked locally (Section 3.2)
         std::uint64_t offset = 0; //!< file position for read()/write()
         Vaddr vba = 0;            //!< starting VBA; 0 => kernel interface
+        std::size_t slot = 0;     //!< home device slot (queue routing)
         bool direct = false;
         std::uint64_t preallocEnd = 0;
 
@@ -141,10 +143,12 @@ class UserLib
 
     struct ThreadCtx
     {
-        std::unique_ptr<UserQueues> uq;
+        /** Queue pair + DMA buffer per device slot the thread touches. */
+        std::map<std::size_t, std::unique_ptr<UserQueues>> uq;
     };
 
-    ThreadCtx &ctx(Tid tid);
+    /** The (thread, device-slot) queue pair, created lazily. */
+    UserQueues &uq(Tid tid, std::size_t slot);
     FileInfo *info(int fd);
     const FileInfo *info(int fd) const;
 
@@ -201,7 +205,7 @@ class UserLib
     /** Lazily interned "bypassd.p<pid>" track (tracer must be set). */
     std::uint16_t obsTrack();
 
-    void submitWithRetry(Tid tid, ssd::Command cmd,
+    void submitWithRetry(Tid tid, std::size_t slot, ssd::Command cmd,
                          ssd::CommandDispatcher::CompletionFn fn);
 
     kern::Kernel &kernel_;

@@ -26,23 +26,26 @@ FabricInitiator::bind(sim::SimExecutor &exec, std::uint32_t domain)
 }
 
 void
-FabricInitiator::connect(Pasid clientPasid, ConnectCb cb)
+FabricInitiator::connect(Pasid clientPasid, ConnectCb cb,
+                         std::size_t deviceSlot)
 {
     sim::panicIf(exec_ == nullptr, "fabric initiator not bound");
     sim::panicIf(state_ != ConnState::Idle,
                  "fabric connect from non-idle state");
     state_ = ConnState::Connecting;
     pasid_ = clientPasid;
+    slot_ = deviceSlot == kProfileSlot ? prof_.serveSlot : deviceSlot;
     connectCb_ = std::move(cb);
     connectSentAt_ = host_.eq.now();
     FabricTarget *tgt = &target_;
     FabricInitiator *self = this;
     const std::uint32_t gen = gen_;
     const std::uint32_t dom = domain_;
+    const std::size_t slot = slot_;
     exec_->post(domain_, target_.domain(),
                 host_.eq.now() + prof_.wireNs(0),
-                [tgt, self, gen, clientPasid, dom] {
-                    tgt->rpcConnect(self, gen, clientPasid, dom);
+                [tgt, self, gen, clientPasid, dom, slot] {
+                    tgt->rpcConnect(self, gen, clientPasid, dom, slot);
                 });
 }
 
@@ -108,7 +111,7 @@ FabricInitiator::reset()
     if (connectCb_) {
         auto cb = std::move(connectCb_);
         connectCb_ = {};
-        cb(false);
+        cb(ConnectStatus::Refused);
     }
     disconnectCb_ = {};
     if (hadConn) {
@@ -240,13 +243,13 @@ FabricInitiator::sendCapsule(std::uint64_t cid)
 }
 
 void
-FabricInitiator::onConnectAck(std::uint32_t gen, bool ok,
+FabricInitiator::onConnectAck(std::uint32_t gen, ConnectStatus st,
                               std::uint32_t connId, TenantId tenant)
 {
     if (gen != gen_) {
         // This ack answers a connect that was reset away. The target
         // granted (or refused) a connection nobody will use; abort it.
-        if (ok) {
+        if (st == ConnectStatus::Ok) {
             FabricTarget *tgt = &target_;
             exec_->post(domain_, target_.domain(),
                         host_.eq.now() + prof_.wireNs(0),
@@ -256,7 +259,7 @@ FabricInitiator::onConnectAck(std::uint32_t gen, bool ok,
     }
     sim::panicIf(state_ != ConnState::Connecting,
                  "fabric connect ack in unexpected state");
-    if (!ok) {
+    if (st != ConnectStatus::Ok) {
         state_ = ConnState::Idle;
         auto q = std::move(preConnectQueue_);
         preConnectQueue_.clear();
@@ -265,7 +268,7 @@ FabricInitiator::onConnectAck(std::uint32_t gen, bool ok,
         if (connectCb_) {
             auto cb = std::move(connectCb_);
             connectCb_ = {};
-            cb(false);
+            cb(st);
         }
         return;
     }
@@ -276,7 +279,7 @@ FabricInitiator::onConnectAck(std::uint32_t gen, bool ok,
     if (connectCb_) {
         auto cb = std::move(connectCb_);
         connectCb_ = {};
-        cb(true);
+        cb(ConnectStatus::Ok);
     }
     auto q = std::move(preConnectQueue_);
     preConnectQueue_.clear();
@@ -310,8 +313,8 @@ FabricInitiator::onRdmaRead(std::uint32_t gen, std::uint64_t cid)
 }
 
 void
-FabricInitiator::onResponse(std::uint32_t gen, std::uint64_t cid, bool ok,
-                            Time deviceNs,
+FabricInitiator::onResponse(std::uint32_t gen, std::uint64_t cid,
+                            ssd::Status st, Time deviceNs,
                             std::shared_ptr<std::vector<std::uint8_t>> data)
 {
     if (gen != gen_) {
@@ -320,20 +323,21 @@ FabricInitiator::onResponse(std::uint32_t gen, std::uint64_t cid, bool ok,
     }
     const Time completeCost
         = host_.kernel.cpu().scaled(prof_.initiatorCompleteNs);
-    host_.eq.after(completeCost, [this, gen, cid, ok, deviceNs,
+    host_.eq.after(completeCost, [this, gen, cid, st, deviceNs,
                                   data = std::move(data),
                                   alive = alive_] {
         if (!*alive || gen != gen_)
             return;
-        finishIo(cid, ok, deviceNs, data);
+        finishIo(cid, st, deviceNs, data);
     });
 }
 
 void
 FabricInitiator::finishIo(
-    std::uint64_t cid, bool ok, Time deviceNs,
+    std::uint64_t cid, ssd::Status st, Time deviceNs,
     const std::shared_ptr<std::vector<std::uint8_t>> &data)
 {
+    const bool ok = st == ssd::Status::Success;
     auto it = pending_.find(cid);
     if (it == pending_.end())
         return;
@@ -384,8 +388,12 @@ FabricInitiator::finishIo(
     kern::IoTrace tr;
     tr.deviceNs = deviceNs;
     tr.userNs = total - deviceNs;
+    // An evicted remote device fails distinctly so fabric clients can
+    // fail over, mirroring the local kernel path's ENODEV.
     p.cb(ok ? static_cast<long long>(p.buf.size())
-            : kern::errOf(fs::FsStatus::Inval),
+            : kern::errOf(st == ssd::Status::DeviceEvicted
+                              ? fs::FsStatus::NoDev
+                              : fs::FsStatus::Inval),
          tr);
 }
 

@@ -49,8 +49,12 @@ class FabricTarget;
 class FabricInitiator
 {
   public:
-    /** Connect-completion callback (false = target refused). */
-    using ConnectCb = std::function<void(bool)>;
+    /**
+     * Connect-completion callback. Anything but ConnectStatus::Ok
+     * means no connection was established (a reset that races a
+     * pending connect reports Refused).
+     */
+    using ConnectCb = std::function<void(ConnectStatus)>;
 
     FabricInitiator(sys::System &host, FabricTarget &target);
     ~FabricInitiator();
@@ -64,10 +68,14 @@ class FabricInitiator
      * Send the connect capsule. @p clientPasid is the client-local
      * process identity reported to the target (recorded per connection;
      * the remote tenant id itself is kConnTenantBase + connection id).
-     * Panics unless Idle; I/O submitted while Connecting queues locally
-     * and flushes in order on the ack.
+     * @p deviceSlot selects the target-side device slot the connection
+     * binds to — kProfileSlot means the target profile's serveSlot.
+     * Naming an unattached slot is answered NoDevice, an evicted one
+     * DeviceEvicted. Panics unless Idle; I/O submitted while
+     * Connecting queues locally and flushes in order on the ack.
      */
-    void connect(Pasid clientPasid, ConnectCb cb = {});
+    void connect(Pasid clientPasid, ConnectCb cb = {},
+                 std::size_t deviceSlot = kProfileSlot);
 
     /**
      * Graceful teardown: stop accepting new I/O, wait for in-flight
@@ -99,6 +107,9 @@ class FabricInitiator
     std::uint32_t domain() const { return domain_; }
     /** Connection id granted by the target (0 before first ack). */
     std::uint32_t connId() const { return connId_; }
+    /** Device slot the last connect() named (after kProfileSlot
+     *  resolution against the target profile). */
+    std::size_t deviceSlot() const { return slot_; }
     /** Remote tenant this connection's I/O is attributed to. */
     TenantId remoteTenant() const { return tenant_; }
     /** I/Os submitted but not yet completed or failed. */
@@ -132,11 +143,13 @@ class FabricInitiator
 
     /** @name Target-posted entry points (client-domain only) */
     ///@{
-    void onConnectAck(std::uint32_t gen, bool ok, std::uint32_t connId,
-                      TenantId tenant);
+    void onConnectAck(std::uint32_t gen, ConnectStatus st,
+                      std::uint32_t connId, TenantId tenant);
     /** Target pulls the payload of command @p cid (two-phase write). */
     void onRdmaRead(std::uint32_t gen, std::uint64_t cid);
-    void onResponse(std::uint32_t gen, std::uint64_t cid, bool ok,
+    /** @p st is the device completion status; DeviceEvicted surfaces
+     *  at the caller as -ENODEV, any other failure as -EINVAL. */
+    void onResponse(std::uint32_t gen, std::uint64_t cid, ssd::Status st,
                     Time deviceNs,
                     std::shared_ptr<std::vector<std::uint8_t>> data);
     ///@}
@@ -161,7 +174,7 @@ class FabricInitiator
     void drainDepthQueue();
     void sendCapsule(std::uint64_t cid);
     void failIo(std::uint64_t cid, Time when);
-    void finishIo(std::uint64_t cid, bool ok, Time deviceNs,
+    void finishIo(std::uint64_t cid, ssd::Status st, Time deviceNs,
                   const std::shared_ptr<std::vector<std::uint8_t>> &data);
     void scheduleDrainPoll();
 
@@ -174,6 +187,7 @@ class FabricInitiator
     /** Bumped by every reset; fences stale wire traffic both ways. */
     std::uint32_t gen_ = 0;
     std::uint32_t connId_ = 0;
+    std::size_t slot_ = 0; //!< resolved device slot of the last connect
     TenantId tenant_ = kSystemTenant;
     Pasid pasid_ = kNoPasid;
     Time connectSentAt_ = 0;

@@ -23,6 +23,7 @@
 #ifndef BPD_FABRIC_PROTOCOL_HPP
 #define BPD_FABRIC_PROTOCOL_HPP
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/types.hpp"
@@ -44,6 +45,12 @@ constexpr Pasid kFabricOwnerPasid = 0xfab0;
  * recorded per connection and reported by the benches.
  */
 constexpr TenantId kConnTenantBase = 0x10000;
+
+/**
+ * Device-selector sentinel for FabricInitiator::connect: "use the
+ * target profile's serveSlot" (the classic one-device target).
+ */
+constexpr std::size_t kProfileSlot = ~static_cast<std::size_t>(0);
 
 /** Fabric transport latency/geometry profile. */
 struct FabricProfile
@@ -91,6 +98,14 @@ struct FabricProfile
      * regardless of reactor count. 0 is treated as 1.
      */
     std::uint32_t reactors = 1;
+    /**
+     * Device slot a connection binds to when its connect capsule does
+     * not name one (FabricInitiator::connect passes kProfileSlot).
+     * The target claims each served slot's device exclusively on first
+     * use; connects naming a slot the kernel never attached are
+     * answered NoDevice, evicted slots DeviceEvicted (ConnectStatus).
+     */
+    std::size_t serveSlot = 0;
 
     /** Fabric traversal time for a capsule carrying @p payloadBytes. */
     Time
@@ -152,6 +167,19 @@ enum class ConnState : std::uint8_t {
 };
 
 const char *toString(ConnState s);
+
+/**
+ * Outcome of a connect capsule, carried in the ack. Anything but Ok
+ * leaves the initiator Idle with pre-connect-queued I/O failed.
+ */
+enum class ConnectStatus : std::uint8_t {
+    Ok,            //!< queue pair granted; I/O flows
+    Refused,       //!< device claim or queue-pair grant failed
+    NoDevice,      //!< selector names a slot the kernel never attached
+    DeviceEvicted, //!< selector names a health-evicted device
+};
+
+const char *toString(ConnectStatus s);
 
 } // namespace bpd::fab
 

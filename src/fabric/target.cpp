@@ -23,6 +23,22 @@ toString(ConnState s)
     return "?";
 }
 
+const char *
+toString(ConnectStatus s)
+{
+    switch (s) {
+    case ConnectStatus::Ok:
+        return "ok";
+    case ConnectStatus::Refused:
+        return "refused";
+    case ConnectStatus::NoDevice:
+        return "no-device";
+    case ConnectStatus::DeviceEvicted:
+        return "device-evicted";
+    }
+    return "?";
+}
+
 FabricTarget::FabricTarget(sys::System &target, FabricProfile profile,
                            spdk::SpdkCosts costs)
     : sys_(target), prof_(profile), costs_(costs)
@@ -40,10 +56,12 @@ FabricTarget::~FabricTarget()
                  "fabric target destroyed with I/O in flight");
     for (auto &[id, c] : conns_) {
         if (c->qp)
-            sys_.dev.destroyQueuePair(c->qp->qid());
+            c->dev->destroyQueuePair(c->qp->qid());
     }
     conns_.clear();
-    sys_.dev.releaseExclusive(kFabricOwnerPasid);
+    for (std::size_t slot : claimedSlots_)
+        sys_.kernel.slotDevice(slot).releaseExclusive(kFabricOwnerPasid);
+    claimedSlots_.clear();
     sys_.kernel.cpu().release(reactorCount());
     serving_ = false;
 }
@@ -60,7 +78,7 @@ FabricTarget::serve()
 {
     if (serving_)
         return true;
-    if (!sys_.dev.claimExclusive(kFabricOwnerPasid))
+    if (admitSlot(prof_.serveSlot) != ConnectStatus::Ok)
         return false;
     sys_.kernel.cpu().acquire(reactorCount()); // one core per reactor
     serving_ = true;
@@ -83,38 +101,63 @@ FabricTarget::conn(std::uint32_t connId, std::uint32_t gen)
 
 void
 FabricTarget::rpcConnect(FabricInitiator *ini, std::uint32_t gen,
-                         Pasid clientPasid, std::uint32_t clientDomain)
+                         Pasid clientPasid, std::uint32_t clientDomain,
+                         std::size_t slot)
 {
     sim::panicIf(!serving_, "fabric connect to a target not serving");
     const Time capsuleAt = sys_.eq.now();
     const Time startT = std::max(capsuleAt, adminFreeAt_);
     adminFreeAt_ = startT + sys_.kernel.cpu().scaled(prof_.adminProcessNs);
     sys_.eq.schedule(adminFreeAt_, [this, ini, gen, clientPasid,
-                                    clientDomain, capsuleAt,
+                                    clientDomain, slot, capsuleAt,
                                     alive = alive_] {
         if (!*alive)
             return;
-        finishConnect(ini, gen, clientPasid, clientDomain, capsuleAt);
+        finishConnect(ini, gen, clientPasid, clientDomain, slot,
+                      capsuleAt);
     });
+}
+
+ConnectStatus
+FabricTarget::admitSlot(std::size_t slot)
+{
+    if (slot >= sys_.kernel.slotCount())
+        return ConnectStatus::NoDevice;
+    if (sys_.devices.evicted(slot))
+        return ConnectStatus::DeviceEvicted;
+    if (std::find(claimedSlots_.begin(), claimedSlots_.end(), slot)
+        != claimedSlots_.end())
+        return ConnectStatus::Ok;
+    if (!sys_.kernel.slotDevice(slot).claimExclusive(kFabricOwnerPasid))
+        return ConnectStatus::Refused;
+    claimedSlots_.push_back(slot);
+    return ConnectStatus::Ok;
 }
 
 void
 FabricTarget::finishConnect(FabricInitiator *ini, std::uint32_t gen,
                             Pasid clientPasid, std::uint32_t clientDomain,
-                            Time capsuleAt)
+                            std::size_t slot, Time capsuleAt)
 {
     const std::uint32_t id = nextConnId_++;
+    ConnectStatus st = admitSlot(slot);
     auto c = std::make_unique<Conn>();
     c->id = id;
     c->gen = gen;
     c->ini = ini;
     c->clientDomain = clientDomain;
     c->reactor = sys::connReactor(id, reactorCount());
-    c->qp = sys_.dev.createQueuePair(kFabricOwnerPasid, prof_.queueDepth,
-                                     /*vbaMode=*/false);
-    const bool ok = c->qp != nullptr;
+    c->slot = slot;
+    if (st == ConnectStatus::Ok) {
+        c->dev = &sys_.kernel.slotDevice(slot);
+        c->qp = c->dev->createQueuePair(kFabricOwnerPasid,
+                                        prof_.queueDepth,
+                                        /*vbaMode=*/false);
+        if (!c->qp)
+            st = ConnectStatus::Refused;
+    }
     const TenantId tenant = kConnTenantBase + id;
-    if (ok) {
+    if (st == ConnectStatus::Ok) {
         c->disp = std::make_unique<ssd::CommandDispatcher>(*c->qp);
         c->open = true;
         accepts_++;
@@ -122,6 +165,8 @@ FabricTarget::finishConnect(FabricInitiator *ini, std::uint32_t gen,
         info.remotePasid = clientPasid;
         info.tenant = tenant;
         info.reactor = c->reactor;
+        info.slot = slot;
+        info.dev = c->dev->devId();
         info.connectedAt = sys_.eq.now();
         info.open = true;
         info_[id] = info;
@@ -132,11 +177,12 @@ FabricTarget::finishConnect(FabricInitiator *ini, std::uint32_t gen,
                 sys_.eq.now(),
                 {{"conn", static_cast<std::int64_t>(id)},
                  {"pasid", static_cast<std::int64_t>(clientPasid)},
-                 {"ok", ok ? 1 : 0}});
+                 {"slot", static_cast<std::int64_t>(slot)},
+                 {"ok", st == ConnectStatus::Ok ? 1 : 0}});
     exec_->post(domain_, clientDomain,
                 sys_.eq.now() + prof_.wireNs(0),
-                [ini, gen, ok, id, tenant] {
-                    ini->onConnectAck(gen, ok, id, tenant);
+                [ini, gen, st, id, tenant] {
+                    ini->onConnectAck(gen, st, id, tenant);
                 });
 }
 
@@ -364,13 +410,15 @@ FabricTarget::submitIo(Conn *cp, ParkedIo io)
                           static_cast<std::int64_t>(cp->id)},
                          {"reactor",
                           static_cast<std::int64_t>(cp->reactor)},
+                         {"slot",
+                          static_cast<std::int64_t>(cp->slot)},
                          {"bytes", static_cast<std::int64_t>(len)},
                          {"device_ns",
                           static_cast<std::int64_t>(deviceNs)}});
-                const bool success
-                    = comp.status == ssd::Status::Success;
+                const ssd::Status st = comp.status;
                 std::shared_ptr<std::vector<std::uint8_t>> data;
-                if (success && op == ssd::Op::Read)
+                if (st == ssd::Status::Success
+                    && op == ssd::Op::Read)
                     data = buf;
                 FabricInitiator *ini = cp->ini;
                 const std::uint32_t gen = cp->gen;
@@ -379,8 +427,8 @@ FabricTarget::submitIo(Conn *cp, ParkedIo io)
                     now
                         + prof_.wireNs(op == ssd::Op::Read ? len
                                                            : 0),
-                    [ini, gen, cid, success, deviceNs, data] {
-                        ini->onResponse(gen, cid, success, deviceNs,
+                    [ini, gen, cid, st, deviceNs, data] {
+                        ini->onResponse(gen, cid, st, deviceNs,
                                         data);
                     });
                 // The reap freed one SQ slot; the front parked
@@ -448,7 +496,7 @@ FabricTarget::teardownPoll(std::uint32_t connId)
         return;
     }
     if (c.qp)
-        sys_.dev.destroyQueuePair(c.qp->qid());
+        c.dev->destroyQueuePair(c.qp->qid());
     conns_.erase(it);
 }
 

@@ -1,8 +1,13 @@
 /**
  * @file
- * Simulated NVMe-oF target: claims one System's device over the
- * SpdkDriver-style exclusive path and serves it to remote initiators
- * over executor channels.
+ * Simulated NVMe-oF target: claims a System's devices over the
+ * SpdkDriver-style exclusive path and serves them to remote initiators
+ * over executor channels. Each connect capsule names a device slot
+ * (FabricProfile::serveSlot when the initiator passes kProfileSlot) —
+ * the namespace-selection analogue — and the connection's queue pair
+ * lives on that slot's device. Devices are claimed lazily on first
+ * use, so a hot-plugged slot becomes servable without restarting the
+ * target.
  *
  * Each accepted connection gets its own I/O queue pair and command
  * dispatcher, created under the target's owner PASID (the exclusive
@@ -65,8 +70,10 @@ class FabricTarget
     void bind(sim::SimExecutor &exec, std::uint32_t domain);
 
     /**
-     * Claim the device and start the polling reactors (occupies
-     * reactorCount() CPUs on the target machine).
+     * Claim the profile's serveSlot device and start the polling
+     * reactors (occupies reactorCount() CPUs on the target machine).
+     * Other slots' devices are claimed lazily when a connect first
+     * names them.
      * @retval false when another owner already claimed the device.
      */
     bool serve();
@@ -82,6 +89,8 @@ class FabricTarget
         Pasid remotePasid = 0;  //!< client-local PASID from connect
         TenantId tenant = 0;    //!< kConnTenantBase + connection id
         std::uint32_t reactor = 0; //!< sys::connReactor(id, reactors)
+        std::size_t slot = 0;      //!< device slot the connect named
+        DevId dev = 0;             //!< that slot's DevId
         Time connectedAt = 0;
         bool open = false;
         std::uint64_t ops = 0;
@@ -140,7 +149,8 @@ class FabricTarget
      */
     ///@{
     void rpcConnect(FabricInitiator *ini, std::uint32_t gen,
-                    Pasid clientPasid, std::uint32_t clientDomain);
+                    Pasid clientPasid, std::uint32_t clientDomain,
+                    std::size_t slot);
     void rpcDisconnect(std::uint32_t connId, std::uint32_t gen);
     void rpcAbort(std::uint32_t connId, std::uint32_t gen);
     void rpcIo(std::uint32_t connId, std::uint32_t gen,
@@ -180,6 +190,8 @@ class FabricTarget
         FabricInitiator *ini = nullptr;
         std::uint32_t clientDomain = 0;
         std::uint32_t reactor = 0; //!< data-path lane, fixed at accept
+        std::size_t slot = 0;      //!< device slot this conn serves
+        ssd::NvmeDevice *dev = nullptr; //!< that slot's device
         bool open = false;
         ssd::QueuePair *qp = nullptr;
         std::unique_ptr<ssd::CommandDispatcher> disp;
@@ -191,9 +203,11 @@ class FabricTarget
     };
 
     Conn *conn(std::uint32_t connId, std::uint32_t gen);
+    /** NoDevice/DeviceEvicted/Refused check + lazy exclusive claim. */
+    ConnectStatus admitSlot(std::size_t slot);
     void finishConnect(FabricInitiator *ini, std::uint32_t gen,
                        Pasid clientPasid, std::uint32_t clientDomain,
-                       Time capsuleAt);
+                       std::size_t slot, Time capsuleAt);
     void execIo(std::uint32_t connId, std::uint64_t cid, ssd::Op op,
                 DevAddr addr, std::uint32_t len,
                 std::shared_ptr<std::vector<std::uint8_t>> payload,
@@ -214,6 +228,8 @@ class FabricTarget
     std::vector<Time> ioFreeAt_;
     std::vector<ReactorStats> reactorStats_;
     std::uint32_t nextConnId_ = 1;
+    /** Slots whose device this target claimed (released at teardown). */
+    std::vector<std::size_t> claimedSlots_;
     std::map<std::uint32_t, std::unique_ptr<Conn>> conns_;
     std::map<std::uint32_t, ConnInfo> info_;
 

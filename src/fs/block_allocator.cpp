@@ -1,5 +1,7 @@
 #include "fs/block_allocator.hpp"
 
+#include <algorithm>
+
 #include "sim/logging.hpp"
 
 namespace bpd::fs {
@@ -54,17 +56,27 @@ BlockAllocator::freeRunAt(BlockNo b, std::uint64_t cap) const
 std::optional<std::pair<BlockNo, std::uint64_t>>
 BlockAllocator::alloc(std::uint64_t want, BlockNo goal)
 {
+    return allocIn(want, goal, firstData_, total_);
+}
+
+std::optional<std::pair<BlockNo, std::uint64_t>>
+BlockAllocator::allocIn(std::uint64_t want, BlockNo goal, BlockNo lo,
+                        BlockNo hi)
+{
     sim::panicIf(want == 0, "alloc of zero blocks");
-    if (freeCount_ == 0)
+    sim::panicIf(lo >= hi || hi > total_, "allocIn bad range");
+    if (lo < firstData_)
+        lo = firstData_;
+    if (freeCount_ == 0 || lo >= hi)
         return std::nullopt;
-    if (goal < firstData_ || goal >= total_)
-        goal = firstData_;
+    if (goal < lo || goal >= hi)
+        goal = lo;
 
     // Pass 1: scan from the goal forward; pass 2: wrap from the start.
     // Accept the first free run found (even if shorter than want).
     for (int pass = 0; pass < 2; pass++) {
-        const BlockNo begin = (pass == 0) ? goal : firstData_;
-        const BlockNo end = (pass == 0) ? total_ : goal;
+        const BlockNo begin = (pass == 0) ? goal : lo;
+        const BlockNo end = (pass == 0) ? hi : goal;
         BlockNo b = begin;
         while (b < end) {
             // Skip whole allocated words quickly.
@@ -76,7 +88,8 @@ BlockAllocator::alloc(std::uint64_t want, BlockNo goal)
                 b++;
                 continue;
             }
-            const std::uint64_t run = freeRunAt(b, want);
+            const std::uint64_t run
+                = freeRunAt(b, std::min<std::uint64_t>(want, hi - b));
             for (std::uint64_t i = 0; i < run; i++)
                 setBit(b + i);
             freeCount_ -= run;

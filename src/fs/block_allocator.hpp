@@ -32,6 +32,15 @@ class BlockAllocator
     std::optional<std::pair<BlockNo, std::uint64_t>>
     alloc(std::uint64_t want, BlockNo goal);
 
+    /**
+     * Range-constrained alloc: like alloc(), but only blocks in
+     * [lo, hi) are candidates (the run never crosses @p hi). This is
+     * the placement primitive for the multi-device volume: each
+     * inode's extents stay inside its home device's slot range.
+     */
+    std::optional<std::pair<BlockNo, std::uint64_t>>
+    allocIn(std::uint64_t want, BlockNo goal, BlockNo lo, BlockNo hi);
+
     /** Free a run. Double frees panic. */
     void free(BlockNo start, std::uint64_t count);
 

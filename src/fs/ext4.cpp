@@ -25,6 +25,7 @@ toString(FsStatus st)
       case FsStatus::Inval: return "Inval";
       case FsStatus::Busy: return "Busy";
       case FsStatus::NotEmpty: return "NotEmpty";
+      case FsStatus::NoDev: return "NoDev";
     }
     return "?";
 }
@@ -427,10 +428,15 @@ Ext4Fs::zeroRun(BlockNo start, std::uint64_t count)
 }
 
 FsStatus
-Ext4Fs::allocateRun(std::uint64_t want, BlockNo goal, BlockNo *start,
-                    std::uint64_t *got)
+Ext4Fs::allocateRun(const Inode &ino, std::uint64_t want, BlockNo goal,
+                    BlockNo *start, std::uint64_t *got)
 {
-    auto res = alloc_.alloc(want, goal);
+    auto res = placement_
+                   ? [&] {
+                         const auto [lo, hi] = placement_(ino);
+                         return alloc_.allocIn(want, goal, lo, hi);
+                     }()
+                   : alloc_.alloc(want, goal);
     if (!res)
         return FsStatus::NoSpace;
     *start = res->first;
@@ -491,7 +497,8 @@ Ext4Fs::extendTo(Inode &ino, std::uint64_t newSize,
             goal = last->pblk + last->count;
         BlockNo start;
         std::uint64_t got;
-        FsStatus st = allocateRun(needBlocks - mapped, goal, &start, &got);
+        FsStatus st
+            = allocateRun(ino, needBlocks - mapped, goal, &start, &got);
         if (st != FsStatus::Ok) {
             journal_.commit(); // keep what we already allocated
             return st;

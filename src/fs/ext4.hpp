@@ -19,9 +19,11 @@
 #define BPD_FS_EXT4_HPP
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -167,6 +169,19 @@ class Ext4Fs
     BlockAllocator &allocator() { return alloc_; }
     ssd::BlockStore &media() { return media_; }
 
+    /**
+     * Per-inode placement for multi-device volumes: the hook returns
+     * the [lo, hi) block range an inode's data may occupy, and every
+     * allocation for that inode stays inside it (so a file never
+     * straddles a device slot). Null (the default) keeps the classic
+     * whole-device goal-directed allocator — single-device behavior
+     * is bit-identical. Journal replay reserves recorded runs
+     * directly, so recovery is placement-agnostic.
+     */
+    using PlacementFn
+        = std::function<std::pair<BlockNo, BlockNo>(const Inode &)>;
+    void setPlacement(PlacementFn fn) { placement_ = std::move(fn); }
+
     /** @name Statistics */
     ///@{
     std::uint64_t metadataOps() const { return metadataOps_; }
@@ -213,7 +228,8 @@ class Ext4Fs
     void persistCheckpointImage();
     void writeSuperblock(std::uint64_t imageBytes);
     void zeroRun(BlockNo start, std::uint64_t count);
-    FsStatus allocateRun(std::uint64_t want, BlockNo goal, BlockNo *start,
+    FsStatus allocateRun(const Inode &ino, std::uint64_t want,
+                         BlockNo goal, BlockNo *start,
                          std::uint64_t *got);
     void takeCheckpoint();
 
@@ -250,6 +266,8 @@ class Ext4Fs
 
     obs::TenantAccounting *acct_ = nullptr;
     const TenantId *activeTenant_ = nullptr;
+
+    PlacementFn placement_;
 };
 
 } // namespace bpd::fs

@@ -25,7 +25,8 @@ enum class FsStatus : std::uint8_t
     NoSpace, //!< device full
     Inval,   //!< invalid argument
     Busy,    //!< conflicting open state
-    NotEmpty //!< directory not empty
+    NotEmpty, //!< directory not empty
+    NoDev    //!< backing device evicted / gone (ENODEV)
 };
 
 const char *toString(FsStatus st);

@@ -54,8 +54,10 @@ Iommu::translateVbaSync(Pasid pasid, Vaddr vba, std::uint32_t len,
 {
     TransResult res;
     vbaTranslations_++;
-    if (acct_)
+    if (acct_) {
         acct_->of(pasid).iommuVbaTranslations++;
+        acct_->dev(requester, pasid).iommuVbaTranslations++;
+    }
 
     Time latency = profile_.pcieRoundTripNs + profile_.lookupNs;
     bool anyWalkCacheMiss = false;
@@ -67,8 +69,10 @@ Iommu::translateVbaSync(Pasid pasid, Vaddr vba, std::uint32_t len,
         if (!res.ok) {
             res.segs.clear();
             vbaFaults_++;
-            if (acct_)
+            if (acct_) {
                 acct_->of(pasid).iommuVbaFaults++;
+                acct_->dev(requester, pasid).iommuVbaFaults++;
+            }
         }
         if (profile_.fixedVbaLatencyNs >= 0) {
             res.latency = static_cast<Time>(profile_.fixedVbaLatencyNs);
@@ -107,8 +111,11 @@ Iommu::translateVbaSync(Pasid pasid, Vaddr vba, std::uint32_t len,
 
         const mem::PageTable::Walk w = pt.walk(pageVa);
         framesRead_ += w.framesRead;
-        if (acct_)
+        if (acct_) {
             acct_->of(pasid).iommuPageWalkFrames += w.framesRead;
+            acct_->dev(requester, pasid).iommuPageWalkFrames
+                += w.framesRead;
+        }
         res.framesRead += w.framesRead;
         if (!w.present)
             return finish(Fault::NotPresent);

@@ -149,7 +149,7 @@ IoUring::doIo(bool write, int fd, std::span<std::uint8_t> buf,
                             tr.kernelNs = total - devNs;
                             cb(dst == ssd::Status::Success
                                    ? static_cast<long long>(n)
-                                   : errOf(fs::FsStatus::Inval),
+                                   : devErr(dst),
                                tr);
                         });
                     },

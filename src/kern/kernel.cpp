@@ -26,6 +26,13 @@ unconst(std::span<const std::uint8_t> s)
 
 } // namespace
 
+int
+devErr(ssd::Status st)
+{
+    return errOf(st == ssd::Status::DeviceEvicted ? fs::FsStatus::NoDev
+                                                  : fs::FsStatus::Inval);
+}
+
 Kernel::Kernel(sim::EventQueue &eq, mem::FrameAllocator &fa,
                iommu::Iommu &iommu, fs::Vfs &vfs, ssd::NvmeDevice &dev,
                CostModel costs, KernelConfig cfg)
@@ -36,6 +43,37 @@ Kernel::Kernel(sim::EventQueue &eq, mem::FrameAllocator &fa,
                                      /*vbaMode=*/false);
     sim::panicIf(kernelQp_ == nullptr, "kernel queue creation failed");
     kq_ = std::make_unique<ssd::CommandDispatcher>(*kernelQp_);
+    kernelQueueDepth_ = cfg.kernelQueueDepth;
+    slots_.push_back(Slot{&dev_, &iommu_, 0, kq_.get()});
+}
+
+void
+Kernel::attachSlot(ssd::NvmeDevice &dev, iommu::Iommu &iommu,
+                   std::uint64_t base)
+{
+    if (slotBytes_ == 0) {
+        sim::panicIf(base == 0, "slot 1 must have a nonzero base");
+        slotBytes_ = base;
+    }
+    sim::panicIf(base != slots_.size() * slotBytes_,
+                 "attachSlot: non-uniform slot base");
+    ssd::QueuePair *qp
+        = dev.createQueuePair(kNoPasid, kernelQueueDepth_,
+                              /*vbaMode=*/false);
+    sim::panicIf(qp == nullptr, "kernel slot queue creation failed");
+    slotQueues_.push_back(std::make_unique<ssd::CommandDispatcher>(*qp));
+    slots_.push_back(Slot{&dev, &iommu, base, slotQueues_.back().get()});
+    // Bind every live process into the new slot's IOMMU in pid order —
+    // hot-plug rebuilds mappings deterministically.
+    std::vector<Pid> pids;
+    pids.reserve(procs_.size());
+    for (const auto &[pid, proc] : procs_)
+        pids.push_back(pid);
+    std::sort(pids.begin(), pids.end());
+    for (Pid pid : pids) {
+        Process &p = *procs_[pid];
+        iommu.bindPasid(p.pasid(), &p.aspace().pageTable());
+    }
 }
 
 Process &
@@ -45,7 +83,8 @@ Kernel::createProcess(fs::Credentials creds)
     auto proc = std::make_unique<Process>(pid, creds, fa_);
     Process &ref = *proc;
     procs_[pid] = std::move(proc);
-    iommu_.bindPasid(ref.pasid(), &ref.aspace().pageTable());
+    for (Slot &s : slots_)
+        s.iommu->bindPasid(ref.pasid(), &ref.aspace().pageTable());
     return ref;
 }
 
@@ -55,7 +94,8 @@ Kernel::destroyProcess(Pid pid)
     auto it = procs_.find(pid);
     if (it == procs_.end())
         return;
-    iommu_.unbindPasid(it->second->pasid());
+    for (Slot &s : slots_)
+        s.iommu->unbindPasid(it->second->pasid());
     procs_.erase(it);
 }
 
@@ -150,16 +190,21 @@ Kernel::deviceIo(ssd::Op op, const std::vector<fs::Seg> &segs,
     }
     std::uint64_t off = 0;
     for (const auto &seg : segs) {
+        // Route by volume address: the placement layer guarantees an
+        // extent never straddles a slot, so one seg is one device.
+        Slot &slot = slots_[slotOf(seg.addr)];
+        sim::panicIf(slotOf(seg.addr) != slotOf(seg.addr + seg.len - 1),
+                     "deviceIo seg straddles a device slot");
         ssd::Command cmd;
         cmd.op = op;
-        cmd.addr = seg.addr;
+        cmd.addr = seg.addr - slot.base;
         cmd.addrIsVba = false;
         cmd.len = static_cast<std::uint32_t>(seg.len);
         cmd.hostBuf = buf.subspan(off, seg.len);
         cmd.trace = trace;
         cmd.tenant = tenant;
         off += seg.len;
-        const bool ok = kq_->submit(cmd, [this, agg](
+        const bool ok = slot.kq->submit(cmd, [this, agg](
                                              const ssd::Completion &c) {
             if (c.status != ssd::Status::Success)
                 agg->worst = c.status;
@@ -390,7 +435,7 @@ Kernel::directRead(Process &p, fs::Inode &ino, std::span<std::uint8_t> buf,
                     tr.kernelNs = total - devNs;
                     cb(dst == ssd::Status::Success
                            ? static_cast<long long>(n)
-                           : errOf(fs::FsStatus::Inval),
+                           : devErr(dst),
                        tr);
                 });
             },
@@ -485,7 +530,7 @@ Kernel::directWrite(Process &p, fs::Inode &ino,
                 tr.kernelNs = total - devNs;
                 cb(dst == ssd::Status::Success
                        ? static_cast<long long>(n)
-                       : errOf(fs::FsStatus::Inval),
+                       : devErr(dst),
                    tr);
             });
         };

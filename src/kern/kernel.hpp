@@ -69,6 +69,10 @@ errOf(fs::FsStatus st)
     return -static_cast<int>(st);
 }
 
+/** Device completion status → errno: evicted devices fail distinctly
+ *  (ENODEV) so callers can fail over; everything else is EINVAL. */
+int devErr(ssd::Status st);
+
 /** Extra open flag used by UserLib: open intends BypassD data access. */
 constexpr std::uint32_t kOpenBypassdIntent = 1u << 7;
 
@@ -194,6 +198,31 @@ class Kernel
     BypassdHooks *bypassdHooks() { return hooks_; }
     ///@}
 
+    /** @name Device slots (multi-device volume)
+     * The constructor's device is slot 0 at volume base 0. Each
+     * attachSlot() call adds the next slot: a kernel queue pair +
+     * dispatcher on that device, PASID bindings in its IOMMU for every
+     * live process (bound in pid order — deterministic), and a volume
+     * base that deviceIo() routes by. Slot bases must be uniform
+     * multiples of the first attached base (the slot size). With one
+     * slot everything reduces exactly to the classic single-device
+     * kernel.
+     */
+    ///@{
+    void attachSlot(ssd::NvmeDevice &dev, iommu::Iommu &iommu,
+                    std::uint64_t base);
+    std::size_t slotCount() const { return slots_.size(); }
+    ssd::NvmeDevice &slotDevice(std::size_t i) { return *slots_[i].dev; }
+    iommu::Iommu &slotIommu(std::size_t i) { return *slots_[i].iommu; }
+    std::uint64_t slotBase(std::size_t i) const { return slots_[i].base; }
+    std::uint64_t slotBytes() const { return slotBytes_; }
+    /** Slot index backing volume address @p addr. */
+    std::size_t slotOf(DevAddr addr) const
+    {
+        return slotBytes_ == 0 ? 0 : addr / slotBytes_;
+    }
+    ///@}
+
     /**
      * Submit a multi-segment device I/O on the kernel queue.
      * @param cb Fires when all segments completed; passes worst status
@@ -287,6 +316,19 @@ class Kernel
 
     ssd::QueuePair *kernelQp_ = nullptr;
     std::unique_ptr<ssd::CommandDispatcher> kq_;
+
+    /** One kernel-side view per device slot; slots_[0] aliases kq_. */
+    struct Slot
+    {
+        ssd::NvmeDevice *dev;
+        iommu::Iommu *iommu;
+        std::uint64_t base;
+        ssd::CommandDispatcher *kq;
+    };
+    std::vector<Slot> slots_;
+    std::vector<std::unique_ptr<ssd::CommandDispatcher>> slotQueues_;
+    std::uint64_t slotBytes_ = 0; //!< 0 until a second slot attaches
+    std::uint32_t kernelQueueDepth_;
 
     std::unordered_map<Pid, std::unique_ptr<Process>> procs_;
     Pid nextPid_ = 1;

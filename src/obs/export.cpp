@@ -130,13 +130,16 @@ void printReplaySection(std::FILE *f, const char *name, unsigned pid,
     std::fputs("],\"ops\":[", f);
     for (std::size_t i = 0; i < data.replay.size(); ++i) {
         const ReplayRec &r = data.replay[i];
+        // The 14th cell (serving DevId) is appended last so older rows
+        // parse as a strict prefix of newer ones.
         std::fprintf(f,
                      "%s\n[%u,%u,%u,%" PRIu32 ",%" PRIu32 ",%" PRIu32
                      ",%" PRIu32 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
-                     ",%" PRIu64 ",%" PRIu64 ",%" PRId64 "]",
+                     ",%" PRIu64 ",%" PRIu64 ",%" PRId64 ",%u]",
                      i ? "," : "", r.op, r.engine, r.lane, r.proc,
                      r.tenant, r.tid, r.file, r.offset, r.len, r.aux,
-                     r.issue, r.complete, r.result);
+                     r.issue, r.complete, r.result,
+                     static_cast<unsigned>(r.dev));
     }
     std::fputs("]}", f);
 }

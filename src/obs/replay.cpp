@@ -923,11 +923,12 @@ loadRecordedTrace(const std::string &path, RecordedTrace &out,
         if (const json::Value *v = pv.find("ops"); v && v->isArray()) {
             p.ops.reserve(v->arr.size());
             for (const json::Value &row : v->arr) {
-                // 13 cells since the tenant column was added; 12-cell
-                // rows are legacy traces where tenant == proc (a
-                // process is a tenant).
+                // 14 cells since the device column was added, 13 since
+                // the tenant column; 12-cell rows are the oldest legacy
+                // traces where tenant == proc (a process is a tenant)
+                // and 13-cell ones predate device attribution (dev 0).
                 if (!row.isArray()
-                    || (row.arr.size() != 12 && row.arr.size() != 13)) {
+                    || row.arr.size() < 12 || row.arr.size() > 14) {
                     error = "malformed ops row in process \"" + p.name
                             + "\"";
                     return false;
@@ -940,7 +941,7 @@ loadRecordedTrace(const std::string &path, RecordedTrace &out,
                     }
                 }
                 const auto &a = row.arr;
-                const std::size_t t = a.size() == 13 ? 1 : 0;
+                const std::size_t t = a.size() >= 13 ? 1 : 0;
                 // Exact integer reads: the exporter writes these cells
                 // with %PRIu64/%PRId64, and offset/aux/len above 2^53
                 // would silently round through the parser's double.
@@ -959,6 +960,9 @@ loadRecordedTrace(const std::string &path, RecordedTrace &out,
                 r.issue = static_cast<Time>(a[9 + t].asU64());
                 r.complete = static_cast<Time>(a[10 + t].asU64());
                 r.result = a[11 + t].asI64();
+                r.dev = a.size() == 14
+                            ? static_cast<DevId>(a[13].asU64())
+                            : 0;
                 p.ops.push_back(r);
             }
         }

@@ -83,6 +83,10 @@ forEachConfigField(sys::SystemConfig &c, F &&f)
     f("device_bytes", c.deviceBytes);
     f("dev_id", c.devId);
     f("seed", c.seed);
+    f("max_devices", c.maxDevices);
+    f("online_devices", c.onlineDevices);
+    f("health_monitor", c.healthMonitor);
+    f("evict_after_media_errors", c.evictAfterMediaErrors);
 
     f("ssd_read_base_ns", c.ssd.readBaseNs);
     f("ssd_write_base_ns", c.ssd.writeBaseNs);
@@ -93,6 +97,9 @@ forEachConfigField(sys::SystemConfig &c, F &&f)
     f("ssd_flush_ns", c.ssd.flushNs);
     f("ssd_jitter_sigma", c.ssd.jitterSigma);
     f("ssd_max_queue_depth", c.ssd.maxQueueDepth);
+    f("ssd_media_error_every", c.ssd.mediaErrorEvery);
+    f("ssd_degrade_after_ops", c.ssd.degradeAfterOps);
+    f("ssd_degrade_latency_ns", c.ssd.degradeLatencyNs);
 
     f("iommu_pcie_round_trip_ns", c.iommu.pcieRoundTripNs);
     f("iommu_lookup_ns", c.iommu.lookupNs);
@@ -181,15 +188,29 @@ configFromMap(const std::vector<std::pair<std::string, double>> &kv)
 inline std::vector<std::pair<std::string, std::uint64_t>>
 curatedCounters(sys::System &s)
 {
+    // Hardware-side counters fold across every fleet slot; on a
+    // single-device system the fold equals the classic slot-0 values,
+    // so old captures compare bit-identically.
+    std::uint64_t tlbHits = 0, tlbMisses = 0, wcMisses = 0, frames = 0,
+                  vba = 0, devOps = 0;
+    for (std::size_t i = 0; i < s.devices.size(); i++) {
+        const iommu::Iommu &mmu = s.devices.slot(i).iommu;
+        tlbHits += mmu.iotlb().hits();
+        tlbMisses += mmu.iotlb().misses();
+        wcMisses += mmu.walkCache().misses();
+        frames += mmu.framesRead();
+        vba += mmu.vbaTranslations();
+        devOps += s.devices.slot(i).dev.totalOps();
+    }
     return {
-        {"iotlb_hits", s.iommu.iotlb().hits()},
-        {"iotlb_misses", s.iommu.iotlb().misses()},
-        {"walk_cache_misses", s.iommu.walkCache().misses()},
-        {"page_walk_frames", s.iommu.framesRead()},
+        {"iotlb_hits", tlbHits},
+        {"iotlb_misses", tlbMisses},
+        {"walk_cache_misses", wcMisses},
+        {"page_walk_frames", frames},
         {"journal_commits", s.ext4.journal().committedTxns()},
         {"syscalls", s.kernel.syscallCount()},
-        {"vba_translations", s.iommu.vbaTranslations()},
-        {"device_ops", s.dev.totalOps()},
+        {"vba_translations", vba},
+        {"device_ops", devOps},
     };
 }
 

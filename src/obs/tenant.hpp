@@ -62,15 +62,48 @@ struct TenantCounters
 };
 
 /**
+ * One (device, tenant) slice of the device-attributable counters.
+ * Only the ssd and iommu keys have a per-device axis: those layers
+ * act on behalf of exactly one device per operation. fs/kern/bypassd
+ * counters stay device-less (a journal record or fmap is not "on" a
+ * device in any honest sense — placement decides later).
+ */
+struct DeviceTenantCounters
+{
+    std::uint64_t ssdOps = 0;
+    std::uint64_t ssdReadBytes = 0;
+    std::uint64_t ssdWriteBytes = 0;
+    std::uint64_t ssdTranslationFaults = 0;
+
+    std::uint64_t iommuVbaTranslations = 0;
+    std::uint64_t iommuVbaFaults = 0;
+    std::uint64_t iommuPageWalkFrames = 0;
+};
+
+/**
  * The per-tenant counter table. One instance lives in the System;
  * every component that attributes work holds a pointer to it (null
  * when accounting is off).
+ *
+ * The device axis mirrors the tenant axis: every `dev(d, t)` increment
+ * is co-located with the matching `of(t)` increment (same program
+ * point), so for each device-attributable key the sum over devices of
+ * a tenant's per-device rows equals that tenant's global counter, and
+ * the sum over tenants of one device's rows equals the device's own
+ * aggregate stat — both bit-exactly (System::verifyTenantSums checks
+ * all three directions).
  */
 class TenantAccounting
 {
   public:
     /** Find-or-create the counter row for @p id. */
     TenantCounters &of(TenantId id) { return tenants_[id]; }
+
+    /** Find-or-create the (device, tenant) row. */
+    DeviceTenantCounters &dev(DevId d, TenantId id)
+    {
+        return devTenants_[{d, id}];
+    }
 
     /** Row for @p id, or null when the tenant never did anything. */
     const TenantCounters *find(TenantId id) const
@@ -85,10 +118,19 @@ class TenantAccounting
             fn(id, row);
     }
 
+    /** Visit every (device, tenant) row in (device, tenant) order. */
+    template <typename Fn> void forEachDevice(Fn &&fn) const
+    {
+        for (const auto &[key, row] : devTenants_)
+            fn(key.first, key.second, row);
+    }
+
     bool empty() const { return tenants_.empty(); }
 
   private:
     std::map<TenantId, TenantCounters> tenants_;
+    std::map<std::pair<DevId, TenantId>, DeviceTenantCounters>
+        devTenants_;
 };
 
 } // namespace bpd::obs

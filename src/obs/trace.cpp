@@ -38,6 +38,10 @@ replayDigest(const std::vector<ReplayRec> &ops)
         mix(r.proc);
         mix(r.tenant);
         mix(r.tid);
+        // Mixed only when attributed so single-device digests match
+        // captures that predate the device column.
+        if (r.dev != 0)
+            mix(r.dev);
         mix(r.file);
         mix(r.offset);
         mix(r.len);

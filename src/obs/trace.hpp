@@ -143,6 +143,10 @@ struct ReplayRec
      * tenant differs from the issuing process. */
     TenantId tenant = 0;
     std::uint32_t tid = 0;  ///< engine thread argument
+    /** DevId of the device slot serving the op. 0 means unattributed:
+     * classic single-device captures never set it, and their digests
+     * (and exported rows) are bit-identical to pre-fleet traces. */
+    DevId dev = 0;
     std::uint32_t file = kNoFile; ///< index into TraceData::files
     std::uint64_t offset = 0;     ///< byte offset; raw DevAddr for SPDK
     std::uint64_t len = 0;

@@ -159,7 +159,7 @@ SpdkDriver::doIo(Tid tid, ssd::Op op, DevAddr addr,
                     pendingIos_--;
                     cb(comp.status == ssd::Status::Success
                            ? static_cast<long long>(buf.size())
-                           : kern::errOf(fs::FsStatus::Inval),
+                           : kern::devErr(comp.status),
                        tr);
                 });
             });

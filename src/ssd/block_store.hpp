@@ -39,24 +39,25 @@ class BlockStore
         = kExtentBytes / kBlockBytes;
 
     explicit BlockStore(std::uint64_t capacityBytes);
+    virtual ~BlockStore() = default;
 
     std::uint64_t capacity() const { return capacity_; }
     std::uint64_t capacityBlocks() const { return capacity_ / kBlockBytes; }
 
     /** Read @p out.size() bytes at @p addr. Unwritten space reads zero. */
-    void read(DevAddr addr, std::span<std::uint8_t> out) const;
+    virtual void read(DevAddr addr, std::span<std::uint8_t> out) const;
 
     /** Write @p in at @p addr. */
-    void write(DevAddr addr, std::span<const std::uint8_t> in);
+    virtual void write(DevAddr addr, std::span<const std::uint8_t> in);
 
     /** Zero (deallocate) whole blocks; used for trim/zero-on-alloc. */
-    void zeroBlocks(BlockNo start, std::uint64_t count);
+    virtual void zeroBlocks(BlockNo start, std::uint64_t count);
 
     /** True when the whole range reads as zero. */
-    bool isZero(DevAddr addr, std::uint64_t len) const;
+    virtual bool isZero(DevAddr addr, std::uint64_t len) const;
 
     /** Bytes of written (resident) blocks. */
-    std::uint64_t residentBytes() const;
+    virtual std::uint64_t residentBytes() const;
 
   private:
     struct FreeDeleter

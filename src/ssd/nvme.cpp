@@ -253,6 +253,16 @@ NvmeDevice::startMedia()
         MediaJob job = std::move(mediaQueue_.front());
         mediaQueue_.pop_front();
         busyUnits_++;
+        mediaOps_++;
+
+        // Health models: a deterministic every-Nth media failure and a
+        // constant latency penalty once the device has worn past its
+        // threshold. Disabled (the default) both are exact no-ops.
+        if (profile_.mediaErrorEvery != 0
+            && mediaOps_ % profile_.mediaErrorEvery == 0) {
+            job.mediaError = true;
+            job.comp.status = Status::MediaError;
+        }
 
         const double bw = (job.op == Op::Read)
                               ? profile_.readBwBytesPerNs
@@ -262,6 +272,9 @@ NvmeDevice::startMedia()
         const Time serviceStart = std::max(eq_.now(), linkFreeAt_);
         linkFreeAt_ = serviceStart + xfer;
         Time done = serviceStart + mediaTime(job.op, job.len) + xfer;
+        if (profile_.degradeAfterOps != 0
+            && mediaOps_ > profile_.degradeAfterOps)
+            done += profile_.degradeLatencyNs;
         done = std::max(done, job.minDone);
         job.mediaStart = serviceStart;
         if (job.op == Op::Write) {
@@ -270,9 +283,12 @@ NvmeDevice::startMedia()
         }
 
         eq_.schedule(done, [this, job = std::move(job)]() mutable {
-            // Functional data movement at completion time.
+            // Functional data movement at completion time. A media
+            // error means the bytes never made it to/from the media.
             std::size_t off = 0;
             for (const auto &seg : job.segs) {
+                if (job.mediaError)
+                    break;
                 if (job.op == Op::Read) {
                     store_.read(seg.addr, job.host.subspan(off, seg.len));
                 } else {
@@ -293,6 +309,11 @@ NvmeDevice::startMedia()
             }
             busyUnits_--;
             startMedia();
+            if (job.mediaError) {
+                mediaErrors_++;
+                if (healthHook_)
+                    healthHook_(mediaErrors_);
+            }
             finish(*job.qp, job.comp);
         });
     }
@@ -308,8 +329,10 @@ NvmeDevice::process(QueuePair &qp, Command cmd)
     const TenantId tenant
         = cmd.tenant != kSystemTenant ? cmd.tenant : qp.pasid();
     totalOps_++;
-    if (acct_)
+    if (acct_) {
         acct_->of(tenant).ssdOps++;
+        acct_->dev(devId_, tenant).ssdOps++;
+    }
 
     if (trace_ && trace_->wants(obs::Level::Device) && cmd.enq != 0
         && submitTime > cmd.enq) {
@@ -323,8 +346,10 @@ NvmeDevice::process(QueuePair &qp, Command cmd)
         if (st == Status::TranslationFault || st == Status::PermissionFault
             || st == Status::DevIdFault) {
             translationFaults_++;
-            if (acct_)
+            if (acct_) {
                 acct_->of(tenant).ssdTranslationFaults++;
+                acct_->dev(devId_, tenant).ssdTranslationFaults++;
+            }
         }
         Completion comp;
         comp.cid = cmd.cid;
@@ -340,6 +365,10 @@ NvmeDevice::process(QueuePair &qp, Command cmd)
 
     if (qp.disabled_) {
         fail(Status::InvalidCommand, 0);
+        return;
+    }
+    if (evicted_) {
+        fail(Status::DeviceEvicted, 0);
         return;
     }
     if (cmd.addrIsVba && !qp.vbaMode_) {
@@ -459,10 +488,14 @@ NvmeDevice::process(QueuePair &qp, Command cmd)
         writeBytes_ += cmd.len;
     if (acct_) {
         obs::TenantCounters &tc = acct_->of(tenant);
-        if (cmd.op == Op::Read)
+        obs::DeviceTenantCounters &dc = acct_->dev(devId_, tenant);
+        if (cmd.op == Op::Read) {
             tc.ssdReadBytes += cmd.len;
-        else
+            dc.ssdReadBytes += cmd.len;
+        } else {
             tc.ssdWriteBytes += cmd.len;
+            dc.ssdWriteBytes += cmd.len;
+        }
     }
     qp.completedBytes_ += cmd.len;
 

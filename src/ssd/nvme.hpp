@@ -54,6 +54,19 @@ struct SsdProfile
     double jitterSigma = 0.03;   //!< lognormal sigma on media latency
     std::uint32_t maxQueueDepth = 1024;
 
+    /** @name Injected health models (0 = healthy, the default)
+     * Deterministic fault models for the device-map health machinery:
+     * every Nth media op fails with Status::MediaError (no RNG draw is
+     * added or removed, so healthy-device digests are unaffected), and
+     * past degradeAfterOps every media op pays degradeLatencyNs extra —
+     * the "slowly dying device" a health monitor is meant to catch.
+     */
+    ///@{
+    std::uint64_t mediaErrorEvery = 0;
+    std::uint64_t degradeAfterOps = 0;
+    Time degradeLatencyNs = 0;
+    ///@}
+
     /** The evaluation device. */
     static SsdProfile optaneP5800X() { return SsdProfile{}; }
 };
@@ -70,7 +83,9 @@ enum class Status : std::uint8_t
     DevIdFault,       //!< FTE names another device
     InvalidCommand,   //!< malformed / queue not VBA-capable / disabled
     OutOfRange,       //!< LBA beyond capacity
-    DmaFault          //!< host buffer not mapped for DMA
+    DmaFault,         //!< host buffer not mapped for DMA
+    MediaError,       //!< injected media failure (health model)
+    DeviceEvicted     //!< device evicted from the map; command refused
 };
 
 /** Convert an IOMMU fault to a completion status. */
@@ -272,6 +287,25 @@ class NvmeDevice
     unsigned busyUnits() const { return busyUnits_; }
     ///@}
 
+    /** @name Health and eviction
+     * An evicted device refuses every new command with
+     * Status::DeviceEvicted after the command-fetch cost; commands
+     * already past fetch drain normally, so eviction never hangs
+     * in-flight I/O. mediaOps/mediaErrors feed the health monitor; the
+     * health hook fires (same event, after the failing completion is
+     * queued) each time an injected media error lands.
+     */
+    ///@{
+    void setEvicted(bool on) { evicted_ = on; }
+    bool evicted() const { return evicted_; }
+    std::uint64_t mediaOps() const { return mediaOps_; }
+    std::uint64_t mediaErrors() const { return mediaErrors_; }
+    void setHealthHook(std::function<void(std::uint64_t)> hook)
+    {
+        healthHook_ = std::move(hook);
+    }
+    ///@}
+
   private:
     friend class QueuePair;
 
@@ -287,6 +321,7 @@ class NvmeDevice
         Completion comp;
         Time minDone; //!< completion cannot precede this (write ATS)
         Time mediaStart = 0; //!< service start (observability only)
+        bool mediaError = false; //!< injected failure (health model)
     };
 
     void ring(std::uint16_t qid);
@@ -327,6 +362,11 @@ class NvmeDevice
     std::uint64_t readBytes_ = 0;
     std::uint64_t writeBytes_ = 0;
     std::uint64_t translationFaults_ = 0;
+
+    bool evicted_ = false;
+    std::uint64_t mediaOps_ = 0;
+    std::uint64_t mediaErrors_ = 0;
+    std::function<void(std::uint64_t)> healthHook_;
 };
 
 } // namespace bpd::ssd

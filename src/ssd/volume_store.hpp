@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Flat volume address space over N uniform device slots. The filesystem
+ * sees one BlockStore spanning `slots * slotBytes`; reads/writes route to
+ * the slot-local store that actually backs the address, so the NVMe model
+ * for each slot and the filesystem agree on the bytes without any copy.
+ *
+ * Slots are uniform by construction (panic otherwise), so routing is a
+ * divide; an I/O is never allowed to straddle a slot boundary — the
+ * per-inode placement hook (fs::Ext4Fs::setPlacement) keeps every extent
+ * inside one slot's range, and checkSpan() enforces it.
+ */
+
+#ifndef BPD_SSD_VOLUME_STORE_HPP
+#define BPD_SSD_VOLUME_STORE_HPP
+
+#include <vector>
+
+#include "sim/logging.hpp"
+#include "ssd/block_store.hpp"
+
+namespace bpd::ssd {
+
+/** Concatenation of uniform slot-local stores into one address space. */
+class VolumeStore : public BlockStore
+{
+  public:
+    VolumeStore(std::vector<BlockStore *> slots, std::uint64_t slotBytes)
+        : BlockStore(slotBytes * slots.size()),
+          slots_(std::move(slots)),
+          slotBytes_(slotBytes)
+    {
+        sim::panicIf(slots_.empty(), "VolumeStore: no slots");
+        for (const BlockStore *s : slots_)
+            sim::panicIf(s->capacity() != slotBytes_,
+                         "VolumeStore: non-uniform slot");
+    }
+
+    std::uint32_t slotOf(DevAddr addr) const
+    {
+        return static_cast<std::uint32_t>(addr / slotBytes_);
+    }
+
+    std::uint64_t slotBase(std::uint32_t slot) const
+    {
+        return slot * slotBytes_;
+    }
+
+    std::uint64_t slotBytes() const { return slotBytes_; }
+
+    void
+    read(DevAddr addr, std::span<std::uint8_t> out) const override
+    {
+        checkSpan(addr, out.size());
+        slots_[slotOf(addr)]->read(addr % slotBytes_, out);
+    }
+
+    void
+    write(DevAddr addr, std::span<const std::uint8_t> in) override
+    {
+        checkSpan(addr, in.size());
+        slots_[slotOf(addr)]->write(addr % slotBytes_, in);
+    }
+
+    void
+    zeroBlocks(BlockNo start, std::uint64_t count) override
+    {
+        const DevAddr addr = start * kBlockBytes;
+        checkSpan(addr, count * kBlockBytes);
+        slots_[slotOf(addr)]->zeroBlocks(
+            (addr % slotBytes_) / kBlockBytes, count);
+    }
+
+    bool
+    isZero(DevAddr addr, std::uint64_t len) const override
+    {
+        checkSpan(addr, len);
+        return slots_[slotOf(addr)]->isZero(addr % slotBytes_, len);
+    }
+
+    std::uint64_t
+    residentBytes() const override
+    {
+        std::uint64_t sum = 0;
+        for (const BlockStore *s : slots_)
+            sum += s->residentBytes();
+        return sum;
+    }
+
+  private:
+    void
+    checkSpan(DevAddr addr, std::uint64_t len) const
+    {
+        sim::panicIf(addr + len > capacity(),
+                     "VolumeStore: out of range");
+        sim::panicIf(len != 0
+                         && slotOf(addr) != slotOf(addr + len - 1),
+                     "VolumeStore: I/O straddles a device slot");
+    }
+
+    std::vector<BlockStore *> slots_;
+    std::uint64_t slotBytes_;
+};
+
+} // namespace bpd::ssd
+
+#endif // BPD_SSD_VOLUME_STORE_HPP

@@ -1,20 +1,117 @@
 #include "system/system.hpp"
 
+#include <algorithm>
+
 #include "sim/logging.hpp"
 
 namespace bpd::sys {
 
+DeviceMapConfig
+System::mapCfgOf(const SystemConfig &c)
+{
+    DeviceMapConfig m;
+    m.slotBytes = c.deviceBytes;
+    m.maxDevices = std::max<std::size_t>(c.maxDevices, 1);
+    m.onlineDevices = c.onlineDevices == 0
+                          ? m.maxDevices
+                          : std::min(c.onlineDevices, m.maxDevices);
+    m.devIdBase = c.devId;
+    m.seedBase = c.seed;
+    m.ssd = c.ssd;
+    m.iommu = c.iommu;
+    m.slotSsd = c.slotSsd;
+    return m;
+}
+
 System::System(SystemConfig config)
     : cfg(config),
-      iommu(eq, cfg.iommu),
-      store(cfg.deviceBytes),
-      dev(eq, store, iommu, cfg.devId, cfg.ssd, cfg.seed),
+      devices(eq, mapCfgOf(cfg)),
+      iommu(devices.slot(0).iommu),
+      store(devices.volume()),
+      dev(devices.slot(0).dev),
       ext4(store, cfg.fs, &eq),
       vfs(ext4),
       kernel(eq, frames, iommu, vfs, dev, cfg.costs, cfg.kernel),
       aio(kernel),
       module(kernel)
 {
+    evictPending_.assign(devices.size(), false);
+    // Slot 0 is the constructor-wired classic device; attach the other
+    // boot-online slots to the kernel's routing table.
+    const std::size_t online = cfg.onlineDevices == 0
+                                   ? devices.size()
+                                   : std::min<std::size_t>(
+                                         cfg.onlineDevices,
+                                         devices.size());
+    for (std::size_t i = 1; i < online; i++)
+        kernel.attachSlot(devices.slot(i).dev, devices.slot(i).iommu,
+                          devices.slotBase(i));
+    if (devices.size() > 1) {
+        // Per-inode home-device placement: the file system allocates an
+        // inode's blocks inside its home slot's block range, and the
+        // BypassD module homes FTEs by the same map — one source of
+        // truth, so extents never straddle devices. Single-device
+        // systems keep the classic allocator bit-identically (null
+        // placement).
+        ext4.setPlacement([this](const fs::Inode &ino) {
+            return devices.blockRange(devices.homeSlotOf(ino.ino));
+        });
+        module.setHomeSlot([this](const fs::Inode &ino) {
+            return devices.homeSlotOf(ino.ino);
+        });
+    }
+    if (cfg.healthMonitor) {
+        // The hook fires at media-error completion time; eviction is
+        // deferred one event so revocation never runs inside the
+        // device's completion path. Slot 0 is never monitored: it
+        // holds the file-system metadata and cannot be evicted.
+        for (std::size_t i = 1; i < devices.size(); i++) {
+            devices.slot(i).dev.setHealthHook(
+                [this, i](std::uint64_t errors) {
+                    if (errors < cfg.evictAfterMediaErrors
+                        || evictPending_[i])
+                        return;
+                    evictPending_[i] = true;
+                    eq.after(0, [this, i]() { evictDevice(i); });
+                });
+        }
+    }
+}
+
+void
+System::evictDevice(std::size_t slot)
+{
+    sim::panicIf(slot == 0, "slot 0 (metadata home) cannot be evicted");
+    sim::panicIf(slot >= devices.size(),
+                 "evictDevice: slot out of range");
+    if (devices.evicted(slot))
+        return;
+    devices.slot(slot).dev.setEvicted(true);
+    module.revokeSlot(slot);
+}
+
+std::size_t
+System::plugDevice()
+{
+    const std::size_t next = kernel.slotCount();
+    sim::panicIf(next >= devices.size(),
+                 "plugDevice: no unattached slot left");
+    kernel.attachSlot(devices.slot(next).dev, devices.slot(next).iommu,
+                      devices.slotBase(next));
+    devices.setPresent(next, true);
+    return next;
+}
+
+DevId
+System::deviceOfFile(const std::string &path) const
+{
+    InodeNum ino = 0;
+    if (ext4.resolve(path, &ino) != fs::FsStatus::Ok)
+        return 0;
+    auto it = devices.homes().find(ino);
+    if (it == devices.homes().end())
+        return 0;
+    return devices.slot(it->second).dev.devId();
 }
 
 System::~System()
@@ -49,8 +146,12 @@ System::enableTracing(obs::Level level)
     tracer_ = std::make_unique<obs::Tracer>(eq, level, &metrics);
     obs::Tracer *t = tracer_.get();
     kernel.setTracer(t);
-    dev.setTracer(t);
-    iommu.setTracer(t);
+    // Wire every fleet slot (including not-yet-plugged ones, so
+    // hot-plug needs no re-wiring).
+    for (std::size_t i = 0; i < devices.size(); i++) {
+        devices.slot(i).dev.setTracer(t);
+        devices.slot(i).iommu.setTracer(t);
+    }
     module.setTracer(t);
     // Journal commits show up as instants on their own "fs" track.
     const std::uint16_t fsTrack = t->track("fs");
@@ -70,8 +171,10 @@ System::enableTenantAccounting()
         return acct_;
     acctEnabled_ = true;
     kernel.setTenantAccounting(&acct_);
-    dev.setTenantAccounting(&acct_);
-    iommu.setTenantAccounting(&acct_);
+    for (std::size_t i = 0; i < devices.size(); i++) {
+        devices.slot(i).dev.setTenantAccounting(&acct_);
+        devices.slot(i).iommu.setTenantAccounting(&acct_);
+    }
     module.setTenantAccounting(&acct_);
     // The kernel names the tenant it is executing filesystem code for;
     // ext4/journal/page-cache read that slot at their attribution sites.
@@ -105,20 +208,33 @@ System::verifyTenantSums()
         sum.bypassdRejectedFmaps += tc.bypassdRejectedFmaps;
         sum.bypassdRevokedVictims += tc.bypassdRevokedVictims;
     });
+    // Fleet totals: the hardware-side counters fold across every slot.
+    std::uint64_t devOps = 0, devRead = 0, devWrite = 0, devTf = 0;
+    std::uint64_t ioTrans = 0, ioFaults = 0, ioFrames = 0;
+    for (std::size_t i = 0; i < devices.size(); i++) {
+        const ssd::NvmeDevice &d = devices.slot(i).dev;
+        const iommu::Iommu &mmu = devices.slot(i).iommu;
+        devOps += d.totalOps();
+        devRead += d.readBytes();
+        devWrite += d.writeBytes();
+        devTf += d.translationFaults();
+        ioTrans += mmu.vbaTranslations();
+        ioFaults += mmu.vbaFaults();
+        ioFrames += mmu.framesRead();
+    }
     const std::pair<const char *, std::pair<std::uint64_t,
                                             std::uint64_t>>
         checks[] = {
             {"kern.syscalls", {sum.kernSyscalls, kernel.syscallCount()}},
-            {"ssd.ops", {sum.ssdOps, dev.totalOps()}},
-            {"ssd.read_bytes", {sum.ssdReadBytes, dev.readBytes()}},
-            {"ssd.write_bytes", {sum.ssdWriteBytes, dev.writeBytes()}},
-            {"ssd.translation_faults",
-             {sum.ssdTranslationFaults, dev.translationFaults()}},
+            {"ssd.ops", {sum.ssdOps, devOps}},
+            {"ssd.read_bytes", {sum.ssdReadBytes, devRead}},
+            {"ssd.write_bytes", {sum.ssdWriteBytes, devWrite}},
+            {"ssd.translation_faults", {sum.ssdTranslationFaults, devTf}},
             {"iommu.vba_translations",
-             {sum.iommuVbaTranslations, iommu.vbaTranslations()}},
-            {"iommu.vba_faults", {sum.iommuVbaFaults, iommu.vbaFaults()}},
+             {sum.iommuVbaTranslations, ioTrans}},
+            {"iommu.vba_faults", {sum.iommuVbaFaults, ioFaults}},
             {"iommu.page_walk_frames",
-             {sum.iommuPageWalkFrames, iommu.framesRead()}},
+             {sum.iommuPageWalkFrames, ioFrames}},
             {"fs.journal_records",
              {sum.fsJournalRecords, ext4.journal().records()}},
             {"fs.metadata_ops", {sum.fsMetadataOps, ext4.metadataOps()}},
@@ -141,7 +257,76 @@ System::verifyTenantSums()
                              name,
                              static_cast<unsigned long long>(v.first),
                              static_cast<unsigned long long>(v.second));
-    return {};
+
+    // Directions 2 and 3: the per-device x per-tenant table must fold
+    // bit-exactly into (a) each tenant's device-attributable counters
+    // and (b) each device's hardware counters.
+    std::map<TenantId, obs::DeviceTenantCounters> byTenant;
+    std::map<DevId, obs::DeviceTenantCounters> byDev;
+    acct_.forEachDevice([&](DevId d, TenantId t,
+                            const obs::DeviceTenantCounters &dc) {
+        for (obs::DeviceTenantCounters *out : {&byTenant[t], &byDev[d]}) {
+            out->ssdOps += dc.ssdOps;
+            out->ssdReadBytes += dc.ssdReadBytes;
+            out->ssdWriteBytes += dc.ssdWriteBytes;
+            out->ssdTranslationFaults += dc.ssdTranslationFaults;
+            out->iommuVbaTranslations += dc.iommuVbaTranslations;
+            out->iommuVbaFaults += dc.iommuVbaFaults;
+            out->iommuPageWalkFrames += dc.iommuPageWalkFrames;
+        }
+    });
+    std::string err;
+    auto check7 = [&err](const char *scope, std::uint64_t id,
+                         const obs::DeviceTenantCounters &got,
+                         std::uint64_t ops, std::uint64_t rd,
+                         std::uint64_t wr, std::uint64_t tf,
+                         std::uint64_t vt, std::uint64_t vf,
+                         std::uint64_t pw) {
+        if (!err.empty())
+            return;
+        const std::pair<const char *, std::pair<std::uint64_t,
+                                                std::uint64_t>>
+            rows[] = {
+                {"ssd.ops", {got.ssdOps, ops}},
+                {"ssd.read_bytes", {got.ssdReadBytes, rd}},
+                {"ssd.write_bytes", {got.ssdWriteBytes, wr}},
+                {"ssd.translation_faults",
+                 {got.ssdTranslationFaults, tf}},
+                {"iommu.vba_translations",
+                 {got.iommuVbaTranslations, vt}},
+                {"iommu.vba_faults", {got.iommuVbaFaults, vf}},
+                {"iommu.page_walk_frames",
+                 {got.iommuPageWalkFrames, pw}},
+            };
+        for (const auto &[name, v] : rows)
+            if (v.first != v.second) {
+                err = sim::strf(
+                    "%s %llu %s: device-fold %llu != reference %llu",
+                    scope, static_cast<unsigned long long>(id), name,
+                    static_cast<unsigned long long>(v.first),
+                    static_cast<unsigned long long>(v.second));
+                return;
+            }
+    };
+    acct_.forEach([&](TenantId t, const obs::TenantCounters &tc) {
+        auto it = byTenant.find(t);
+        const obs::DeviceTenantCounters zero;
+        check7("tenant", t, it == byTenant.end() ? zero : it->second,
+               tc.ssdOps, tc.ssdReadBytes, tc.ssdWriteBytes,
+               tc.ssdTranslationFaults, tc.iommuVbaTranslations,
+               tc.iommuVbaFaults, tc.iommuPageWalkFrames);
+    });
+    for (std::size_t i = 0; i < devices.size(); i++) {
+        const ssd::NvmeDevice &d = devices.slot(i).dev;
+        const iommu::Iommu &mmu = devices.slot(i).iommu;
+        auto it = byDev.find(d.devId());
+        const obs::DeviceTenantCounters zero;
+        check7("device", d.devId(),
+               it == byDev.end() ? zero : it->second, d.totalOps(),
+               d.readBytes(), d.writeBytes(), d.translationFaults(),
+               mmu.vbaTranslations(), mmu.vbaFaults(), mmu.framesRead());
+    }
+    return err;
 }
 
 void
@@ -149,21 +334,64 @@ System::collectMetrics()
 {
     metrics.counter("sim", "events_executed").set(eq.executed());
     metrics.counter("kern", "syscalls").set(kernel.syscallCount());
-    metrics.counter("iommu", "vba_translations")
-        .set(iommu.vbaTranslations());
-    metrics.counter("iommu", "vba_faults").set(iommu.vbaFaults());
-    metrics.counter("iommu", "page_walk_frames").set(iommu.framesRead());
-    metrics.counter("iommu", "iotlb_hits").set(iommu.iotlb().hits());
-    metrics.counter("iommu", "iotlb_misses").set(iommu.iotlb().misses());
-    metrics.counter("iommu", "walk_cache_hits")
-        .set(iommu.walkCache().hits());
-    metrics.counter("iommu", "walk_cache_misses")
-        .set(iommu.walkCache().misses());
-    metrics.counter("ssd", "ops").set(dev.totalOps());
-    metrics.counter("ssd", "read_bytes").set(dev.readBytes());
-    metrics.counter("ssd", "write_bytes").set(dev.writeBytes());
-    metrics.counter("ssd", "translation_faults")
-        .set(dev.translationFaults());
+    // iommu.* and ssd.* totals fold across every fleet slot (identical
+    // to the classic single-device values when maxDevices == 1).
+    std::uint64_t ioTrans = 0, ioFaults = 0, ioFrames = 0, tlbHit = 0,
+                  tlbMiss = 0, wcHit = 0, wcMiss = 0;
+    std::uint64_t devOps = 0, devRead = 0, devWrite = 0, devTf = 0,
+                  devMediaErrs = 0;
+    for (std::size_t i = 0; i < devices.size(); i++) {
+        const ssd::NvmeDevice &d = devices.slot(i).dev;
+        const iommu::Iommu &mmu = devices.slot(i).iommu;
+        ioTrans += mmu.vbaTranslations();
+        ioFaults += mmu.vbaFaults();
+        ioFrames += mmu.framesRead();
+        tlbHit += mmu.iotlb().hits();
+        tlbMiss += mmu.iotlb().misses();
+        wcHit += mmu.walkCache().hits();
+        wcMiss += mmu.walkCache().misses();
+        devOps += d.totalOps();
+        devRead += d.readBytes();
+        devWrite += d.writeBytes();
+        devTf += d.translationFaults();
+        devMediaErrs += d.mediaErrors();
+    }
+    metrics.counter("iommu", "vba_translations").set(ioTrans);
+    metrics.counter("iommu", "vba_faults").set(ioFaults);
+    metrics.counter("iommu", "page_walk_frames").set(ioFrames);
+    metrics.counter("iommu", "iotlb_hits").set(tlbHit);
+    metrics.counter("iommu", "iotlb_misses").set(tlbMiss);
+    metrics.counter("iommu", "walk_cache_hits").set(wcHit);
+    metrics.counter("iommu", "walk_cache_misses").set(wcMiss);
+    metrics.counter("ssd", "ops").set(devOps);
+    metrics.counter("ssd", "read_bytes").set(devRead);
+    metrics.counter("ssd", "write_bytes").set(devWrite);
+    metrics.counter("ssd", "translation_faults").set(devTf);
+    if (devices.size() > 1) {
+        metrics.counter("ssd", "media_errors").set(devMediaErrs);
+        // Per-device breakdown groups (multi-device fleets only, so
+        // classic single-device metric output is unchanged).
+        for (std::size_t i = 0; i < devices.size(); i++) {
+            const ssd::NvmeDevice &d = devices.slot(i).dev;
+            const iommu::Iommu &mmu = devices.slot(i).iommu;
+            const std::string g
+                = sim::strf("ssd.dev%u", unsigned(d.devId()));
+            metrics.counter(g, "ops").set(d.totalOps());
+            metrics.counter(g, "read_bytes").set(d.readBytes());
+            metrics.counter(g, "write_bytes").set(d.writeBytes());
+            metrics.counter(g, "translation_faults")
+                .set(d.translationFaults());
+            metrics.counter(g, "media_errors").set(d.mediaErrors());
+            metrics.counter(g, "evicted").set(d.evicted() ? 1 : 0);
+            const std::string gi
+                = sim::strf("iommu.dev%u", unsigned(d.devId()));
+            metrics.counter(gi, "vba_translations")
+                .set(mmu.vbaTranslations());
+            metrics.counter(gi, "vba_faults").set(mmu.vbaFaults());
+            metrics.counter(gi, "page_walk_frames")
+                .set(mmu.framesRead());
+        }
+    }
     metrics.counter("fs", "journal_commits")
         .set(ext4.journal().committedTxns());
     metrics.counter("fs", "journal_records")
@@ -226,6 +454,22 @@ System::collectMetrics()
             .set(tc.bypassdRejectedFmaps);
         m.counter("bypassd", "revoked_victims")
             .set(tc.bypassdRevokedVictims);
+    });
+    // Per-device x per-tenant breakdown. Published for fleets only so
+    // classic single-device tenant output keeps its exact key set.
+    if (devices.size() > 1)
+        acct_.forEachDevice([&](DevId d, TenantId id,
+                                const obs::DeviceTenantCounters &dc) {
+        obs::MetricsRegistry &m = metrics.tenant(id);
+        const std::string g = sim::strf("ssd.dev%u", unsigned(d));
+        m.counter(g, "ops").set(dc.ssdOps);
+        m.counter(g, "read_bytes").set(dc.ssdReadBytes);
+        m.counter(g, "write_bytes").set(dc.ssdWriteBytes);
+        m.counter(g, "translation_faults").set(dc.ssdTranslationFaults);
+        const std::string gi = sim::strf("iommu.dev%u", unsigned(d));
+        m.counter(gi, "vba_translations").set(dc.iommuVbaTranslations);
+        m.counter(gi, "vba_faults").set(dc.iommuVbaFaults);
+        m.counter(gi, "page_walk_frames").set(dc.iommuPageWalkFrames);
     });
     // UserLib stats are already tracked per process; a process is a
     // tenant, so publish them straight into its sub-registry.

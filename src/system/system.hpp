@@ -26,16 +26,33 @@
 #include "sim/logging.hpp"
 #include "sim/sim_executor.hpp"
 #include "ssd/block_store.hpp"
+#include "ssd/device_slot.hpp"
 #include "ssd/nvme.hpp"
+#include "system/device_map.hpp"
 
 namespace bpd::sys {
 
 struct SystemConfig
 {
+    /** Per-device-slot capacity; the volume is deviceBytes*maxDevices. */
     std::uint64_t deviceBytes = 64ull << 30;
-    DevId devId = 1;
-    std::uint64_t seed = 42;
+    DevId devId = 1;         //!< slot i gets devId + i
+    std::uint64_t seed = 42; //!< slot i gets seed + i
+    /** Device slots in the fleet (1 = classic single-device machine). */
+    std::size_t maxDevices = 1;
+    /** Slots attached at boot; 0 means all. The rest hot-plug later. */
+    std::size_t onlineDevices = 0;
     ssd::SsdProfile ssd = ssd::SsdProfile::optaneP5800X();
+    /** Per-slot SSD profile overrides (inject health models). */
+    std::map<std::size_t, ssd::SsdProfile> slotSsd;
+    /**
+     * Health monitor: when on, a device (never slot 0) whose injected
+     * media-error count reaches evictAfterMediaErrors is evicted — new
+     * commands fail with DeviceEvicted, its FTEs are revoked, tenants
+     * fail over. Off by default; healthy-fleet digests are unchanged.
+     */
+    bool healthMonitor = false;
+    std::uint64_t evictAfterMediaErrors = 4;
     iommu::IommuProfile iommu;
     kern::CostModel costs;
     kern::KernelConfig kernel;
@@ -137,11 +154,48 @@ class System
      * Check the attribution invariant: for every accounted counter,
      * the sum over all tenants equals the matching system total
      * bit-exactly (attribution sites are co-located with the aggregate
-     * increments, so any divergence is a bug). Returns an empty string
-     * when the invariant holds — or when accounting is off — and a
-     * description of the first violated counter otherwise.
+     * increments, so any divergence is a bug). Device-attributable
+     * counters are checked in three directions: tenant sums vs system
+     * totals, per-device x per-tenant sums folded over devices vs each
+     * tenant's row, and folded over tenants vs each device's hardware
+     * counters. Returns an empty string when the invariant holds — or
+     * when accounting is off — and a description of the first violated
+     * counter otherwise.
      */
     std::string verifyTenantSums();
+
+    /** @name Multi-device fleet */
+    ///@{
+    /**
+     * Evict device slot @p slot (never 0): the device fails new
+     * commands with DeviceEvicted (in-flight I/O drains normally), and
+     * every file-table cache homed on it is revoked so direct-path
+     * tenants fault, re-fmap, get VBA 0 and fall back to the kernel,
+     * where I/O to the dead device fails with ENODEV. Idempotent.
+     */
+    void evictDevice(std::size_t slot);
+
+    bool deviceEvicted(std::size_t slot) const
+    {
+        return devices.evicted(slot);
+    }
+
+    /**
+     * Hot-plug the next unattached slot: create its kernel queue, bind
+     * every live process' PASID into its IOMMU context (sorted-pid
+     * order — deterministic), and open it for placement.
+     * @return The attached slot's index.
+     */
+    std::size_t plugDevice();
+
+    /**
+     * DevId of the device a file's data is homed on, or 0 when the
+     * file does not resolve or has no pinned placement yet (including
+     * every file of a classic single-device system, which never pins).
+     * Pure lookup — never pins a home, never perturbs placement.
+     */
+    DevId deviceOfFile(const std::string &path) const;
+    ///@}
 
     /**
      * Declared first so they outlive every component that holds a
@@ -159,13 +213,23 @@ class System
     sim::SimExecutor *exec_ = nullptr; //!< not owned; see bindExecutor
     std::uint32_t execDomain_ = 0;
 
+    /** One pending-eviction latch per slot (health monitor). */
+    std::vector<bool> evictPending_;
+
+    static DeviceMapConfig mapCfgOf(const SystemConfig &c);
+
   public:
     SystemConfig cfg;
     sim::EventQueue eq;
     mem::FrameAllocator frames;
-    iommu::Iommu iommu;
-    ssd::BlockStore store;
-    ssd::NvmeDevice dev;
+    /** The device fleet (slot 0 is the classic single device). */
+    DeviceMap devices;
+    /** Slot 0's IOMMU context (legacy single-device accessor). */
+    iommu::Iommu &iommu;
+    /** The flat volume spanning every slot's store. */
+    ssd::BlockStore &store;
+    /** Slot 0's device (legacy single-device accessor). */
+    ssd::NvmeDevice &dev;
     fs::Ext4Fs ext4;
     fs::Vfs vfs;
     kern::Kernel kernel;

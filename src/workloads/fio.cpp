@@ -33,6 +33,7 @@ struct JobCtx
     std::unique_ptr<kern::IoUring> ring;
     int fd = -1;
     DevAddr rawBase = 0; // SPDK raw region
+    DevId devId = 0;     // serving device (0 = unattributed)
     std::uint32_t fileId = obs::ReplayRec::kNoFile;
     sim::Rng rng{1};
     std::uint64_t cursor = 0;
@@ -89,6 +90,7 @@ struct FioRunState
         r.engine = eng;
         r.proc = ctx.proc->pasid();
         r.tid = ctx.idx;
+        r.dev = ctx.devId;
         r.file = ctx.fileId;
         r.offset = offset;
         r.aux = aux;
@@ -201,6 +203,7 @@ FioRunState::arm()
             sim::panicIf(!ctx->lib->isDirect(fd),
                          "fio: bypassd fd not direct");
             ctx->fd = fd;
+            ctx->devId = s.deviceOfFile(path);
             ctx->lib->prepareThread(i);
             mark(obs::ReplayRec::PrepThread, *ctx);
             break;
@@ -213,6 +216,7 @@ FioRunState::arm()
             sim::panicIf(fd < 0, "fio: file setup failed");
             mark(obs::ReplayRec::Create, *ctx, job.fileBytes, 0, fd);
             ctx->fd = fd;
+            ctx->devId = s.deviceOfFile(path);
             if (job.engine == Engine::IoUring) {
                 ctx->ring = std::make_unique<kern::IoUring>(s.kernel,
                                                             *ctx->proc);
@@ -282,6 +286,7 @@ FioRunState::issue(JobCtx &ctx)
         r.lane = static_cast<std::uint16_t>(ctx.idx);
         r.proc = ctx.proc->pasid();
         r.tid = ctx.idx;
+        r.dev = ctx.devId;
         r.file = ctx.fileId;
         r.offset = job.engine == Engine::Spdk
                            || job.engine == Engine::Fabric

@@ -123,9 +123,10 @@ struct Net
         bool allOk = true;
         for (unsigned i = 0; i < inis.size(); i++)
             inis[i]->connect(static_cast<Pasid>(100 + i),
-                             [&](bool ok) {
+                             [&](fab::ConnectStatus st) {
                                  acked++;
-                                 allOk = allOk && ok;
+                                 allOk = allOk
+                                         && st == fab::ConnectStatus::Ok;
                              });
         exec.run();
         return acked == inis.size() && allOk;
@@ -241,7 +242,9 @@ TEST(Fabric, DisconnectDrainsInFlightThenReconnects)
     // The state machine permits a fresh connect after teardown.
     net.settle();
     bool ok = false;
-    net.ini().connect(7, [&](bool o) { ok = o; });
+    net.ini().connect(7, [&](fab::ConnectStatus st) {
+        ok = st == fab::ConnectStatus::Ok;
+    });
     net.exec.run();
     EXPECT_TRUE(ok);
     long long rn = -1;
@@ -286,7 +289,9 @@ TEST(Fabric, ResetMidIoFailsFastAndFencesStaleResponses)
     // Reconnect over the same initiator works (new generation).
     net.settle();
     bool ok = false;
-    net.ini().connect(7, [&](bool o) { ok = o; });
+    net.ini().connect(7, [&](fab::ConnectStatus st) {
+        ok = st == fab::ConnectStatus::Ok;
+    });
     net.exec.run();
     EXPECT_TRUE(ok);
     long long rn = -1;
@@ -408,11 +413,11 @@ TEST(Fabric, ConnectionStormSerializesOnAdminQueue)
     Net net(4);
     std::vector<Time> ackAt;
     for (unsigned i = 0; i < 4; i++)
-        net.ini(i).connect(static_cast<Pasid>(10 + i), [&net, i,
-                                                        &ackAt](bool ok) {
-            EXPECT_TRUE(ok);
-            ackAt.push_back(net.client(i).now());
-        });
+        net.ini(i).connect(static_cast<Pasid>(10 + i),
+                           [&net, i, &ackAt](fab::ConnectStatus st) {
+                               EXPECT_EQ(st, fab::ConnectStatus::Ok);
+                               ackAt.push_back(net.client(i).now());
+                           });
     net.exec.run();
     ASSERT_EQ(ackAt.size(), 4u);
     std::sort(ackAt.begin(), ackAt.end());
@@ -796,8 +801,8 @@ TEST(FabricIncast, AdminStaysSerialWithManyReactors)
     std::vector<Time> ackAt;
     for (unsigned i = 0; i < 4; i++)
         net.ini(i).connect(static_cast<Pasid>(20 + i),
-                           [&net, i, &ackAt](bool ok) {
-                               EXPECT_TRUE(ok);
+                           [&net, i, &ackAt](fab::ConnectStatus st) {
+                               EXPECT_EQ(st, fab::ConnectStatus::Ok);
                                ackAt.push_back(net.client(i).now());
                            });
     net.exec.run();
@@ -911,7 +916,9 @@ TEST(FabricIncast, ResetRacesRdmaPullOnAnotherReactor)
     // The fenced connection reconnects cleanly onto its reactor.
     net.settle();
     bool ok = false;
-    net.ini(1).connect(9, [&ok](bool o) { ok = o; });
+    net.ini(1).connect(9, [&ok](fab::ConnectStatus st) {
+        ok = st == fab::ConnectStatus::Ok;
+    });
     net.exec.run();
     EXPECT_TRUE(ok);
     EXPECT_EQ(net.tgt.connections().at(3).reactor,

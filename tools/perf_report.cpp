@@ -384,6 +384,59 @@ printReactorBreakdown(const BenchFile &cur)
 }
 
 /**
+ * Per-device breakdown: scenarios that carry device-map accounting
+ * ("devices" + "dev.N.*", emitted by fleet benches) get a per-slot
+ * table. The two ops columns come from independent ledgers — the
+ * device's own hardware counter and the per-(device, tenant)
+ * accounting rows folded over tenants — so a row where they disagree
+ * means the tenant attribution leaked, not that the run raced.
+ */
+void
+printDeviceBreakdown(const BenchFile &cur)
+{
+    bool any = false;
+    for (const Scenario &c : cur.scenarios) {
+        if (!hasField(c, "devices"))
+            continue;
+        const unsigned n = static_cast<unsigned>(numField(c, "devices"));
+        if (n == 0 || !hasField(c, "dev.0.device_ops"))
+            continue;
+        if (!any)
+            std::printf("\nper-device breakdown (current):\n");
+        any = true;
+        std::printf("  %s\n", c.name.c_str());
+        std::printf("    %4s %6s %10s %8s %10s %10s %10s %12s\n", "slot",
+                    "dev_id", "dev_ops", "writes", "p50_ns", "p99_ns",
+                    "acct_ops", "acct_bytes");
+        double opsMin = 0, opsMax = 0;
+        bool acctMismatch = false;
+        for (unsigned d = 0; d < n; d++) {
+            char key[48];
+            auto devNum = [&](const char *f) {
+                std::snprintf(key, sizeof(key), "dev.%u.%s", d, f);
+                return numField(c, key);
+            };
+            const double ops = devNum("device_ops");
+            const double acctOps = devNum("acct_ssd_ops");
+            acctMismatch |= ops != acctOps;
+            std::printf("    %4u %6.0f %10.0f %8.0f %10.0f %10.0f %10.0f "
+                        "%12.0f\n",
+                        d, devNum("dev_id"), ops, devNum("writes"),
+                        devNum("p50_ns"), devNum("p99_ns"), acctOps,
+                        devNum("acct_bytes"));
+            opsMin = d == 0 ? ops : std::min(opsMin, ops);
+            opsMax = std::max(opsMax, ops);
+        }
+        if (n > 1 && opsMin > 0)
+            std::printf("    ops imbalance (max/min): %.2fx\n",
+                        opsMax / opsMin);
+        if (acctMismatch)
+            std::printf("    WARNING: tenant accounting disagrees with "
+                        "device hardware counters\n");
+    }
+}
+
+/**
  * Diff the simulated metric counters embedded in the scenario objects.
  * These are outputs of the simulation (not host-side timing), so any
  * base/cur difference on an unchanged workload is a semantic change —
@@ -539,6 +592,7 @@ main(int argc, char **argv)
     }
     printShardScaling(base, cur);
     printReactorBreakdown(cur);
+    printDeviceBreakdown(cur);
     printCounterDiff(base, cur);
     if (digestMismatch)
         std::fprintf(stderr, "perf_report: DIGEST MISMATCH — simulated "

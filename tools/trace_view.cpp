@@ -12,7 +12,9 @@
  * so one multi-tenant run yields a Table-1 row per tenant. "X" events
  * carrying a "conn" arg (src/fabric spans) are additionally grouped by
  * (process, connection, span name), breaking a fabric run down per
- * remote connection. A second section counts every span/instant name
+ * remote connection; "reactor" and "slot" args get the same treatment,
+ * splitting the target-side work per polling lane and per device-map
+ * slot respectively. A second section counts every span/instant name
  * per process so the span taxonomy of a run is visible at a glance.
  *
  * Also serves as the CI validator for exporter output: it re-parses
@@ -146,6 +148,12 @@ main(int argc, char **argv)
     std::map<std::tuple<std::uint64_t, std::uint64_t, std::string>,
              LayerAgg>
         reactorLanes;
+    // (pid, device slot, span name) → aggregate for spans carrying a
+    // "slot" arg (fabric.sq, fabric.connect): the device-map view of
+    // how a multi-device run spread its work over the fleet's slots.
+    std::map<std::tuple<std::uint64_t, std::uint64_t, std::string>,
+             LayerAgg>
+        deviceSlots;
     std::uint64_t nComplete = 0, nInstant = 0, nMeta = 0;
 
     for (const auto &ev : events->arr) {
@@ -216,6 +224,15 @@ main(int argc, char **argv)
             LayerAgg &agg = reactorLanes[{
                 p,
                 static_cast<std::uint64_t>(numArg(*args, "reactor", 0)),
+                name->str}];
+            agg.count++;
+            agg.totalNs += dur->number * 1000.0; // us -> ns
+            agg.deviceNs += numArg(*args, "device_ns", 0);
+            agg.bytes += numArg(*args, "bytes", 0);
+        }
+        if (args && args->isObject() && args->find("slot")) {
+            LayerAgg &agg = deviceSlots[{
+                p, static_cast<std::uint64_t>(numArg(*args, "slot", 0)),
                 name->str}];
             agg.count++;
             agg.totalNs += dur->number * 1000.0; // us -> ns
@@ -343,6 +360,27 @@ main(int argc, char **argv)
             const double c = static_cast<double>(a.count);
             std::printf("%-24s %7llu %-16s %9llu %9.0f %9.0f %11.0f\n",
                         proc.c_str(), (unsigned long long)lane,
+                        name.c_str(), (unsigned long long)a.count,
+                        a.totalNs / c, a.deviceNs / c, a.bytes);
+        }
+    }
+
+    if (!deviceSlots.empty()) {
+        std::printf("\nPer-device fabric breakdown "
+                    "(mean ns/span):\n");
+        std::printf("%-24s %5s %-16s %9s %9s %9s %11s\n", "process",
+                    "slot", "span", "count", "mean ns", "device",
+                    "bytes");
+        for (const auto &[key, a] : deviceSlots) {
+            const auto &[p, slot, name] = key;
+            const auto it = procNames.find(p);
+            const std::string proc
+                = it != procNames.end()
+                      ? it->second
+                      : "pid" + std::to_string(p);
+            const double c = static_cast<double>(a.count);
+            std::printf("%-24s %5llu %-16s %9llu %9.0f %9.0f %11.0f\n",
+                        proc.c_str(), (unsigned long long)slot,
                         name.c_str(), (unsigned long long)a.count,
                         a.totalNs / c, a.deviceNs / c, a.bytes);
         }
