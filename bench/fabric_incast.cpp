@@ -13,6 +13,14 @@
  *    most of it initiator-side). Per-connection p50/p99 plus the
  *    per-reactor lane table; the scaling rows show the capsule
  *    serialization point dissolving as reactors are added.
+ *  - incast_weighted: hundreds of connections (several initiators per
+ *    client machine) split into heavy (weight 4) and light (weight 1)
+ *    QoS lanes, bursting through two phases with a mid-phase hard
+ *    reset of every 8th connection and a reconnect between phases.
+ *    Weighted-fair SQ arbitration must give the heavy lanes a lower
+ *    mean latency than the light lanes, every reset must fail its
+ *    backlog (completions + failures == issued, no leaked depth
+ *    slots), and the digest must stay shard-invariant with QoS live.
  *  - incast_admission: an aggressor connection floods the target while
  *    victim connections run closed-loop qd-1 reads. Three cells —
  *    victims alone (baseline), aggressor with admission enforced,
@@ -44,6 +52,7 @@
 #include "bench/fabric_common.hpp"
 #include "fabric/initiator.hpp"
 #include "fabric/target.hpp"
+#include "qos/qos.hpp"
 #include "sim/sim_executor.hpp"
 #include "system/fleet.hpp"
 
@@ -59,6 +68,8 @@ struct Geometry
     unsigned burst;        //!< open-loop reads per connection (incast)
     unsigned victimReads;  //!< closed-loop reads per victim (admission)
     unsigned aggressorIos; //!< aggressor flood size (admission)
+    unsigned perClient;    //!< initiators per client machine (weighted)
+    unsigned laneBurst;    //!< reads per connection per phase (weighted)
 };
 
 Geometry
@@ -69,6 +80,8 @@ geometry(bool quick)
     g.burst = quick ? 64 : 256;
     g.victimReads = quick ? 100 : 400;
     g.aggressorIos = quick ? 1500 : 4000;
+    g.perClient = quick ? 4 : 8; // 32 conns quick, 256 at full geometry
+    g.laneBurst = quick ? 64 : 96;
     return g;
 }
 
@@ -244,6 +257,230 @@ runIncastScaling(sys::Fleet &fleet, const Geometry &g, BenchJson &json)
         // The target destructs here, releasing its claim and reactor
         // cores so the next cell can re-serve with a different count.
     }
+}
+
+/**
+ * incast_weighted: the QoS weighted-lane cell. perClient initiators on
+ * every client machine (hundreds of connections at full geometry) split
+ * by index parity into heavy (weight 4) and light (weight 1) lanes on
+ * the TARGET system's QoS registry — weights are dispatch-side state,
+ * so they are installed while the fleet is settled (single-threaded),
+ * never from client-domain callbacks. Two burst phases with churn in
+ * between: every 8th connection is hard-reset at a fixed virtual time
+ * mid-phase-A (its backlog must fail, counted), reconnected while
+ * settled (a new connection id means a new tenant, so its weight is
+ * re-installed), then phase B bursts everyone again.
+ *
+ * Gates: heavy lanes beat light lanes on mean latency (non-churned
+ * lanes only — churned lanes lost half their sample to the reset), the
+ * churn actually failed I/O, and per-connection accounting closes
+ * exactly (completions + failures == issued). Depth and digest
+ * invariants are panics, not gates: they hold by construction or the
+ * binary is wrong.
+ */
+bool
+runWeightedChurn(sys::Fleet &fleet, const Geometry &g, BenchJson &json)
+{
+    const unsigned conns = g.conns * g.perClient;
+    constexpr std::uint32_t kHeavyWeight = 4;
+    const std::uint64_t devHalf = fleet.target().cfg.deviceBytes / 2;
+    const double t0 = wallNow();
+    std::uint64_t h = kFnvSeed;
+
+    // Weight-only entries: dispatch shaping without rate caps, so the
+    // registry never parks and the cell stays a pure WRR study.
+    qos::Registry &qos = fleet.target().enableQos();
+
+    fab::FabricProfile prof;
+    prof.queueDepth = kIncastDepth;
+    prof.reactors = 2;
+    fab::FabricTarget tgt(fleet.target(), prof);
+    tgt.bind(fleet.executor(), fleet.domainOf(0));
+    sim::panicIf(!tgt.serve(), "weighted target could not claim");
+
+    // Connect g.perClient initiators per client machine. Initiator i
+    // lives on client machine i / perClient; lane parity (i % 2) puts
+    // heavy and light lanes on every machine.
+    std::vector<std::unique_ptr<fab::FabricInitiator>> inis;
+    fleet.settle();
+    for (unsigned i = 0; i < conns; i++) {
+        const unsigned sys = i / g.perClient + 1;
+        sys::System &client = fleet.system(sys);
+        inis.push_back(
+            std::make_unique<fab::FabricInitiator>(client, tgt));
+        inis.back()->bind(fleet.executor(), fleet.domainOf(sys));
+        fab::FabricInitiator *ini = inis.back().get();
+        client.eq.schedule(client.now(), [ini, i] {
+            ini->connect(static_cast<Pasid>(500 + i),
+                         [](fab::ConnectStatus st) {
+                             sim::panicIf(st != fab::ConnectStatus::Ok,
+                                          "weighted connect refused");
+                         });
+        });
+    }
+    fleet.settle();
+    for (auto &ini : inis)
+        sim::panicIf(!ini->connected(),
+                     "weighted connect did not settle");
+    fleet.settle();
+
+    // Weights key on the connection tenant (kConnTenantBase + id), so
+    // they can only be installed once the ack granted an id — and must
+    // be re-installed after a reconnect mints a new one.
+    auto setWeight = [&](unsigned i) {
+        qos::TenantLimit lim; // no rate caps: weight-only entry
+        lim.weight = (i % 2 == 0) ? kHeavyWeight : 1;
+        qos.setLimit(fab::kConnTenantBase + inis[i]->connId(), lim);
+    };
+    for (unsigned i = 0; i < conns; i++)
+        setWeight(i);
+
+    std::vector<std::vector<std::vector<std::uint8_t>>> bufs(conns);
+    std::vector<std::uint64_t> issued(conns, 0);
+    std::vector<std::uint64_t> done(conns, 0);
+    std::vector<std::uint64_t> failed(conns, 0);
+    auto burst = [&](unsigned i) {
+        sys::System &client = fleet.system(i / g.perClient + 1);
+        fab::FabricInitiator *ini = inis[i].get();
+        const DevAddr base
+            = devHalf + static_cast<DevAddr>(i) * (4ull << 20);
+        bufs[i].assign(g.laneBurst, std::vector<std::uint8_t>(4096));
+        issued[i] += g.laneBurst;
+        client.eq.schedule(client.now(), [ini, base, g, i, &bufs, &done,
+                                          &failed] {
+            for (unsigned k = 0; k < g.laneBurst; k++)
+                ini->read(0, base + (k % 512) * 4096, bufs[i][k],
+                          [i, &done, &failed](long long n,
+                                              kern::IoTrace) {
+                              if (n < 0)
+                                  failed[i]++;
+                              else
+                                  done[i]++;
+                          });
+        });
+    };
+
+    // Phase A: everyone bursts; every 8th connection is hard-reset
+    // 20 us in, while its burst is still mostly parked on the depth
+    // queue — the reset must fail all of it at the client.
+    constexpr Time kResetAt = 20 * kUs;
+    unsigned churned = 0;
+    for (unsigned i = 0; i < conns; i++) {
+        burst(i);
+        if (i % 8 != 0)
+            continue;
+        churned++;
+        sys::System &client = fleet.system(i / g.perClient + 1);
+        fab::FabricInitiator *ini = inis[i].get();
+        client.eq.schedule(client.now() + kResetAt,
+                           [ini] { ini->reset(); });
+    }
+    fleet.start(fleet.system(1).now() + 4 * kMs);
+    fleet.run();
+
+    // Reconnect the churned connections while settled and re-install
+    // their lane weights for the freshly minted tenants.
+    fleet.settle();
+    for (unsigned i = 0; i < conns; i += 8) {
+        sys::System &client = fleet.system(i / g.perClient + 1);
+        fab::FabricInitiator *ini = inis[i].get();
+        client.eq.schedule(client.now(), [ini, i] {
+            ini->connect(static_cast<Pasid>(500 + i),
+                         [](fab::ConnectStatus st) {
+                             sim::panicIf(st != fab::ConnectStatus::Ok,
+                                          "weighted reconnect refused");
+                         });
+        });
+    }
+    fleet.settle();
+    for (unsigned i = 0; i < conns; i += 8) {
+        sim::panicIf(!inis[i]->connected(),
+                     "weighted reconnect did not settle");
+        setWeight(i);
+    }
+    fleet.settle();
+
+    // Phase B: the tail burst, churned connections included.
+    for (unsigned i = 0; i < conns; i++)
+        burst(i);
+    fleet.start(fleet.system(1).now() + 4 * kMs);
+    fleet.run();
+
+    // Accounting closes exactly per connection: a reset may delay a
+    // failure callback (deferred to observe the torn-down initiator)
+    // but may never drop one or leak a depth slot.
+    std::uint64_t totalFailed = 0;
+    sim::Histogram heavy;
+    sim::Histogram light;
+    for (unsigned i = 0; i < conns; i++) {
+        sim::panicIf(done[i] + failed[i] != issued[i],
+                     "weighted churn dropped a completion");
+        sim::panicIf(inis[i]->stats().maxInflight > kIncastDepth,
+                     "weighted lane exceeded its depth");
+        totalFailed += failed[i];
+        if (i % 8 != 0) // non-churned lanes carry the fairness signal
+            (i % 2 == 0 ? heavy : light).merge(inis[i]->stats().latency);
+        h = fnv(h, issued[i]);
+        h = fnv(h, done[i]);
+        h = fnv(h, failed[i]);
+        h = fnv(h, inis[i]->stats().reads);
+        h = fnv(h, inis[i]->stats().queuedOnDepth);
+        h = fnv(h, inis[i]->stats().maxInflight);
+        h = fnv(h, inis[i]->stats().resets);
+        h = fnv(h, inis[i]->stats().staleDrops);
+        h = hashHistogram(h, inis[i]->stats().latency);
+    }
+    h = hashConnections(h, tgt);
+    h = hashReactors(h, tgt);
+    h = hashFleetClocks(h, fleet);
+    const double wallSec = wallNow() - t0;
+
+    const bool laneOk = heavy.mean() < light.mean();
+    const bool churnOk = totalFailed > 0;
+    const bool ok = laneOk && churnOk;
+
+    banner("incast_weighted",
+           sim::strf("%u conns (%u/machine), weight %u vs 1, "
+                     "%u churned mid-phase",
+                     conns, g.perClient, kHeavyWeight, churned));
+    row("lane", {"mean ns", "p50 ns", "p99 ns"});
+    row("heavy",
+        {fmt("%.0f", heavy.mean()),
+         fmt("%.0f", static_cast<double>(heavy.p50())),
+         fmt("%.0f", static_cast<double>(heavy.p99()))});
+    row("light",
+        {fmt("%.0f", light.mean()),
+         fmt("%.0f", static_cast<double>(light.p50())),
+         fmt("%.0f", static_cast<double>(light.p99()))});
+    std::printf("weighted lanes: heavy mean %.0f vs light %.0f -> %s; "
+                "churn failed %llu I/Os across %u resets -> %s\n",
+                heavy.mean(), light.mean(),
+                laneOk ? "ok" : "NOT AHEAD",
+                static_cast<unsigned long long>(totalFailed), churned,
+                churnOk ? "ok" : "NO FAILURES (reset missed backlog)");
+
+    BenchJson::Scenario &sc = json.add("incast_weighted");
+    BenchJson::field(sc, "conns", conns);
+    BenchJson::field(sc, "per_client", g.perClient);
+    BenchJson::field(sc, "lane_burst", g.laneBurst);
+    BenchJson::field(sc, "heavy_weight", kHeavyWeight);
+    BenchJson::field(sc, "churned", churned);
+    BenchJson::field(sc, "churn_failed_ios", totalFailed);
+    BenchJson::fieldF(sc, "heavy_mean_ns", heavy.mean());
+    BenchJson::fieldF(sc, "light_mean_ns", light.mean());
+    BenchJson::field(sc, "heavy_p99_ns", heavy.p99());
+    BenchJson::field(sc, "light_p99_ns", light.p99());
+    BenchJson::field(sc, "qos_admits", qos.admits());
+    BenchJson::field(sc, "qos_throttles", qos.throttles());
+    BenchJson::field(sc, "weighted_ok", ok ? 1 : 0);
+    reactorFields(sc, tgt);
+    checkTenantSums(fleet.target());
+    execFields(sc, fleet, h, wallSec);
+    std::printf("incast_weighted digest %016llx\n",
+                static_cast<unsigned long long>(h));
+
+    teardownAll(fleet, inis);
+    return ok;
 }
 
 /**
@@ -485,6 +722,9 @@ main(int argc, char **argv)
     BenchJson json;
     runIncastScaling(fleet, g, json);
     const bool ok = runAdmission(fleet, g, noAdmission, json);
+    // Runs last: it enables QoS on the target system, which must not
+    // perturb the earlier cells' digests.
+    const bool weightedOk = runWeightedChurn(fleet, g, json);
 
     obs.capture("fabric_incast/target", fleet.target());
     bool io = true;
@@ -496,5 +736,8 @@ main(int argc, char **argv)
                      "fabric_incast: admission gate FAILED%s\n",
                      noAdmission ? " (expected under --no-admission)"
                                  : "");
-    return ok && io ? 0 : 1;
+    if (!weightedOk)
+        std::fprintf(stderr,
+                     "fabric_incast: weighted-lane gate FAILED\n");
+    return ok && weightedOk && io ? 0 : 1;
 }

@@ -161,6 +161,159 @@ foregroundLatency(Engine fgEngine, unsigned backgroundReaders,
     return lat->mean();
 }
 
+/**
+ * The QoS gate (PR 10): three victim tenants run QD-1 BypassD reads
+ * while an aggressor tenant hammers at QD-16. Uncapped, round-robin
+ * arbitration alone lets the aggressor eat most of the device (the
+ * ROADMAP's complaint about fig11). With a 50k IOPS token-bucket cap on
+ * the aggressor the gate demands two things at once:
+ *   1. the cap holds: aggressor completion rate within ±5% of 50k, and
+ *   2. the victims keep their SLO: merged p99 within 1.5x of the
+ *      no-aggressor baseline (measured with the same QoS registry
+ *      enabled, so the baseline also covers digest-neutral wiring).
+ * Returns false — and main exits non-zero — on any breach.
+ */
+bool
+runQosGate(bench::ObsCapture &obs, bench::BenchJson *out)
+{
+    constexpr std::uint64_t kFile = 256ull << 20;
+    constexpr double kCapIops = 50000.0;
+    constexpr unsigned kVictims = 3;
+
+    double baseP99 = 0, cappedP99 = 0, aggrIops = 0;
+    std::uint64_t throttles = 0;
+
+    for (int phase = 0; phase < 2; phase++) {
+        const bool withAggressor = phase == 1;
+        const std::string label
+            = withAggressor ? "fig11_qos_capped" : "fig11_qos_base";
+        auto s = bench::makeSystem(64ull << 30);
+        obs.attach(*s, label);
+        s->enableTenantAccounting();
+        // Both cells enable QoS; the baseline simply sets no limits
+        // (an unlimited registry admits without touching state).
+        qos::Registry &qos = s->enableQos();
+        bench::Recorder rec(*s);
+
+        std::vector<std::unique_ptr<Reader>> victims;
+        for (unsigned i = 0; i < kVictims; i++) {
+            victims.push_back(
+                makeReader(*s, rec, "/victim" + std::to_string(i) + ".dat",
+                           kFile, 2000 + i, 77 + i, true));
+        }
+        std::unique_ptr<Reader> aggr;
+        if (withAggressor) {
+            aggr = makeReader(*s, rec, "/aggr.dat", kFile, 3000, 100,
+                              true);
+            qos::TenantLimit lim;
+            lim.iopsLimit = static_cast<std::uint64_t>(kCapIops);
+            lim.burstOps = 8; // tight bucket: ±8 ops of slack per window
+            qos.setLimit(aggr->proc->pasid(), lim);
+        }
+
+        const Time start = s->now();
+        const Time measureStart = start + 1 * kMs;
+        const Time tEnd = measureStart + 8 * kMs;
+        const unsigned nProcs = kVictims + (withAggressor ? 1 : 0);
+        rec.cpuAcquire(*victims[0]->proc, nProcs);
+
+        auto lat = std::make_shared<sim::Histogram>();
+        for (auto &vp : victims) {
+            Reader *v = vp.get();
+            auto loop = std::make_shared<std::function<void()>>();
+            *loop = [v, loop, lat, measureStart, tEnd, &s, &rec]() {
+                if (s->now() >= tEnd)
+                    return;
+                const std::uint64_t off
+                    = v->rng.nextUint(kFile / 4096) * 4096;
+                const Time t0 = s->now();
+                rec.pread(*v->lib, *v->proc, 0, v->fd, v->buf, off, 0,
+                          v->fileId,
+                          [loop, lat, t0, measureStart, tEnd,
+                           &s](long long n, kern::IoTrace) {
+                              sim::panicIf(n < 0, "victim read failed");
+                              if (t0 >= measureStart && s->now() <= tEnd)
+                                  lat->record(s->now() - t0);
+                              (*loop)();
+                          });
+            };
+            (*loop)();
+        }
+
+        auto aggrOps = std::make_shared<std::uint64_t>(0);
+        if (withAggressor) {
+            Reader *a = aggr.get();
+            auto loop = std::make_shared<std::function<void()>>();
+            *loop = [a, loop, aggrOps, measureStart, tEnd, &s, &rec]() {
+                if (s->now() >= tEnd)
+                    return;
+                const std::uint64_t off
+                    = a->rng.nextUint(kFile / 4096) * 4096;
+                rec.pread(*a->lib, *a->proc, 0, a->fd, a->buf, off, 0,
+                          a->fileId,
+                          [loop, aggrOps, measureStart, tEnd,
+                           &s](long long n, kern::IoTrace) {
+                              sim::panicIf(n < 0, "aggressor read failed");
+                              if (s->now() > measureStart
+                                  && s->now() <= tEnd)
+                                  (*aggrOps)++;
+                              (*loop)();
+                          });
+            };
+            for (int d = 0; d < 16; d++)
+                (*loop)();
+        }
+
+        s->run();
+        rec.cpuRelease(*victims[0]->proc, nProcs);
+        bench::checkTenantSums(*s);
+        obs.capture(label, *s);
+
+        const double winSec
+            = static_cast<double>(tEnd - measureStart) / 1e9;
+        if (withAggressor) {
+            cappedP99 = static_cast<double>(lat->p99());
+            aggrIops = static_cast<double>(*aggrOps) / winSec;
+            throttles = s->qos()->throttles();
+        } else {
+            baseP99 = static_cast<double>(lat->p99());
+        }
+
+        if (out) {
+            bench::BenchJson::Scenario &sc = out->add(label);
+            const double simSec = static_cast<double>(s->now()) / 1e9;
+            bench::BenchJson::field(sc, "events", s->eq.executed());
+            bench::BenchJson::field(sc, "sim_ns", s->now());
+            bench::BenchJson::fieldF(sc, "victim_p99_ns",
+                                     static_cast<double>(lat->p99()));
+            bench::BenchJson::fieldF(sc, "victim_mean_ns", lat->mean());
+            bench::BenchJson::field(sc, "device_ops", s->dev.totalOps());
+            bench::BenchJson::field(sc, "qos_throttles",
+                                    s->qos()->throttles());
+            bench::BenchJson::field(sc, "qos_throttled_bytes",
+                                    s->qos()->throttledBytes());
+            if (withAggressor)
+                bench::BenchJson::fieldF(sc, "aggr_iops", aggrIops);
+            bench::tenantFields(sc, *s, simSec);
+        }
+    }
+
+    const double capErr = (aggrIops - kCapIops) / kCapIops;
+    const bool capHolds = capErr >= -0.05 && capErr <= 0.05;
+    const bool sloHolds = cappedP99 <= 1.5 * baseP99;
+    std::printf("\nQoS gate: aggressor %.0f IOPS vs cap %.0f (%+.1f%%, "
+                "%llu throttles) -> %s\n",
+                aggrIops, kCapIops, capErr * 100.0,
+                (unsigned long long)throttles,
+                capHolds ? "ok" : "BREACH");
+    std::printf("QoS gate: victim p99 %.0f ns vs baseline %.0f ns "
+                "(%.2fx, bound 1.50x) -> %s\n",
+                cappedP99, baseP99,
+                baseP99 > 0 ? cappedP99 / baseP99 : 0.0,
+                sloHolds ? "ok" : "BREACH");
+    return capHolds && sloHolds;
+}
+
 } // namespace
 
 int
@@ -204,7 +357,10 @@ main(int argc, char **argv)
                 "BypassD stays below\nthe kernel baseline even with 16 "
                 "background readers — the device's\nround-robin queue "
                 "arbitration balances the load.\n");
+    const bool qosOk = runQosGate(obs, out);
     if (out && !json.write(outPath, "fig11"))
         return 1;
-    return obs.write() ? 0 : 1;
+    if (!obs.write())
+        return 1;
+    return qosOk ? 0 : 1;
 }

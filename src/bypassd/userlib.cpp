@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "qos/qos.hpp"
 #include "sim/logging.hpp"
 
 namespace bpd::bypassd {
@@ -486,12 +487,33 @@ void
 UserLib::submitWithRetry(Tid tid, std::size_t slot, ssd::Command cmd,
                          ssd::CommandDispatcher::CompletionFn fn)
 {
+    // QoS gate on the direct path: data commands charge the process's
+    // token buckets exactly once (the SQ-full retry loop below does not
+    // re-charge). Flushes are exempt — caps cover data IOPS/bytes only.
+    qos::Registry *qos = kernel_.qos();
+    if (qos && (cmd.op == ssd::Op::Read || cmd.op == ssd::Op::Write)) {
+        const TenantId tenant = proc_.pasid();
+        if (!qos->tryAcquire(tenant, 1, cmd.len)) {
+            qos->park(tenant, 1, cmd.len,
+                      [this, tid, slot, cmd, fn = std::move(fn)]() mutable {
+                          submitNow(tid, slot, cmd, std::move(fn));
+                      });
+            return;
+        }
+    }
+    submitNow(tid, slot, cmd, std::move(fn));
+}
+
+void
+UserLib::submitNow(Tid tid, std::size_t slot, ssd::Command cmd,
+                   ssd::CommandDispatcher::CompletionFn fn)
+{
     UserQueues &q = uq(tid, slot);
     if (q.dispatcher->submit(cmd, fn))
         return;
     // SQ full: poll and retry shortly.
     kernel_.eq().after(500, [this, tid, slot, cmd, fn = std::move(fn)]() {
-        submitWithRetry(tid, slot, cmd, fn);
+        submitNow(tid, slot, cmd, fn);
     });
 }
 

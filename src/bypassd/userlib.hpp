@@ -207,6 +207,8 @@ class UserLib
 
     void submitWithRetry(Tid tid, std::size_t slot, ssd::Command cmd,
                          ssd::CommandDispatcher::CompletionFn fn);
+    void submitNow(Tid tid, std::size_t slot, ssd::Command cmd,
+                   ssd::CommandDispatcher::CompletionFn fn);
 
     kern::Kernel &kernel_;
     BypassdModule &module_;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "fabric/target.hpp"
+#include "qos/qos.hpp"
 #include "sim/logging.hpp"
 
 namespace bpd::fab {
@@ -101,19 +102,27 @@ FabricInitiator::reset()
     tenant_ = kSystemTenant;
     preConnectQueue_.clear();
     depthQueue_.clear(); // queued-over-depth I/O fails with the rest
+    // Detach the connection callbacks BEFORE failing anything: failure
+    // callbacks are free to call connect() again, and the fresh
+    // connectCb_ they install must not be stomped by this reset's
+    // Refused notification (the pre-reset callback, captured here, is
+    // the one that gets it).
+    ConnectCb connCb = std::move(connectCb_);
+    connectCb_ = {};
+    disconnectCb_ = {};
     std::vector<std::uint64_t> cids;
     cids.reserve(pending_.size());
     for (const auto &[cid, p] : pending_)
         cids.push_back(cid);
+    // Every pending I/O — admitted and in flight, parked on the depth
+    // queue, or parked on the QoS FIFO — fails through the same path
+    // with the same error surface; failIo defers the callbacks so none
+    // of them reenters this initiator mid-teardown.
     for (std::uint64_t cid : cids)
         failIo(cid, host_.eq.now());
     sim::panicIf(inflight_ != 0, "fabric reset leaked a depth slot");
-    if (connectCb_) {
-        auto cb = std::move(connectCb_);
-        connectCb_ = {};
-        cb(ConnectStatus::Refused);
-    }
-    disconnectCb_ = {};
+    if (connCb)
+        connCb(ConnectStatus::Refused);
     if (hadConn) {
         FabricTarget *tgt = &target_;
         exec_->post(domain_, target_.domain(),
@@ -171,6 +180,34 @@ FabricInitiator::doIo(Tid tid, ssd::Op op, DevAddr addr,
         stats_.queuedBeforeConnect++;
         preConnectQueue_.push_back(cid);
         return;
+    }
+    gateAndAdmit(cid);
+}
+
+void
+FabricInitiator::gateAndAdmit(std::uint64_t cid)
+{
+    // The rate cap is enforced here on the CLIENT host's registry (the
+    // submission site), keyed by the connection tenant the target
+    // granted. The target-side registry only supplies dispatch weights;
+    // touching it from the client domain would race under sharding.
+    qos::Registry *qos = host_.qos();
+    if (qos) {
+        auto it = pending_.find(cid);
+        if (it == pending_.end())
+            return;
+        const std::uint64_t bytes = it->second.buf.size();
+        if (!qos->tryAcquire(tenant_, 1, bytes)) {
+            qos->park(tenant_, 1, bytes,
+                      [this, cid, gen = gen_, alive = alive_] {
+                          if (!*alive || gen != gen_)
+                              return; // reset already failed this cid
+                          if (!pending_.count(cid))
+                              return;
+                          admit(cid);
+                      });
+            return;
+        }
     }
     admit(cid);
 }
@@ -285,7 +322,7 @@ FabricInitiator::onConnectAck(std::uint32_t gen, ConnectStatus st,
     preConnectQueue_.clear();
     for (std::uint64_t cid : q)
         if (pending_.count(cid))
-            admit(cid); // depth admission applies to the flushed queue
+            gateAndAdmit(cid); // QoS + depth apply to the flushed queue
 }
 
 void
@@ -410,7 +447,15 @@ FabricInitiator::failIo(std::uint64_t cid, Time)
     // Non-admitted cids may still sit in depthQueue_; drainDepthQueue
     // skips them once their PendingIo is gone, and reset() clears the
     // queue wholesale before failing, so no eager erase is needed.
-    p.cb(kern::errOf(fs::FsStatus::Inval), kern::IoTrace{});
+    //
+    // The caller's callback is deferred to the next event-queue round:
+    // failIo runs inside reset()/onConnectAck teardown loops, and a
+    // callback that resubmits or reconnects must observe the initiator
+    // fully torn down (state Idle, depth slots released), not a
+    // half-cleared one.
+    host_.eq.after(0, [cb = std::move(p.cb)] {
+        cb(kern::errOf(fs::FsStatus::Inval), kern::IoTrace{});
+    });
 }
 
 } // namespace bpd::fab

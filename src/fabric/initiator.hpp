@@ -170,6 +170,16 @@ class FabricInitiator
 
     void doIo(Tid tid, ssd::Op op, DevAddr addr,
               std::span<std::uint8_t> buf, kern::IoCb cb);
+    /**
+     * QoS gate in front of admit(): charges the connection tenant's
+     * token buckets on the client host's registry, parking over-limit
+     * cids until refill. Called only where an I/O first becomes
+     * eligible (doIo while Connected, the post-ack flush) — depth-queue
+     * readmissions go straight to admit() so an I/O is never charged
+     * twice. Park resumes are generation-fenced: a reset fails the
+     * pending I/O and the late resume is a no-op.
+     */
+    void gateAndAdmit(std::uint64_t cid);
     void admit(std::uint64_t cid);
     void drainDepthQueue();
     void sendCapsule(std::uint64_t cid);

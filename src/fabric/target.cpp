@@ -158,6 +158,9 @@ FabricTarget::finishConnect(FabricInitiator *ini, std::uint32_t gen,
     }
     const TenantId tenant = kConnTenantBase + id;
     if (st == ConnectStatus::Ok) {
+        // Weighted-fair SQ arbitration keys on the connection tenant,
+        // not the shared kFabricOwnerPasid, so per-lane weights work.
+        c->qp->setQosTenant(tenant);
         c->disp = std::make_unique<ssd::CommandDispatcher>(*c->qp);
         c->open = true;
         accepts_++;
@@ -197,6 +200,12 @@ FabricTarget::rpcDisconnect(std::uint32_t connId, std::uint32_t gen)
     disconnects_++;
     const Time startT = std::max(sys_.eq.now(), adminFreeAt_);
     adminFreeAt_ = startT + sys_.kernel.cpu().scaled(prof_.adminProcessNs);
+    // Admin-queue work is deliberately conn-less: the span covers the
+    // shared admin processor, not any one connection's lane.
+    // trace_view folds these into its explicit "admin" row.
+    if (obs::Tracer *t = sys_.tracer())
+        t->span(t->track("fabric.target"), "fabric.admin", 0, startT,
+                adminFreeAt_, {{"op", std::int64_t{0} /* disconnect */}});
     sys_.eq.schedule(adminFreeAt_, [this, connId, alive = alive_] {
         if (*alive)
             beginTeardown(connId);
@@ -224,6 +233,9 @@ FabricTarget::rpcAbort(std::uint32_t connId, std::uint32_t gen)
     c->parked.clear();
     const Time startT = std::max(sys_.eq.now(), adminFreeAt_);
     adminFreeAt_ = startT + sys_.kernel.cpu().scaled(prof_.adminProcessNs);
+    if (obs::Tracer *t = sys_.tracer())
+        t->span(t->track("fabric.target"), "fabric.admin", 0, startT,
+                adminFreeAt_, {{"op", std::int64_t{1} /* abort */}});
     sys_.eq.schedule(adminFreeAt_, [this, connId, alive = alive_] {
         if (*alive)
             beginTeardown(connId);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "qos/qos.hpp"
 #include "sim/logging.hpp"
 #include "sim/random.hpp"
 
@@ -172,6 +173,34 @@ Kernel::deviceIo(ssd::Op op, const std::vector<fs::Seg> &segs,
                  std::span<std::uint8_t> buf,
                  std::function<void(ssd::Status, Time)> cb,
                  obs::TraceId trace, TenantId tenant)
+{
+    // QoS gate: charge the tenant's token buckets before touching any
+    // device queue. An over-limit submission parks whole on the
+    // tenant's FIFO (never dropped, never reordered) and issues when
+    // the buckets refill. Flushes do not pass through deviceIo, so
+    // every call here is data-path ops/bytes.
+    if (qos_ && !segs.empty()) {
+        std::uint64_t bytes = 0;
+        for (const auto &seg : segs)
+            bytes += seg.len;
+        if (!qos_->tryAcquire(tenant, segs.size(), bytes)) {
+            qos_->park(tenant, segs.size(), bytes,
+                       [this, op, segs, buf, cb = std::move(cb), trace,
+                        tenant]() mutable {
+                           deviceIoNow(op, segs, buf, std::move(cb),
+                                       trace, tenant);
+                       });
+            return;
+        }
+    }
+    deviceIoNow(op, segs, buf, std::move(cb), trace, tenant);
+}
+
+void
+Kernel::deviceIoNow(ssd::Op op, const std::vector<fs::Seg> &segs,
+                    std::span<std::uint8_t> buf,
+                    std::function<void(ssd::Status, Time)> cb,
+                    obs::TraceId trace, TenantId tenant)
 {
     struct Agg
     {

@@ -40,6 +40,10 @@
 #include "ssd/dispatcher.hpp"
 #include "ssd/nvme.hpp"
 
+namespace bpd::qos {
+class Registry;
+}
+
 namespace bpd::kern {
 
 /** Per-request time attribution (Fig. 7 breakdown). */
@@ -234,6 +238,16 @@ class Kernel
                   obs::TraceId trace = 0,
                   TenantId tenant = kSystemTenant);
 
+    /**
+     * Attach the QoS registry (null = disabled, the default). deviceIo
+     * then charges each data I/O against the tenant's token buckets and
+     * parks over-limit submissions on the registry's per-tenant FIFO;
+     * they issue in order as the buckets refill. Flush (sysFsync) is
+     * exempt — QoS caps data-path IOPS/bytes, not durability barriers.
+     */
+    void setQos(qos::Registry *q) { qos_ = q; }
+    qos::Registry *qos() const { return qos_; }
+
     /** The kernel-interface path for appends (used by UserLib, Table 3). */
     void appendPath(Process &p, fs::Inode &ino,
                     std::span<const std::uint8_t> buf, std::uint64_t off,
@@ -290,6 +304,12 @@ class Kernel
                        std::uint64_t off, IoCb cb, obs::TraceId trace);
     void writebackDirty(fs::Inode &ino, std::function<void(Time)> done);
 
+    /** The ungated deviceIo body (QoS already charged or disabled). */
+    void deviceIoNow(ssd::Op op, const std::vector<fs::Seg> &segs,
+                     std::span<std::uint8_t> buf,
+                     std::function<void(ssd::Status, Time)> cb,
+                     obs::TraceId trace, TenantId tenant);
+
     /** syscalls_++ plus per-tenant attribution (same site). */
     void noteSyscall(const Process &p)
     {
@@ -339,6 +359,8 @@ class Kernel
 
     obs::TenantAccounting *acct_ = nullptr;
     TenantId activeTenant_ = kSystemTenant;
+
+    qos::Registry *qos_ = nullptr;
 };
 
 /**

@@ -59,6 +59,11 @@ struct TenantCounters
     std::uint64_t bypassdWarmFmaps = 0;
     std::uint64_t bypassdRejectedFmaps = 0;
     std::uint64_t bypassdRevokedVictims = 0;
+
+    // qos (token-bucket throttles at the submission sites; global only
+    // — QoS gates before device routing, so there is no device axis)
+    std::uint64_t qosThrottles = 0;
+    std::uint64_t qosThrottledBytes = 0;
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "spdk/spdk.hpp"
 
+#include "qos/qos.hpp"
 #include "sim/logging.hpp"
 
 namespace bpd::spdk {
@@ -111,6 +112,28 @@ SpdkDriver::doIo(Tid tid, ssd::Op op, DevAddr addr,
 {
     sim::panicIf(!initialized_, "SPDK I/O before init()");
     sim::panicIf(draining_, "SPDK I/O submitted during shutdown drain");
+    // QoS gate: charge the owner tenant before the submit-cost model
+    // runs. Parked I/Os count as pending so a shutdown drain waits for
+    // them; the alive guard covers a driver destroyed while parked.
+    if (qos_ && !qos_->tryAcquire(owner_, 1, buf.size())) {
+        pendingIos_++;
+        qos_->park(owner_, 1, buf.size(),
+                   [this, alive = alive_, tid, op, addr, buf,
+                    cb = std::move(cb)]() mutable {
+                       if (!*alive)
+                           return;
+                       pendingIos_--;
+                       doIoNow(tid, op, addr, buf, std::move(cb));
+                   });
+        return;
+    }
+    doIoNow(tid, op, addr, buf, std::move(cb));
+}
+
+void
+SpdkDriver::doIoNow(Tid tid, ssd::Op op, DevAddr addr,
+                    std::span<std::uint8_t> buf, kern::IoCb cb)
+{
     pendingIos_++;
     const Time start = eq_.now();
 

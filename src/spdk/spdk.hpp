@@ -70,6 +70,14 @@ class SpdkDriver
     void write(Tid tid, DevAddr addr, std::span<const std::uint8_t> buf,
                kern::IoCb cb);
 
+    /**
+     * Attach the QoS registry (null = disabled, the default). The
+     * baseline then charges the owner tenant's token buckets per I/O;
+     * over-limit submissions park and issue in order on refill, so
+     * even the kernel-bypass lower bound honors tenant caps.
+     */
+    void setQos(qos::Registry *q) { qos_ = q; }
+
   private:
     struct ThreadCtx
     {
@@ -80,6 +88,8 @@ class SpdkDriver
     ThreadCtx &ctx(Tid tid);
     void doIo(Tid tid, ssd::Op op, DevAddr addr,
               std::span<std::uint8_t> buf, kern::IoCb cb);
+    void doIoNow(Tid tid, ssd::Op op, DevAddr addr,
+                 std::span<std::uint8_t> buf, kern::IoCb cb);
     void scheduleDrainPoll();
     void teardown();
 
@@ -94,6 +104,7 @@ class SpdkDriver
     /** Cancels queued drain polls if the driver is destroyed first. */
     std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
     std::map<Tid, ThreadCtx> threads_;
+    qos::Registry *qos_ = nullptr;
 };
 
 } // namespace bpd::spdk

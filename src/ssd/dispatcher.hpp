@@ -38,13 +38,19 @@ class CommandDispatcher
     /**
      * Submit with a per-command completion callback.
      * @retval false when the SQ is full (callback not retained).
+     *
+     * The cid is consumed only once the queue accepts the command: a
+     * refused submit must not burn an id, or the cid stream of a config
+     * that hits SQ-full drifts from one that does not, poisoning
+     * replay/digest comparisons between them.
      */
     bool
     submit(Command cmd, CompletionFn fn)
     {
-        cmd.cid = nextCid_++;
+        cmd.cid = nextCid_;
         if (!qp_.submit(cmd))
             return false;
+        nextCid_++;
         pending_[cmd.cid] = std::move(fn);
         return true;
     }

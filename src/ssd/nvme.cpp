@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/trace.hpp"
+#include "qos/qos.hpp"
 #include "sim/logging.hpp"
 
 namespace bpd::ssd {
@@ -30,6 +31,7 @@ QueuePair::QueuePair(NvmeDevice &dev, std::uint16_t qid, Pasid pasid,
                      std::uint32_t depth, bool vbaMode)
     : dev_(dev), qid_(qid), pasid_(pasid), depth_(depth), vbaMode_(vbaMode)
 {
+    qosTenant_ = pasid;
 }
 
 bool
@@ -170,10 +172,12 @@ NvmeDevice::ring(std::uint16_t qid)
 void
 NvmeDevice::tryDispatch()
 {
-    // Round-robin arbitration: pick at most one command per queue per
-    // scan. Admission is bounded by total device occupancy (media units
-    // busy + commands translating + media backlog) so arbitration stays
-    // fair under load, while ATS translations overlap media work.
+    // Weighted round-robin arbitration: each queue's turn drains up to
+    // weight(qosTenant) commands per scan (one without a QoS registry —
+    // the paper's plain round-robin, bit-identically). Admission is
+    // bounded by total device occupancy (media units busy + commands
+    // translating + media backlog) so arbitration stays fair under
+    // load, while ATS translations overlap media work.
     auto admitting = [this]() {
         return busyUnits_ + translating_ + mediaQueue_.size()
                < 2 * profile_.units;
@@ -187,13 +191,17 @@ NvmeDevice::tryDispatch()
             rrNext_ = rrNext_ % rrOrder_.size();
             QueuePair &qp = *rrOrder_[rrNext_];
             rrNext_ = (rrNext_ + 1) % rrOrder_.size();
-            if (qp.sq_.empty())
-                continue;
-            Command cmd = qp.sq_.front();
-            qp.sq_.pop_front();
-            qp.inflight_++;
-            any = true;
-            process(qp, std::move(cmd));
+            const std::uint32_t weight
+                = qos_ ? qos_->weightOf(qp.qosTenant()) : 1;
+            for (std::uint32_t took = 0;
+                 took < weight && !qp.sq_.empty() && admitting();
+                 took++) {
+                Command cmd = qp.sq_.front();
+                qp.sq_.pop_front();
+                qp.inflight_++;
+                any = true;
+                process(qp, std::move(cmd));
+            }
         }
         if (!any)
             break;

@@ -39,6 +39,10 @@ namespace bpd::obs {
 class Tracer;
 }
 
+namespace bpd::qos {
+class Registry;
+}
+
 namespace bpd::ssd {
 
 /** Device timing/geometry profile. */
@@ -183,6 +187,18 @@ class QueuePair
     std::uint64_t faults() const { return faults_; }
     ///@}
 
+    /** @name Weighted-fair arbitration identity
+     * The tenant whose QoS weight governs this queue's share of the RR
+     * scan. Defaults to the owning PASID; the fabric target points it
+     * at the connection tenant (kConnTenantBase + id) so remote lanes
+     * can be weighted individually even though every connection queue
+     * is owned by the same kFabricOwnerPasid.
+     */
+    ///@{
+    TenantId qosTenant() const { return qosTenant_; }
+    void setQosTenant(TenantId t) { qosTenant_ = t; }
+    ///@}
+
   private:
     friend class NvmeDevice;
 
@@ -205,6 +221,8 @@ class QueuePair
 
     DevAddr partBase_ = 0;
     std::uint64_t partBytes_ = 0; //!< 0 = whole device
+
+    TenantId qosTenant_ = kSystemTenant; //!< weight lookup key
 
     std::uint64_t completedOps_ = 0;
     std::uint64_t completedBytes_ = 0;
@@ -277,6 +295,16 @@ class NvmeDevice
      * change timing and the per-tenant sums equal the totals exactly.
      */
     void setTenantAccounting(obs::TenantAccounting *a) { acct_ = a; }
+
+    /**
+     * Attach the QoS registry (null = disabled, the default). The
+     * device only reads per-tenant weights from it: SQ arbitration
+     * becomes weighted round-robin, a queue draining up to
+     * weight(qosTenant) commands per scan turn. With no registry — or
+     * with every weight at 1 — the scan is the plain round-robin the
+     * paper describes, bit-identically.
+     */
+    void setQos(qos::Registry *q) { qos_ = q; }
 
     /** @name Aggregate statistics */
     ///@{
@@ -357,6 +385,7 @@ class NvmeDevice
 
     obs::Tracer *trace_ = nullptr;
     obs::TenantAccounting *acct_ = nullptr;
+    qos::Registry *qos_ = nullptr;
 
     std::uint64_t totalOps_ = 0;
     std::uint64_t readBytes_ = 0;

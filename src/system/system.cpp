@@ -181,7 +181,27 @@ System::enableTenantAccounting()
     const TenantId *active = kernel.activeTenantPtr();
     ext4.setTenantAccounting(&acct_, active);
     kernel.pageCache().setTenantAccounting(&acct_, active);
+    // Either enable order works: a QoS registry enabled earlier starts
+    // attributing throttles now.
+    if (qos_)
+        qos_->setAccounting(&acct_);
     return acct_;
+}
+
+qos::Registry &
+System::enableQos()
+{
+    if (qos_)
+        return *qos_;
+    qos_ = std::make_unique<qos::Registry>(eq);
+    kernel.setQos(qos_.get());
+    // Wire every fleet slot (including not-yet-plugged ones, so
+    // hot-plug needs no re-wiring).
+    for (std::size_t i = 0; i < devices.size(); i++)
+        devices.slot(i).dev.setQos(qos_.get());
+    if (acctEnabled_)
+        qos_->setAccounting(&acct_);
+    return *qos_;
 }
 
 std::string
@@ -207,6 +227,8 @@ System::verifyTenantSums()
         sum.bypassdWarmFmaps += tc.bypassdWarmFmaps;
         sum.bypassdRejectedFmaps += tc.bypassdRejectedFmaps;
         sum.bypassdRevokedVictims += tc.bypassdRevokedVictims;
+        sum.qosThrottles += tc.qosThrottles;
+        sum.qosThrottledBytes += tc.qosThrottledBytes;
     });
     // Fleet totals: the hardware-side counters fold across every slot.
     std::uint64_t devOps = 0, devRead = 0, devWrite = 0, devTf = 0;
@@ -250,6 +272,12 @@ System::verifyTenantSums()
              {sum.bypassdRejectedFmaps, module.rejectedFmaps()}},
             {"bypassd.revoked_victims",
              {sum.bypassdRevokedVictims, module.revokedVictims()}},
+            // QoS off: both sides are zero, the rows hold trivially.
+            {"qos.throttles",
+             {sum.qosThrottles, qos_ ? qos_->throttles() : 0}},
+            {"qos.throttled_bytes",
+             {sum.qosThrottledBytes,
+              qos_ ? qos_->throttledBytes() : 0}},
         };
     for (const auto &[name, v] : checks)
         if (v.first != v.second)
@@ -425,6 +453,14 @@ System::collectMetrics()
     metrics.gauge("ssd", "resident_bytes")
         .set(static_cast<double>(store.residentBytes()));
     metrics.gauge("sim", "now_ns").set(static_cast<double>(eq.now()));
+    // qos.* appears only when QoS is on, so non-QoS configs keep their
+    // exact metric key set.
+    if (qos_) {
+        metrics.counter("qos", "admits").set(qos_->admits());
+        metrics.counter("qos", "throttles").set(qos_->throttles());
+        metrics.counter("qos", "throttled_bytes")
+            .set(qos_->throttledBytes());
+    }
 
     if (!acctEnabled_)
         return;
@@ -454,6 +490,11 @@ System::collectMetrics()
             .set(tc.bypassdRejectedFmaps);
         m.counter("bypassd", "revoked_victims")
             .set(tc.bypassdRevokedVictims);
+        if (qos_) {
+            m.counter("qos", "throttles").set(tc.qosThrottles);
+            m.counter("qos", "throttled_bytes")
+                .set(tc.qosThrottledBytes);
+        }
     });
     // Per-device x per-tenant breakdown. Published for fleets only so
     // classic single-device tenant output keeps its exact key set.

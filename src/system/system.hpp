@@ -22,6 +22,7 @@
 #include "obs/metrics.hpp"
 #include "obs/tenant.hpp"
 #include "obs/trace.hpp"
+#include "qos/qos.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/logging.hpp"
 #include "sim/sim_executor.hpp"
@@ -145,6 +146,20 @@ class System
     const obs::TenantAccounting &tenantAccounting() const { return acct_; }
 
     /**
+     * Turn on per-tenant QoS and wire the registry into every
+     * submission site (kernel deviceIo, UserLib direct path, every
+     * fleet device's SQ arbitration; SPDK and fabric initiators wire
+     * themselves via qos()). Idempotent. A registry with no limits set
+     * admits everything without touching state, so enabling QoS alone
+     * is digest-neutral; setLimit()/weights then make it bite.
+     */
+    qos::Registry &enableQos();
+
+    /** The QoS registry, or nullptr when QoS is off. */
+    qos::Registry *qos() { return qos_.get(); }
+    const qos::Registry *qos() const { return qos_.get(); }
+
+    /**
      * Pull current counters out of every component's stat accessors
      * into the metrics registry (cheap; call before snapshotting).
      */
@@ -209,6 +224,7 @@ class System
     bool acctEnabled_ = false;
 
     std::unique_ptr<obs::Tracer> tracer_;
+    std::unique_ptr<qos::Registry> qos_;
 
     sim::SimExecutor *exec_ = nullptr; //!< not owned; see bindExecutor
     std::uint32_t execDomain_ = 0;

@@ -21,6 +21,7 @@
 #include "fabric/initiator.hpp"
 #include "fabric/target.hpp"
 #include "helpers.hpp"
+#include "qos/qos.hpp"
 #include "sim/logging.hpp"
 #include "system/fleet.hpp"
 #include "system/placement.hpp"
@@ -923,6 +924,103 @@ TEST(FabricIncast, ResetRacesRdmaPullOnAnotherReactor)
     EXPECT_TRUE(ok);
     EXPECT_EQ(net.tgt.connections().at(3).reactor,
               sys::connReactor(3, 2));
+}
+
+TEST(FabricQos, ResetUnderQosBacklogFailsParkedIosWithoutLoss)
+{
+    // A tight IOPS cap parks most of a burst in the client host's QoS
+    // registry, still ahead of depth admission. A reset mid-backlog
+    // must present the SAME error surface as for in-flight I/O: every
+    // callback fails (none dropped), no depth slot leaks, and the QoS
+    // drain events that fire later for the torn-down generation are
+    // no-ops. The connection must then be reusable.
+    Net net(1, depthProfile(4));
+    ASSERT_TRUE(net.connectAll());
+    qos::Registry &reg = net.client().enableQos();
+    qos::TenantLimit lim;
+    lim.iopsLimit = 1000; // 1 op/ms
+    lim.burstOps = 1;
+    reg.setLimit(net.ini().remoteTenant(), lim);
+
+    std::vector<std::uint8_t> buf(4096);
+    unsigned failed = 0;
+    long long firstErr = 0;
+    for (unsigned i = 0; i < 6; i++)
+        net.ini().read(0, static_cast<DevAddr>(i) * 4096, buf,
+                       [&](long long n, kern::IoTrace) {
+                           EXPECT_LT(n, 0);
+                           if (firstErr == 0)
+                               firstErr = n;
+                           EXPECT_EQ(n, firstErr)
+                               << "parked I/O failed differently";
+                           failed++;
+                       });
+    // One admitted by the full bucket, five parked in the registry.
+    EXPECT_EQ(reg.parkedOf(net.ini().remoteTenant()), 5u);
+    // Reset inside the response window of the first I/O and before the
+    // first QoS drain (1 ms out) can admit a second one.
+    net.client().eq.schedule(net.client().now() + 12 * kUs,
+                             [&] { net.ini().reset(); });
+    net.exec.run();
+
+    EXPECT_EQ(failed, 6u);
+    EXPECT_EQ(net.ini().pendingIos(), 0u);
+    EXPECT_EQ(net.ini().inflight(), 0u);
+    EXPECT_EQ(net.ini().depthQueued(), 0u);
+    EXPECT_EQ(net.ini().state(), fab::ConnState::Idle);
+    EXPECT_EQ(net.tgt.pendingIos(), 0u);
+    // The drain events ran after the reset and found nothing to admit:
+    // the backlog died with the generation, not silently later.
+    EXPECT_EQ(reg.parkedOf(net.ini().remoteTenant()), 0u);
+
+    // Reconnect mints a new connection tenant, unthrottled; the data
+    // path must be fully functional again.
+    net.settle();
+    ASSERT_TRUE(net.connectAll());
+    unsigned done = 0;
+    for (unsigned i = 0; i < 4; i++)
+        net.ini().read(0, static_cast<DevAddr>(i) * 4096, buf,
+                       [&done](long long n, kern::IoTrace) {
+                           EXPECT_EQ(n, 4096);
+                           done++;
+                       });
+    net.exec.run();
+    EXPECT_EQ(done, 4u);
+}
+
+TEST(FabricQos, ReconnectFromResetFailureCallbackSticks)
+{
+    // Regression: reset() used to fail pending I/O before detaching
+    // the connect callback, so an I/O failure callback that immediately
+    // reconnects had its fresh connect state stomped by the tail of the
+    // same reset. Failure callbacks are now deferred past the teardown
+    // and the old callback is captured first, so a reconnect issued
+    // from inside one must win.
+    Net net;
+    ASSERT_TRUE(net.connectAll());
+    std::vector<std::uint8_t> buf(4096);
+    bool reconnected = false;
+    long long rn = -1;
+    net.ini().read(0, 0, buf, [&](long long n, kern::IoTrace) {
+        EXPECT_LT(n, 0);
+        // The initiator must already be fully torn down here.
+        EXPECT_EQ(net.ini().state(), fab::ConnState::Idle);
+        EXPECT_EQ(net.ini().inflight(), 0u);
+        net.ini().connect(8, [&](fab::ConnectStatus st) {
+            reconnected = st == fab::ConnectStatus::Ok;
+        });
+    });
+    net.client().eq.schedule(net.client().now() + 12 * kUs,
+                             [&] { net.ini().reset(); });
+    net.exec.run();
+    ASSERT_TRUE(reconnected);
+    EXPECT_TRUE(net.ini().connected());
+
+    // And the revived connection moves data.
+    net.ini().read(0, 0, buf,
+                   [&rn](long long n, kern::IoTrace) { rn = n; });
+    net.exec.run();
+    EXPECT_EQ(rn, 4096);
 }
 
 } // namespace bpd

@@ -17,6 +17,7 @@
 #include "obs/metrics.hpp"
 #include "obs/tenant.hpp"
 #include "obs/trace.hpp"
+#include "qos/qos.hpp"
 #include "sim/event_queue.hpp"
 
 static std::atomic<std::uint64_t> g_allocCount{0};
@@ -156,4 +157,39 @@ TEST(ObsAlloc, TenantScopedCounterHandlesDoNotAllocateOnIncrement)
     EXPECT_EQ(after - before, 0u)
         << "tenant-scoped counter increments allocated";
     EXPECT_EQ(c.value(), 1u + 100000u * 4096u);
+}
+
+TEST(ObsAlloc, QosAdmitPathAddsZeroAllocations)
+{
+    // The QoS gates follow the same null-pointer discipline: a null
+    // registry is one branch, and an enabled registry must admit
+    // unlimited tenants — absent, or present weight-only — without
+    // allocating. Only park() (the throttled slow path) may allocate.
+    sim::EventQueue eq;
+    qos::Registry reg(eq);
+    qos::TenantLimit lim;
+    lim.weight = 4; // weight-only: shapes dispatch, never rate-limits
+    reg.setLimit(7, lim);
+    qos::Registry *volatile qosSlot = &reg;
+    std::uint64_t admitted = 0;
+    std::uint32_t weightSum = 0;
+
+    reg.tryAcquire(7, 1, 4096); // settle any lazy storage
+
+    const std::uint64_t before = g_allocCount.load();
+    for (int i = 0; i < 100000; i++) {
+        if (qos::Registry *q = qosSlot) {
+            if (q->tryAcquire(7, 1, 4096))
+                admitted++;
+            if (q->tryAcquire(9, 1, 4096)) // unregistered tenant
+                admitted++;
+            weightSum += q->weightOf(7);
+        }
+    }
+    const std::uint64_t after = g_allocCount.load();
+
+    EXPECT_EQ(after - before, 0u)
+        << "QoS admit path allocated on the hot path";
+    EXPECT_EQ(admitted, 200000u);
+    EXPECT_EQ(weightSum, 400000u);
 }

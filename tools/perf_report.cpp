@@ -405,11 +405,12 @@ printDeviceBreakdown(const BenchFile &cur)
             std::printf("\nper-device breakdown (current):\n");
         any = true;
         std::printf("  %s\n", c.name.c_str());
-        std::printf("    %4s %6s %10s %8s %10s %10s %10s %12s\n", "slot",
-                    "dev_id", "dev_ops", "writes", "p50_ns", "p99_ns",
-                    "acct_ops", "acct_bytes");
+        std::printf("    %4s %6s %10s %8s %10s %10s %10s %12s %9s\n",
+                    "slot", "dev_id", "dev_ops", "writes", "p50_ns",
+                    "p99_ns", "acct_ops", "acct_bytes", "bytes/op");
         double opsMin = 0, opsMax = 0;
         bool acctMismatch = false;
+        bool zeroOpSlot = false;
         for (unsigned d = 0; d < n; d++) {
             char key[48];
             auto devNum = [&](const char *f) {
@@ -419,17 +420,34 @@ printDeviceBreakdown(const BenchFile &cur)
             const double ops = devNum("device_ops");
             const double acctOps = devNum("acct_ssd_ops");
             acctMismatch |= ops != acctOps;
-            std::printf("    %4u %6.0f %10.0f %8.0f %10.0f %10.0f %10.0f "
-                        "%12.0f\n",
-                        d, devNum("dev_id"), ops, devNum("writes"),
-                        devNum("p50_ns"), devNum("p99_ns"), acctOps,
-                        devNum("acct_bytes"));
+            std::printf("    %4u %6.0f %10.0f %8.0f ", d,
+                        devNum("dev_id"), ops, devNum("writes"));
+            // A slot that served no ops (e.g. evicted before its first
+            // dispatch) has no latency distribution and no meaningful
+            // per-op average: print "—" rather than 0s / nan / inf.
+            if (ops > 0) {
+                std::printf("%10.0f %10.0f ", devNum("p50_ns"),
+                            devNum("p99_ns"));
+            } else {
+                zeroOpSlot = true;
+                std::printf("%10s %10s ", "—", "—");
+            }
+            std::printf("%10.0f %12.0f ", acctOps, devNum("acct_bytes"));
+            if (acctOps > 0)
+                std::printf("%9.0f\n", devNum("acct_bytes") / acctOps);
+            else
+                std::printf("%9s\n", "—");
             opsMin = d == 0 ? ops : std::min(opsMin, ops);
             opsMax = std::max(opsMax, ops);
         }
+        // The honest imbalance: a slot that served nothing is the most
+        // extreme imbalance there is, not a reason to stay silent.
         if (n > 1 && opsMin > 0)
             std::printf("    ops imbalance (max/min): %.2fx\n",
                         opsMax / opsMin);
+        else if (n > 1 && zeroOpSlot && opsMax > 0)
+            std::printf("    ops imbalance (max/min): unbounded "
+                        "(a slot served 0 ops)\n");
         if (acctMismatch)
             std::printf("    WARNING: tenant accounting disagrees with "
                         "device hardware counters\n");

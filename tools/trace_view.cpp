@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <string>
 #include <tuple>
@@ -35,6 +36,10 @@
 #include "obs/json.hpp"
 
 namespace {
+
+/** Sentinel "connection" for conn-less fabric admin-queue spans. */
+constexpr std::uint64_t kAdminConn
+    = std::numeric_limits<std::uint64_t>::max();
 
 struct LayerAgg
 {
@@ -219,6 +224,19 @@ main(int argc, char **argv)
             agg.count++;
             agg.totalNs += dur->number * 1000.0; // us -> ns
             agg.bytes += numArg(*args, "bytes", 0);
+        } else if (args && args->isObject() && !args->find("user_ns")
+                   && name->str.rfind("fabric.", 0) == 0) {
+            // Fabric layer spans without a "conn" arg are admin-queue
+            // work (disconnect/abort processing) that belongs to no
+            // single connection. Fold them into an explicit "admin"
+            // row so the per-connection table reconciles with the
+            // system totals instead of silently dropping spans.
+            // (Request envelopes — "user_ns" present — stay in the
+            // per-layer tables above.)
+            LayerAgg &agg = fabricConns[{p, kAdminConn, name->str}];
+            agg.count++;
+            agg.totalNs += dur->number * 1000.0; // us -> ns
+            agg.bytes += numArg(*args, "bytes", 0);
         }
         if (args && args->isObject() && args->find("reactor")) {
             LayerAgg &agg = reactorLanes[{
@@ -337,10 +355,12 @@ main(int argc, char **argv)
                       ? it->second
                       : "pid" + std::to_string(p);
             const double c = static_cast<double>(a.count);
-            std::printf("%-24s %6llu %-16s %9llu %9.0f %11.0f\n",
-                        proc.c_str(), (unsigned long long)conn,
-                        name.c_str(), (unsigned long long)a.count,
-                        a.totalNs / c, a.bytes);
+            const std::string connLabel
+                = conn == kAdminConn ? "admin" : std::to_string(conn);
+            std::printf("%-24s %6s %-16s %9llu %9.0f %11.0f\n",
+                        proc.c_str(), connLabel.c_str(), name.c_str(),
+                        (unsigned long long)a.count, a.totalNs / c,
+                        a.bytes);
         }
     }
 
